@@ -1,0 +1,135 @@
+// Command bulletbench regenerates the paper's tables and figures as text
+// tables (see DESIGN.md §3 for the experiment index).
+//
+// Usage:
+//
+//	bulletbench                 # run everything (the fig11 sweep is large)
+//	bulletbench -exp table1
+//	bulletbench -exp fig11 -quick
+//	bulletbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+var order = []string{
+	"table1", "fig2", "fig4", "fig7", "fig10", "fig11", "fig12", "table3",
+	"fig13", "fig14", "fig15", "ext-knobs", "ext-disagg", "ext-device", "ext-prefix", "ext-cluster", "ext-knee", "ext-tp",
+}
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (see -list)")
+		quick = flag.Bool("quick", false, "reduced request counts / sweeps")
+		list  = flag.Bool("list", false, "list experiment ids, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments:", strings.Join(order, ", "))
+		return
+	}
+
+	run := func(id string) {
+		fmt.Printf("===== %s =====\n", id)
+		fmt.Println(render(id, *quick))
+	}
+	if *exp == "all" {
+		for _, id := range order {
+			run(id)
+		}
+		return
+	}
+	for _, id := range strings.Split(*exp, ",") {
+		if !known(id) {
+			fmt.Fprintf(os.Stderr, "bulletbench: unknown experiment %q (have %s)\n", id, strings.Join(order, ", "))
+			os.Exit(1)
+		}
+		run(id)
+	}
+}
+
+func known(id string) bool {
+	for _, k := range order {
+		if k == id {
+			return true
+		}
+	}
+	return false
+}
+
+func render(id string, quick bool) string {
+	n := 300
+	if quick {
+		n = 100
+	}
+	switch id {
+	case "table1":
+		return experiments.RenderTable1(experiments.Table1())
+	case "fig2":
+		rows, sums := experiments.Figure2()
+		return experiments.RenderFigure2(rows, sums)
+	case "fig4":
+		return experiments.RenderFigure4(experiments.Figure4())
+	case "fig7":
+		return experiments.RenderFigure7(experiments.Figure7())
+	case "fig10":
+		return experiments.RenderFigure10(experiments.Figure10(4000, 42))
+	case "fig11":
+		cfg := experiments.DefaultE2EConfig()
+		if quick {
+			cfg = experiments.QuickE2EConfig()
+		}
+		return experiments.RenderFigure11(experiments.Figure11(cfg))
+	case "fig12":
+		return experiments.RenderFigure12(experiments.Figure12(3.5, n, 42, 48))
+	case "fig13":
+		return experiments.RenderFigure13(experiments.Figure13(workload.AzureCode, 5, n, 42))
+	case "fig14":
+		return experiments.RenderFigure14(experiments.Figure14(experiments.DefaultFigure14Rates(), n, 42))
+	case "fig15":
+		return experiments.RenderFigure15(experiments.Figure15(n, 42))
+	case "table3":
+		return experiments.RenderTable3(experiments.Table3(2000))
+	case "ext-knobs":
+		var sb strings.Builder
+		sb.WriteString(experiments.RenderKnobRows("Extension: prefill layer-group sweep (Azure-Code @ 4 req/s)",
+			experiments.AblationLayerGroup(workload.AzureCode, 4, n, 42)))
+		sb.WriteByte('\n')
+		sb.WriteString(experiments.RenderKnobRows("Extension: SM partition granularity sweep",
+			experiments.AblationSMStep(workload.AzureCode, 4, n, 42)))
+		sb.WriteByte('\n')
+		sb.WriteString(experiments.RenderKnobRows("Extension: metadata latency sensitivity",
+			experiments.AblationMetadataLatency(workload.AzureCode, 4, n, 42)))
+		sb.WriteByte('\n')
+		sb.WriteString(experiments.RenderKnobRows("Extension: estimator configuration",
+			experiments.AblationEstimator(workload.AzureCode, 4, n, 42)))
+		sb.WriteByte('\n')
+		sb.WriteString(experiments.RenderKnobRows("Extension: arrival burstiness (gamma CV)",
+			experiments.AblationBurstiness(workload.AzureCode, 4, n, 42)))
+		return sb.String()
+	case "ext-disagg":
+		return experiments.RenderExtDisagg(experiments.ExtDisagg(workload.AzureCode, []float64{3, 4, 5}, n, 42))
+	case "ext-device":
+		return experiments.RenderExtCrossDevice(experiments.ExtCrossDevice(workload.ShareGPT, 12, n, 42))
+	case "ext-prefix":
+		return experiments.RenderExtPrefixCache(
+			experiments.ExtPrefixCache(workload.AzureCode, 4, n, 42, []float64{0, 0.5, 0.9}))
+	case "ext-cluster":
+		return experiments.RenderExtCluster(experiments.ExtCluster(workload.AzureCode, 9, n, 42))
+	case "ext-tp":
+		return experiments.RenderExtTensorParallel(experiments.ExtTensorParallel(workload.AzureCode, 4, n, 42))
+	case "ext-knee":
+		kneeN := n / 2
+		rows := experiments.ExtKnees(workload.AzureCode, 0.9, kneeN, 42, 2, 10, experiments.SystemNames)
+		return experiments.RenderExtKnees("azure-code", 0.9, rows)
+	}
+	panic("unreachable")
+}

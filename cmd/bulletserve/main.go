@@ -1,0 +1,35 @@
+// Command bulletserve exposes the reproduction over HTTP so external
+// tooling (notebooks, dashboards) can drive experiments:
+//
+//	bulletserve -addr :8080
+//	curl localhost:8080/v1/systems
+//	curl -X POST localhost:8080/v1/run \
+//	     -d '{"system":"bullet","dataset":"azure-code","rate":5,"n":200}'
+//	curl -X POST localhost:8080/v1/compare \
+//	     -d '{"dataset":"sharegpt","rate":16,"n":200}'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/api"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	// The api package's handler is pure and stateless; each request
+	// runs its own deterministic simulation.
+	handler := api.Handler()
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("bulletserve listening on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

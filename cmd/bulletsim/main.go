@@ -1,0 +1,139 @@
+// Command bulletsim runs a single serving experiment: one system, one
+// dataset, one request rate, on the simulated A100.
+//
+// Usage:
+//
+//	bulletsim -system bullet -dataset azure-code -rate 5 -n 300 -seed 42
+//	bulletsim -system sglang-1024 -dataset sharegpt -rate 16 -json
+//	bulletsim -system bullet -trace out.trace.json   # chrome://tracing file
+//	bulletsim -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/bullet"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/serving"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		system    = flag.String("system", "bullet", "serving system (see -list)")
+		dataset   = flag.String("dataset", "sharegpt", "workload dataset")
+		rate      = flag.Float64("rate", 8, "offered load in requests/second")
+		n         = flag.Int("n", 300, "number of requests")
+		seed      = flag.Int64("seed", 42, "trace random seed")
+		asJSON    = flag.Bool("json", false, "emit the full result as JSON")
+		traceFile = flag.String("trace", "", "write a Chrome trace-event file (Bullet systems only)")
+		list      = flag.Bool("list", false, "list systems and datasets, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("systems: ", strings.Join(bullet.Systems(), ", "))
+		fmt.Println("         plus ablations bullet-naive, bullet-partition, bullet-scheduler, bullet-sm<N>,")
+		fmt.Println("         disaggregation disagg-nvlink, disagg-pcie")
+		fmt.Println("datasets:", strings.Join(bullet.Datasets(), ", "))
+		fmt.Println("models:  ", strings.Join(bullet.Models(), ", "))
+		return
+	}
+
+	if *traceFile != "" {
+		if err := runTraced(*system, *dataset, *rate, *n, *seed, *traceFile); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	srv, err := bullet.New(bullet.Config{System: *system, Dataset: *dataset})
+	if err != nil {
+		fail(err)
+	}
+	tr, err := bullet.GenerateTrace(*dataset, *rate, *n, *seed)
+	if err != nil {
+		fail(err)
+	}
+	res, err := srv.Run(tr)
+	if err != nil {
+		fail(err)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fail(err)
+		}
+		return
+	}
+	printSummary(*dataset, *rate, *n, *seed, res)
+}
+
+func printSummary(dataset string, rate float64, n int, seed int64, res bullet.Result) {
+	fmt.Printf("system          %s\n", res.System)
+	fmt.Printf("dataset         %s @ %.2f req/s (%d requests, seed %d)\n", dataset, rate, n, seed)
+	fmt.Printf("mean TTFT       %.3f s (P90 %.3f s)\n", res.MeanTTFT, res.P90TTFT)
+	fmt.Printf("P90 norm TTFT   %.2f ms/token\n", res.P90NormTTFT)
+	fmt.Printf("mean TPOT       %.1f ms (P90 %.1f ms)\n", res.MeanTPOTMs, res.P90TPOTMs)
+	fmt.Printf("throughput      %.2f req/s, %.0f tok/s\n", res.Throughput, res.TokenThru)
+	fmt.Printf("SLO attainment  %.1f%%\n", 100*res.SLOAttainment)
+	fmt.Printf("makespan        %.1f s\n", res.Makespan)
+}
+
+// runTraced executes the run with full kernel/decision tracing and writes
+// a Chrome trace-event file viewable at chrome://tracing or Perfetto.
+func runTraced(system, dataset string, rate float64, n int, seed int64, path string) error {
+	spec, cfg := experiments.Platform()
+	d, err := workload.ByName(dataset)
+	if err != nil {
+		return err
+	}
+	env := serving.NewEnv(spec, cfg, dataset)
+
+	var rec trace.Recorder
+	rec.MaxEvents = 2_000_000
+	env.GPU.Trace = rec.KernelHook()
+
+	sys := experiments.NewSystem(system, env)
+	if b, ok := sys.(*core.Bullet); ok {
+		hook := rec.DecisionHook()
+		b.Prefill.OnDecision = hook
+		b.Decode.OnDecision = hook
+	}
+	env.OnComplete = func(m metrics.Request) {
+		rec.AddRequest(m.ID, m.Arrival, m.FirstToken, m.Finish, m.InputTokens, m.OutputTokens)
+	}
+	res := env.Run(sys, workload.Generate(d, rate, n, seed))
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := rec.WriteChromeTrace(f); err != nil {
+		return err
+	}
+	fmt.Printf("system %s: %d requests, %.1fs makespan\n", res.System, res.Summary.Requests, res.Makespan)
+	for lane, s := range rec.Summary() {
+		fmt.Printf("  lane %-10s %s\n", lane, s)
+	}
+	if rec.Dropped > 0 {
+		fmt.Printf("  (%d events dropped past the %d-event cap)\n", rec.Dropped, rec.MaxEvents)
+	}
+	fmt.Printf("wrote %s (open at chrome://tracing)\n", path)
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "bulletsim:", err)
+	os.Exit(1)
+}

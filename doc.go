@@ -1,0 +1,15 @@
+// Package repro is a from-scratch Go reproduction of "Bullet: Boosting
+// GPU Utilization for LLM Serving via Dynamic Spatial-Temporal
+// Orchestration" (ASPLOS'26).
+//
+// The public API lives in the bullet subpackage; the paper's system and
+// every substrate it depends on (a fluid discrete-event GPU simulator
+// with SM-masked streams, the transformer operator arithmetic, a paged KV
+// cache, workload generators, the performance estimator, SLO-aware
+// scheduler, resource manager, concurrent engines, and the
+// chunked-prefill/NanoFlow baselines) live under internal/.
+//
+// The benchmarks in bench_test.go regenerate every table and figure of
+// the paper's evaluation; see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured results.
+package repro

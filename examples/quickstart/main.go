@@ -1,0 +1,53 @@
+// Quickstart: serve a small ShareGPT-style trace with Bullet and print
+// the headline serving metrics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/bullet"
+)
+
+func main() {
+	// A server wraps one serving system on a simulated A100. The
+	// dataset choice sets the SLO targets (Table 2 of the paper).
+	srv, err := bullet.New(bullet.Config{
+		System:  "bullet",
+		Model:   "llama-3.1-8b",
+		Dataset: "sharegpt",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 200 chat requests arriving as a Poisson process at 10 req/s.
+	trace, err := bullet.GenerateTrace("sharegpt", 10, 200, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := srv.Run(trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Bullet on ShareGPT @ 10 req/s")
+	fmt.Printf("  requests        %d (makespan %.1fs)\n", res.Requests, res.Makespan)
+	fmt.Printf("  mean TTFT       %.0f ms (P90 %.0f ms)\n", 1000*res.MeanTTFT, 1000*res.P90TTFT)
+	fmt.Printf("  mean TPOT       %.1f ms (P90 %.1f ms)\n", res.MeanTPOTMs, res.P90TPOTMs)
+	fmt.Printf("  throughput      %.2f req/s (%.0f tok/s)\n", res.Throughput, res.TokenThru)
+	fmt.Printf("  SLO attainment  %.1f%%\n", 100*res.SLOAttainment)
+
+	// Per-request metrics are available too; show the worst TTFT.
+	worst := res.PerRequest[0]
+	for _, r := range res.PerRequest {
+		if r.TTFT > worst.TTFT {
+			worst = r
+		}
+	}
+	fmt.Printf("  worst TTFT      %.0f ms (%s, queued %.0f ms)\n",
+		1000*worst.TTFT, worst.ID, 1000*worst.QueueDelay)
+}

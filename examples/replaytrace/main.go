@@ -1,0 +1,82 @@
+// Replay traces: save a generated workload to JSON, reload it, and run
+// two systems on the *identical* request sequence — the apples-to-apples
+// methodology behind every comparison in this repository. Also
+// demonstrates exporting per-request latencies for external analysis.
+//
+//	go run ./examples/replaytrace [-file /tmp/trace.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/bullet"
+	"repro/internal/workload"
+)
+
+func main() {
+	file := flag.String("file", "/tmp/bullet-trace.json", "trace file path")
+	flag.Parse()
+
+	// 1. Generate a workload and persist it.
+	tr := workload.Generate(workload.AzureCode, 5, 120, 2026)
+	f, err := os.Create(*file)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tr.Write(f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("wrote %d requests (%d input tokens) to %s\n",
+		len(tr.Requests), tr.TotalInputTokens(), *file)
+
+	// 2. Reload it — simulating a trace captured elsewhere.
+	g, err := os.Open(*file)
+	if err != nil {
+		log.Fatal(err)
+	}
+	replay, err := workload.Read(g)
+	g.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Run two systems on the identical sequence via the public API.
+	reqs := make([]bullet.Request, len(replay.Requests))
+	for i, r := range replay.Requests {
+		reqs[i] = bullet.Request{
+			ID: r.ID, Arrival: r.Arrival,
+			InputTokens: r.InputTokens, OutputTokens: r.OutputTokens,
+		}
+	}
+	for _, sys := range []string{"bullet", "sglang-1024"} {
+		srv, err := bullet.New(bullet.Config{System: sys, Dataset: replay.Dataset})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := srv.Run(reqs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s TTFT %.0fms  TPOT %.1fms  SLO %.1f%%\n",
+			sys, 1000*res.MeanTTFT, res.MeanTPOTMs, 100*res.SLOAttainment)
+
+		// 4. Export the slowest five requests for inspection.
+		if sys == "bullet" {
+			worst := append([]bullet.RequestMetrics(nil), res.PerRequest...)
+			for i := 0; i < len(worst); i++ {
+				for j := i + 1; j < len(worst); j++ {
+					if worst[j].TTFT > worst[i].TTFT {
+						worst[i], worst[j] = worst[j], worst[i]
+					}
+				}
+			}
+			out, _ := json.MarshalIndent(worst[:5], "", "  ")
+			fmt.Printf("five slowest requests under bullet:\n%s\n", out)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// SLO tuning: sweep the offered load on the long-context summarization
+// workload and find each system's maximum rate with ≥90% SLO attainment
+// (the "goodput knee"). Demonstrates using the public API for capacity
+// planning.
+//
+//	go run ./examples/slotuning [-n 200]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/bullet"
+)
+
+func main() {
+	n := flag.Int("n", 200, "requests per point")
+	flag.Parse()
+
+	rates := []float64{1.0, 1.4, 1.8, 2.2, 2.6}
+	systems := []string{"bullet", "sglang-1024", "sglang-2048", "nanoflow-1024"}
+
+	fmt.Printf("arXiv-Summary goodput knee (SLO: 1.5 ms/token TTFT, 175 ms TPOT, target ≥90%%)\n\n")
+	fmt.Printf("%-14s", "rate(req/s)")
+	for _, r := range rates {
+		fmt.Printf("  %6.1f", r)
+	}
+	fmt.Println("   knee")
+
+	for _, sys := range systems {
+		srv, err := bullet.New(bullet.Config{System: sys, Dataset: "arxiv-summary"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s", sys)
+		knee := 0.0
+		for _, rate := range rates {
+			trace, err := bullet.GenerateTrace("arxiv-summary", rate, *n, 42)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := srv.Run(trace)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %5.1f%%", 100*res.SLOAttainment)
+			if res.SLOAttainment >= 0.9 && rate > knee {
+				knee = rate
+			}
+		}
+		if knee > 0 {
+			fmt.Printf("   %.1f req/s\n", knee)
+		} else {
+			fmt.Printf("   <%.1f req/s\n", rates[0])
+		}
+	}
+	fmt.Println("\nThe knee is the highest sustainable rate: Bullet's concurrent phases keep")
+	fmt.Println("prefill off the decode critical path, pushing the knee past the chunked systems.")
+}

@@ -1,0 +1,108 @@
+package disagg
+
+import (
+	"testing"
+
+	"repro/internal/gpusim"
+	"repro/internal/model"
+	"repro/internal/serving"
+	"repro/internal/workload"
+)
+
+func run(t testing.TB, cfg Config, d workload.Dataset, rate float64, n int, seed int64) (*Engine, serving.Result) {
+	t.Helper()
+	env := serving.NewEnv(gpusim.A100(), model.Llama31_8B(), d.Name)
+	e := New(env, cfg)
+	res := env.Run(e, workload.Generate(d, rate, n, seed))
+	return e, res
+}
+
+func TestCompletesAllRequests(t *testing.T) {
+	e, res := run(t, DefaultConfig(), workload.ShareGPT, 4, 30, 1)
+	if res.Summary.Requests != 30 {
+		t.Fatalf("completed %d/30", res.Summary.Requests)
+	}
+	if e.PrefillKVUsed() != 0 {
+		t.Fatalf("prefill pool leaked %d blocks", e.PrefillKVUsed())
+	}
+	if e.Migrations() == 0 {
+		t.Fatal("no migrations recorded")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	_, a := run(t, DefaultConfig(), workload.AzureCode, 2, 20, 5)
+	_, b := run(t, DefaultConfig(), workload.AzureCode, 2, 20, 5)
+	if a.Summary != b.Summary {
+		t.Fatalf("non-deterministic: %+v vs %+v", a.Summary, b.Summary)
+	}
+}
+
+func TestMigrationLatencyVisible(t *testing.T) {
+	// A single request's decode start is delayed by KV migration: over
+	// PCIe the 2048-token KV (2048 × 131072 B ≈ 268 MB) costs ~10.7 ms
+	// versus ~0.9 ms on NVLink.
+	mk := func(cfg Config) float64 {
+		env := serving.NewEnv(gpusim.A100(), model.Llama31_8B(), "sharegpt")
+		e := New(env, cfg)
+		trace := &workload.Trace{Dataset: "sharegpt", Rate: 1, Requests: []workload.Request{
+			{ID: "solo", Arrival: 0.001, InputTokens: 2048, OutputTokens: 2, Dataset: "sharegpt"},
+		}}
+		res := env.Run(e, trace)
+		r := res.Requests[0]
+		return r.Finish - r.FirstToken // one decode step + migration
+	}
+	nvlink := mk(DefaultConfig())
+	pcie := mk(PCIeConfig())
+	if pcie <= nvlink {
+		t.Fatalf("PCIe migration (%v) not slower than NVLink (%v)", pcie, nvlink)
+	}
+	if pcie-nvlink < 8e-3 {
+		t.Fatalf("migration gap = %v, want ≳ 8ms for 268MB over PCIe", pcie-nvlink)
+	}
+}
+
+func TestIsolationGivesCleanTPOT(t *testing.T) {
+	// With a whole GPU dedicated to decode, TPOT is unaffected by heavy
+	// prefill load: compare against the chunked paradigm indirectly by
+	// asserting decode steps stay near the isolated step time.
+	_, res := run(t, DefaultConfig(), workload.AzureCode, 5, 80, 3)
+	if res.Summary.Requests != 80 {
+		t.Fatalf("completed %d", res.Summary.Requests)
+	}
+	// Azure decode batches here are small; isolated steps are ~10-25 ms.
+	if res.Summary.P90TPOTMs > 60 {
+		t.Fatalf("P90 TPOT %v ms: decode not isolated", res.Summary.P90TPOTMs)
+	}
+}
+
+func TestSingleTokenRequestSkipsMigration(t *testing.T) {
+	env := serving.NewEnv(gpusim.A100(), model.Llama31_8B(), "sharegpt")
+	e := New(env, DefaultConfig())
+	trace := &workload.Trace{Dataset: "sharegpt", Rate: 1, Requests: []workload.Request{
+		{ID: "one", Arrival: 0.001, InputTokens: 512, OutputTokens: 1, Dataset: "sharegpt"},
+	}}
+	res := env.Run(e, trace)
+	if e.Migrations() != 0 {
+		t.Fatalf("migrated a single-token request")
+	}
+	if r := res.Requests[0]; r.FirstToken != r.Finish {
+		t.Fatalf("single-token record: %+v", r)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	env := serving.NewEnv(gpusim.A100(), model.Llama31_8B(), "sharegpt")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config accepted")
+		}
+	}()
+	New(env, Config{})
+}
+
+func BenchmarkDisaggAzure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		run(b, DefaultConfig(), workload.AzureCode, 3, 30, 1)
+	}
+}

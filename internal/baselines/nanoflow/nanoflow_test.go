@@ -1,0 +1,84 @@
+package nanoflow
+
+import (
+	"testing"
+
+	"repro/internal/baselines/chunked"
+	"repro/internal/gpusim"
+	"repro/internal/model"
+	"repro/internal/serving"
+	"repro/internal/workload"
+)
+
+func run(t testing.TB, d workload.Dataset, rate float64, n int, seed int64) serving.Result {
+	t.Helper()
+	env := serving.NewEnv(gpusim.A100(), model.Llama31_8B(), d.Name)
+	e := New(env, DefaultConfig())
+	return env.Run(e, workload.Generate(d, rate, n, seed))
+}
+
+func TestCompletesAllRequests(t *testing.T) {
+	res := run(t, workload.ShareGPT, 3, 30, 1)
+	if res.Summary.Requests != 30 {
+		t.Fatalf("completed %d/30", res.Summary.Requests)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := run(t, workload.AzureCode, 2, 20, 4)
+	b := run(t, workload.AzureCode, 2, 20, 4)
+	if a.Summary != b.Summary {
+		t.Fatalf("non-deterministic: %+v vs %+v", a.Summary, b.Summary)
+	}
+}
+
+func TestOverlapBeatsPlainChunked(t *testing.T) {
+	// NanoFlow's nano-batch overlap should improve on same-budget plain
+	// chunked prefill end to end (the paper places it best among
+	// chunked systems).
+	envA := serving.NewEnv(gpusim.A100(), model.Llama31_8B(), "sharegpt")
+	nf := New(envA, DefaultConfig())
+	trace := workload.Generate(workload.ShareGPT, 8, 60, 2)
+	a := envA.Run(nf, trace)
+
+	envB := serving.NewEnv(gpusim.A100(), model.Llama31_8B(), "sharegpt")
+	ch := chunked.New(envB, chunked.SGLang1024())
+	b := envB.Run(ch, workload.Generate(workload.ShareGPT, 8, 60, 2))
+
+	if a.Summary.MeanE2E >= b.Summary.MeanE2E*1.05 {
+		t.Fatalf("nanoflow E2E %v not competitive with chunked %v",
+			a.Summary.MeanE2E, b.Summary.MeanE2E)
+	}
+}
+
+func TestSingleRequest(t *testing.T) {
+	env := serving.NewEnv(gpusim.A100(), model.Llama31_8B(), "sharegpt")
+	e := New(env, DefaultConfig())
+	trace := &workload.Trace{Dataset: "sharegpt", Rate: 1, Requests: []workload.Request{
+		{ID: "solo", Arrival: 0.001, InputTokens: 3000, OutputTokens: 5, Dataset: "sharegpt"},
+	}}
+	res := env.Run(e, trace)
+	r := res.Requests[0]
+	if r.TTFT() <= 0 || r.TPOT() <= 0 {
+		t.Fatalf("bad record: %+v", r)
+	}
+	if e.Iterations() < 3+4 {
+		t.Fatalf("iterations = %d, want at least 7 (3 chunks + 4 decodes)", e.Iterations())
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	env := serving.NewEnv(gpusim.A100(), model.Llama31_8B(), "sharegpt")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config accepted")
+		}
+	}()
+	New(env, Config{})
+}
+
+func BenchmarkNanoFlowShareGPT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		run(b, workload.ShareGPT, 5, 30, 1)
+	}
+}

@@ -1,0 +1,167 @@
+// Package cluster scales a serving system horizontally: a router
+// dispatches requests across N single-GPU replicas sharing one simulated
+// clock. It exercises the deployment question the paper's related-work
+// section raises — whether to scale out with more whole-GPU instances or
+// to squeeze more out of each GPU with spatial-temporal orchestration —
+// and lets both answers compose (a cluster of Bullet instances).
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gpusim"
+	"repro/internal/metrics"
+	"repro/internal/serving"
+	"repro/internal/workload"
+)
+
+// Policy selects how the router places requests.
+type Policy string
+
+const (
+	// RoundRobin cycles through replicas.
+	RoundRobin Policy = "round-robin"
+	// LeastLoaded routes to the replica with the fewest in-flight
+	// tokens (queued + executing input tokens plus decode batch).
+	LeastLoaded Policy = "least-loaded"
+	// JoinShortestQueue routes to the replica with the fewest waiting
+	// requests.
+	JoinShortestQueue Policy = "jsq"
+)
+
+// Config shapes the cluster.
+type Config struct {
+	Replicas int
+	Policy   Policy
+	// Options configure each replica's Bullet instance.
+	Options core.Options
+}
+
+// DefaultConfig returns a two-replica least-loaded Bullet cluster.
+func DefaultConfig() Config {
+	return Config{Replicas: 2, Policy: LeastLoaded, Options: core.Options{Mode: core.ModeFull}}
+}
+
+// replica is one Bullet instance on its own device.
+type replica struct {
+	env      *serving.Env
+	sys      *core.Bullet
+	inflight int // live requests routed here
+	tokens   int // live input tokens routed here
+}
+
+// Cluster implements serving.System over N replicas.
+type Cluster struct {
+	outer    *serving.Env
+	cfg      Config
+	replicas []*replica
+	next     int
+	routed   map[string]*replica
+}
+
+// New builds the cluster on an outer environment. The outer env's own GPU
+// and KV pool are unused (replicas own their devices); it provides the
+// clock, SLO, and completion collection.
+func New(outer *serving.Env, cfg Config) *Cluster {
+	if cfg.Replicas <= 0 {
+		panic(fmt.Sprintf("cluster: invalid replica count %d", cfg.Replicas))
+	}
+	switch cfg.Policy {
+	case RoundRobin, LeastLoaded, JoinShortestQueue:
+	default:
+		panic(fmt.Sprintf("cluster: unknown policy %q", cfg.Policy))
+	}
+	c := &Cluster{outer: outer, cfg: cfg, routed: map[string]*replica{}}
+	for i := 0; i < cfg.Replicas; i++ {
+		env := serving.NewEnvWithSim(outer.Sim, outer.GPU.Spec, outer.Model, datasetOf(outer))
+		r := &replica{env: env}
+		env.OnComplete = func(m metrics.Request) {
+			r.inflight--
+			r.tokens -= m.InputTokens
+			c.outer.Complete(m)
+		}
+		r.sys = core.New(env, cfg.Options)
+		c.replicas = append(c.replicas, r)
+	}
+	return c
+}
+
+// datasetOf recovers the dataset name from the env's SLO (Table 2 pairs
+// are unique).
+func datasetOf(env *serving.Env) string {
+	for _, name := range []string{"sharegpt", "azure-code", "arxiv-summary"} {
+		if metrics.SLOFor(name) == env.SLO {
+			return name
+		}
+	}
+	return "sharegpt"
+}
+
+// Name implements serving.System.
+func (c *Cluster) Name() string {
+	return fmt.Sprintf("cluster-%dx-%s", c.cfg.Replicas, c.cfg.Policy)
+}
+
+// Submit implements serving.System.
+func (c *Cluster) Submit(r workload.Request) {
+	rep := c.pick(r)
+	rep.inflight++
+	rep.tokens += r.InputTokens
+	c.routed[r.ID] = rep
+	rep.sys.Submit(r)
+}
+
+func (c *Cluster) pick(r workload.Request) *replica {
+	switch c.cfg.Policy {
+	case RoundRobin:
+		rep := c.replicas[c.next%len(c.replicas)]
+		c.next++
+		return rep
+	case JoinShortestQueue:
+		best := c.replicas[0]
+		for _, rep := range c.replicas[1:] {
+			if rep.sys.Prefill.QueueDepth() < best.sys.Prefill.QueueDepth() {
+				best = rep
+			}
+		}
+		return best
+	default: // LeastLoaded
+		best := c.replicas[0]
+		for _, rep := range c.replicas[1:] {
+			if rep.tokens < best.tokens {
+				best = rep
+			}
+		}
+		return best
+	}
+}
+
+// Replicas returns the per-replica completed-request counts, for balance
+// analysis.
+func (c *Cluster) Replicas() []int {
+	out := make([]int, len(c.replicas))
+	for i, r := range c.replicas {
+		out[i] = len(r.env.Completed())
+	}
+	return out
+}
+
+// CheckDrained panics if any replica leaked KV blocks.
+func (c *Cluster) CheckDrained() {
+	for i, r := range c.replicas {
+		r.env.KV.CheckInvariants()
+		if used := r.env.KV.UsedBlocks(); used != 0 {
+			panic(fmt.Sprintf("cluster: replica %d leaked %d KV blocks", i, used))
+		}
+	}
+}
+
+// GPUStats aggregates device counters across replicas.
+func (c *Cluster) GPUStats() []gpusim.Stats {
+	out := make([]gpusim.Stats, len(c.replicas))
+	for i, r := range c.replicas {
+		out[i] = r.env.GPU.Stats()
+	}
+	return out
+}

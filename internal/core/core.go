@@ -1,0 +1,264 @@
+// Package core assembles Bullet, the paper's serving system: the
+// performance estimator (§3.2), SLO-aware scheduler (§3.3), computational
+// resource manager (§3.4) and concurrent execution engines (§3.5), wired
+// over the simulated GPU substrate.
+//
+// The same assembly, with components disabled, provides the ablation
+// variants of §4.5.1 (Naive / w-Partition / w-Scheduler) and the
+// fixed-SM-quota configurations used for the Fig. 13 sensitivity study and
+// as the MuxServe-style static-spatial-sharing baseline.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/estimator"
+	"repro/internal/gpusim"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/prefixcache"
+	"repro/internal/resource"
+	"repro/internal/sched"
+	"repro/internal/serving"
+	"repro/internal/workload"
+)
+
+// Mode selects which Bullet components are active.
+type Mode string
+
+const (
+	// ModeFull is the complete system.
+	ModeFull Mode = "bullet"
+	// ModeNaive co-executes prefill and decode on the full GPU with no
+	// provisioning or scheduling.
+	ModeNaive Mode = "bullet-naive"
+	// ModePartitionOnly enables dynamic SM provisioning but neither
+	// request reordering nor delayed decode.
+	ModePartitionOnly Mode = "bullet-partition"
+	// ModeSchedulerOnly enables reordering and delayed decode but keeps
+	// both phases on full-GPU masks.
+	ModeSchedulerOnly Mode = "bullet-scheduler"
+	// ModeStatic uses fixed SM quotas for both phases (MuxServe-style
+	// spatial sharing; also the Fig. 13 sensitivity configuration).
+	ModeStatic Mode = "bullet-static"
+)
+
+// Options configures a Bullet instance.
+type Options struct {
+	Mode Mode
+	// SMStep is the resource manager granularity (paper: 6).
+	SMStep int
+	// LayerGroup is layers per prefill scheduling cycle (paper: 1).
+	LayerGroup int
+	// FixedPrefillSMs / FixedDecodeSMs apply in ModeStatic (decode
+	// defaults to the full device, matching the Fig. 13 setup).
+	FixedPrefillSMs int
+	FixedDecodeSMs  int
+	// Params are the estimator's fitted parameters; zero means the
+	// cached profile for the (model, device) pair is used.
+	Params estimator.Params
+	// MetadataLatency models the inter-engine metadata path (Table 3).
+	MetadataLatency float64
+	// MaxPrefillTokens / MaxPrefillReqs bound prefill batches.
+	MaxPrefillTokens int
+	MaxPrefillReqs   int
+	// MaxDecodeBatch bounds the decode batch.
+	MaxDecodeBatch int
+	// RecordTimeline enables Fig. 12-style series collection.
+	RecordTimeline bool
+	// EnablePrefixCache turns on RadixAttention-style shared-prefix
+	// reuse in the prefill engine (an extension beyond the paper).
+	EnablePrefixCache bool
+}
+
+// DefaultOptions returns the full system's defaults.
+func DefaultOptions() Options {
+	return Options{
+		Mode:             ModeFull,
+		SMStep:           6,
+		LayerGroup:       1,
+		MetadataLatency:  0.21e-3,
+		MaxPrefillTokens: 16384,
+		MaxPrefillReqs:   8,
+		MaxDecodeBatch:   256,
+	}
+}
+
+// Timeline is the Fig. 12 instrumentation: step series sampled at
+// scheduling events.
+type Timeline struct {
+	PrefillSMs    metrics.Series
+	DecodeSMs     metrics.Series
+	PrefillTokens metrics.Series // tokens in the running prefill batch
+	DecodeBatch   metrics.Series
+	Waiting       metrics.Series // requests pending prefill
+	Branches      map[string]int // Algorithm 1 arm frequencies
+}
+
+// Bullet is the assembled serving system; it implements serving.System.
+type Bullet struct {
+	env  *serving.Env
+	opts Options
+
+	Estimator *estimator.Estimator
+	Scheduler *sched.Scheduler
+	Resources *resource.Manager
+	Buffer    *engine.Buffer
+	Prefill   *engine.PrefillEngine
+	Decode    *engine.DecodeEngine
+
+	Timeline *Timeline
+	// PrefixCache is non-nil when EnablePrefixCache is set.
+	PrefixCache *prefixcache.Cache
+	name        string
+}
+
+// fittedParamsCache memoizes offline profiling per (model, device).
+var (
+	fittedMu     sync.Mutex
+	fittedParams = map[string]estimator.Params{}
+)
+
+// FittedParams returns profile-fitted estimator parameters for a pair,
+// running the offline profiling once per process.
+func FittedParams(cfg model.Config, spec gpusim.Spec) estimator.Params {
+	key := cfg.Name + "/" + spec.Name
+	fittedMu.Lock()
+	defer fittedMu.Unlock()
+	if p, ok := fittedParams[key]; ok {
+		return p
+	}
+	_, rep := estimator.Profile(cfg, spec, estimator.QuickProfileOptions(spec))
+	fittedParams[key] = rep.Params
+	return rep.Params
+}
+
+// New assembles a Bullet system on an environment.
+func New(env *serving.Env, opts Options) *Bullet {
+	def := DefaultOptions()
+	if opts.Mode == "" {
+		opts.Mode = def.Mode
+	}
+	if opts.SMStep == 0 {
+		opts.SMStep = def.SMStep
+	}
+	if opts.LayerGroup == 0 {
+		opts.LayerGroup = def.LayerGroup
+	}
+	if opts.MetadataLatency == 0 {
+		opts.MetadataLatency = def.MetadataLatency
+	}
+	if opts.MaxPrefillTokens == 0 {
+		opts.MaxPrefillTokens = def.MaxPrefillTokens
+	}
+	if opts.MaxPrefillReqs == 0 {
+		opts.MaxPrefillReqs = def.MaxPrefillReqs
+	}
+	if opts.MaxDecodeBatch == 0 {
+		opts.MaxDecodeBatch = def.MaxDecodeBatch
+	}
+	if opts.Params == (estimator.Params{}) {
+		opts.Params = FittedParams(env.Model, env.GPU.Spec)
+	}
+
+	numSMs := env.GPU.Spec.NumSMs
+	est := estimator.New(env.Model, env.GPU.Spec, opts.Params)
+	res := resource.NewManager(env.GPU, opts.SMStep)
+	schd := sched.New(est, env.SLO, sched.Config{
+		TotalLayers: env.Model.NumLayers,
+		LayerGroup:  opts.LayerGroup,
+		NumSMs:      numSMs,
+		Levels:      res.Levels(),
+	})
+	buf := engine.NewBuffer(env.Sim, opts.MetadataLatency)
+
+	pcfg := engine.DefaultPrefillConfig(numSMs)
+	pcfg.LayerGroup = opts.LayerGroup
+	pcfg.MaxBatchTokens = opts.MaxPrefillTokens
+	pcfg.MaxBatchReqs = opts.MaxPrefillReqs
+	dcfg := engine.DefaultDecodeConfig(numSMs)
+	dcfg.MaxBatch = opts.MaxDecodeBatch
+
+	name := string(opts.Mode)
+	switch opts.Mode {
+	case ModeFull:
+		// defaults already enable everything
+	case ModeNaive:
+		pcfg.Reorder = false
+		pcfg.SLOAdmission = false
+		pcfg.DynamicSM = false
+		pcfg.FixedSMs = numSMs
+		dcfg.DynamicSM = false
+		dcfg.FixedSMs = numSMs
+		dcfg.AllowPause = false
+	case ModePartitionOnly:
+		pcfg.Reorder = false
+		pcfg.SLOAdmission = false
+		dcfg.AllowPause = false
+	case ModeSchedulerOnly:
+		pcfg.DynamicSM = false
+		pcfg.FixedSMs = numSMs
+		dcfg.DynamicSM = false
+		dcfg.FixedSMs = numSMs
+	case ModeStatic:
+		if opts.FixedPrefillSMs <= 0 {
+			panic("core: ModeStatic requires FixedPrefillSMs")
+		}
+		if opts.FixedDecodeSMs <= 0 {
+			opts.FixedDecodeSMs = numSMs
+		}
+		pcfg.DynamicSM = false
+		pcfg.FixedSMs = opts.FixedPrefillSMs
+		dcfg.DynamicSM = false
+		dcfg.FixedSMs = opts.FixedDecodeSMs
+		dcfg.AllowPause = false
+		name = fmt.Sprintf("bullet-sm%d", opts.FixedPrefillSMs)
+	default:
+		panic(fmt.Sprintf("core: unknown mode %q", opts.Mode))
+	}
+
+	b := &Bullet{
+		env: env, opts: opts, Estimator: est, Scheduler: schd,
+		Resources: res, Buffer: buf, name: name,
+	}
+	b.Prefill = engine.NewPrefillEngine(env, res, schd, est, buf, pcfg)
+	b.Decode = engine.NewDecodeEngine(env, res, schd, est, buf, dcfg)
+	b.Prefill.SetDecode(b.Decode)
+	if opts.EnablePrefixCache {
+		b.PrefixCache = prefixcache.New(env.KV)
+		b.Prefill.SetPrefixCache(b.PrefixCache)
+		env.OnDrain = b.PrefixCache.EvictAll
+		b.name += "+prefix"
+	}
+
+	if opts.RecordTimeline {
+		b.Timeline = &Timeline{Branches: map[string]int{}}
+		record := func(t float64, d sched.Decision) {
+			b.Timeline.PrefillSMs.Add(t, float64(d.PrefillSMs))
+			b.Timeline.DecodeSMs.Add(t, float64(d.DecodeSMs))
+			b.Timeline.Waiting.Add(t, float64(b.Prefill.QueueDepth()))
+			b.Timeline.DecodeBatch.Add(t, float64(b.Decode.BatchSize()))
+			b.Timeline.Branches[d.Branch]++
+		}
+		b.Prefill.OnDecision = record
+		b.Decode.OnDecision = record
+		b.Prefill.OnBatchStart = func(t float64, tokens, reqs, waiting int) {
+			b.Timeline.PrefillTokens.Add(t, float64(tokens))
+			b.Timeline.Waiting.Add(t, float64(waiting))
+		}
+	}
+	return b
+}
+
+// Name identifies the system variant in results.
+func (b *Bullet) Name() string { return b.name }
+
+// Submit implements serving.System.
+func (b *Bullet) Submit(r workload.Request) { b.Prefill.Submit(r) }
+
+// RunTrace is a convenience wrapper over the serving harness.
+func (b *Bullet) RunTrace(trace *workload.Trace) serving.Result {
+	return b.env.Run(b, trace)
+}

@@ -1,0 +1,206 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/gpusim"
+
+	"repro/internal/estimator"
+	"repro/internal/resource"
+	"repro/internal/sched"
+	"repro/internal/serving"
+)
+
+// DecodeConfig shapes the decode engine. The flags are the ablation
+// switches of §4.5.1.
+type DecodeConfig struct {
+	// DynamicSM applies the scheduler's SM decision; otherwise FixedSMs.
+	DynamicSM bool
+	FixedSMs  int
+	// AllowPause lets the scheduler delay a decode iteration to rescue
+	// TTFT (Fig. 8 ❷).
+	AllowPause bool
+	// MaxBatch caps the decode batch size.
+	MaxBatch int
+	// CycleOverhead is the CPU cost per iteration (graph launch path).
+	CycleOverhead float64
+	// MaxPause is the failsafe bound on one pause (the engine normally
+	// resumes at the next prefill layer-group sync).
+	MaxPause float64
+}
+
+// DefaultDecodeConfig returns Bullet's full configuration.
+func DefaultDecodeConfig(numSMs int) DecodeConfig {
+	return DecodeConfig{
+		DynamicSM:     true,
+		FixedSMs:      numSMs,
+		AllowPause:    true,
+		MaxBatch:      256,
+		CycleOverhead: 100e-6,
+		MaxPause:      20e-3,
+	}
+}
+
+// DecodeEngine batches decode requests and runs one CUDA-graph step per
+// scheduling cycle (§3.3.1), re-deciding its SM allocation each iteration.
+type DecodeEngine struct {
+	env  *serving.Env
+	res  *resource.Manager
+	schd *sched.Scheduler
+	est  *estimator.Estimator
+	buf  *Buffer
+	cfg  DecodeConfig
+
+	batch   []*Req
+	pending []*Req
+	active  bool
+	pauses  int
+	steps   int
+
+	// OnDecision observes every scheduling decision.
+	OnDecision func(t float64, d sched.Decision)
+	// OnStep observes each completed iteration.
+	OnStep func(t float64, batch int, stepDur float64)
+}
+
+// NewDecodeEngine wires a decode engine.
+func NewDecodeEngine(env *serving.Env, res *resource.Manager, schd *sched.Scheduler,
+	est *estimator.Estimator, buf *Buffer, cfg DecodeConfig) *DecodeEngine {
+	if cfg.MaxBatch <= 0 {
+		panic(fmt.Sprintf("engine: invalid decode config %+v", cfg))
+	}
+	d := &DecodeEngine{env: env, res: res, schd: schd, est: est, buf: buf, cfg: cfg}
+	buf.RegisterDecode(d.status)
+	return d
+}
+
+// Accept receives migrated requests from the prefill engine (via the
+// metadata buffer); they join the batch at the next iteration boundary
+// (continuous batching).
+func (d *DecodeEngine) Accept(reqs []*Req) {
+	d.pending = append(d.pending, reqs...)
+	if !d.active {
+		d.active = true
+		d.cycle()
+	}
+}
+
+// BatchSize returns the current decode batch size (joined requests only).
+func (d *DecodeEngine) BatchSize() int { return len(d.batch) }
+
+// Pauses returns how many iterations were deliberately delayed.
+func (d *DecodeEngine) Pauses() int { return d.pauses }
+
+// Steps returns how many decode iterations completed.
+func (d *DecodeEngine) Steps() int { return d.steps }
+
+// status is the buffer's decode state provider.
+func (d *DecodeEngine) status() sched.DecodeStatus {
+	now := d.env.Sim.Now()
+	ds := sched.DecodeStatus{Batch: len(d.batch)}
+	ctx := 0
+	for _, r := range d.batch {
+		ds.Elapsed = append(ds.Elapsed, now-r.FirstToken)
+		ds.Generated = append(ds.Generated, r.Generated)
+		ctx += r.Ctx()
+	}
+	if len(d.batch) > 0 {
+		ds.AvgCtx = float64(ctx) / float64(len(d.batch))
+	}
+	return ds
+}
+
+func (d *DecodeEngine) avgCtx() float64 {
+	if len(d.batch) == 0 {
+		return 0
+	}
+	ctx := 0
+	for _, r := range d.batch {
+		ctx += r.Ctx()
+	}
+	return float64(ctx) / float64(len(d.batch))
+}
+
+// decide runs one scheduling cycle with the engine's overrides applied.
+func (d *DecodeEngine) decide() sched.Decision {
+	dec := d.schd.Decide(d.buf.Snapshot())
+	if !d.cfg.DynamicSM {
+		dec.DecodeSMs = d.cfg.FixedSMs
+		pm, _ := d.buf.Allocation()
+		if pm > 0 {
+			dec.PrefillSMs = pm
+		}
+	}
+	if !d.cfg.AllowPause {
+		dec.PauseDecode = false
+	}
+	d.buf.SetAllocation(dec.PrefillSMs, dec.DecodeSMs)
+	if d.OnDecision != nil {
+		d.OnDecision(d.env.Sim.Now(), dec)
+	}
+	return dec
+}
+
+// cycle runs one decode iteration: admit, decide, (maybe pause), launch.
+func (d *DecodeEngine) cycle() {
+	for len(d.pending) > 0 && len(d.batch) < d.cfg.MaxBatch {
+		d.batch = append(d.batch, d.pending[0])
+		d.pending = d.pending[1:]
+	}
+	if len(d.batch) == 0 {
+		d.active = false
+		return
+	}
+	dec := d.decide()
+	if dec.PauseDecode {
+		d.pauses++
+		woken := false
+		wake := func() {
+			if woken {
+				return
+			}
+			woken = true
+			d.cycle()
+		}
+		// Resume at the next prefill layer-group sync, or after the
+		// failsafe bound, whichever first.
+		d.buf.OnPrefillProgress(wake)
+		d.env.Sim.After(d.cfg.MaxPause, wake)
+		return
+	}
+
+	stream := d.res.Stream(resource.Decode, dec.DecodeSMs)
+	dm := stream.Mask().Count()
+	bs := len(d.batch)
+	ctx := d.avgCtx()
+	colocated := true // conservatively assume overlap for the prediction
+	predicted := d.est.DecodeStepTime(bs, ctx, dm, colocated)
+	step := d.env.Model.DecodeStepKernel(bs, ctx, "decode")
+	d.env.GPU.Launch(stream, step, func(rec gpusim.KernelRecord) {
+		d.est.ObserveDecode(predicted, rec.Duration())
+		d.steps++
+		now := d.env.Sim.Now()
+		if d.OnStep != nil {
+			d.OnStep(now, bs, rec.Duration())
+		}
+		kept := d.batch[:0]
+		released := false
+		for _, r := range d.batch {
+			r.Generated++
+			if r.Generated >= r.W.OutputTokens {
+				r.Finish = now
+				r.ReleasePrefix()
+				d.env.KV.Free(r.Seq)
+				d.env.Complete(r.Record())
+				released = true
+				continue
+			}
+			kept = append(kept, r)
+		}
+		d.batch = kept
+		if released {
+			d.buf.PublishKVRelease()
+		}
+		d.env.Sim.After(d.cfg.CycleOverhead, d.cycle)
+	})
+}

@@ -1,0 +1,322 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/estimator"
+	"repro/internal/gpusim"
+	"repro/internal/prefixcache"
+	"repro/internal/resource"
+	"repro/internal/sched"
+	"repro/internal/serving"
+	"repro/internal/workload"
+)
+
+// PrefillConfig shapes the prefill engine's behaviour. The flags double as
+// the ablation switches of §4.5.1.
+type PrefillConfig struct {
+	// LayerGroup is how many layers are launched per scheduling cycle
+	// before synchronizing (1 in the paper's example).
+	LayerGroup int
+	// MaxBatchTokens caps the token total of one prefill batch.
+	MaxBatchTokens int
+	// MaxBatchReqs caps how many requests are prefilled together.
+	MaxBatchReqs int
+	// Reorder enables SLO-deadline reordering of the pending queue.
+	Reorder bool
+	// SLOAdmission stops growing a prefill batch when adding the next
+	// request would push an already-admitted request past its TTFT
+	// deadline (batched requests all see the batch's completion time).
+	SLOAdmission bool
+	// DynamicSM applies the scheduler's SM decision; otherwise FixedSMs
+	// is used (Naive / w-Scheduler ablations, Fig. 13 sensitivity).
+	DynamicSM bool
+	FixedSMs  int
+	// CycleOverhead is the CPU cost of one scheduling cycle
+	// (snapshot + decision + launch), cf. Table 3.
+	CycleOverhead float64
+}
+
+// DefaultPrefillConfig returns Bullet's full configuration for a device
+// with numSMs SMs.
+func DefaultPrefillConfig(numSMs int) PrefillConfig {
+	return PrefillConfig{
+		LayerGroup:     1,
+		MaxBatchTokens: 16384,
+		MaxBatchReqs:   8,
+		Reorder:        true,
+		SLOAdmission:   true,
+		DynamicSM:      true,
+		FixedSMs:       numSMs,
+		CycleOverhead:  150e-6,
+	}
+}
+
+// PrefillEngine runs whole-sequence prefills layer-group by layer-group,
+// re-deciding the SM allocation at every group boundary (§3.3.1).
+type PrefillEngine struct {
+	env  *serving.Env
+	res  *resource.Manager
+	schd *sched.Scheduler
+	est  *estimator.Estimator
+	buf  *Buffer
+	dec  *DecodeEngine
+	cfg  PrefillConfig
+
+	prefix *prefixcache.Cache
+
+	waiting      []*Req
+	batch        []*Req
+	batchTokens  int
+	layersDone   int
+	running      bool
+	waitingOnKV  bool
+	startPending bool
+
+	// OnDecision observes every scheduling decision (timeline hooks).
+	OnDecision func(t float64, d sched.Decision)
+	// OnBatchStart observes batch formation.
+	OnBatchStart func(t float64, tokens, reqs, waiting int)
+}
+
+// NewPrefillEngine wires a prefill engine. Call SetDecode before use.
+func NewPrefillEngine(env *serving.Env, res *resource.Manager, schd *sched.Scheduler,
+	est *estimator.Estimator, buf *Buffer, cfg PrefillConfig) *PrefillEngine {
+	if cfg.LayerGroup <= 0 || cfg.MaxBatchReqs <= 0 || cfg.MaxBatchTokens <= 0 {
+		panic(fmt.Sprintf("engine: invalid prefill config %+v", cfg))
+	}
+	p := &PrefillEngine{env: env, res: res, schd: schd, est: est, buf: buf, cfg: cfg}
+	buf.RegisterPrefill(p.status)
+	return p
+}
+
+// SetDecode connects the downstream decode engine.
+func (p *PrefillEngine) SetDecode(d *DecodeEngine) { p.dec = d }
+
+// SetPrefixCache enables shared-prefix reuse: admissions consult the
+// cache, prefilling only the uncached tail of each prompt.
+func (p *PrefillEngine) SetPrefixCache(c *prefixcache.Cache) { p.prefix = c }
+
+// Submit enqueues an arriving request. Batch formation is deferred by one
+// (zero-delay) event so that requests arriving at the same instant can
+// join the same prefill batch.
+func (p *PrefillEngine) Submit(r workload.Request) {
+	p.waiting = append(p.waiting, &Req{W: r})
+	if p.startPending {
+		return
+	}
+	p.startPending = true
+	p.env.Sim.After(0, func() {
+		p.startPending = false
+		p.tryStart()
+	})
+}
+
+// QueueDepth returns the number of requests waiting for prefill.
+func (p *PrefillEngine) QueueDepth() int { return len(p.waiting) }
+
+// Running reports whether a prefill batch is in flight.
+func (p *PrefillEngine) Running() bool { return p.running }
+
+// status is the buffer's prefill state provider.
+func (p *PrefillEngine) status() (sched.PrefillStatus, []sched.WaitingReq) {
+	ps := sched.PrefillStatus{}
+	if p.running {
+		ps.Active = true
+		ps.Tokens = p.batchTokens
+		ps.LayersDone = p.layersDone
+		for _, r := range p.batch {
+			ps.Arrivals = append(ps.Arrivals, r.W.Arrival)
+			ps.InputTokens = append(ps.InputTokens, r.W.InputTokens)
+			if r.PrefillStart > ps.StartTime {
+				ps.StartTime = r.PrefillStart
+			}
+		}
+	}
+	ws := make([]sched.WaitingReq, len(p.waiting))
+	for i, r := range p.waiting {
+		ws[i] = sched.WaitingReq{Arrival: r.W.Arrival, InputTokens: r.W.InputTokens}
+	}
+	return ps, ws
+}
+
+// tryStart forms and launches the next prefill batch if idle.
+func (p *PrefillEngine) tryStart() {
+	if p.running || len(p.waiting) == 0 {
+		return
+	}
+	if p.cfg.Reorder {
+		// Reorder pending requests by SLO deadline, the same key the
+		// scheduler uses (Algorithm 1 line 7).
+		slo := p.schd.SLO()
+		sort.SliceStable(p.waiting, func(i, j int) bool {
+			a := sched.WaitingReq{Arrival: p.waiting[i].W.Arrival, InputTokens: p.waiting[i].W.InputTokens}
+			b := sched.WaitingReq{Arrival: p.waiting[j].W.Arrival, InputTokens: p.waiting[j].W.InputTokens}
+			return a.Deadline(slo) < b.Deadline(slo)
+		})
+	}
+	now := p.env.Sim.Now()
+	slo := p.schd.SLO()
+	for len(p.waiting) > 0 && len(p.batch) < p.cfg.MaxBatchReqs {
+		r := p.waiting[0]
+		if len(p.batch) > 0 && p.batchTokens+r.W.InputTokens > p.cfg.MaxBatchTokens {
+			break
+		}
+		if p.cfg.SLOAdmission && len(p.batch) > 0 {
+			// Batched requests all finish at the batch's completion;
+			// do not grow the batch past any member's deadline.
+			grown := p.est.PrefillTotalTime(p.batchTokens+r.W.InputTokens, 0,
+				p.res.NumSMs(), true)
+			violates := false
+			for _, member := range append(p.batch, r) {
+				budget := slo.NormTTFTMs * float64(member.W.InputTokens) / 1000
+				if (now-member.W.Arrival)+grown > budget {
+					violates = true
+					break
+				}
+			}
+			if violates {
+				break
+			}
+		}
+		// Shared-prefix lookup: a hit shrinks the computed prefill to
+		// the uncached tail (the cached part is pinned until the
+		// request finishes, because decode attention keeps reading it).
+		if p.prefix != nil && r.PrefixRelease == nil {
+			hit, release := p.prefix.Acquire(r.W.PrefixGroup)
+			if hit >= r.W.InputTokens {
+				hit = r.W.InputTokens - 1 // always compute ≥1 token
+			}
+			r.PrefixHit = hit
+			r.PrefixRelease = release
+		}
+		// Reserve KV for the whole lifetime (uncached input + output) so
+		// decode can never be preempted by cache exhaustion; admission
+		// blocks here instead.
+		need := r.NewTokens() + r.W.OutputTokens
+		if !p.env.KV.CanAllocate(need) {
+			if len(p.batch) == 0 && !p.waitingOnKV {
+				p.waitingOnKV = true
+				p.buf.OnKVRelease(func() {
+					p.waitingOnKV = false
+					p.tryStart()
+				})
+			}
+			break
+		}
+		seq, err := p.env.KV.Allocate(r.W.ID, need, "prefill")
+		if err != nil {
+			break
+		}
+		r.Seq = seq
+		r.PrefillStart = now
+		p.batch = append(p.batch, r)
+		p.batchTokens += r.NewTokens()
+		p.waiting = p.waiting[1:]
+	}
+	if len(p.batch) == 0 {
+		return
+	}
+	p.running = true
+	p.layersDone = 0
+	if p.OnBatchStart != nil {
+		p.OnBatchStart(now, p.batchTokens, len(p.batch), len(p.waiting))
+	}
+	p.cycle()
+}
+
+// decide runs one scheduling cycle and applies the ablation overrides.
+func (p *PrefillEngine) decide() sched.Decision {
+	d := p.schd.Decide(p.buf.Snapshot())
+	if !p.cfg.DynamicSM {
+		d.PrefillSMs = p.cfg.FixedSMs
+		_, dm := p.buf.Allocation()
+		if dm > 0 {
+			d.DecodeSMs = dm
+		}
+		d.PauseDecode = false
+	}
+	p.buf.SetAllocation(d.PrefillSMs, d.DecodeSMs)
+	if p.OnDecision != nil {
+		p.OnDecision(p.env.Sim.Now(), d)
+	}
+	return d
+}
+
+// cycle launches one layer group and schedules the next cycle at its
+// completion (the sync point that gives real-time progress perception).
+func (p *PrefillEngine) cycle() {
+	d := p.decide()
+	stream := p.res.Stream(resource.Prefill, d.PrefillSMs)
+	pm := stream.Mask().Count()
+
+	group := p.cfg.LayerGroup
+	if left := p.env.Model.NumLayers - p.layersDone; group > left {
+		group = left
+	}
+	seqLens := make([]int, len(p.batch))
+	histLens := make([]int, len(p.batch))
+	for i, r := range p.batch {
+		seqLens[i] = r.NewTokens()
+		histLens[i] = r.PrefixHit
+	}
+	colocated := p.dec != nil && p.dec.BatchSize() > 0
+	predicted := p.est.PrefillLayerTime(p.batchTokens, 0, pm, colocated) * float64(group)
+	start := p.env.Sim.Now()
+	for l := 0; l < group; l++ {
+		for _, k := range p.env.Model.PrefillBatchLayerKernels(seqLens, histLens, "prefill") {
+			p.env.GPU.Launch(stream, k, nil)
+		}
+	}
+	p.env.GPU.Synchronize(stream, func() {
+		actual := p.env.Sim.Now() - start
+		p.est.ObservePrefill(predicted/float64(group), actual/float64(group))
+		p.layersDone += group
+		p.buf.PublishPrefillProgress()
+		if p.layersDone >= p.env.Model.NumLayers {
+			p.finishBatch(stream)
+			return
+		}
+		p.env.Sim.After(p.cfg.CycleOverhead, p.cycle)
+	})
+}
+
+// finishBatch runs the LM head, emits first tokens, and migrates requests
+// to the decode engine through the metadata buffer (copy-free: the KV
+// sequences merely change owner).
+func (p *PrefillEngine) finishBatch(stream *gpusim.Stream) {
+	head := p.env.Model.LMHeadKernel(len(p.batch), "prefill")
+	p.env.GPU.Launch(stream, head, nil)
+	p.env.GPU.Synchronize(stream, func() {
+		now := p.env.Sim.Now()
+		var migrate []*Req
+		for _, r := range p.batch {
+			r.FirstToken = now
+			r.Generated = 1
+			// A freshly computed shared prefix becomes reusable for
+			// later requests of the same group.
+			if p.prefix != nil && r.W.PrefixGroup != "" && r.PrefixHit == 0 {
+				p.prefix.Insert(r.W.PrefixGroup, r.W.PrefixTokens)
+			}
+			if r.Generated >= r.W.OutputTokens {
+				r.Finish = now
+				r.ReleasePrefix()
+				p.env.KV.Free(r.Seq)
+				p.env.Complete(r.Record())
+				p.buf.PublishKVRelease()
+				continue
+			}
+			r.Seq.Transfer("decode")
+			migrate = append(migrate, r)
+		}
+		p.batch = nil
+		p.batchTokens = 0
+		p.running = false
+		if p.dec == nil && len(migrate) > 0 {
+			panic("engine: no decode engine attached")
+		}
+		p.buf.Handoff(migrate, p.dec.Accept)
+		p.env.Sim.After(p.cfg.CycleOverhead, p.tryStart)
+	})
+}

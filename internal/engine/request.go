@@ -1,0 +1,56 @@
+package engine
+
+import (
+	"repro/internal/kvcache"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Req is the engine-side state of one request across its lifecycle.
+type Req struct {
+	W   workload.Request
+	Seq *kvcache.Sequence
+
+	PrefillStart float64
+	FirstToken   float64
+	Finish       float64
+	// Generated counts emitted output tokens (the prefill's first token
+	// included).
+	Generated int
+
+	// PrefixHit is how many input tokens were served from the shared
+	// prefix cache (0 without a cache or on a miss); PrefixRelease
+	// unpins the cached prefix and must run exactly once at completion.
+	PrefixHit     int
+	PrefixRelease func()
+}
+
+// ReleasePrefix unpins the request's cached prefix, if any.
+func (r *Req) ReleasePrefix() {
+	if r.PrefixRelease != nil {
+		r.PrefixRelease()
+		r.PrefixRelease = nil
+	}
+}
+
+// NewTokens returns the prefill tokens actually computed (input minus the
+// cached prefix).
+func (r *Req) NewTokens() int { return r.W.InputTokens - r.PrefixHit }
+
+// Ctx returns the request's current context length (input plus generated
+// output), the quantity decode attention reads.
+func (r *Req) Ctx() int { return r.W.InputTokens + r.Generated }
+
+// Record converts the request to its metrics record.
+func (r *Req) Record() metrics.Request {
+	return metrics.Request{
+		ID:           r.W.ID,
+		Dataset:      r.W.Dataset,
+		Arrival:      r.W.Arrival,
+		PrefillStart: r.PrefillStart,
+		FirstToken:   r.FirstToken,
+		Finish:       r.Finish,
+		InputTokens:  r.W.InputTokens,
+		OutputTokens: r.W.OutputTokens,
+	}
+}

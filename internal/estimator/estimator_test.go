@@ -1,0 +1,242 @@
+package estimator
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gpusim"
+	"repro/internal/model"
+)
+
+func testEstimator() *Estimator {
+	return New(model.Llama31_8B(), gpusim.A100(), DefaultParams())
+}
+
+func TestPrefillLayerTimeSanity(t *testing.T) {
+	e := testEstimator()
+	// One Llama-8B layer over 2048 tokens is roughly 0.9e12 FLOPs; on a
+	// 312 TFLOP/s device that's ~3ms even before inefficiency.
+	got := e.PrefillLayerTime(2048, 0, 108, false)
+	if got < 1e-3 || got > 20e-3 {
+		t.Fatalf("prefill layer time = %v, outside sanity window", got)
+	}
+	// Full prefill should be ~32x a layer.
+	total := e.PrefillTotalTime(2048, 0, 108, false)
+	if total < 30*got || total > 40*got {
+		t.Fatalf("total %v not ≈ 32 layers of %v", total, got)
+	}
+}
+
+func TestDecodeStepTimeSanity(t *testing.T) {
+	e := testEstimator()
+	// Weights alone are ~16 GB; at 2 TB/s a decode step is ≥ 8 ms.
+	got := e.DecodeStepTime(32, 1024, 108, false)
+	if got < 5e-3 || got > 100e-3 {
+		t.Fatalf("decode step time = %v, outside sanity window", got)
+	}
+	if e.DecodeStepTime(0, 1024, 108, false) != 0 {
+		t.Fatal("zero batch should cost nothing")
+	}
+}
+
+func TestFewerSMsSlower(t *testing.T) {
+	e := testEstimator()
+	full := e.PrefillLayerTime(4096, 0, 108, false)
+	half := e.PrefillLayerTime(4096, 0, 54, false)
+	if half <= full {
+		t.Fatalf("half-SM time %v not slower than full %v", half, full)
+	}
+	if half > 2.5*full {
+		t.Fatalf("half-SM time %v unreasonably slow vs %v", half, full)
+	}
+}
+
+func TestColocationContentionSlowsDown(t *testing.T) {
+	e := New(model.Llama31_8B(), gpusim.A100(), Params{DC: 1, DB: 1, PC: 0.9, PB: 0.85})
+	iso := e.PrefillLayerTime(2048, 0, 54, false)
+	co := e.PrefillLayerTime(2048, 0, 54, true)
+	if co <= iso {
+		t.Fatalf("colocated %v not slower than isolated %v", co, iso)
+	}
+}
+
+func TestWaveQuantizationVisible(t *testing.T) {
+	e := testEstimator()
+	// A grid of 128 TBs on 108 SMs leaves 40.7% of SM cycles idle
+	// (Table 1, OProj@1024); the prediction must inflate accordingly.
+	smooth := e.kernelTime(gpusim.Kernel{FLOPs: 1e12, Grid: 0}, 108, false)
+	quantized := e.kernelTime(gpusim.Kernel{FLOPs: 1e12, Grid: 128}, 108, false)
+	want := smooth / (128.0 / 216.0)
+	if math.Abs(quantized-want)/want > 1e-9 {
+		t.Fatalf("quantized = %v, want %v (smooth %v)", quantized, want, smooth)
+	}
+}
+
+func TestOnlineCorrection(t *testing.T) {
+	e := testEstimator()
+	base := e.PrefillLayerTime(2048, 0, 108, false)
+	// Device consistently 2x slower than predicted.
+	for i := 0; i < 50; i++ {
+		pred := e.PrefillLayerTime(2048, 0, 108, false)
+		e.ObservePrefill(pred, base*2)
+	}
+	corrected := e.PrefillLayerTime(2048, 0, 108, false)
+	if corrected < base*1.7 || corrected > base*2.3 {
+		t.Fatalf("correction converged to %v, want ≈ %v", corrected, base*2)
+	}
+	pc, dc := e.Corrections()
+	if dc != 1 {
+		t.Fatalf("decode correction moved: %v", dc)
+	}
+	if pc < 1.7 || pc > 2.3 {
+		t.Fatalf("prefill correction = %v", pc)
+	}
+	e.ResetCorrections()
+	if got := e.PrefillLayerTime(2048, 0, 108, false); math.Abs(got-base)/base > 1e-9 {
+		t.Fatal("reset did not restore base prediction")
+	}
+}
+
+func TestCorrectionBounded(t *testing.T) {
+	e := testEstimator()
+	for i := 0; i < 200; i++ {
+		pred := e.PrefillLayerTime(2048, 0, 108, false)
+		e.ObservePrefill(pred, pred*1000)
+	}
+	pc, _ := e.Corrections()
+	if pc > corrMax+1e-9 {
+		t.Fatalf("correction unbounded: %v", pc)
+	}
+	for i := 0; i < 200; i++ {
+		pred := e.DecodeStepTime(8, 512, 108, false)
+		e.ObserveDecode(pred, pred/1000)
+	}
+	_, dcr := e.Corrections()
+	if dcr < corrMin-1e-9 {
+		t.Fatalf("correction under-bounded: %v", dcr)
+	}
+}
+
+func TestInvalidParamsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero params accepted")
+		}
+	}()
+	New(model.Tiny(), gpusim.TestGPU(), Params{})
+}
+
+func TestProfileQuick(t *testing.T) {
+	cfg := model.Llama31_8B()
+	spec := gpusim.A100()
+	est, rep := Profile(cfg, spec, QuickProfileOptions(spec))
+	if rep.Trials == 0 || len(rep.Samples) != rep.Trials {
+		t.Fatalf("trials=%d samples=%d", rep.Trials, len(rep.Samples))
+	}
+	p := est.Params()
+	for _, v := range []float64{p.DC, p.DB, p.PC, p.PB} {
+		if v < 0.2 || v > 1.5 {
+			t.Fatalf("fitted param out of range: %+v", p)
+		}
+	}
+	// Fitted decay factors must improve on the naive analytical model.
+	if rep.MeanRelError > 0.5 {
+		t.Fatalf("mean relative error = %v, fit failed", rep.MeanRelError)
+	}
+	// The fitted model should predict a real configuration reasonably:
+	// compare against a fresh ground-truth measurement.
+	actual := measurePrefillLayer(cfg, spec, 2048, 0, spec.NumSMs)
+	pred := est.PrefillLayerTime(2048, 0, spec.NumSMs, false)
+	if math.Abs(pred-actual)/actual > 0.6 {
+		t.Fatalf("pred %v vs actual %v: too far off", pred, actual)
+	}
+}
+
+func TestProfileReportErrorStats(t *testing.T) {
+	spec := gpusim.A100()
+	_, rep := Profile(model.Llama31_8B(), spec, QuickProfileOptions(spec))
+	if rep.P90RelError < rep.MeanRelError/4 {
+		t.Fatalf("p90 %v implausibly below mean %v", rep.P90RelError, rep.MeanRelError)
+	}
+	acc := ClassificationAccuracy(rep.Samples, 1.0)
+	if acc < 0.5 || acc > 1.0001 {
+		t.Fatalf("classification accuracy = %v", acc)
+	}
+}
+
+func TestClassificationAccuracyEdge(t *testing.T) {
+	if got := ClassificationAccuracy(nil, 1); got != 0 {
+		t.Fatalf("empty accuracy = %v", got)
+	}
+	perfect := []Sample{
+		{Kind: "k", Actual: 1, Predicted: 1},
+		{Kind: "k", Actual: 2, Predicted: 2},
+		{Kind: "k", Actual: 3, Predicted: 3},
+	}
+	if got := ClassificationAccuracy(perfect, 1.0); got != 1 {
+		t.Fatalf("perfect accuracy = %v", got)
+	}
+}
+
+func TestMeasureColocatedProducesBothSamples(t *testing.T) {
+	cfg := model.Llama31_8B()
+	spec := gpusim.A100()
+	p, d := measureColocated(cfg, spec, 2048, 32, 1024, 81, 27)
+	if p <= 0 || d <= 0 {
+		t.Fatalf("colocated measures: prefill=%v decode=%v", p, d)
+	}
+	// Colocated prefill on 81 SMs should be slower than isolated full-GPU.
+	iso := measurePrefillLayer(cfg, spec, 2048, 0, 108)
+	if p <= iso {
+		t.Fatalf("colocated partial-SM prefill %v not slower than isolated %v", p, iso)
+	}
+}
+
+// Property: predictions are positive and monotone in tokens.
+func TestPropertyPredictionMonotone(t *testing.T) {
+	e := testEstimator()
+	f := func(aU uint16, smU uint8) bool {
+		a := int(aU%8192) + 1
+		sms := int(smU%107) + 1
+		t1 := e.PrefillLayerTime(a, 0, sms, false)
+		t2 := e.PrefillLayerTime(a+512, 0, sms, false)
+		return t1 > 0 && t2 >= t1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: decode step predictions are monotone in batch size.
+func TestPropertyDecodeMonotoneBatch(t *testing.T) {
+	e := testEstimator()
+	f := func(bU uint8) bool {
+		b := int(bU%200) + 1
+		t1 := e.DecodeStepTime(b, 1024, 108, false)
+		t2 := e.DecodeStepTime(b+8, 1024, 108, false)
+		return t1 > 0 && t2 >= t1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkPredict measures the Table 3 "Performance Predict" path.
+func BenchmarkPredict(b *testing.B) {
+	e := testEstimator()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = e.PrefillLayerTime(2048, 0, 84, true)
+		_ = e.DecodeStepTime(64, 1024, 24, true)
+	}
+}
+
+func BenchmarkProfileQuick(b *testing.B) {
+	spec := gpusim.A100()
+	cfg := model.Llama31_8B()
+	opts := QuickProfileOptions(spec)
+	for i := 0; i < b.N; i++ {
+		_, _ = Profile(cfg, spec, opts)
+	}
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"repro/internal/workload"
+)
+
+// Figure10Row is one dataset's input/output length distribution summary
+// (the CDFs of Fig. 10, reported at standard quantiles).
+type Figure10Row struct {
+	Dataset   string
+	Kind      string // "input" or "output"
+	Quantiles []int  // at P10, P25, P50, P75, P90, P99
+}
+
+// Figure10Probes are the reported CDF quantiles.
+var Figure10Probes = []float64{0.10, 0.25, 0.50, 0.75, 0.90, 0.99}
+
+// Figure10 samples the three workload generators.
+func Figure10(n int, seed int64) []Figure10Row {
+	var rows []Figure10Row
+	for _, d := range workload.Datasets {
+		tr := workload.Generate(d, 1, n, seed)
+		rows = append(rows,
+			Figure10Row{Dataset: d.Name, Kind: "input", Quantiles: workload.CDF(tr.InputLengths(), Figure10Probes)},
+			Figure10Row{Dataset: d.Name, Kind: "output", Quantiles: workload.CDF(tr.OutputLengths(), Figure10Probes)},
+		)
+	}
+	return rows
+}
+
+// RenderFigure10 prints the quantile table.
+func RenderFigure10(rows []Figure10Row) string {
+	header := []string{"Dataset", "Kind", "P10", "P25", "P50", "P75", "P90", "P99"}
+	var cells [][]string
+	for _, r := range rows {
+		c := []string{r.Dataset, r.Kind}
+		for _, q := range r.Quantiles {
+			c = append(c, itoa(q))
+		}
+		cells = append(cells, c)
+	}
+	return "Figure 10: workload input/output token-length CDF quantiles\n" + table(header, cells)
+}

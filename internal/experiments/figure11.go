@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/workload"
+)
+
+// Figure11Row is one (dataset, system, rate) end-to-end measurement — one
+// point of Fig. 11's latency/throughput/SLO panels.
+type Figure11Row struct {
+	Dataset       string
+	System        string
+	Rate          float64
+	MeanTTFT      float64
+	P90NormTTFT   float64 // ms per input token
+	MeanTPOTMs    float64
+	P90TPOTMs     float64
+	Throughput    float64
+	SLOAttainment float64
+}
+
+// Figure11 runs the full end-to-end comparison sweep.
+func Figure11(cfg E2EConfig) []Figure11Row {
+	var rows []Figure11Row
+	for _, ds := range sortedKeys(cfg.Rates) {
+		d, err := workload.ByName(ds)
+		if err != nil {
+			panic(err)
+		}
+		for _, rate := range cfg.Rates[ds] {
+			for _, sys := range cfg.Systems {
+				res := RunOne(sys, d, rate, cfg.Requests, cfg.Seed)
+				s := res.Summary
+				rows = append(rows, Figure11Row{
+					Dataset: ds, System: sys, Rate: rate,
+					MeanTTFT: s.MeanTTFT, P90NormTTFT: s.P90NormTTFT,
+					MeanTPOTMs: s.MeanTPOTMs, P90TPOTMs: s.P90TPOTMs,
+					Throughput: s.Throughput, SLOAttainment: s.SLOAttainment,
+				})
+			}
+		}
+	}
+	return rows
+}
+
+// Figure11Headline extracts the paper's headline ratio: Bullet's
+// throughput gain over each baseline, averaged across all (dataset, rate)
+// points, plus the maximum.
+func Figure11Headline(rows []Figure11Row) (avgGain, maxGain float64, perBaseline map[string]float64) {
+	type key struct {
+		ds   string
+		rate float64
+	}
+	bullet := map[key]float64{}
+	for _, r := range rows {
+		if r.System == "bullet" {
+			bullet[key{r.Dataset, r.Rate}] = r.Throughput
+		}
+	}
+	perBaseline = map[string]float64{}
+	counts := map[string]int{}
+	n := 0
+	for _, r := range rows {
+		if r.System == "bullet" {
+			continue
+		}
+		b, ok := bullet[key{r.Dataset, r.Rate}]
+		if !ok || r.Throughput == 0 {
+			continue
+		}
+		gain := b / r.Throughput
+		perBaseline[r.System] += gain
+		counts[r.System]++
+		avgGain += gain
+		n++
+		if gain > maxGain {
+			maxGain = gain
+		}
+	}
+	if n > 0 {
+		avgGain /= float64(n)
+	}
+	for k := range perBaseline {
+		perBaseline[k] /= float64(counts[k])
+	}
+	return avgGain, maxGain, perBaseline
+}
+
+// RenderFigure11 prints the full sweep and the headline ratios.
+func RenderFigure11(rows []Figure11Row) string {
+	header := []string{"Dataset", "Rate", "System", "TTFT(s)", "P90nTTFT", "TPOT(ms)", "P90TPOT", "Thr(req/s)", "SLO"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Dataset, f1(r.Rate), r.System, f3(r.MeanTTFT), f2(r.P90NormTTFT),
+			f1(r.MeanTPOTMs), f1(r.P90TPOTMs), f2(r.Throughput), f2(r.SLOAttainment),
+		})
+	}
+	out := "Figure 11: end-to-end latency, throughput and SLO attainment\n" + table(header, cells)
+	avg, max, per := Figure11Headline(rows)
+	var sb strings.Builder
+	sb.WriteString(out)
+	fmt.Fprintf(&sb, "\nHeadline: Bullet throughput gain avg %.2fx (max %.2fx) over baselines\n", avg, max)
+	for _, k := range sortedKeys(per) {
+		fmt.Fprintf(&sb, "  vs %-14s %.2fx\n", k, per[k])
+	}
+	return sb.String()
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// Figure13Row is one fixed-prefill-SM configuration's end-to-end result
+// (Fig. 13): static partitions trade TTFT against TPOT/goodput, and no
+// fixed point matches dynamic provisioning.
+type Figure13Row struct {
+	Dataset       string
+	Config        string // "bullet" (dynamic) or "sm<N>"
+	MeanTTFT      float64
+	P90NormTTFT   float64
+	MeanTPOTMs    float64
+	P90TPOTMs     float64
+	Throughput    float64
+	SLOAttainment float64
+}
+
+// Figure13SMs are the fixed prefill allocations evaluated (decode uses
+// the full device, as in the paper's setup).
+var Figure13SMs = []int{60, 84, 108}
+
+// Figure13 sweeps fixed prefill SM quotas against dynamic Bullet.
+func Figure13(dataset workload.Dataset, rate float64, n int, seed int64) []Figure13Row {
+	systems := []string{"bullet"}
+	for _, sms := range Figure13SMs {
+		systems = append(systems, fmt.Sprintf("bullet-sm%d", sms))
+	}
+	var rows []Figure13Row
+	for _, sys := range systems {
+		res := RunOne(sys, dataset, rate, n, seed)
+		s := res.Summary
+		rows = append(rows, Figure13Row{
+			Dataset: dataset.Name, Config: sys,
+			MeanTTFT: s.MeanTTFT, P90NormTTFT: s.P90NormTTFT,
+			MeanTPOTMs: s.MeanTPOTMs, P90TPOTMs: s.P90TPOTMs,
+			Throughput: s.Throughput, SLOAttainment: s.SLOAttainment,
+		})
+	}
+	return rows
+}
+
+// RenderFigure13 prints the sensitivity table.
+func RenderFigure13(rows []Figure13Row) string {
+	header := []string{"Dataset", "Config", "TTFT(s)", "P90nTTFT", "TPOT(ms)", "P90TPOT", "Thr", "SLO"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Dataset, r.Config, f3(r.MeanTTFT), f2(r.P90NormTTFT),
+			f1(r.MeanTPOTMs), f1(r.P90TPOTMs), f2(r.Throughput), f2(r.SLOAttainment),
+		})
+	}
+	return "Figure 13: sensitivity to fixed prefill-SM quotas (decode on full GPU)\n" + table(header, cells)
+}

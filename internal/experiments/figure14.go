@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"repro/internal/workload"
+)
+
+// Figure14Row is one ablation variant's result on one workload (§4.5.1).
+type Figure14Row struct {
+	Dataset       string
+	Variant       string
+	MeanTTFT      float64
+	P90NormTTFT   float64
+	MeanTPOTMs    float64
+	SLOAttainment float64
+}
+
+// Figure14Variants are the ablation points of the paper: Naive (no
+// provisioning, no scheduling), w/Partition, w/Scheduler, and full.
+var Figure14Variants = []string{"bullet-naive", "bullet-partition", "bullet-scheduler", "bullet"}
+
+// Figure14 runs the ablation across the three workloads.
+func Figure14(rates map[string]float64, n int, seed int64) []Figure14Row {
+	var rows []Figure14Row
+	for _, d := range workload.Datasets {
+		rate, ok := rates[d.Name]
+		if !ok {
+			continue
+		}
+		for _, v := range Figure14Variants {
+			res := RunOne(v, d, rate, n, seed)
+			s := res.Summary
+			rows = append(rows, Figure14Row{
+				Dataset: d.Name, Variant: v,
+				MeanTTFT: s.MeanTTFT, P90NormTTFT: s.P90NormTTFT,
+				MeanTPOTMs: s.MeanTPOTMs, SLOAttainment: s.SLOAttainment,
+			})
+		}
+	}
+	return rows
+}
+
+// DefaultFigure14Rates places each workload near saturation, where the
+// component contributions separate.
+func DefaultFigure14Rates() map[string]float64 {
+	return map[string]float64{"sharegpt": 16, "azure-code": 5, "arxiv-summary": 2.0}
+}
+
+// RenderFigure14 prints the ablation table.
+func RenderFigure14(rows []Figure14Row) string {
+	header := []string{"Dataset", "Variant", "TTFT(s)", "P90nTTFT", "TPOT(ms)", "SLO"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Dataset, r.Variant, f3(r.MeanTTFT), f2(r.P90NormTTFT), f1(r.MeanTPOTMs), f2(r.SLOAttainment),
+		})
+	}
+	return "Figure 14: component ablation (Naive / w+Partition / w+Scheduler / Bullet)\n" + table(header, cells)
+}

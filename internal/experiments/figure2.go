@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"repro/internal/gpusim"
+	"repro/internal/sim"
+	"repro/internal/smmask"
+)
+
+// Figure2Row is one operator's share of an isolated prefill pass plus its
+// achieved utilization (Fig. 2 of the paper).
+type Figure2Row struct {
+	SeqLen      int
+	Op          string
+	TimeFrac    float64 // fraction of the layer's execution time
+	ComputeUtil float64 // achieved FLOPs / peak
+	BWUtil      float64 // achieved bytes / peak
+}
+
+// Figure2Summary aggregates one sequence length's whole layer.
+type Figure2Summary struct {
+	SeqLen      int
+	LayerTime   float64
+	ComputeUtil float64
+	BWUtil      float64
+}
+
+// Figure2 measures the per-operator execution-time breakdown and hardware
+// utilization of isolated prefill on the simulated A100 (CPU overhead
+// excluded, as in the paper's methodology).
+func Figure2() ([]Figure2Row, []Figure2Summary) {
+	spec, cfg := Platform()
+	spec.LaunchOverhead = 0 // CPU overhead excluded
+	var rows []Figure2Row
+	var sums []Figure2Summary
+	for _, seq := range []int{1024, 2048, 4096, 16384} {
+		s := sim.New()
+		g := gpusim.New(s, spec)
+		type agg struct{ time, flops, bytes float64 }
+		perOp := map[string]agg{}
+		var order []string
+		g.Trace = func(r gpusim.KernelRecord) {
+			op := opGroup(r.Name)
+			a, seen := perOp[op]
+			if !seen {
+				order = append(order, op)
+			}
+			a.time += r.Duration()
+			a.flops += r.FLOPs
+			a.bytes += r.Bytes
+			perOp[op] = a
+		}
+		st := g.NewStream(smmask.Full(spec.NumSMs))
+		for _, k := range cfg.PrefillLayerKernels(seq, 0, "prefill") {
+			g.Launch(st, k, nil)
+		}
+		var layerTime float64
+		g.Synchronize(st, func() { layerTime = s.Now() })
+		s.RunAll(1 << 20)
+
+		var totalFlops, totalBytes float64
+		for _, op := range order {
+			a := perOp[op]
+			rows = append(rows, Figure2Row{
+				SeqLen:      seq,
+				Op:          op,
+				TimeFrac:    a.time / layerTime,
+				ComputeUtil: a.flops / (a.time * spec.PeakFLOPS),
+				BWUtil:      a.bytes / (a.time * spec.PeakBW),
+			})
+			totalFlops += a.flops
+			totalBytes += a.bytes
+		}
+		sums = append(sums, Figure2Summary{
+			SeqLen:      seq,
+			LayerTime:   layerTime,
+			ComputeUtil: totalFlops / (layerTime * spec.PeakFLOPS),
+			BWUtil:      totalBytes / (layerTime * spec.PeakBW),
+		})
+	}
+	return rows, sums
+}
+
+// RenderFigure2 prints the breakdown.
+func RenderFigure2(rows []Figure2Row, sums []Figure2Summary) string {
+	header := []string{"SeqLen", "Op", "Time%", "ComputeUtil", "BWUtil"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			itoa(r.SeqLen), r.Op, f1(100 * r.TimeFrac), f2(r.ComputeUtil), f2(r.BWUtil),
+		})
+	}
+	out := "Figure 2: prefill execution-time breakdown and utilization (isolated, CPU overhead excluded)\n" +
+		table(header, cells)
+	header = []string{"SeqLen", "LayerTime(ms)", "ComputeUtil", "BWUtil"}
+	cells = nil
+	for _, s := range sums {
+		cells = append(cells, []string{itoa(s.SeqLen), f3(s.LayerTime * 1000), f2(s.ComputeUtil), f2(s.BWUtil)})
+	}
+	return out + "\nWhole-layer aggregate (red-line comparison):\n" + table(header, cells)
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"repro/internal/gpusim"
+	"repro/internal/sim"
+	"repro/internal/smmask"
+)
+
+// Figure4Chunk is one chunk of a chunked 16k-token prefill (Fig. 4): its
+// latency and achieved compute utilization, degrading chunk by chunk as
+// attention re-reads all earlier KV cache.
+type Figure4Chunk struct {
+	ChunkSize int
+	Index     int
+	Latency   float64
+	Util      float64
+}
+
+// Figure4Result compares chunked against unchunked execution.
+type Figure4Result struct {
+	SeqLen       int
+	Chunks       []Figure4Chunk
+	TotalLatency map[int]float64 // per chunk size
+	Unchunked    float64
+	UnchunkedUtl float64
+}
+
+// Figure4 reproduces the per-chunk utilization/latency study: a 16k-token
+// prefill without hybrid batching, at chunk sizes 1024 and 2048, versus
+// one unchunked pass (CPU overhead excluded).
+func Figure4() Figure4Result {
+	spec, cfg := Platform()
+	spec.LaunchOverhead = 0
+	const seqLen = 16384
+	res := Figure4Result{SeqLen: seqLen, TotalLatency: map[int]float64{}}
+
+	runChunks := func(cs int) {
+		s := sim.New()
+		g := gpusim.New(s, spec)
+		st := g.NewStream(smmask.Full(spec.NumSMs))
+		done := 0
+		prev := 0.0
+		for hist := 0; hist < seqLen; hist += cs {
+			hist := hist
+			idx := hist / cs
+			for l := 0; l < cfg.NumLayers; l++ {
+				for _, k := range cfg.PrefillLayerKernels(cs, hist, "prefill") {
+					g.Launch(st, k, nil)
+				}
+			}
+			// One synchronization per chunk boundary (each chunk is a
+			// separate hybrid-batch iteration in real systems).
+			g.Synchronize(st, func() {
+				dur := s.Now() - prev
+				prev = s.Now()
+				work := cfg.PrefillWork(cs, hist)
+				res.Chunks = append(res.Chunks, Figure4Chunk{
+					ChunkSize: cs,
+					Index:     idx,
+					Latency:   dur,
+					Util:      work.FLOPs / (dur * spec.PeakFLOPS),
+				})
+				done++
+			})
+			s.RunAll(1 << 22)
+		}
+		res.TotalLatency[cs] = prev
+	}
+	runChunks(1024)
+	runChunks(2048)
+
+	// Unchunked reference.
+	s := sim.New()
+	g := gpusim.New(s, spec)
+	st := g.NewStream(smmask.Full(spec.NumSMs))
+	for l := 0; l < cfg.NumLayers; l++ {
+		for _, k := range cfg.PrefillLayerKernels(seqLen, 0, "prefill") {
+			g.Launch(st, k, nil)
+		}
+	}
+	g.Synchronize(st, func() { res.Unchunked = s.Now() })
+	s.RunAll(1 << 22)
+	work := cfg.PrefillWork(seqLen, 0)
+	res.UnchunkedUtl = work.FLOPs / (res.Unchunked * spec.PeakFLOPS)
+	return res
+}
+
+// RenderFigure4 prints per-chunk series and the latency comparison.
+func RenderFigure4(r Figure4Result) string {
+	header := []string{"ChunkSize", "Chunk#", "Latency(ms)", "ComputeUtil"}
+	var cells [][]string
+	for _, c := range r.Chunks {
+		// Thin the 1024-chunk series to every other chunk for brevity.
+		if c.ChunkSize == 1024 && c.Index%2 == 1 {
+			continue
+		}
+		cells = append(cells, []string{itoa(c.ChunkSize), itoa(c.Index), f2(c.Latency * 1000), f2(c.Util)})
+	}
+	out := "Figure 4: per-chunk GPU utilization and latency, 16k-token chunked prefill\n" +
+		table(header, cells)
+	header = []string{"Config", "TotalLatency(ms)", "vs unchunked"}
+	cells = [][]string{
+		{"unchunked", f1(r.Unchunked * 1000), "1.00x"},
+	}
+	for _, cs := range []int{1024, 2048} {
+		cells = append(cells, []string{
+			"chunk-" + itoa(cs), f1(r.TotalLatency[cs] * 1000),
+			f2(r.TotalLatency[cs]/r.Unchunked) + "x",
+		})
+	}
+	return out + "\nTotal prefill latency:\n" + table(header, cells)
+}

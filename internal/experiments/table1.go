@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"repro/internal/gpusim"
+)
+
+// Table1Row is the theoretical SM idle ratio (%) caused by wave
+// quantization, per operator, normalized to the kernel/layer execution
+// time (Table 1 of the paper).
+type Table1Row struct {
+	SeqLen int
+	QKV    float64
+	Attn   float64
+	OProj  float64
+	MLP    float64
+	Total  float64
+}
+
+// Table1 computes the theoretical idle ratios from the kernel grid model
+// on the A100's 108 SMs. Per-kernel idle ratios come straight from
+// Equation 1; the MLP and Total columns are execution-time-weighted
+// averages across the constituent kernels (idle kernels run longer, so
+// the weights are the wave-inflated times).
+func Table1() []Table1Row {
+	spec, cfg := Platform()
+	var rows []Table1Row
+	for _, seq := range []int{1024, 2048, 4096, 16384} {
+		ks := cfg.PrefillLayerKernels(seq, 0, "")
+		type acc struct{ idleTime, time float64 }
+		perOp := map[string]acc{}
+		var layer acc
+		for _, k := range ks {
+			t := kernelSoloTime(spec, k, spec.NumSMs)
+			idle := gpusim.WaveIdleRatio(k.Grid, spec.NumSMs)
+			a := perOp[opGroup(k.Name)]
+			a.idleTime += idle * t
+			a.time += t
+			perOp[opGroup(k.Name)] = a
+			layer.idleTime += idle * t
+			layer.time += t
+		}
+		ratio := func(op string) float64 {
+			a := perOp[op]
+			if a.time == 0 {
+				return 0
+			}
+			return 100 * a.idleTime / a.time
+		}
+		rows = append(rows, Table1Row{
+			SeqLen: seq,
+			QKV:    ratio("qkv"),
+			Attn:   ratio("attn"),
+			OProj:  ratio("oproj"),
+			MLP:    ratio("mlp"),
+			Total:  100 * layer.idleTime / layer.time,
+		})
+	}
+	return rows
+}
+
+// opGroup maps kernel names onto the paper's operator columns.
+func opGroup(name string) string {
+	switch name {
+	case "gateup", "down":
+		return "mlp"
+	case "norm1", "norm2":
+		return "norm"
+	default:
+		return name
+	}
+}
+
+// kernelSoloTime is the isolated full-mask roofline duration used for
+// weighting (same arithmetic as the simulator's solo path).
+func kernelSoloTime(spec gpusim.Spec, k gpusim.Kernel, sms int) float64 {
+	eff := k.Efficiency
+	if eff == 0 {
+		eff = 1
+	}
+	frac := float64(sms) / float64(spec.NumSMs)
+	ct := 0.0
+	if k.FLOPs > 0 {
+		ct = k.FLOPs / (spec.PeakFLOPS * eff * frac)
+		ct /= 1 - gpusim.WaveIdleRatio(k.Grid, sms)
+	}
+	bt := 0.0
+	if k.Bytes > 0 {
+		bt = k.Bytes / (spec.PeakBW * minf(1, powf(frac, spec.BWScaleExp)))
+	}
+	if ct > bt {
+		return ct
+	}
+	return bt
+}
+
+// RenderTable1 prints the paper-style table.
+func RenderTable1(rows []Table1Row) string {
+	header := []string{"SeqLen", "QKV", "Attn", "OProj", "MLP", "Total"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			itoa(r.SeqLen), f1(r.QKV), f1(r.Attn), f1(r.OProj), f1(r.MLP), f1(r.Total),
+		})
+	}
+	return "Table 1: theoretical SM idle ratio (%) from wave quantization (A100, 108 SMs)\n" +
+		table(header, cells)
+}

@@ -1,0 +1,589 @@
+// Package gpusim is a fluid-rate discrete-event simulator of a modern GPU,
+// the hardware substrate this reproduction substitutes for the paper's
+// A100 (see DESIGN.md §1).
+//
+// The model captures exactly the effects Bullet's design reasons about:
+//
+//   - SM-masked streams (libsmctrl-style): kernels only occupy the SMs of
+//     their stream's mask, captured at launch time.
+//   - Wave quantization (Eq. 1): a kernel's compute-limited time is
+//     inflated by the idle tail of its final wave.
+//   - Roofline execution: each kernel is a fluid with FLOPs and bytes;
+//     its solo rate is limited by both the compute of its SM allocation
+//     and the bandwidth reachable from that many SMs (sub-linear compute,
+//     super-linear bandwidth scaling, Fig. 7).
+//   - Concurrency: overlapping masks split per-SM compute; total HBM
+//     bandwidth is shared max–min fairly among resident kernels; co-runs
+//     pay interference factors (p_c, p_b).
+//
+// Rates are recomputed at every kernel start/finish, and completion events
+// rescheduled, so arbitrary spatial-temporal overlap is modelled without
+// fixed time steps.
+package gpusim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/smmask"
+)
+
+// Kernel describes one unit of GPU work.
+type Kernel struct {
+	// Name appears in traces ("qkv", "attn-prefill", ...).
+	Name string
+	// FLOPs is the arithmetic work of the kernel.
+	FLOPs float64
+	// Bytes is the DRAM traffic of the kernel.
+	Bytes float64
+	// Grid is the number of thread blocks; it drives wave quantization.
+	// Zero means the work has no quantized shape (no tail-wave penalty).
+	Grid int
+	// Efficiency is the fraction of the device peak FLOPs this kernel
+	// can sustain even in the best case (cuBLAS GEMM ≈ 0.92, paged
+	// attention much lower). Zero defaults to 1.
+	Efficiency float64
+	// Tag groups kernels for utilization accounting ("prefill",
+	// "decode", ...).
+	Tag string
+	// CommBytes is interconnect traffic (tensor-parallel allreduce):
+	// it adds a LinkBW-limited term to the kernel's roofline.
+	CommBytes float64
+	// Graph marks the kernel as part of a captured CUDA graph: it pays
+	// no per-kernel launch overhead (the graph launch is paid by the
+	// first kernel carrying GraphHead).
+	Graph bool
+	// GraphHead marks the first kernel of a graph launch.
+	GraphHead bool
+}
+
+type launch struct {
+	k      Kernel
+	done   func(KernelRecord)
+	stream *Stream
+
+	// Running state.
+	running   bool
+	mask      smmask.Mask
+	maskCount int
+	remaining float64 // fraction of the kernel still to execute, in (0,1]
+	rate      float64 // fraction per second under the current regime
+	startTime sim.Time
+	overhead  float64 // launch overhead still to elapse before running
+	complete  *sim.Event
+	// weight is the kernel's compute intensity in [minComputeWeight, 1]:
+	// how much of an SM's issue bandwidth it consumes. Memory-bound
+	// kernels stall on DRAM and leave most compute cycles to co-resident
+	// compute-bound kernels, which is what makes spatial prefill/decode
+	// sharing profitable in the first place (§2.2.2).
+	weight float64
+}
+
+// minComputeWeight keeps even pure-copy kernels consuming some issue
+// slots.
+const minComputeWeight = 0.05
+
+// KernelRecord summarises one executed kernel for tracing and accounting.
+type KernelRecord struct {
+	Name     string
+	Tag      string
+	Start    sim.Time
+	End      sim.Time
+	SMs      int
+	FLOPs    float64
+	Bytes    float64
+	Grid     int
+	WaveIdle float64 // idle ratio under the mask it actually ran on
+}
+
+// Duration returns the wall-clock execution time of the kernel.
+func (r KernelRecord) Duration() float64 { return r.End - r.Start }
+
+// Stream is a FIFO queue of kernels bound to an SM mask, the simulated
+// equivalent of a CUDA stream with an smctrl mask.
+type Stream struct {
+	gpu   *GPU
+	id    int
+	mask  smmask.Mask
+	queue []*launch
+	// waiters fire when the stream drains.
+	waiters []func()
+}
+
+// ID returns the stream's identifier on its GPU.
+func (st *Stream) ID() int { return st.id }
+
+// Mask returns the mask applied to subsequently launched kernels.
+func (st *Stream) Mask() smmask.Mask { return st.mask }
+
+// SetMask changes the mask for subsequently launched kernels. Kernels
+// already running keep the mask they started with, matching
+// libsmctrl_set_stream_mask semantics.
+func (st *Stream) SetMask(m smmask.Mask) {
+	if m.IsEmpty() {
+		panic("gpusim: empty SM mask")
+	}
+	st.mask = m
+}
+
+// Busy reports whether the stream has queued or running work.
+func (st *Stream) Busy() bool { return len(st.queue) > 0 }
+
+// Depth returns the number of queued (including running) kernels.
+func (st *Stream) Depth() int { return len(st.queue) }
+
+// GPU is a simulated device. All methods must be called from the owning
+// simulation's event loop (single-threaded).
+type GPU struct {
+	Spec Spec
+	sim  *sim.Simulation
+
+	streams []*Stream
+	running []*launch
+
+	lastUpdate sim.Time
+
+	// Accounting integrals.
+	flopsDone   float64
+	bytesDone   float64
+	smBusyTime  float64 // ∫ Σ_i m_eff_i dt  (SM·seconds of occupancy)
+	anyBusyTime float64 // wall time with ≥1 resident kernel
+	lastAnyBusy bool
+	tagFlops    map[string]float64
+	tagBytes    map[string]float64
+	tagTime     map[string]float64 // SM·seconds per tag
+
+	// Trace receives a record per completed kernel when non-nil.
+	Trace func(KernelRecord)
+
+	// Sampler, when non-nil, is called at every rate recomputation with
+	// the instantaneous utilization, enabling timeline figures.
+	Sampler func(t sim.Time, u Utilization)
+}
+
+// Utilization is an instantaneous snapshot of device activity.
+type Utilization struct {
+	// Compute is achieved FLOP rate / peak FLOPs.
+	Compute float64
+	// Bandwidth is achieved byte rate / peak bandwidth.
+	Bandwidth float64
+	// BusySMs is the number of SMs occupied by resident kernels.
+	BusySMs float64
+	// Resident is the number of kernels currently executing.
+	Resident int
+}
+
+// New creates a GPU attached to the simulation.
+func New(s *sim.Simulation, spec Spec) *GPU {
+	if spec.NumSMs <= 0 || spec.NumSMs > smmask.MaxSMs {
+		panic(fmt.Sprintf("gpusim: invalid NumSMs %d", spec.NumSMs))
+	}
+	return &GPU{
+		Spec:     spec,
+		sim:      s,
+		tagFlops: make(map[string]float64),
+		tagBytes: make(map[string]float64),
+		tagTime:  make(map[string]float64),
+	}
+}
+
+// Sim returns the owning simulation.
+func (g *GPU) Sim() *sim.Simulation { return g.sim }
+
+// FullMask returns the mask covering every SM of the device.
+func (g *GPU) FullMask() smmask.Mask { return smmask.Full(g.Spec.NumSMs) }
+
+// NewStream creates a stream with the given mask.
+func (g *GPU) NewStream(mask smmask.Mask) *Stream {
+	if mask.IsEmpty() {
+		panic("gpusim: empty SM mask")
+	}
+	st := &Stream{gpu: g, id: len(g.streams), mask: mask}
+	g.streams = append(g.streams, st)
+	return st
+}
+
+// Launch enqueues a kernel on a stream. done (optional) fires when the
+// kernel completes, receiving its execution record.
+func (g *GPU) Launch(st *Stream, k Kernel, done func(KernelRecord)) {
+	if k.FLOPs < 0 || k.Bytes < 0 || k.CommBytes < 0 ||
+		(k.FLOPs == 0 && k.Bytes == 0 && k.CommBytes == 0) {
+		panic(fmt.Sprintf("gpusim: kernel %q has no work", k.Name))
+	}
+	l := &launch{k: k, done: done, stream: st}
+	st.queue = append(st.queue, l)
+	if len(st.queue) == 1 {
+		g.startHead(st)
+	}
+}
+
+// Synchronize invokes fn once every kernel currently queued on the stream
+// has completed. If the stream is idle, fn fires at the current time (as a
+// fresh event, never inline).
+func (g *GPU) Synchronize(st *Stream, fn func()) {
+	if !st.Busy() {
+		g.sim.After(0, fn)
+		return
+	}
+	st.waiters = append(st.waiters, fn)
+}
+
+// startHead begins executing the kernel at the head of a stream's queue.
+func (g *GPU) startHead(st *Stream) {
+	l := st.queue[0]
+	l.mask = st.mask
+	l.maskCount = st.mask.Count()
+	l.remaining = 1
+	l.overhead = g.launchCost(l.k)
+	if l.overhead > 0 {
+		// CPU launch gap: the kernel becomes resident after the
+		// overhead elapses.
+		g.sim.After(l.overhead, func() { g.beginResident(l) })
+		return
+	}
+	g.beginResident(l)
+}
+
+func (g *GPU) launchCost(k Kernel) float64 {
+	switch {
+	case k.GraphHead:
+		return g.Spec.GraphLaunchOverhead
+	case k.Graph:
+		return 0
+	default:
+		return g.Spec.LaunchOverhead
+	}
+}
+
+func (g *GPU) beginResident(l *launch) {
+	g.advance()
+	l.running = true
+	l.startTime = g.sim.Now()
+	l.weight = g.computeIntensity(l.k)
+	g.running = append(g.running, l)
+	g.recompute()
+}
+
+// computeIntensity estimates how compute-bound a kernel is: the fraction
+// of its roofline time attributable to arithmetic.
+func (g *GPU) computeIntensity(k Kernel) float64 {
+	eff := k.Efficiency
+	if eff == 0 {
+		eff = 1
+	}
+	ct := k.FLOPs / (g.Spec.PeakFLOPS * eff)
+	bt := k.Bytes / g.Spec.PeakBW
+	if ct+bt == 0 {
+		return minComputeWeight
+	}
+	q := ct / (ct + bt)
+	if q < minComputeWeight {
+		q = minComputeWeight
+	}
+	return q
+}
+
+// finish completes a running kernel: pops it from its stream, fires its
+// callback, and starts the next queued kernel if any.
+func (g *GPU) finish(l *launch) {
+	g.advance()
+	l.remaining = 0
+	l.running = false
+	for i, r := range g.running {
+		if r == l {
+			g.running = append(g.running[:i], g.running[i+1:]...)
+			break
+		}
+	}
+	st := l.stream
+	if len(st.queue) == 0 || st.queue[0] != l {
+		panic("gpusim: finished kernel is not at stream head")
+	}
+	st.queue = st.queue[1:]
+
+	rec := KernelRecord{
+		Name:     l.k.Name,
+		Tag:      l.k.Tag,
+		Start:    l.startTime,
+		End:      g.sim.Now(),
+		SMs:      l.maskCount,
+		FLOPs:    l.k.FLOPs,
+		Bytes:    l.k.Bytes,
+		Grid:     l.k.Grid,
+		WaveIdle: WaveIdleRatio(l.k.Grid, l.maskCount),
+	}
+	if g.Trace != nil {
+		g.Trace(rec)
+	}
+
+	// Start the next kernel before callbacks so back-to-back kernels do
+	// not see a spurious idle gap.
+	if len(st.queue) > 0 {
+		g.startHead(st)
+	} else if len(st.waiters) > 0 {
+		ws := st.waiters
+		st.waiters = nil
+		for _, w := range ws {
+			g.sim.After(0, w)
+		}
+	}
+	g.recompute()
+	if l.done != nil {
+		l.done(rec)
+	}
+}
+
+// advance integrates work done at the current rates since lastUpdate and
+// decrements remaining fractions.
+func (g *GPU) advance() {
+	now := g.sim.Now()
+	dt := now - g.lastUpdate
+	g.lastUpdate = now
+	if dt <= 0 {
+		return
+	}
+	if len(g.running) > 0 {
+		g.anyBusyTime += dt
+	}
+	for _, l := range g.running {
+		if l.rate <= 0 {
+			continue
+		}
+		done := l.rate * dt
+		if done > l.remaining {
+			done = l.remaining
+		}
+		l.remaining -= done
+		g.flopsDone += done * l.k.FLOPs
+		g.bytesDone += done * l.k.Bytes
+		meff := g.effectiveSMs(l)
+		g.smBusyTime += meff * dt
+		g.tagFlops[l.k.Tag] += done * l.k.FLOPs
+		g.tagBytes[l.k.Tag] += done * l.k.Bytes
+		g.tagTime[l.k.Tag] += meff * dt
+	}
+}
+
+// effectiveSMs returns the compute share of kernel l: SMs exclusively
+// owned count fully; on SMs shared with other resident kernels the issue
+// bandwidth is split in proportion to the sharers' compute intensities,
+// so a memory-bound kernel co-resident with a GEMM costs the GEMM little
+// compute (the warp scheduler interleaves around its DRAM stalls).
+func (g *GPU) effectiveSMs(l *launch) float64 {
+	// Fast path: no overlap with any other resident kernel.
+	overlapped := false
+	for _, o := range g.running {
+		if o != l && o.mask.Overlaps(l.mask) {
+			overlapped = true
+			break
+		}
+	}
+	if !overlapped {
+		return float64(l.maskCount)
+	}
+	eff := 0.0
+	l.mask.ForEach(func(i int) {
+		total := l.weight
+		for _, o := range g.running {
+			if o != l && o.mask.Has(i) {
+				total += o.weight
+			}
+		}
+		eff += l.weight / total
+	})
+	return eff
+}
+
+// overlapFraction returns the share of l's SMs also occupied by other
+// resident kernels.
+func (g *GPU) overlapFraction(l *launch) float64 {
+	var union smmask.Mask
+	for _, o := range g.running {
+		if o != l {
+			union = union.Union(o.mask)
+		}
+	}
+	shared := l.mask.Intersect(union).Count()
+	if l.maskCount == 0 {
+		return 0
+	}
+	return float64(shared) / float64(l.maskCount)
+}
+
+// soloRate returns the rate (fraction/s) kernel l would sustain with meff
+// SMs of compute and unlimited access to its bandwidth cap, along with its
+// bandwidth demand at that rate. ov is the kernel's SM-overlap fraction
+// with co-resident kernels: interference (L1/shared-memory/scheduler
+// thrash) scales with how much the masks actually collide — strictly
+// partitioned kernels only contend for DRAM, which the water-filling
+// handles separately.
+func (g *GPU) soloRate(l *launch, meff, ov float64) (rate, bwCap float64) {
+	spec := g.Spec
+	frac := meff / float64(spec.NumSMs)
+	effPeak := l.k.Efficiency
+	if effPeak == 0 {
+		effPeak = 1
+	}
+	pc := 1 - (1-spec.CoRunComputePenalty)*ov
+	pb := 1 - (1-spec.CoRunBWPenalty)*ov
+	computeCap := spec.PeakFLOPS * effPeak * frac * pc
+	// Wave quantization is a placement effect of the mask size, not the
+	// contended share, so it uses the mask's SM count. Bandwidth access
+	// likewise scales with occupancy (the SMs the kernel is resident
+	// on), not with its contended compute share.
+	wave := 1 - WaveIdleRatio(l.k.Grid, l.maskCount)
+	occFrac := float64(l.maskCount) / float64(spec.NumSMs)
+	bwCap = spec.PeakBW * math.Min(1, math.Pow(occFrac, spec.BWScaleExp)) * pb
+
+	rc := math.Inf(1)
+	if l.k.FLOPs > 0 {
+		rc = computeCap * wave / l.k.FLOPs
+	}
+	rb := math.Inf(1)
+	if l.k.Bytes > 0 {
+		rb = bwCap / l.k.Bytes
+	}
+	rl := math.Inf(1)
+	if l.k.CommBytes > 0 && spec.LinkBW > 0 {
+		rl = spec.LinkBW / l.k.CommBytes
+	}
+	return math.Min(math.Min(rc, rb), rl), bwCap
+}
+
+// recompute re-derives every resident kernel's rate from the current mix
+// and reschedules completion events. Called after any membership change.
+func (g *GPU) recompute() {
+	totalBW := g.Spec.PeakBW
+
+	type demand struct {
+		l       *launch
+		nominal float64
+		bytes   float64 // bytes/s at nominal rate
+	}
+	demands := make([]demand, 0, len(g.running))
+	for _, l := range g.running {
+		meff := g.effectiveSMs(l)
+		nominal, _ := g.soloRate(l, meff, g.overlapFraction(l))
+		demands = append(demands, demand{l, nominal, nominal * l.k.Bytes})
+	}
+
+	// Max–min fair bandwidth allocation with per-kernel caps: kernels
+	// demanding less than an equal share keep their full rate; the rest
+	// split the remainder evenly, iterating as shares free up.
+	sort.Slice(demands, func(i, j int) bool { return demands[i].bytes < demands[j].bytes })
+	remaining := totalBW
+	left := len(demands)
+	for idx, d := range demands {
+		share := remaining / float64(left)
+		alloc := math.Min(d.bytes, share)
+		remaining -= alloc
+		left--
+		rate := d.nominal
+		if d.l.k.Bytes > 0 && alloc < d.bytes {
+			rate = alloc / d.l.k.Bytes
+		}
+		demands[idx].l.rate = rate
+	}
+
+	// Reschedule completions.
+	now := g.sim.Now()
+	instFlops, instBytes, busySMs := 0.0, 0.0, 0.0
+	for _, l := range g.running {
+		instFlops += l.rate * l.k.FLOPs
+		instBytes += l.rate * l.k.Bytes
+		busySMs += g.effectiveSMs(l)
+		var eta sim.Time
+		if l.rate <= 0 {
+			eta = math.Inf(1)
+		} else {
+			eta = now + l.remaining/l.rate
+		}
+		if math.IsInf(eta, 1) {
+			panic(fmt.Sprintf("gpusim: kernel %q stalled with zero rate", l.k.Name))
+		}
+		l := l
+		if l.complete != nil {
+			g.sim.Cancel(l.complete)
+		}
+		l.complete = g.sim.At(eta, func() { g.finish(l) })
+	}
+	if g.Sampler != nil {
+		g.Sampler(now, Utilization{
+			Compute:   instFlops / g.Spec.PeakFLOPS,
+			Bandwidth: instBytes / g.Spec.PeakBW,
+			BusySMs:   busySMs,
+			Resident:  len(g.running),
+		})
+	}
+}
+
+// Stats summarises accumulated device activity.
+type Stats struct {
+	FLOPs       float64
+	Bytes       float64
+	SMBusyTime  float64 // SM·seconds occupied
+	AnyBusyTime float64 // wall seconds with ≥1 kernel resident
+	TagFlops    map[string]float64
+	TagBytes    map[string]float64
+	TagSMTime   map[string]float64
+}
+
+// Stats returns accumulated counters up to the current simulation time.
+func (g *GPU) Stats() Stats {
+	g.advance()
+	cpF := make(map[string]float64, len(g.tagFlops))
+	for k, v := range g.tagFlops {
+		cpF[k] = v
+	}
+	cpB := make(map[string]float64, len(g.tagBytes))
+	for k, v := range g.tagBytes {
+		cpB[k] = v
+	}
+	cpT := make(map[string]float64, len(g.tagTime))
+	for k, v := range g.tagTime {
+		cpT[k] = v
+	}
+	return Stats{
+		FLOPs:       g.flopsDone,
+		Bytes:       g.bytesDone,
+		SMBusyTime:  g.smBusyTime,
+		AnyBusyTime: g.anyBusyTime,
+		TagFlops:    cpF,
+		TagBytes:    cpB,
+		TagSMTime:   cpT,
+	}
+}
+
+// ComputeUtilization returns average achieved FLOPs over the window
+// [0, now] as a fraction of peak.
+func (g *GPU) ComputeUtilization() float64 {
+	now := g.sim.Now()
+	if now <= 0 {
+		return 0
+	}
+	g.advance()
+	return g.flopsDone / (g.Spec.PeakFLOPS * now)
+}
+
+// BandwidthUtilization returns average achieved bytes over [0, now] as a
+// fraction of peak.
+func (g *GPU) BandwidthUtilization() float64 {
+	now := g.sim.Now()
+	if now <= 0 {
+		return 0
+	}
+	g.advance()
+	return g.bytesDone / (g.Spec.PeakBW * now)
+}
+
+// Idle reports whether no kernels are queued or resident anywhere.
+func (g *GPU) Idle() bool {
+	for _, st := range g.streams {
+		if st.Busy() {
+			return false
+		}
+	}
+	return true
+}

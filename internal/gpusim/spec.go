@@ -1,0 +1,111 @@
+package gpusim
+
+// Spec describes a simulated GPU. All rates are in SI units (FLOP/s,
+// bytes/s, seconds).
+type Spec struct {
+	// Name identifies the device in traces ("A100-PCIe-80GB").
+	Name string
+	// NumSMs is the number of streaming multiprocessors (108 on A100).
+	NumSMs int
+	// PeakFLOPS is the peak dense tensor throughput (FP16 w/ FP32 acc).
+	PeakFLOPS float64
+	// PeakBW is the peak HBM bandwidth in bytes/s.
+	PeakBW float64
+	// HBMBytes is the device memory capacity.
+	HBMBytes float64
+	// LaunchOverhead is the CPU-side cost of launching one kernel.
+	// Kernels launched as part of a CUDA graph instead pay
+	// GraphLaunchOverhead once for the whole graph.
+	LaunchOverhead float64
+	// GraphLaunchOverhead is the cost of launching a captured graph.
+	GraphLaunchOverhead float64
+	// BWScaleExp shapes how achievable bandwidth scales with the
+	// fraction x of SMs a kernel may occupy: fb(x) = min(1, x^BWScaleExp).
+	// Exponents < 1 give the super-linear scaling of memory-bound
+	// kernels observed in Figure 7 of the paper.
+	BWScaleExp float64
+	// CoRunComputePenalty (p_c) multiplies a kernel's compute capacity
+	// at full SM overlap with co-resident kernels (L1/shared-memory and
+	// scheduler thrash); the effective penalty scales linearly with the
+	// overlap fraction, so strictly partitioned kernels pay none.
+	CoRunComputePenalty float64
+	// CoRunBWPenalty (p_b) is the analogous full-overlap penalty on a
+	// kernel's achievable bandwidth.
+	CoRunBWPenalty float64
+	// LinkBW is the per-GPU interconnect bandwidth (NVLink-class) used
+	// by kernels carrying CommBytes (tensor-parallel allreduces).
+	LinkBW float64
+}
+
+// A100 returns the specification of the paper's evaluation platform:
+// NVIDIA A100-PCIe-80GB, 108 SMs, clocks locked at 1410 MHz.
+//
+// PeakFLOPS is the FP16 tensor-core peak (312 TFLOP/s); per-kernel
+// achievable efficiency (cuBLAS ~92%, attention lower) is expressed on the
+// kernels themselves, so the red "peak sustainable" line of Figure 2 is a
+// property of the workload, not the device.
+func A100() Spec {
+	return Spec{
+		Name:                "A100-PCIe-80GB",
+		NumSMs:              108,
+		PeakFLOPS:           312e12,
+		PeakBW:              2.0e12,
+		HBMBytes:            80e9,
+		LaunchOverhead:      6e-6,
+		GraphLaunchOverhead: 20e-6,
+		BWScaleExp:          0.45,
+		CoRunComputePenalty: 0.85,
+		CoRunBWPenalty:      0.82,
+		LinkBW:              300e9, // NVLink 3
+	}
+}
+
+// H100 returns an NVIDIA H100-SXM5-80GB: 132 SMs, ~989 TFLOP/s FP16
+// tensor peak, 3.35 TB/s HBM3. Useful for cross-device experiments; the
+// wave-quantization landscape differs from the A100 because 132 divides
+// differently into power-of-two grids.
+func H100() Spec {
+	return Spec{
+		Name:                "H100-SXM5-80GB",
+		NumSMs:              132,
+		PeakFLOPS:           989e12,
+		PeakBW:              3.35e12,
+		HBMBytes:            80e9,
+		LaunchOverhead:      5e-6,
+		GraphLaunchOverhead: 18e-6,
+		BWScaleExp:          0.45,
+		CoRunComputePenalty: 0.85,
+		CoRunBWPenalty:      0.82,
+		LinkBW:              450e9, // NVLink 4
+	}
+}
+
+// TestGPU returns a small, fast device useful in unit tests: 8 SMs, round
+// numbers, no launch overhead.
+func TestGPU() Spec {
+	return Spec{
+		Name:                "test-gpu",
+		NumSMs:              8,
+		PeakFLOPS:           1e12,
+		PeakBW:              1e11,
+		HBMBytes:            16e9,
+		LaunchOverhead:      0,
+		GraphLaunchOverhead: 0,
+		BWScaleExp:          0.5,
+		CoRunComputePenalty: 1,
+		CoRunBWPenalty:      1,
+		LinkBW:              1e10,
+	}
+}
+
+// WaveIdleRatio implements Equation 1 of the paper: the fraction of
+// SM-cycles left idle by wave quantization when a kernel of grid TBs runs
+// on m SMs. Grids that divide evenly (or grid==0, meaning "shapeless"
+// work) have no idle tail.
+func WaveIdleRatio(grid, m int) float64 {
+	if grid <= 0 || m <= 0 {
+		return 0
+	}
+	waves := (grid + m - 1) / m
+	return 1 - float64(grid)/float64(m*waves)
+}

@@ -1,0 +1,235 @@
+// Package kvcache implements a PagedAttention-style block allocator for
+// the key/value cache (Kwon et al., SOSP'23), the memory substrate both
+// Bullet engines share.
+//
+// The pool tracks logical blocks only — the simulated GPU moves the
+// bytes — but it enforces the same invariants a real pool must: block
+// exclusivity, capacity limits, and copy-free ownership transfer between
+// the prefill and decode engines (the paper's CUDA-IPC shared memory pool,
+// §3.5.2).
+package kvcache
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOutOfMemory is returned when the pool cannot satisfy an allocation.
+var ErrOutOfMemory = errors.New("kvcache: out of KV cache blocks")
+
+// Pool is a fixed-capacity block allocator. Not safe for concurrent use;
+// the simulation is single-threaded by design.
+type Pool struct {
+	blockTokens int
+	totalBlocks int
+	free        []int32 // free block ids (LIFO)
+	owner       map[int32]*Sequence
+	seqs        map[string]*Sequence
+	peakUsed    int
+}
+
+// Sequence is the cache of one request: an ordered block table plus a
+// token count.
+type Sequence struct {
+	id     string
+	pool   *Pool
+	blocks []int32
+	tokens int
+	owner  string // engine currently owning the sequence
+	freed  bool
+}
+
+// NewPool creates a pool of totalBlocks blocks of blockTokens tokens each.
+func NewPool(totalBlocks, blockTokens int) *Pool {
+	if totalBlocks <= 0 || blockTokens <= 0 {
+		panic(fmt.Sprintf("kvcache: invalid pool %d blocks × %d tokens", totalBlocks, blockTokens))
+	}
+	p := &Pool{
+		blockTokens: blockTokens,
+		totalBlocks: totalBlocks,
+		free:        make([]int32, totalBlocks),
+		owner:       make(map[int32]*Sequence),
+		seqs:        make(map[string]*Sequence),
+	}
+	for i := range p.free {
+		p.free[i] = int32(totalBlocks - 1 - i)
+	}
+	return p
+}
+
+// PlanBlocks computes how many KV blocks fit on a device: HBM minus
+// weights minus a runtime reserve, divided by the per-token KV footprint.
+func PlanBlocks(hbmBytes, weightBytes, reserveBytes, kvBytesPerToken float64, blockTokens int) int {
+	free := hbmBytes - weightBytes - reserveBytes
+	if free <= 0 || kvBytesPerToken <= 0 || blockTokens <= 0 {
+		return 0
+	}
+	return int(free / (kvBytesPerToken * float64(blockTokens)))
+}
+
+// BlockTokens returns the tokens per block.
+func (p *Pool) BlockTokens() int { return p.blockTokens }
+
+// TotalBlocks returns the pool capacity in blocks.
+func (p *Pool) TotalBlocks() int { return p.totalBlocks }
+
+// FreeBlocks returns the number of unallocated blocks.
+func (p *Pool) FreeBlocks() int { return len(p.free) }
+
+// UsedBlocks returns the number of allocated blocks.
+func (p *Pool) UsedBlocks() int { return p.totalBlocks - len(p.free) }
+
+// PeakUsedBlocks returns the high-water mark of allocation.
+func (p *Pool) PeakUsedBlocks() int { return p.peakUsed }
+
+// TotalTokens returns the token capacity of the pool.
+func (p *Pool) TotalTokens() int { return p.totalBlocks * p.blockTokens }
+
+// UsedTokens returns the number of tokens currently cached across
+// sequences (not block-rounded).
+func (p *Pool) UsedTokens() int {
+	t := 0
+	for _, s := range p.seqs {
+		t += s.tokens
+	}
+	return t
+}
+
+// Sequences returns the number of live sequences.
+func (p *Pool) Sequences() int { return len(p.seqs) }
+
+func blocksFor(tokens, blockTokens int) int {
+	return (tokens + blockTokens - 1) / blockTokens
+}
+
+// CanAllocate reports whether tokens more tokens could be cached right now
+// in a fresh sequence.
+func (p *Pool) CanAllocate(tokens int) bool {
+	return blocksFor(tokens, p.blockTokens) <= len(p.free)
+}
+
+// Allocate reserves cache for a new sequence of tokens tokens, owned by
+// owner. IDs must be unique among live sequences.
+func (p *Pool) Allocate(id string, tokens int, owner string) (*Sequence, error) {
+	if tokens < 0 {
+		panic(fmt.Sprintf("kvcache: negative token count %d", tokens))
+	}
+	if _, dup := p.seqs[id]; dup {
+		return nil, fmt.Errorf("kvcache: duplicate sequence id %q", id)
+	}
+	need := blocksFor(tokens, p.blockTokens)
+	if need > len(p.free) {
+		return nil, ErrOutOfMemory
+	}
+	s := &Sequence{id: id, pool: p, tokens: tokens, owner: owner}
+	s.blocks = p.take(need, s)
+	p.seqs[id] = s
+	if u := p.UsedBlocks(); u > p.peakUsed {
+		p.peakUsed = u
+	}
+	return s, nil
+}
+
+func (p *Pool) take(n int, s *Sequence) []int32 {
+	out := make([]int32, n)
+	for i := 0; i < n; i++ {
+		b := p.free[len(p.free)-1]
+		p.free = p.free[:len(p.free)-1]
+		p.owner[b] = s
+		out[i] = b
+	}
+	return out
+}
+
+// Free releases all blocks of a sequence. Double frees panic: they always
+// indicate an engine bug.
+func (p *Pool) Free(s *Sequence) {
+	if s.freed {
+		panic(fmt.Sprintf("kvcache: double free of sequence %q", s.id))
+	}
+	s.freed = true
+	for _, b := range s.blocks {
+		if p.owner[b] != s {
+			panic(fmt.Sprintf("kvcache: block %d not owned by %q", b, s.id))
+		}
+		delete(p.owner, b)
+		p.free = append(p.free, b)
+	}
+	s.blocks = nil
+	delete(p.seqs, s.id)
+}
+
+// ID returns the sequence id.
+func (s *Sequence) ID() string { return s.id }
+
+// Tokens returns the cached token count.
+func (s *Sequence) Tokens() int { return s.tokens }
+
+// Blocks returns the number of blocks held.
+func (s *Sequence) Blocks() int { return len(s.blocks) }
+
+// BlockTable returns a copy of the block ids, in sequence order.
+func (s *Sequence) BlockTable() []int32 {
+	out := make([]int32, len(s.blocks))
+	copy(out, s.blocks)
+	return out
+}
+
+// Owner returns the engine currently owning the sequence.
+func (s *Sequence) Owner() string { return s.owner }
+
+// Transfer hands the sequence to another engine. No data moves: both
+// engines map the same pool (the paper's cudaIpc handle sharing).
+func (s *Sequence) Transfer(newOwner string) {
+	if s.freed {
+		panic(fmt.Sprintf("kvcache: transfer of freed sequence %q", s.id))
+	}
+	s.owner = newOwner
+}
+
+// Extend appends n tokens to the sequence, allocating blocks as needed.
+// On ErrOutOfMemory the sequence is unchanged.
+func (s *Sequence) Extend(n int) error {
+	if s.freed {
+		panic(fmt.Sprintf("kvcache: extend of freed sequence %q", s.id))
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("kvcache: negative extension %d", n))
+	}
+	p := s.pool
+	need := blocksFor(s.tokens+n, p.blockTokens) - len(s.blocks)
+	if need > len(p.free) {
+		return ErrOutOfMemory
+	}
+	if need > 0 {
+		s.blocks = append(s.blocks, p.take(need, s)...)
+		if u := p.UsedBlocks(); u > p.peakUsed {
+			p.peakUsed = u
+		}
+	}
+	s.tokens += n
+	return nil
+}
+
+// CheckInvariants panics if the pool's bookkeeping is inconsistent. Used
+// by tests and integration checks.
+func (p *Pool) CheckInvariants() {
+	held := 0
+	for _, s := range p.seqs {
+		held += len(s.blocks)
+		if blocksFor(s.tokens, p.blockTokens) != len(s.blocks) {
+			panic(fmt.Sprintf("kvcache: sequence %q holds %d blocks for %d tokens", s.id, len(s.blocks), s.tokens))
+		}
+		for _, b := range s.blocks {
+			if p.owner[b] != s {
+				panic(fmt.Sprintf("kvcache: ownership mismatch on block %d", b))
+			}
+		}
+	}
+	if held+len(p.free) != p.totalBlocks {
+		panic(fmt.Sprintf("kvcache: %d held + %d free != %d total", held, len(p.free), p.totalBlocks))
+	}
+	if len(p.owner) != held {
+		panic(fmt.Sprintf("kvcache: owner map has %d entries, %d blocks held", len(p.owner), held))
+	}
+}

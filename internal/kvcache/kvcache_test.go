@@ -1,0 +1,269 @@
+package kvcache
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocateFree(t *testing.T) {
+	p := NewPool(10, 16)
+	s, err := p.Allocate("r1", 33, "prefill") // 3 blocks
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Blocks() != 3 || s.Tokens() != 33 {
+		t.Fatalf("blocks=%d tokens=%d", s.Blocks(), s.Tokens())
+	}
+	if p.FreeBlocks() != 7 || p.UsedBlocks() != 3 {
+		t.Fatalf("free=%d used=%d", p.FreeBlocks(), p.UsedBlocks())
+	}
+	p.CheckInvariants()
+	p.Free(s)
+	if p.FreeBlocks() != 10 || p.Sequences() != 0 {
+		t.Fatalf("after free: free=%d seqs=%d", p.FreeBlocks(), p.Sequences())
+	}
+	p.CheckInvariants()
+}
+
+func TestZeroTokenAllocation(t *testing.T) {
+	p := NewPool(4, 16)
+	s, err := p.Allocate("r", 0, "prefill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Blocks() != 0 {
+		t.Fatalf("blocks = %d, want 0", s.Blocks())
+	}
+	if err := s.Extend(1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Blocks() != 1 {
+		t.Fatalf("blocks after extend = %d, want 1", s.Blocks())
+	}
+	p.Free(s)
+	p.CheckInvariants()
+}
+
+func TestOutOfMemory(t *testing.T) {
+	p := NewPool(4, 16)
+	if _, err := p.Allocate("big", 65, "p"); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+	if p.UsedBlocks() != 0 {
+		t.Fatal("failed allocation leaked blocks")
+	}
+	s, err := p.Allocate("fit", 64, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Extend(1); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("extend err = %v, want ErrOutOfMemory", err)
+	}
+	if s.Tokens() != 64 {
+		t.Fatal("failed extend changed token count")
+	}
+	p.CheckInvariants()
+}
+
+func TestDuplicateID(t *testing.T) {
+	p := NewPool(4, 16)
+	if _, err := p.Allocate("x", 1, "p"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Allocate("x", 1, "p"); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+}
+
+func TestExtendWithinBlock(t *testing.T) {
+	p := NewPool(4, 16)
+	s, _ := p.Allocate("r", 10, "p")
+	for i := 0; i < 6; i++ {
+		if err := s.Extend(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Blocks() != 1 || s.Tokens() != 16 {
+		t.Fatalf("blocks=%d tokens=%d, want 1/16", s.Blocks(), s.Tokens())
+	}
+	if err := s.Extend(1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Blocks() != 2 {
+		t.Fatalf("blocks=%d, want 2 after crossing boundary", s.Blocks())
+	}
+}
+
+func TestTransfer(t *testing.T) {
+	p := NewPool(4, 16)
+	s, _ := p.Allocate("r", 16, "prefill")
+	before := s.BlockTable()
+	s.Transfer("decode")
+	if s.Owner() != "decode" {
+		t.Fatalf("owner = %q", s.Owner())
+	}
+	after := s.BlockTable()
+	if len(before) != len(after) || before[0] != after[0] {
+		t.Fatal("transfer moved blocks (should be copy-free)")
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	p := NewPool(4, 16)
+	s, _ := p.Allocate("r", 16, "p")
+	p.Free(s)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	p.Free(s)
+}
+
+func TestUseAfterFreePanics(t *testing.T) {
+	p := NewPool(4, 16)
+	s, _ := p.Allocate("r", 16, "p")
+	p.Free(s)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("extend after free did not panic")
+		}
+	}()
+	_ = s.Extend(1)
+}
+
+func TestPlanBlocks(t *testing.T) {
+	// A100-80GB with Llama-8B: 80GB - 16GB weights - 4GB reserve = 60GB;
+	// 131072 B/token, 16-token blocks → ~28.6k blocks (~458k tokens).
+	blocks := PlanBlocks(80e9, 16e9, 4e9, 131072, 16)
+	if blocks < 25000 || blocks > 30000 {
+		t.Fatalf("blocks = %d, want ≈ 28.6k", blocks)
+	}
+	if PlanBlocks(10e9, 16e9, 0, 131072, 16) != 0 {
+		t.Fatal("negative free memory should give 0 blocks")
+	}
+}
+
+func TestPeakUsage(t *testing.T) {
+	p := NewPool(10, 16)
+	a, _ := p.Allocate("a", 64, "p")
+	b, _ := p.Allocate("b", 64, "p")
+	p.Free(a)
+	if p.PeakUsedBlocks() != 8 {
+		t.Fatalf("peak = %d, want 8", p.PeakUsedBlocks())
+	}
+	p.Free(b)
+}
+
+func TestUsedTokens(t *testing.T) {
+	p := NewPool(10, 16)
+	a, _ := p.Allocate("a", 20, "p")
+	if p.UsedTokens() != 20 {
+		t.Fatalf("used tokens = %d", p.UsedTokens())
+	}
+	_ = a.Extend(5)
+	if p.UsedTokens() != 25 {
+		t.Fatalf("used tokens = %d", p.UsedTokens())
+	}
+}
+
+// Property: a random workload of allocs/extends/frees never violates the
+// pool invariants and ends with everything freed.
+func TestPropertyRandomWorkload(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := NewPool(rng.Intn(200)+10, 1<<uint(rng.Intn(5)))
+		live := map[string]*Sequence{}
+		next := 0
+		for op := 0; op < 300; op++ {
+			switch rng.Intn(3) {
+			case 0: // allocate
+				id := fmt.Sprintf("s%d", next)
+				next++
+				s, err := p.Allocate(id, rng.Intn(64), "e")
+				if err == nil {
+					live[id] = s
+				} else if !errors.Is(err, ErrOutOfMemory) {
+					return false
+				}
+			case 1: // extend
+				for _, s := range live {
+					if err := s.Extend(rng.Intn(40)); err != nil && !errors.Is(err, ErrOutOfMemory) {
+						return false
+					}
+					break
+				}
+			case 2: // free
+				for id, s := range live {
+					p.Free(s)
+					delete(live, id)
+					break
+				}
+			}
+			p.CheckInvariants()
+		}
+		for id, s := range live {
+			p.Free(s)
+			delete(live, id)
+		}
+		p.CheckInvariants()
+		return p.FreeBlocks() == p.TotalBlocks() && p.UsedTokens() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: block tables never share a block across live sequences.
+func TestPropertyBlockExclusivity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := NewPool(100, 16)
+		seen := map[int32]string{}
+		for i := 0; i < 10; i++ {
+			s, err := p.Allocate(fmt.Sprintf("s%d", i), rng.Intn(150), "e")
+			if errors.Is(err, ErrOutOfMemory) {
+				continue
+			}
+			for _, b := range s.BlockTable() {
+				if owner, dup := seen[b]; dup {
+					_ = owner
+					return false
+				}
+				seen[b] = s.ID()
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAllocateFree(b *testing.B) {
+	p := NewPool(1<<16, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := p.Allocate("r", 2048, "p")
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Free(s)
+	}
+}
+
+func BenchmarkExtend(b *testing.B) {
+	p := NewPool(1<<16, 16)
+	s, _ := p.Allocate("r", 0, "p")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := s.Extend(1); err != nil {
+			// Pool drained: recycle the sequence and keep going.
+			p.Free(s)
+			s, _ = p.Allocate("r", 0, "p")
+		}
+	}
+}

@@ -1,0 +1,265 @@
+// Package metrics defines the serving quality measurements of the paper's
+// evaluation (§4.1): TTFT, normalized TTFT, TPOT, end-to-end latency,
+// throughput, and SLO attainment (goodput), plus timeline series for the
+// breakdown figures.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SLO is a latency requirement pair (Table 2). TTFT is normalized by
+// input length (ms per input token), following LoongServe, because raw
+// TTFT scales with sequence length.
+type SLO struct {
+	NormTTFTMs float64 // ms per input token, P90 target
+	TPOTMs     float64 // ms per output token, P90 target
+}
+
+// Table 2 of the paper.
+var slos = map[string]SLO{
+	"sharegpt":      {NormTTFTMs: 3.0, TPOTMs: 150},
+	"azure-code":    {NormTTFTMs: 1.5, TPOTMs: 200},
+	"arxiv-summary": {NormTTFTMs: 1.5, TPOTMs: 175},
+}
+
+// SLOFor returns the paper's latency requirements for a dataset,
+// defaulting to the ShareGPT targets for unknown names.
+func SLOFor(dataset string) SLO {
+	if s, ok := slos[dataset]; ok {
+		return s
+	}
+	return slos["sharegpt"]
+}
+
+// Request records the lifecycle timestamps of one served request. All
+// times are simulation seconds.
+type Request struct {
+	ID           string
+	Dataset      string
+	Arrival      float64
+	PrefillStart float64
+	FirstToken   float64 // completion of prefill (first output token)
+	Finish       float64 // last output token
+	InputTokens  int
+	OutputTokens int
+}
+
+// TTFT is time-to-first-token, measured from arrival (queueing included).
+func (r Request) TTFT() float64 { return r.FirstToken - r.Arrival }
+
+// NormTTFTMs is TTFT in milliseconds per input token.
+func (r Request) NormTTFTMs() float64 {
+	if r.InputTokens <= 0 {
+		return 0
+	}
+	return r.TTFT() * 1000 / float64(r.InputTokens)
+}
+
+// TPOT is the mean time per output token after the first.
+func (r Request) TPOT() float64 {
+	if r.OutputTokens <= 1 {
+		return 0
+	}
+	return (r.Finish - r.FirstToken) / float64(r.OutputTokens-1)
+}
+
+// TPOTMs is TPOT in milliseconds.
+func (r Request) TPOTMs() float64 { return r.TPOT() * 1000 }
+
+// E2E is the total request latency.
+func (r Request) E2E() float64 { return r.Finish - r.Arrival }
+
+// QueueDelay is the time from arrival to prefill start.
+func (r Request) QueueDelay() float64 { return r.PrefillStart - r.Arrival }
+
+// MeetsSLO reports whether the request satisfies both constraints.
+func (r Request) MeetsSLO(s SLO) bool {
+	return r.NormTTFTMs() <= s.NormTTFTMs && r.TPOTMs() <= s.TPOTMs
+}
+
+// Validate panics on physically impossible timestamps; engines call it to
+// catch bookkeeping bugs early.
+func (r Request) Validate() {
+	if r.PrefillStart < r.Arrival || r.FirstToken < r.PrefillStart || r.Finish < r.FirstToken {
+		panic(fmt.Sprintf("metrics: request %s has inverted timeline: %+v", r.ID, r))
+	}
+	if r.InputTokens <= 0 || r.OutputTokens <= 0 {
+		panic(fmt.Sprintf("metrics: request %s has no tokens: %+v", r.ID, r))
+	}
+}
+
+// Percentile returns the p-quantile (p in [0,1]) of xs using linear
+// interpolation. An empty slice yields NaN.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 1 {
+		return s[len(s)-1]
+	}
+	pos := p * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Mean returns the arithmetic mean, NaN if empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Summary aggregates a completed run, matching the panels of Fig. 11.
+type Summary struct {
+	Requests int
+	Duration float64 // makespan: first arrival to last finish
+
+	MeanTTFT     float64 // seconds
+	P90TTFT      float64
+	MeanNormTTFT float64 // ms/token
+	P90NormTTFT  float64
+	MeanTPOTMs   float64
+	P90TPOTMs    float64
+	MeanE2E      float64
+	MeanQueue    float64
+
+	Throughput      float64 // completed requests per second
+	TokenThroughput float64 // output tokens per second
+	SLOAttainment   float64 // fraction of requests meeting both SLOs
+}
+
+// Summarize computes a Summary over completed requests against an SLO.
+func Summarize(reqs []Request, slo SLO) Summary {
+	if len(reqs) == 0 {
+		return Summary{}
+	}
+	var ttft, norm, tpot, e2e, queue []float64
+	firstArrival, lastFinish := math.Inf(1), math.Inf(-1)
+	met := 0
+	outTokens := 0
+	for _, r := range reqs {
+		ttft = append(ttft, r.TTFT())
+		norm = append(norm, r.NormTTFTMs())
+		if r.OutputTokens > 1 {
+			tpot = append(tpot, r.TPOTMs())
+		}
+		e2e = append(e2e, r.E2E())
+		queue = append(queue, r.QueueDelay())
+		if r.MeetsSLO(slo) {
+			met++
+		}
+		outTokens += r.OutputTokens
+		firstArrival = math.Min(firstArrival, r.Arrival)
+		lastFinish = math.Max(lastFinish, r.Finish)
+	}
+	dur := lastFinish - firstArrival
+	s := Summary{
+		Requests:      len(reqs),
+		Duration:      dur,
+		MeanTTFT:      Mean(ttft),
+		P90TTFT:       Percentile(ttft, 0.9),
+		MeanNormTTFT:  Mean(norm),
+		P90NormTTFT:   Percentile(norm, 0.9),
+		MeanE2E:       Mean(e2e),
+		MeanQueue:     Mean(queue),
+		SLOAttainment: float64(met) / float64(len(reqs)),
+	}
+	if len(tpot) > 0 {
+		s.MeanTPOTMs = Mean(tpot)
+		s.P90TPOTMs = Percentile(tpot, 0.9)
+	}
+	if dur > 0 {
+		s.Throughput = float64(len(reqs)) / dur
+		s.TokenThroughput = float64(outTokens) / dur
+	}
+	return s
+}
+
+// Series is a time-ordered sampled signal for timeline figures (Fig. 12).
+type Series struct {
+	T []float64
+	V []float64
+}
+
+// Add appends a sample; time must be nondecreasing.
+func (s *Series) Add(t, v float64) {
+	if n := len(s.T); n > 0 && t < s.T[n-1] {
+		panic(fmt.Sprintf("metrics: series time went backwards: %v after %v", t, s.T[n-1]))
+	}
+	s.T = append(s.T, t)
+	s.V = append(s.V, v)
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.T) }
+
+// At returns the most recent value at or before t (step interpolation),
+// or 0 before the first sample.
+func (s *Series) At(t float64) float64 {
+	i := sort.SearchFloat64s(s.T, t)
+	if i < len(s.T) && s.T[i] == t {
+		// Return the last sample at exactly t.
+		for i+1 < len(s.T) && s.T[i+1] == t {
+			i++
+		}
+		return s.V[i]
+	}
+	if i == 0 {
+		return 0
+	}
+	return s.V[i-1]
+}
+
+// Resample returns the series evaluated at n evenly spaced points over
+// [t0, t1].
+func (s *Series) Resample(t0, t1 float64, n int) []float64 {
+	out := make([]float64, n)
+	if n == 1 {
+		out[0] = s.At(t0)
+		return out
+	}
+	for i := 0; i < n; i++ {
+		t := t0 + (t1-t0)*float64(i)/float64(n-1)
+		out[i] = s.At(t)
+	}
+	return out
+}
+
+// TimeAverage integrates the step series over [t0, t1] and divides by the
+// window, useful for average SM allocation / batch occupancy.
+func (s *Series) TimeAverage(t0, t1 float64) float64 {
+	if t1 <= t0 || len(s.T) == 0 {
+		return 0
+	}
+	total := 0.0
+	prevT, prevV := t0, s.At(t0)
+	for i, tt := range s.T {
+		if tt <= t0 {
+			continue
+		}
+		if tt >= t1 {
+			break
+		}
+		total += prevV * (tt - prevT)
+		prevT, prevV = tt, s.V[i]
+	}
+	total += prevV * (t1 - prevT)
+	return total / (t1 - t0)
+}

@@ -1,0 +1,186 @@
+package prefixcache
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/kvcache"
+)
+
+func newCache(blocks int) (*Cache, *kvcache.Pool) {
+	pool := kvcache.NewPool(blocks, 16)
+	return New(pool), pool
+}
+
+func TestMissThenHit(t *testing.T) {
+	c, _ := newCache(100)
+	hit, release := c.Acquire("sys0")
+	if hit != 0 {
+		t.Fatalf("cold hit = %d", hit)
+	}
+	release() // no-op
+	if !c.Insert("sys0", 512) {
+		t.Fatal("insert failed")
+	}
+	hit, release = c.Acquire("sys0")
+	if hit != 512 {
+		t.Fatalf("hit = %d, want 512", hit)
+	}
+	release()
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.HitTokens != 512 || st.Insertions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestEmptyGroupIsNoop(t *testing.T) {
+	c, pool := newCache(10)
+	hit, release := c.Acquire("")
+	release()
+	if hit != 0 || c.Insert("", 16) || pool.UsedBlocks() != 0 {
+		t.Fatal("empty group should be inert")
+	}
+}
+
+func TestDoubleInsertIsIdempotent(t *testing.T) {
+	c, pool := newCache(100)
+	c.Insert("g", 160)
+	used := pool.UsedBlocks()
+	if !c.Insert("g", 160) {
+		t.Fatal("re-insert reported failure")
+	}
+	if pool.UsedBlocks() != used {
+		t.Fatal("re-insert allocated again")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Pool of 20 blocks (320 tokens); each prefix is 160 tokens (10
+	// blocks): only two fit.
+	c, pool := newCache(20)
+	c.Insert("a", 160)
+	c.Insert("b", 160)
+	// Touch "a" so "b" is LRU.
+	_, rel := c.Acquire("a")
+	rel()
+	if !c.Insert("c", 160) {
+		t.Fatal("insert with eviction failed")
+	}
+	if hit, _ := c.Acquire("b"); hit != 0 {
+		t.Fatal("LRU entry b not evicted")
+	}
+	if hit, _ := c.Acquire("a"); hit == 0 {
+		t.Fatal("recently used entry a evicted")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d", c.Stats().Evictions)
+	}
+	_ = pool
+}
+
+func TestPinnedEntriesSurviveEviction(t *testing.T) {
+	c, _ := newCache(20)
+	c.Insert("a", 160)
+	_, release := c.Acquire("a")
+	c.Insert("b", 160)
+	// Both pools slots are full; "a" is pinned, so inserting "c" must
+	// evict "b".
+	if !c.Insert("c", 160) {
+		t.Fatal("insert failed")
+	}
+	if hit, _ := c.Acquire("a"); hit == 0 {
+		t.Fatal("pinned entry evicted")
+	}
+	if got := c.PinnedGroups(); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("pinned = %v", got)
+	}
+	release()
+}
+
+func TestInsertFailsWhenEverythingPinned(t *testing.T) {
+	c, _ := newCache(20)
+	c.Insert("a", 160)
+	c.Insert("b", 160)
+	_, r1 := c.Acquire("a")
+	_, r2 := c.Acquire("b")
+	if c.Insert("c", 160) {
+		t.Fatal("insert succeeded with all entries pinned and pool full")
+	}
+	r1()
+	r2()
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	c, _ := newCache(20)
+	c.Insert("a", 16)
+	_, release := c.Acquire("a")
+	release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release accepted")
+		}
+	}()
+	release()
+}
+
+func TestEvictAllDrainsPool(t *testing.T) {
+	c, pool := newCache(100)
+	c.Insert("a", 160)
+	c.Insert("b", 160)
+	c.EvictAll()
+	if pool.UsedBlocks() != 0 || c.ResidentTokens() != 0 {
+		t.Fatalf("pool not drained: %d blocks, %d tokens", pool.UsedBlocks(), c.ResidentTokens())
+	}
+	pool.CheckInvariants()
+}
+
+// Property: under random operations the pool invariants hold and pinned
+// entries are never evicted.
+func TestPropertyRandomOps(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, pool := newCache(rng.Intn(100) + 20)
+		type pin struct {
+			group   string
+			release func()
+		}
+		var pins []pin
+		for op := 0; op < 200; op++ {
+			g := fmt.Sprintf("g%d", rng.Intn(8))
+			switch rng.Intn(3) {
+			case 0:
+				c.Insert(g, (rng.Intn(10)+1)*16)
+			case 1:
+				if hit, rel := c.Acquire(g); hit > 0 {
+					pins = append(pins, pin{g, rel})
+				}
+			case 2:
+				if len(pins) > 0 {
+					i := rng.Intn(len(pins))
+					pins[i].release()
+					pins = append(pins[:i], pins[i+1:]...)
+				}
+			}
+			pool.CheckInvariants()
+			// Pinned groups must be resident.
+			for _, p := range pins {
+				if hit, rel := c.Acquire(p.group); hit == 0 {
+					return false
+				} else {
+					rel()
+				}
+			}
+		}
+		for _, p := range pins {
+			p.release()
+		}
+		c.EvictAll()
+		pool.CheckInvariants()
+		return pool.UsedBlocks() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

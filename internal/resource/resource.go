@@ -1,0 +1,142 @@
+// Package resource implements Bullet's computational resource manager
+// (§3.4): fine-grained SM partitioning via pre-configured SM-masked
+// streams, with instant (map-lookup) re-configuration.
+//
+// Rather than reprogramming stream masks on every scheduling decision, a
+// table of streams is built up-front — one per (phase, SM count) pair at a
+// quantization step (the paper profiles at a step of 6 SMs; the hardware
+// mask granularity is 2). Switching a phase's allocation is then just
+// launching on a different pre-built stream, which is what makes
+// layer-wise re-configuration effectively free (Table 3).
+//
+// Prefill masks grow from the low SM indices and decode masks from the
+// high ones, so any prefill/decode pair whose counts sum to at most the
+// device size is strictly disjoint, while larger sums overlap in the
+// middle — the intentional, non-strictly-isolated sharing of §3.4.2.
+package resource
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/gpusim"
+	"repro/internal/smmask"
+)
+
+// Phase selects which side of the device a stream's mask grows from.
+type Phase int
+
+const (
+	// Prefill masks occupy SMs [0, n).
+	Prefill Phase = iota
+	// Decode masks occupy SMs [M-n, M).
+	Decode
+)
+
+func (p Phase) String() string {
+	if p == Prefill {
+		return "prefill"
+	}
+	return "decode"
+}
+
+// Manager owns the pre-configured stream table for one GPU.
+type Manager struct {
+	gpu     *gpusim.GPU
+	step    int
+	numSMs  int
+	levels  []int
+	streams map[Phase]map[int]*gpusim.Stream
+
+	reconfigs int
+	current   map[Phase]int
+}
+
+// NewManager builds the stream table. step is the SM allocation
+// granularity; it must be positive, a multiple of the hardware granularity
+// (2), and divide into useful levels of the device size. The device SM
+// count itself is always a level even when step does not divide it.
+func NewManager(gpu *gpusim.GPU, step int) *Manager {
+	if step <= 0 || step%smmask.Granularity != 0 {
+		panic(fmt.Sprintf("resource: invalid SM step %d", step))
+	}
+	m := &Manager{
+		gpu:     gpu,
+		step:    step,
+		numSMs:  gpu.Spec.NumSMs,
+		streams: map[Phase]map[int]*gpusim.Stream{Prefill: {}, Decode: {}},
+		current: map[Phase]int{Prefill: gpu.Spec.NumSMs, Decode: gpu.Spec.NumSMs},
+	}
+	for n := step; n < m.numSMs; n += step {
+		m.levels = append(m.levels, n)
+	}
+	m.levels = append(m.levels, m.numSMs)
+	for _, n := range m.levels {
+		m.streams[Prefill][n] = gpu.NewStream(smmask.Range(0, n))
+		m.streams[Decode][n] = gpu.NewStream(smmask.Range(m.numSMs-n, m.numSMs))
+	}
+	return m
+}
+
+// NumSMs returns the device SM count.
+func (m *Manager) NumSMs() int { return m.numSMs }
+
+// Step returns the allocation granularity.
+func (m *Manager) Step() int { return m.step }
+
+// Levels returns the available SM counts in ascending order.
+func (m *Manager) Levels() []int { return append([]int(nil), m.levels...) }
+
+// Quantize rounds an SM request to the nearest available level (at least
+// the smallest level, at most the device size).
+func (m *Manager) Quantize(sms int) int {
+	if sms <= m.levels[0] {
+		return m.levels[0]
+	}
+	if sms >= m.numSMs {
+		return m.numSMs
+	}
+	i := sort.SearchInts(m.levels, sms)
+	// m.levels[i] >= sms; pick the closer of levels[i-1] and levels[i].
+	if i == 0 {
+		return m.levels[0]
+	}
+	lo, hi := m.levels[i-1], m.levels[i]
+	if sms-lo <= hi-sms {
+		return lo
+	}
+	return hi
+}
+
+// Stream returns the pre-configured stream for a phase at a quantized SM
+// count, recording the switch when the allocation changed. This is the
+// "instant re-configuration" path: no masks are rebuilt.
+func (m *Manager) Stream(p Phase, sms int) *gpusim.Stream {
+	q := m.Quantize(sms)
+	st, ok := m.streams[p][q]
+	if !ok {
+		panic(fmt.Sprintf("resource: no %v stream for %d SMs", p, q))
+	}
+	if m.current[p] != q {
+		m.current[p] = q
+		m.reconfigs++
+	}
+	return st
+}
+
+// Current returns the last SM count handed out for a phase.
+func (m *Manager) Current(p Phase) int { return m.current[p] }
+
+// Reconfigurations returns how many allocation switches occurred.
+func (m *Manager) Reconfigurations() int { return m.reconfigs }
+
+// Overlap returns the number of SMs shared between the current prefill
+// and decode allocations.
+func (m *Manager) Overlap() int {
+	p, d := m.current[Prefill], m.current[Decode]
+	over := p + d - m.numSMs
+	if over < 0 {
+		return 0
+	}
+	return over
+}

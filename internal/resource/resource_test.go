@@ -1,0 +1,164 @@
+package resource
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gpusim"
+	"repro/internal/sim"
+)
+
+func newManager(t testing.TB, step int) *Manager {
+	t.Helper()
+	s := sim.New()
+	g := gpusim.New(s, gpusim.A100())
+	return NewManager(g, step)
+}
+
+func TestLevels(t *testing.T) {
+	m := newManager(t, 6)
+	levels := m.Levels()
+	if levels[0] != 6 {
+		t.Fatalf("first level = %d, want 6", levels[0])
+	}
+	if levels[len(levels)-1] != 108 {
+		t.Fatalf("last level = %d, want 108", levels[len(levels)-1])
+	}
+	if len(levels) != 18 {
+		t.Fatalf("levels = %d, want 18", len(levels))
+	}
+}
+
+func TestLevelsNonDividingStep(t *testing.T) {
+	m := newManager(t, 20)
+	levels := m.Levels()
+	// 20,40,60,80,100,108.
+	if len(levels) != 6 || levels[len(levels)-1] != 108 {
+		t.Fatalf("levels = %v", levels)
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	m := newManager(t, 6)
+	cases := []struct{ in, want int }{
+		{0, 6}, {1, 6}, {6, 6}, {8, 6}, {9, 6}, {10, 12}, {107, 108},
+		{108, 108}, {200, 108}, {54, 54}, {55, 54}, {57, 54},
+	}
+	for _, c := range cases {
+		if got := m.Quantize(c.in); got != c.want {
+			t.Errorf("Quantize(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStreamMasks(t *testing.T) {
+	m := newManager(t, 6)
+	p := m.Stream(Prefill, 60)
+	d := m.Stream(Decode, 48)
+	if p.Mask().Count() != 60 || d.Mask().Count() != 48 {
+		t.Fatalf("mask counts: %d, %d", p.Mask().Count(), d.Mask().Count())
+	}
+	// 60 + 48 = 108: strictly disjoint.
+	if p.Mask().Overlaps(d.Mask()) {
+		t.Fatal("complementary masks overlap")
+	}
+	if m.Overlap() != 0 {
+		t.Fatalf("Overlap = %d, want 0", m.Overlap())
+	}
+	// 108 + 24 overlap by 24.
+	p = m.Stream(Prefill, 108)
+	d = m.Stream(Decode, 24)
+	if got := p.Mask().Intersect(d.Mask()).Count(); got != 24 {
+		t.Fatalf("intersection = %d, want 24", got)
+	}
+	if m.Overlap() != 24 {
+		t.Fatalf("Overlap = %d, want 24", m.Overlap())
+	}
+}
+
+func TestStreamIdentityStable(t *testing.T) {
+	m := newManager(t, 6)
+	a := m.Stream(Prefill, 60)
+	b := m.Stream(Prefill, 60)
+	if a != b {
+		t.Fatal("same request returned different streams (not pre-configured)")
+	}
+}
+
+func TestReconfigurationCount(t *testing.T) {
+	m := newManager(t, 6)
+	m.Stream(Prefill, 60)
+	m.Stream(Prefill, 60) // no change
+	m.Stream(Prefill, 66)
+	m.Stream(Decode, 42)
+	if got := m.Reconfigurations(); got != 3 {
+		t.Fatalf("reconfigs = %d, want 3", got)
+	}
+	if m.Current(Prefill) != 66 || m.Current(Decode) != 42 {
+		t.Fatalf("current = %d/%d", m.Current(Prefill), m.Current(Decode))
+	}
+}
+
+func TestInvalidStepPanics(t *testing.T) {
+	s := sim.New()
+	g := gpusim.New(s, gpusim.A100())
+	for _, step := range []int{0, -2, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("step %d accepted", step)
+				}
+			}()
+			NewManager(g, step)
+		}()
+	}
+}
+
+// Property: Quantize always returns a valid level and is idempotent.
+func TestPropertyQuantize(t *testing.T) {
+	m := newManager(t, 6)
+	valid := map[int]bool{}
+	for _, l := range m.Levels() {
+		valid[l] = true
+	}
+	f := func(sms int16) bool {
+		q := m.Quantize(int(sms))
+		return valid[q] && m.Quantize(q) == q
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: prefill and decode streams with counts summing to ≤ NumSMs
+// never overlap; sums above NumSMs overlap by exactly the excess.
+func TestPropertyDisjointness(t *testing.T) {
+	m := newManager(t, 6)
+	levels := m.Levels()
+	for _, p := range levels {
+		for _, d := range levels {
+			ps := m.Stream(Prefill, p)
+			ds := m.Stream(Decode, d)
+			inter := ps.Mask().Intersect(ds.Mask()).Count()
+			wantOver := p + d - 108
+			if wantOver < 0 {
+				wantOver = 0
+			}
+			if inter != wantOver {
+				t.Fatalf("p=%d d=%d overlap=%d want %d", p, d, inter, wantOver)
+			}
+		}
+	}
+}
+
+// BenchmarkReconfigure measures the Table 3 "Resource Re-config" path: the
+// cost of switching a phase to a different pre-configured SM partition.
+func BenchmarkReconfigure(b *testing.B) {
+	m := newManager(b, 6)
+	levels := m.Levels()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Stream(Prefill, levels[i%len(levels)])
+	}
+}

@@ -1,0 +1,357 @@
+// Package sched implements Bullet's SLO-aware task scheduler (§3.3,
+// Algorithm 1): at every layer-wise scheduling cycle it tracks prefill and
+// decode progress, predicts TTFT and TPOT with the performance estimator,
+// and searches SM partitions that maximize throughput subject to the
+// latency targets — shrinking the decode allocation when there is slack,
+// balancing when both targets are at risk, shrinking prefill when only
+// TPOT is violated, and temporarily pausing decode when TTFT cannot be
+// rescued any other way.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/estimator"
+	"repro/internal/metrics"
+)
+
+// WaitingReq is a queued request not yet in prefill.
+type WaitingReq struct {
+	Arrival     float64
+	InputTokens int
+}
+
+// Deadline returns the latest acceptable first-token time under the SLO.
+func (w WaitingReq) Deadline(slo metrics.SLO) float64 {
+	return w.Arrival + slo.NormTTFTMs*float64(w.InputTokens)/1000
+}
+
+// PrefillStatus is the running prefill batch's progress (P_k).
+type PrefillStatus struct {
+	Active      bool
+	Tokens      int // np: total tokens in the batch
+	LayersDone  int // l_k
+	StartTime   float64
+	Arrivals    []float64 // per batched request
+	InputTokens []int     // per batched request
+}
+
+// DecodeStatus is the decode batch's progress (D_k).
+type DecodeStatus struct {
+	Batch     int     // n_d
+	AvgCtx    float64 // cl
+	Elapsed   []float64
+	Generated []int
+}
+
+// State is the system snapshot S_k read from the shared metadata buffer.
+type State struct {
+	Now        float64
+	Prefill    PrefillStatus
+	Waiting    []WaitingReq
+	Decode     DecodeStatus
+	PrefillSMs int // u_k
+	DecodeSMs  int // v_k
+}
+
+// Decision is the scheduler's output R_{k+1}.
+type Decision struct {
+	PrefillSMs  int
+	DecodeSMs   int
+	PauseDecode bool
+	// Branch records which Algorithm 1 arm produced the decision, for
+	// tracing and tests: "idle", "prefill-only", "decode-only",
+	// "reduce-decode", "balance", "reduce-prefill", "pause-decode",
+	// "handover".
+	Branch string
+	// PredNormTTFT and PredTPOTMs are the P90 predictions the decision
+	// was based on.
+	PredNormTTFT float64
+	PredTPOTMs   float64
+}
+
+// Config shapes the search space.
+type Config struct {
+	TotalLayers   int
+	LayerGroup    int // layers launched per prefill scheduling cycle
+	NumSMs        int
+	Levels        []int // available SM counts, ascending
+	MinPrefillSMs int
+	MinDecodeSMs  int
+}
+
+// Scheduler evaluates Algorithm 1 against an estimator and SLO pair.
+type Scheduler struct {
+	est *estimator.Estimator
+	slo metrics.SLO
+	cfg Config
+}
+
+// New creates a scheduler. The config must list at least one SM level.
+func New(est *estimator.Estimator, slo metrics.SLO, cfg Config) *Scheduler {
+	if len(cfg.Levels) == 0 || cfg.TotalLayers <= 0 || cfg.NumSMs <= 0 {
+		panic(fmt.Sprintf("sched: invalid config %+v", cfg))
+	}
+	if cfg.LayerGroup <= 0 {
+		cfg.LayerGroup = 1
+	}
+	if cfg.MinPrefillSMs <= 0 {
+		cfg.MinPrefillSMs = cfg.Levels[0]
+	}
+	if cfg.MinDecodeSMs <= 0 {
+		cfg.MinDecodeSMs = cfg.Levels[0]
+	}
+	if !sort.IntsAreSorted(cfg.Levels) {
+		panic("sched: levels not sorted")
+	}
+	return &Scheduler{est: est, slo: slo, cfg: cfg}
+}
+
+// SLO returns the targets the scheduler enforces.
+func (s *Scheduler) SLO() metrics.SLO { return s.slo }
+
+// SortWaiting reorders the pending queue by SLO deadline (earliest first),
+// the reordering step of Algorithm 1 line 7.
+func (s *Scheduler) SortWaiting(reqs []WaitingReq) {
+	sort.SliceStable(reqs, func(i, j int) bool {
+		return reqs[i].Deadline(s.slo) < reqs[j].Deadline(s.slo)
+	})
+}
+
+// predictNormTTFT returns the P90 predicted normalized TTFT (ms/token)
+// across the running batch and the waiting queue, if prefill runs on pm
+// SMs from now on.
+func (s *Scheduler) predictNormTTFT(st State, pm int, coloc bool) float64 {
+	var norms []float64
+	rem := 0.0
+	if st.Prefill.Active {
+		layersLeft := s.cfg.TotalLayers - st.Prefill.LayersDone
+		rem = s.est.PrefillRemainingTime(st.Prefill.Tokens, 0, layersLeft, pm, coloc)
+		for i, arr := range st.Prefill.Arrivals {
+			ttft := (st.Now - arr) + rem
+			norms = append(norms, 1000*ttft/float64(st.Prefill.InputTokens[i]))
+		}
+	}
+	// Queued requests wait for the running prefill plus everything ahead
+	// of them (Algorithm 1 lines 4-6).
+	ahead := rem
+	for _, w := range st.Waiting {
+		own := s.est.PrefillTotalTime(w.InputTokens, 0, pm, coloc)
+		ahead += own
+		ttft := (st.Now - w.Arrival) + ahead
+		norms = append(norms, 1000*ttft/float64(w.InputTokens))
+	}
+	if len(norms) == 0 {
+		return 0
+	}
+	return metrics.Percentile(norms, 0.9)
+}
+
+// predictTPOTMs returns the P90 predicted TPOT (ms) if decode runs its
+// next step on dm SMs, optionally after an extra stall of pause seconds.
+func (s *Scheduler) predictTPOTMs(st State, dm int, coloc bool, pause float64) float64 {
+	d := st.Decode
+	if d.Batch == 0 {
+		return 0
+	}
+	step := s.est.DecodeStepTime(d.Batch, d.AvgCtx, dm, coloc)
+	var tpots []float64
+	for i := range d.Elapsed {
+		gen := d.Generated[i]
+		tpots = append(tpots, 1000*(d.Elapsed[i]+step+pause)/float64(gen+1))
+	}
+	return metrics.Percentile(tpots, 0.9)
+}
+
+// complement returns the largest level not exceeding NumSMs-n, clamped to
+// the smallest level.
+func (s *Scheduler) complement(n int) int {
+	rest := s.cfg.NumSMs - n
+	lv := s.cfg.Levels
+	i := sort.SearchInts(lv, rest+1) - 1
+	if i < 0 {
+		return lv[0]
+	}
+	return lv[i]
+}
+
+// levelAtLeast returns the smallest level ≥ n (or the largest level).
+func (s *Scheduler) levelAtLeast(n int) int {
+	lv := s.cfg.Levels
+	i := sort.SearchInts(lv, n)
+	if i >= len(lv) {
+		return lv[len(lv)-1]
+	}
+	return lv[i]
+}
+
+// Decide evaluates Algorithm 1 on a snapshot.
+func (s *Scheduler) Decide(st State) Decision {
+	M := s.cfg.NumSMs
+	// Before the first allocation is published the snapshot carries
+	// zeros; treat the phases as owning the full device.
+	if st.PrefillSMs <= 0 {
+		st.PrefillSMs = M
+	}
+	if st.DecodeSMs <= 0 {
+		st.DecodeSMs = M
+	}
+	prefillBusy := st.Prefill.Active || len(st.Waiting) > 0
+	decodeBusy := st.Decode.Batch > 0
+
+	switch {
+	case !prefillBusy && !decodeBusy:
+		return Decision{PrefillSMs: M, DecodeSMs: M, Branch: "idle"}
+	case !decodeBusy:
+		return Decision{PrefillSMs: M, DecodeSMs: M, Branch: "prefill-only",
+			PredNormTTFT: s.predictNormTTFT(st, M, false)}
+	case !prefillBusy:
+		return Decision{PrefillSMs: M, DecodeSMs: M, Branch: "decode-only",
+			PredTPOTMs: s.predictTPOTMs(st, M, false, 0)}
+	}
+
+	// Handover: when the running prefill will finish within roughly one
+	// decode step, let decode deliberately share SMs with the prefill
+	// tail (§3.4.2's smooth transition).
+	if st.Prefill.Active {
+		layersLeft := s.cfg.TotalLayers - st.Prefill.LayersDone
+		rem := s.est.PrefillRemainingTime(st.Prefill.Tokens, 0, layersLeft, st.PrefillSMs, true)
+		step := s.est.DecodeStepTime(st.Decode.Batch, st.Decode.AvgCtx, st.DecodeSMs, true)
+		if rem < step && len(st.Waiting) == 0 {
+			return Decision{PrefillSMs: st.PrefillSMs, DecodeSMs: M, Branch: "handover",
+				PredNormTTFT: s.predictNormTTFT(st, st.PrefillSMs, true),
+				PredTPOTMs:   s.predictTPOTMs(st, M, true, 0)}
+		}
+	}
+
+	ttft := s.predictNormTTFT(st, st.PrefillSMs, true)
+	tpot := s.predictTPOTMs(st, st.DecodeSMs, true, 0)
+	ttftOK := ttft <= s.slo.NormTTFTMs
+	tpotOK := tpot <= s.slo.TPOTMs
+
+	switch {
+	case ttftOK && tpotOK:
+		return s.reduceDecodeSM(st, false)
+	case !ttftOK && !tpotOK:
+		return s.setBalancedSM(st)
+	case !tpotOK:
+		return s.reducePrefillSM(st)
+	default: // only TTFT violated
+		return s.reduceDecodeSM(st, true)
+	}
+}
+
+// reduceDecodeSM shrinks the decode allocation to the smallest level that
+// keeps TPOT within target, giving the freed SMs to prefill. When
+// allowPause is set (TTFT already violated) and even the minimum decode
+// allocation cannot rescue TTFT, decode is paused for one cycle provided
+// the pause itself keeps TPOT within target.
+func (s *Scheduler) reduceDecodeSM(st State, allowPause bool) Decision {
+	M := s.cfg.NumSMs
+	bestDM := -1
+	var bestTPOT float64
+	for _, dm := range s.cfg.Levels {
+		if dm < s.cfg.MinDecodeSMs {
+			continue
+		}
+		if t := s.predictTPOTMs(st, dm, true, 0); t <= s.slo.TPOTMs {
+			bestDM, bestTPOT = dm, t
+			break // levels ascend: first feasible is the smallest
+		}
+	}
+	if bestDM < 0 {
+		// No allocation meets TPOT; decode takes everything it can
+		// while prefill keeps its minimum.
+		pm := s.levelAtLeast(s.cfg.MinPrefillSMs)
+		dm := s.complement(pm)
+		return Decision{PrefillSMs: pm, DecodeSMs: dm, Branch: "reduce-decode",
+			PredNormTTFT: s.predictNormTTFT(st, pm, true),
+			PredTPOTMs:   s.predictTPOTMs(st, dm, true, 0)}
+	}
+	pm := s.complement(bestDM)
+	if pm < s.cfg.MinPrefillSMs {
+		pm = s.levelAtLeast(s.cfg.MinPrefillSMs)
+	}
+	ttft := s.predictNormTTFT(st, pm, true)
+	if allowPause && ttft > s.slo.NormTTFTMs {
+		// Even prefill-favoured splits violate TTFT: consider pausing
+		// decode for one layer group and giving prefill the full GPU.
+		// When no prefill batch is running yet (pure queueing pressure),
+		// size the pause from the head-of-queue request.
+		tokens := st.Prefill.Tokens
+		if tokens <= 0 && len(st.Waiting) > 0 {
+			tokens = st.Waiting[0].InputTokens
+		}
+		if tokens <= 0 {
+			tokens = 1
+		}
+		pause := s.est.PrefillLayerTime(tokens, 0, M, false) *
+			float64(s.cfg.LayerGroup)
+		if s.predictTPOTMs(st, M, false, pause) <= s.slo.TPOTMs {
+			return Decision{PrefillSMs: M, DecodeSMs: s.cfg.MinDecodeSMs,
+				PauseDecode: true, Branch: "pause-decode",
+				PredNormTTFT: s.predictNormTTFT(st, M, false),
+				PredTPOTMs:   s.predictTPOTMs(st, M, false, pause)}
+		}
+	}
+	return Decision{PrefillSMs: pm, DecodeSMs: bestDM, Branch: "reduce-decode",
+		PredNormTTFT: ttft, PredTPOTMs: bestTPOT}
+}
+
+// setBalancedSM searches complementary splits for the one minimizing the
+// worst normalized SLO violation (Algorithm 1 line 13).
+func (s *Scheduler) setBalancedSM(st State) Decision {
+	bestScore := math.Inf(1)
+	var best Decision
+	for _, pm := range s.cfg.Levels {
+		if pm < s.cfg.MinPrefillSMs {
+			continue
+		}
+		dm := s.complement(pm)
+		if dm < s.cfg.MinDecodeSMs || pm+dm > s.cfg.NumSMs {
+			continue
+		}
+		ttft := s.predictNormTTFT(st, pm, true)
+		tpot := s.predictTPOTMs(st, dm, true, 0)
+		score := math.Max(ttft/s.slo.NormTTFTMs, tpot/s.slo.TPOTMs)
+		if score < bestScore {
+			bestScore = score
+			best = Decision{PrefillSMs: pm, DecodeSMs: dm, Branch: "balance",
+				PredNormTTFT: ttft, PredTPOTMs: tpot}
+		}
+	}
+	if math.IsInf(bestScore, 1) {
+		M := s.cfg.NumSMs
+		half := s.levelAtLeast(M / 2)
+		return Decision{PrefillSMs: half, DecodeSMs: s.complement(half), Branch: "balance"}
+	}
+	return best
+}
+
+// reducePrefillSM shrinks prefill until TPOT recovers, keeping prefill at
+// least at its minimum.
+func (s *Scheduler) reducePrefillSM(st State) Decision {
+	// Walk prefill allocations downward; give decode the complement.
+	lv := s.cfg.Levels
+	for i := len(lv) - 1; i >= 0; i-- {
+		pm := lv[i]
+		if pm > st.PrefillSMs || pm < s.cfg.MinPrefillSMs {
+			continue
+		}
+		dm := s.complement(pm)
+		if dm < s.cfg.MinDecodeSMs {
+			continue
+		}
+		if t := s.predictTPOTMs(st, dm, true, 0); t <= s.slo.TPOTMs {
+			return Decision{PrefillSMs: pm, DecodeSMs: dm, Branch: "reduce-prefill",
+				PredNormTTFT: s.predictNormTTFT(st, pm, true), PredTPOTMs: t}
+		}
+	}
+	pm := s.levelAtLeast(s.cfg.MinPrefillSMs)
+	dm := s.complement(pm)
+	return Decision{PrefillSMs: pm, DecodeSMs: dm, Branch: "reduce-prefill",
+		PredNormTTFT: s.predictNormTTFT(st, pm, true),
+		PredTPOTMs:   s.predictTPOTMs(st, dm, true, 0)}
+}

@@ -1,0 +1,142 @@
+// Package serving provides the experiment harness shared by Bullet and
+// every baseline: a simulated environment (clock, GPU, model, KV pool,
+// SLO) plus a runner that feeds a workload trace into a serving system and
+// collects per-request metrics.
+package serving
+
+import (
+	"fmt"
+
+	"repro/internal/gpusim"
+	"repro/internal/kvcache"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// DefaultKVReserveBytes is HBM held back for activations and runtime
+// state when planning the KV pool.
+const DefaultKVReserveBytes = 4e9
+
+// KVBlockTokens is the PagedAttention block size in tokens.
+const KVBlockTokens = 16
+
+// Env bundles the simulated infrastructure one serving system runs on.
+type Env struct {
+	Sim   *sim.Simulation
+	GPU   *gpusim.GPU
+	Model model.Config
+	KV    *kvcache.Pool
+	SLO   metrics.SLO
+
+	completed []metrics.Request
+	// OnComplete, when set, observes every completion as it happens.
+	OnComplete func(metrics.Request)
+	// OnDrain, when set, runs after the last request completes and
+	// before the end-of-run KV invariant check — the hook caches (e.g.
+	// the prefix cache) use to release long-lived pool allocations.
+	OnDrain func()
+}
+
+// NewEnv builds a fresh environment: one simulated device, the model, and
+// a KV pool sized from the device memory budget.
+func NewEnv(spec gpusim.Spec, cfg model.Config, dataset string) *Env {
+	return NewEnvWithSim(sim.New(), spec, cfg, dataset)
+}
+
+// NewEnvWithSim builds an environment on an existing simulation, so that
+// several devices (disaggregation, replica clusters) share one virtual
+// clock.
+func NewEnvWithSim(s *sim.Simulation, spec gpusim.Spec, cfg model.Config, dataset string) *Env {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	gpu := gpusim.New(s, spec)
+	blocks := kvcache.PlanBlocks(spec.HBMBytes, cfg.WeightBytes(), DefaultKVReserveBytes,
+		cfg.KVBytesPerToken(), KVBlockTokens)
+	if blocks <= 0 {
+		panic(fmt.Sprintf("serving: model %s does not fit on %s", cfg.Name, spec.Name))
+	}
+	return &Env{
+		Sim:   s,
+		GPU:   gpu,
+		Model: cfg,
+		KV:    kvcache.NewPool(blocks, KVBlockTokens),
+		SLO:   metrics.SLOFor(dataset),
+	}
+}
+
+// Complete records a finished request. Systems must call this exactly once
+// per submitted request.
+func (e *Env) Complete(r metrics.Request) {
+	r.Validate()
+	e.completed = append(e.completed, r)
+	if e.OnComplete != nil {
+		e.OnComplete(r)
+	}
+}
+
+// Completed returns the requests finished so far.
+func (e *Env) Completed() []metrics.Request { return e.completed }
+
+// System is a serving engine under test. Submit is invoked from the
+// simulation event loop at each request's arrival time; the system must
+// eventually call Env.Complete for it.
+type System interface {
+	Name() string
+	Submit(r workload.Request)
+}
+
+// Result is the outcome of one serving run.
+type Result struct {
+	System   string
+	Dataset  string
+	Rate     float64
+	Summary  metrics.Summary
+	Requests []metrics.Request
+	GPUStats gpusim.Stats
+	// Makespan is the simulated time at which the last request finished.
+	Makespan float64
+}
+
+// maxEventsPerRequest bounds runaway simulations.
+const maxEventsPerRequest = 200000
+
+// Run feeds the trace into the system and runs the simulation until every
+// request completes. It panics if the event queue drains while requests
+// are outstanding (a deadlocked system is always a bug worth failing
+// loudly on).
+func (e *Env) Run(sys System, trace *workload.Trace) Result {
+	for _, r := range trace.Requests {
+		r := r
+		e.Sim.At(r.Arrival, func() { sys.Submit(r) })
+	}
+	budget := uint64(len(trace.Requests)+1) * maxEventsPerRequest
+	for uint64(len(e.completed)) < uint64(len(trace.Requests)) {
+		if !e.Sim.Step() {
+			panic(fmt.Sprintf("serving: %s deadlocked with %d/%d requests complete at t=%.3f",
+				sys.Name(), len(e.completed), len(trace.Requests), e.Sim.Now()))
+		}
+		if e.Sim.Processed() > budget {
+			panic(fmt.Sprintf("serving: %s exceeded event budget (%d events, %d/%d complete)",
+				sys.Name(), e.Sim.Processed(), len(e.completed), len(trace.Requests)))
+		}
+	}
+	if e.OnDrain != nil {
+		e.OnDrain()
+	}
+	e.KV.CheckInvariants()
+	if used := e.KV.UsedBlocks(); used != 0 {
+		panic(fmt.Sprintf("serving: %s leaked %d KV blocks", sys.Name(), used))
+	}
+	return Result{
+		System:   sys.Name(),
+		Dataset:  trace.Dataset,
+		Rate:     trace.Rate,
+		Summary:  metrics.Summarize(e.completed, e.SLO),
+		Requests: e.completed,
+		GPUStats: e.GPU.Stats(),
+		Makespan: e.Sim.Now(),
+	}
+}

@@ -1,0 +1,39 @@
+package smmask
+
+import "testing"
+
+// FuzzSetAlgebra checks mask algebra identities on arbitrary word
+// patterns.
+func FuzzSetAlgebra(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(5), uint64(9))
+	f.Add(^uint64(0), uint64(1), uint64(1<<40), ^uint64(7))
+	f.Fuzz(func(t *testing.T, a0, a1, b0, b1 uint64) {
+		a := Mask{a0, a1, 0, 0}
+		b := Mask{b0, b1, 0, 0}
+		if got := a.Union(b).Count(); got != a.Count()+b.Count()-a.Intersect(b).Count() {
+			t.Fatalf("inclusion-exclusion violated: %d", got)
+		}
+		if a.Diff(b).Overlaps(b) {
+			t.Fatal("diff overlaps subtrahend")
+		}
+		if !a.Intersect(b).SubsetOf(a) || !a.Intersect(b).SubsetOf(b) {
+			t.Fatal("intersection not a subset")
+		}
+		up := a.AlignUp()
+		if !a.SubsetOf(up) || !up.Aligned() {
+			t.Fatal("AlignUp broken")
+		}
+		// Round-trip through indices.
+		var back Mask
+		for _, i := range a.Indices() {
+			back.Set(i)
+		}
+		if back != a {
+			t.Fatal("indices round-trip failed")
+		}
+		// String never panics and is non-empty.
+		if a.String() == "" {
+			t.Fatal("empty string render")
+		}
+	})
+}

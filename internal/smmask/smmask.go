@@ -1,0 +1,203 @@
+// Package smmask implements sets of streaming multiprocessors (SMs) as
+// fixed-width bitmasks, mirroring the libsmctrl stream-mask mechanism the
+// paper uses on NVIDIA GPUs (Bakita & Anderson, RTAS'23/'24).
+//
+// Masks support up to 256 SMs, which covers all current datacenter GPUs
+// (A100: 108, H100: 132). The hardware facility allocates at a granularity
+// of 2 SMs (one TPC); helpers that honor that granularity are provided, but
+// the mask type itself is bit-exact.
+package smmask
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// MaxSMs is the largest SM index+1 representable by a Mask.
+const MaxSMs = 256
+
+// Granularity is the hardware partitioning granularity in SMs (one TPC).
+const Granularity = 2
+
+// Mask is a set of SM indices [0, MaxSMs).
+type Mask [4]uint64
+
+// Empty is the zero mask.
+var Empty Mask
+
+// Single returns a mask containing only SM i.
+func Single(i int) Mask {
+	var m Mask
+	m.Set(i)
+	return m
+}
+
+// Range returns a mask with SMs [lo, hi) set.
+func Range(lo, hi int) Mask {
+	var m Mask
+	if lo < 0 || hi > MaxSMs || lo > hi {
+		panic(fmt.Sprintf("smmask: invalid range [%d,%d)", lo, hi))
+	}
+	for i := lo; i < hi; i++ {
+		m.Set(i)
+	}
+	return m
+}
+
+// Full returns a mask with the first n SMs set.
+func Full(n int) Mask { return Range(0, n) }
+
+// Set adds SM i to the mask.
+func (m *Mask) Set(i int) {
+	if i < 0 || i >= MaxSMs {
+		panic(fmt.Sprintf("smmask: SM index %d out of range", i))
+	}
+	m[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Clear removes SM i from the mask.
+func (m *Mask) Clear(i int) {
+	if i < 0 || i >= MaxSMs {
+		panic(fmt.Sprintf("smmask: SM index %d out of range", i))
+	}
+	m[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// Has reports whether SM i is in the mask.
+func (m Mask) Has(i int) bool {
+	if i < 0 || i >= MaxSMs {
+		return false
+	}
+	return m[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Count returns the number of SMs in the mask.
+func (m Mask) Count() int {
+	return bits.OnesCount64(m[0]) + bits.OnesCount64(m[1]) +
+		bits.OnesCount64(m[2]) + bits.OnesCount64(m[3])
+}
+
+// IsEmpty reports whether no SMs are set.
+func (m Mask) IsEmpty() bool { return m == Empty }
+
+// Union returns m ∪ o.
+func (m Mask) Union(o Mask) Mask {
+	return Mask{m[0] | o[0], m[1] | o[1], m[2] | o[2], m[3] | o[3]}
+}
+
+// Intersect returns m ∩ o.
+func (m Mask) Intersect(o Mask) Mask {
+	return Mask{m[0] & o[0], m[1] & o[1], m[2] & o[2], m[3] & o[3]}
+}
+
+// Diff returns m \ o.
+func (m Mask) Diff(o Mask) Mask {
+	return Mask{m[0] &^ o[0], m[1] &^ o[1], m[2] &^ o[2], m[3] &^ o[3]}
+}
+
+// Overlaps reports whether m and o share any SM.
+func (m Mask) Overlaps(o Mask) bool {
+	return m[0]&o[0] != 0 || m[1]&o[1] != 0 || m[2]&o[2] != 0 || m[3]&o[3] != 0
+}
+
+// SubsetOf reports whether every SM in m is also in o.
+func (m Mask) SubsetOf(o Mask) bool { return m.Diff(o).IsEmpty() }
+
+// ForEach calls fn for each SM index in ascending order.
+func (m Mask) ForEach(fn func(i int)) {
+	for w := 0; w < 4; w++ {
+		word := m[w]
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			fn(w*64 + b)
+			word &= word - 1
+		}
+	}
+}
+
+// Indices returns the sorted SM indices in the mask.
+func (m Mask) Indices() []int {
+	out := make([]int, 0, m.Count())
+	m.ForEach(func(i int) { out = append(out, i) })
+	return out
+}
+
+// String renders the mask as compact index ranges, e.g. "0-53,60-61".
+func (m Mask) String() string {
+	if m.IsEmpty() {
+		return "∅"
+	}
+	var sb strings.Builder
+	idx := m.Indices()
+	start, prev := idx[0], idx[0]
+	flush := func() {
+		if sb.Len() > 0 {
+			sb.WriteByte(',')
+		}
+		if start == prev {
+			fmt.Fprintf(&sb, "%d", start)
+		} else {
+			fmt.Fprintf(&sb, "%d-%d", start, prev)
+		}
+	}
+	for _, i := range idx[1:] {
+		if i == prev+1 {
+			prev = i
+			continue
+		}
+		flush()
+		start, prev = i, i
+	}
+	flush()
+	return sb.String()
+}
+
+// Aligned reports whether the mask respects the hardware granularity: SMs
+// come in TPC pairs (2i, 2i+1) that are either both present or both absent.
+func (m Mask) Aligned() bool {
+	for w := 0; w < 4; w++ {
+		even := m[w] & 0x5555555555555555
+		odd := (m[w] >> 1) & 0x5555555555555555
+		if even != odd {
+			return false
+		}
+	}
+	return true
+}
+
+// AlignUp returns the smallest aligned mask containing m: any half-occupied
+// TPC pair becomes fully occupied.
+func (m Mask) AlignUp() Mask {
+	var out Mask
+	for w := 0; w < 4; w++ {
+		pairs := (m[w] | (m[w] >> 1)) & 0x5555555555555555
+		out[w] = pairs | (pairs << 1)
+	}
+	return out
+}
+
+// Prefix returns a mask of the first n SMs present in m (ascending index
+// order). If m has fewer than n SMs the whole mask is returned.
+func (m Mask) Prefix(n int) Mask {
+	var out Mask
+	taken := 0
+	m.ForEach(func(i int) {
+		if taken < n {
+			out.Set(i)
+			taken++
+		}
+	})
+	return out
+}
+
+// Partition splits the first total SMs into two disjoint aligned masks of
+// a and b SMs (a+b must not exceed total). The a-mask takes the low SM
+// indices and the b-mask the high ones, matching how the paper packs
+// prefill low / decode high to minimise L2 interference.
+func Partition(total, a, b int) (Mask, Mask) {
+	if a < 0 || b < 0 || a+b > total || total > MaxSMs {
+		panic(fmt.Sprintf("smmask: invalid partition total=%d a=%d b=%d", total, a, b))
+	}
+	return Range(0, a), Range(total-b, total)
+}

@@ -1,0 +1,238 @@
+package smmask
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomMask(rng *rand.Rand) Mask {
+	var m Mask
+	n := rng.Intn(MaxSMs)
+	for i := 0; i < n; i++ {
+		m.Set(rng.Intn(MaxSMs))
+	}
+	return m
+}
+
+func TestSetClearHas(t *testing.T) {
+	var m Mask
+	for _, i := range []int{0, 1, 63, 64, 107, 255} {
+		m.Set(i)
+		if !m.Has(i) {
+			t.Fatalf("SM %d not set", i)
+		}
+	}
+	if m.Count() != 6 {
+		t.Fatalf("count = %d, want 6", m.Count())
+	}
+	m.Clear(63)
+	if m.Has(63) || m.Count() != 5 {
+		t.Fatalf("clear failed: %v", m)
+	}
+}
+
+func TestRangeAndFull(t *testing.T) {
+	m := Range(10, 20)
+	if m.Count() != 10 || !m.Has(10) || !m.Has(19) || m.Has(20) || m.Has(9) {
+		t.Fatalf("Range(10,20) = %v", m)
+	}
+	if Full(108).Count() != 108 {
+		t.Fatalf("Full(108).Count() = %d", Full(108).Count())
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	a := Range(0, 60)
+	b := Range(50, 108)
+	if got := a.Intersect(b).Count(); got != 10 {
+		t.Fatalf("intersect count = %d, want 10", got)
+	}
+	if got := a.Union(b).Count(); got != 108 {
+		t.Fatalf("union count = %d, want 108", got)
+	}
+	if got := a.Diff(b).Count(); got != 50 {
+		t.Fatalf("diff count = %d, want 50", got)
+	}
+	if !a.Overlaps(b) {
+		t.Fatal("overlap not detected")
+	}
+	if a.Overlaps(Range(60, 108).Diff(b)) {
+		t.Fatal("false overlap")
+	}
+}
+
+func TestSubsetOf(t *testing.T) {
+	if !Range(5, 10).SubsetOf(Range(0, 20)) {
+		t.Fatal("subset not detected")
+	}
+	if Range(5, 25).SubsetOf(Range(0, 20)) {
+		t.Fatal("non-subset reported as subset")
+	}
+	if !Empty.SubsetOf(Empty) {
+		t.Fatal("empty not subset of empty")
+	}
+}
+
+func TestIndicesAndForEach(t *testing.T) {
+	m := Single(3).Union(Single(100)).Union(Single(64))
+	idx := m.Indices()
+	want := []int{3, 64, 100}
+	if len(idx) != 3 {
+		t.Fatalf("indices = %v", idx)
+	}
+	for i := range want {
+		if idx[i] != want[i] {
+			t.Fatalf("indices = %v, want %v", idx, want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		m    Mask
+		want string
+	}{
+		{Empty, "∅"},
+		{Single(5), "5"},
+		{Range(0, 4), "0-3"},
+		{Range(0, 2).Union(Range(6, 8)), "0-1,6-7"},
+	}
+	for _, c := range cases {
+		if got := c.m.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.m.Indices(), got, c.want)
+		}
+	}
+}
+
+func TestAligned(t *testing.T) {
+	if !Range(0, 108).Aligned() {
+		t.Fatal("full A100 mask should be aligned")
+	}
+	if Range(0, 7).Aligned() {
+		t.Fatal("odd-sized range reported aligned")
+	}
+	if !Range(0, 7).AlignUp().Aligned() {
+		t.Fatal("AlignUp did not align")
+	}
+	if got := Range(0, 7).AlignUp().Count(); got != 8 {
+		t.Fatalf("AlignUp count = %d, want 8", got)
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	m := Range(10, 30)
+	p := m.Prefix(5)
+	if p.Count() != 5 || !p.SubsetOf(m) || !p.Has(10) || !p.Has(14) || p.Has(15) {
+		t.Fatalf("Prefix = %v", p.Indices())
+	}
+	if got := m.Prefix(100); got != m {
+		t.Fatal("oversized prefix should return the whole mask")
+	}
+}
+
+func TestPartition(t *testing.T) {
+	p, d := Partition(108, 60, 48)
+	if p.Count() != 60 || d.Count() != 48 {
+		t.Fatalf("partition counts = %d,%d", p.Count(), d.Count())
+	}
+	if p.Overlaps(d) {
+		t.Fatal("partition halves overlap")
+	}
+	if !p.Union(d).SubsetOf(Full(108)) {
+		t.Fatal("partition exceeds GPU")
+	}
+	// Non-exhaustive partition leaves a gap in the middle.
+	p, d = Partition(108, 30, 30)
+	if p.Overlaps(d) || p.Count() != 30 || d.Count() != 30 {
+		t.Fatal("partial partition wrong")
+	}
+}
+
+func TestPartitionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for oversubscribed partition")
+		}
+	}()
+	Partition(108, 80, 80)
+}
+
+// Properties.
+
+func TestPropertyUnionCount(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		a := randomMask(rand.New(rand.NewSource(seedA)))
+		b := randomMask(rand.New(rand.NewSource(seedB)))
+		// |A ∪ B| = |A| + |B| - |A ∩ B|
+		return a.Union(b).Count() == a.Count()+b.Count()-a.Intersect(b).Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDeMorgan(t *testing.T) {
+	u := Full(MaxSMs)
+	f := func(seedA, seedB int64) bool {
+		a := randomMask(rand.New(rand.NewSource(seedA)))
+		b := randomMask(rand.New(rand.NewSource(seedB)))
+		// ¬(A ∪ B) = ¬A ∩ ¬B  within the universe u
+		left := u.Diff(a.Union(b))
+		right := u.Diff(a).Intersect(u.Diff(b))
+		return left == right
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDiffDisjoint(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		a := randomMask(rand.New(rand.NewSource(seedA)))
+		b := randomMask(rand.New(rand.NewSource(seedB)))
+		return !a.Diff(b).Overlaps(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyAlignUpContains(t *testing.T) {
+	f := func(seed int64) bool {
+		m := randomMask(rand.New(rand.NewSource(seed)))
+		up := m.AlignUp()
+		return m.SubsetOf(up) && up.Aligned() && up.Count() <= m.Count()*2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyIndicesRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		m := randomMask(rand.New(rand.NewSource(seed)))
+		var back Mask
+		for _, i := range m.Indices() {
+			back.Set(i)
+		}
+		return back == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCount(b *testing.B) {
+	m := Full(108)
+	for i := 0; i < b.N; i++ {
+		_ = m.Count()
+	}
+}
+
+func BenchmarkUnion(b *testing.B) {
+	x, y := Range(0, 60), Range(50, 108)
+	for i := 0; i < b.N; i++ {
+		_ = x.Union(y)
+	}
+}

@@ -1,0 +1,210 @@
+// Package trace records simulation activity — kernel executions,
+// scheduling decisions, request lifecycle events — and exports it as
+// JSON, including the Chrome trace-event format (load the file at
+// chrome://tracing or https://ui.perfetto.dev to see the spatial-temporal
+// orchestration visually, one row per SM partition).
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/gpusim"
+	"repro/internal/sched"
+)
+
+// EventKind tags recorded events.
+type EventKind string
+
+const (
+	// KindKernel is a GPU kernel execution span.
+	KindKernel EventKind = "kernel"
+	// KindDecision is a scheduler decision instant.
+	KindDecision EventKind = "decision"
+	// KindRequest is a request lifecycle span (arrival to finish).
+	KindRequest EventKind = "request"
+	// KindPhase is an engine phase span (one prefill batch, one decode
+	// iteration).
+	KindPhase EventKind = "phase"
+)
+
+// Event is one recorded item. Times are simulation seconds.
+type Event struct {
+	Kind  EventKind `json:"kind"`
+	Name  string    `json:"name"`
+	Start float64   `json:"start"`
+	End   float64   `json:"end,omitempty"` // == Start for instants
+	// Lane groups events for display ("prefill", "decode", "hybrid",
+	// "sched", "requests").
+	Lane string `json:"lane"`
+	// Detail carries kind-specific fields.
+	Detail map[string]any `json:"detail,omitempty"`
+}
+
+// Recorder accumulates events. The zero value is ready to use.
+type Recorder struct {
+	events []Event
+	// MaxEvents caps memory (0 = unlimited); past the cap new events
+	// are dropped and Dropped counts them.
+	MaxEvents int
+	Dropped   int
+}
+
+// Add appends an event.
+func (r *Recorder) Add(e Event) {
+	if r.MaxEvents > 0 && len(r.events) >= r.MaxEvents {
+		r.Dropped++
+		return
+	}
+	r.events = append(r.events, e)
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Events returns the recorded events sorted by start time.
+func (r *Recorder) Events() []Event {
+	out := append([]Event(nil), r.events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// KernelHook returns a gpusim.Trace callback feeding the recorder, with
+// the kernel's tag as the lane.
+func (r *Recorder) KernelHook() func(gpusim.KernelRecord) {
+	return func(k gpusim.KernelRecord) {
+		r.Add(Event{
+			Kind: KindKernel, Name: k.Name, Start: k.Start, End: k.End,
+			Lane: k.Tag,
+			Detail: map[string]any{
+				"sms":      k.SMs,
+				"flops":    k.FLOPs,
+				"bytes":    k.Bytes,
+				"grid":     k.Grid,
+				"waveIdle": k.WaveIdle,
+			},
+		})
+	}
+}
+
+// DecisionHook returns an engine OnDecision callback feeding the recorder.
+func (r *Recorder) DecisionHook() func(t float64, d sched.Decision) {
+	return func(t float64, d sched.Decision) {
+		r.Add(Event{
+			Kind: KindDecision, Name: d.Branch, Start: t, End: t, Lane: "sched",
+			Detail: map[string]any{
+				"prefillSMs": d.PrefillSMs,
+				"decodeSMs":  d.DecodeSMs,
+				"pause":      d.PauseDecode,
+			},
+		})
+	}
+}
+
+// AddRequest records a request lifecycle span.
+func (r *Recorder) AddRequest(id string, arrival, firstToken, finish float64, inTokens, outTokens int) {
+	r.Add(Event{
+		Kind: KindRequest, Name: id, Start: arrival, End: finish, Lane: "requests",
+		Detail: map[string]any{
+			"firstToken": firstToken,
+			"inTokens":   inTokens,
+			"outTokens":  outTokens,
+		},
+	})
+}
+
+// WriteJSON writes the raw event list as a JSON array.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(r.Events())
+}
+
+// chromeEvent is one entry of the Chrome trace-event format.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`  // microseconds
+	Dur   float64        `json:"dur"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the events in Chrome trace-event format: spans
+// as complete ("X") events on one thread row per lane, instants ("i") on
+// the scheduler row.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	lanes := map[string]int{}
+	laneID := func(name string) int {
+		if id, ok := lanes[name]; ok {
+			return id
+		}
+		id := len(lanes) + 1
+		lanes[name] = id
+		return id
+	}
+	var out []chromeEvent
+	for _, e := range r.Events() {
+		ce := chromeEvent{
+			Name: e.Name,
+			Cat:  string(e.Kind),
+			TS:   e.Start * 1e6,
+			PID:  1,
+			TID:  laneID(e.Lane),
+			Args: e.Detail,
+		}
+		if e.End > e.Start {
+			ce.Phase = "X"
+			ce.Dur = (e.End - e.Start) * 1e6
+		} else {
+			ce.Phase = "i"
+		}
+		out = append(out, ce)
+	}
+	// Thread name metadata so lanes are labelled in the viewer.
+	names := make([]string, 0, len(lanes))
+	for n := range lanes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		out = append(out, chromeEvent{
+			Name:  "thread_name",
+			Phase: "M",
+			PID:   1,
+			TID:   lanes[n],
+			Args:  map[string]any{"name": n},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// Summary returns per-lane span counts and busy time, a quick sanity view.
+func (r *Recorder) Summary() map[string]LaneSummary {
+	out := map[string]LaneSummary{}
+	for _, e := range r.events {
+		s := out[e.Lane]
+		s.Events++
+		if e.End > e.Start {
+			s.BusyTime += e.End - e.Start
+		}
+		out[e.Lane] = s
+	}
+	return out
+}
+
+// LaneSummary aggregates one lane.
+type LaneSummary struct {
+	Events   int
+	BusyTime float64
+}
+
+// String renders the summary compactly.
+func (s LaneSummary) String() string {
+	return fmt.Sprintf("%d events, %.3fs busy", s.Events, s.BusyTime)
+}

@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/gpusim"
+	"repro/internal/sched"
+)
+
+func TestAddAndEventsSorted(t *testing.T) {
+	var r Recorder
+	r.Add(Event{Kind: KindKernel, Name: "b", Start: 2, End: 3, Lane: "prefill"})
+	r.Add(Event{Kind: KindKernel, Name: "a", Start: 1, End: 2, Lane: "prefill"})
+	ev := r.Events()
+	if len(ev) != 2 || ev[0].Name != "a" || ev[1].Name != "b" {
+		t.Fatalf("events = %+v", ev)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+}
+
+func TestMaxEventsCap(t *testing.T) {
+	r := Recorder{MaxEvents: 2}
+	for i := 0; i < 5; i++ {
+		r.Add(Event{Name: "x", Start: float64(i)})
+	}
+	if r.Len() != 2 || r.Dropped != 3 {
+		t.Fatalf("len=%d dropped=%d", r.Len(), r.Dropped)
+	}
+}
+
+func TestKernelHook(t *testing.T) {
+	var r Recorder
+	hook := r.KernelHook()
+	hook(gpusim.KernelRecord{
+		Name: "qkv", Tag: "prefill", Start: 0.1, End: 0.2,
+		SMs: 84, FLOPs: 1e12, Bytes: 1e9, Grid: 384, WaveIdle: 0.11,
+	})
+	ev := r.Events()
+	if len(ev) != 1 || ev[0].Lane != "prefill" || ev[0].Detail["sms"] != 84 {
+		t.Fatalf("event = %+v", ev)
+	}
+}
+
+func TestDecisionHook(t *testing.T) {
+	var r Recorder
+	hook := r.DecisionHook()
+	hook(1.5, sched.Decision{Branch: "reduce-decode", PrefillSMs: 84, DecodeSMs: 24})
+	ev := r.Events()
+	if len(ev) != 1 || ev[0].Kind != KindDecision || ev[0].Start != ev[0].End {
+		t.Fatalf("event = %+v", ev)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var r Recorder
+	r.AddRequest("r1", 0, 0.5, 2.0, 100, 10)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back []Event
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Name != "r1" || back[0].End != 2.0 {
+		t.Fatalf("roundtrip = %+v", back)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	var r Recorder
+	r.Add(Event{Kind: KindKernel, Name: "qkv", Start: 0.001, End: 0.002, Lane: "prefill"})
+	r.Add(Event{Kind: KindKernel, Name: "step", Start: 0.001, End: 0.003, Lane: "decode"})
+	r.Add(Event{Kind: KindDecision, Name: "balance", Start: 0.0015, End: 0.0015, Lane: "sched"})
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var raw []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	// 3 events + 3 thread_name metadata entries.
+	if len(raw) != 6 {
+		t.Fatalf("chrome events = %d", len(raw))
+	}
+	phases := map[string]int{}
+	for _, e := range raw {
+		phases[e["ph"].(string)]++
+	}
+	if phases["X"] != 2 || phases["i"] != 1 || phases["M"] != 3 {
+		t.Fatalf("phases = %v", phases)
+	}
+	// Durations are microseconds.
+	for _, e := range raw {
+		if e["name"] == "qkv" {
+			if dur := e["dur"].(float64); dur < 999 || dur > 1001 {
+				t.Fatalf("qkv dur = %v us", dur)
+			}
+		}
+	}
+	if !strings.Contains(buf.String(), "thread_name") {
+		t.Fatal("missing lane metadata")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var r Recorder
+	r.Add(Event{Kind: KindKernel, Name: "a", Start: 0, End: 1, Lane: "prefill"})
+	r.Add(Event{Kind: KindKernel, Name: "b", Start: 1, End: 1.5, Lane: "prefill"})
+	r.Add(Event{Kind: KindDecision, Name: "x", Start: 1, End: 1, Lane: "sched"})
+	sum := r.Summary()
+	if sum["prefill"].Events != 2 || sum["prefill"].BusyTime != 1.5 {
+		t.Fatalf("prefill summary = %+v", sum["prefill"])
+	}
+	if sum["sched"].BusyTime != 0 {
+		t.Fatalf("instant accumulated busy time: %+v", sum["sched"])
+	}
+	if !strings.Contains(sum["prefill"].String(), "2 events") {
+		t.Fatalf("string = %s", sum["prefill"])
+	}
+}

@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead exercises the trace parser with arbitrary input: it must never
+// panic, and anything it accepts must satisfy the trace invariants.
+func FuzzRead(f *testing.F) {
+	var buf bytes.Buffer
+	_ = Generate(ShareGPT, 5, 5, 1).Write(&buf)
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"dataset":"x","requests":[{"ID":"a","Arrival":1,"InputTokens":5,"OutputTokens":1}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"requests":[{"Arrival":-1}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(tr.Requests) == 0 {
+			t.Fatal("accepted empty trace")
+		}
+		prev := 0.0
+		seen := map[string]bool{}
+		for _, r := range tr.Requests {
+			if r.Arrival < prev {
+				t.Fatalf("unsorted arrivals: %v after %v", r.Arrival, prev)
+			}
+			prev = r.Arrival
+			if r.InputTokens <= 0 || r.OutputTokens <= 0 {
+				t.Fatalf("accepted degenerate request %+v", r)
+			}
+			if r.ID == "" || seen[r.ID] {
+				t.Fatalf("bad id %q", r.ID)
+			}
+			seen[r.ID] = true
+		}
+	})
+}
+
+// FuzzRoundTrip: writing then reading any generated trace must be the
+// identity.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(int64(1), uint8(10))
+	f.Add(int64(42), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, nU uint8) {
+		n := int(nU%50) + 1
+		tr := Generate(AzureCode, 5, n, seed)
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Read(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(back.Requests) != n {
+			t.Fatalf("lost requests: %d vs %d", len(back.Requests), n)
+		}
+		for i := range tr.Requests {
+			if tr.Requests[i] != back.Requests[i] {
+				t.Fatalf("request %d differs", i)
+			}
+		}
+	})
+}

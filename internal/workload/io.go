@@ -1,0 +1,62 @@
+// Trace serialization: save generated traces and replay externally
+// provided ones (the equivalent of feeding real ShareGPT/Azure CSVs into
+// the serving systems).
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// traceJSON is the on-disk representation.
+type traceJSON struct {
+	Dataset  string    `json:"dataset"`
+	Rate     float64   `json:"rate"`
+	Seed     int64     `json:"seed"`
+	Requests []Request `json:"requests"`
+}
+
+// Write serializes the trace as JSON.
+func (t *Trace) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(traceJSON{Dataset: t.Dataset, Rate: t.Rate, Seed: t.Seed, Requests: t.Requests})
+}
+
+// Read parses a JSON trace and validates it: arrivals must be
+// nondecreasing (they are sorted if not) and token counts positive.
+func Read(r io.Reader) (*Trace, error) {
+	var tj traceJSON
+	if err := json.NewDecoder(r).Decode(&tj); err != nil {
+		return nil, fmt.Errorf("workload: parsing trace: %w", err)
+	}
+	if len(tj.Requests) == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	sort.SliceStable(tj.Requests, func(i, j int) bool {
+		return tj.Requests[i].Arrival < tj.Requests[j].Arrival
+	})
+	seen := map[string]bool{}
+	for i := range tj.Requests {
+		rq := &tj.Requests[i]
+		if rq.InputTokens <= 0 || rq.OutputTokens <= 0 {
+			return nil, fmt.Errorf("workload: request %d has non-positive tokens", i)
+		}
+		if rq.Arrival < 0 {
+			return nil, fmt.Errorf("workload: request %d has negative arrival", i)
+		}
+		if rq.ID == "" {
+			rq.ID = fmt.Sprintf("replay-%d", i)
+		}
+		if seen[rq.ID] {
+			return nil, fmt.Errorf("workload: duplicate request id %q", rq.ID)
+		}
+		seen[rq.ID] = true
+		if rq.Dataset == "" {
+			rq.Dataset = tj.Dataset
+		}
+	}
+	return &Trace{Dataset: tj.Dataset, Rate: tj.Rate, Seed: tj.Seed, Requests: tj.Requests}, nil
+}

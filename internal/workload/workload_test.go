@@ -1,0 +1,188 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(ShareGPT, 10, 100, 42)
+	b := Generate(ShareGPT, 10, 100, 42)
+	if len(a.Requests) != len(b.Requests) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			t.Fatalf("request %d differs: %+v vs %+v", i, a.Requests[i], b.Requests[i])
+		}
+	}
+	c := Generate(ShareGPT, 10, 100, 43)
+	same := true
+	for i := range a.Requests {
+		if a.Requests[i].InputTokens != c.Requests[i].InputTokens {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestArrivalsSortedAndPositive(t *testing.T) {
+	tr := Generate(AzureCode, 5, 500, 1)
+	prev := 0.0
+	for _, r := range tr.Requests {
+		if r.Arrival <= prev {
+			t.Fatalf("non-increasing arrival %v after %v", r.Arrival, prev)
+		}
+		prev = r.Arrival
+		if r.InputTokens < 1 || r.OutputTokens < 1 {
+			t.Fatalf("degenerate lengths: %+v", r)
+		}
+	}
+}
+
+func TestPoissonRate(t *testing.T) {
+	tr := Generate(ShareGPT, 20, 5000, 7)
+	// Empirical rate should be within ~5% of 20 req/s for 5000 samples.
+	rate := float64(len(tr.Requests)) / tr.Duration()
+	if rate < 19 || rate > 21 {
+		t.Fatalf("empirical rate = %v, want ≈ 20", rate)
+	}
+}
+
+func TestDatasetShapes(t *testing.T) {
+	// The three datasets must preserve their characteristic shapes:
+	// Azure-Code has much longer inputs than ShareGPT and tiny outputs;
+	// arXiv has the longest inputs.
+	n := 4000
+	med := func(d Dataset, input bool) float64 {
+		tr := Generate(d, 1, n, 99)
+		var v []int
+		if input {
+			v = tr.InputLengths()
+		} else {
+			v = tr.OutputLengths()
+		}
+		sort.Ints(v)
+		return float64(v[n/2])
+	}
+	shIn, azIn, arIn := med(ShareGPT, true), med(AzureCode, true), med(ArxivSummary, true)
+	shOut, azOut := med(ShareGPT, false), med(AzureCode, false)
+	if !(arIn > azIn && azIn > shIn) {
+		t.Fatalf("input medians not ordered: sharegpt=%v azure=%v arxiv=%v", shIn, azIn, arIn)
+	}
+	if azOut >= shOut/2 {
+		t.Fatalf("azure outputs (%v) should be much shorter than sharegpt (%v)", azOut, shOut)
+	}
+	if math.Abs(shIn-300)/300 > 0.35 {
+		t.Fatalf("sharegpt input median = %v, want ≈ 300", shIn)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, d := range Datasets {
+		got, err := ByName(d.Name)
+		if err != nil || got.Name != d.Name {
+			t.Fatalf("ByName(%q) = %v, %v", d.Name, got.Name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	samples := []int{5, 1, 3, 2, 4}
+	got := CDF(samples, []float64{0, 0.5, 1})
+	if got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("CDF = %v", got)
+	}
+	if out := CDF(nil, []float64{0.5}); out[0] != 0 {
+		t.Fatal("empty-sample CDF should be zero")
+	}
+	// Out-of-range probes clamp.
+	got = CDF(samples, []float64{-1, 2})
+	if got[0] != 1 || got[1] != 5 {
+		t.Fatalf("clamped CDF = %v", got)
+	}
+}
+
+func TestBurstyTrace(t *testing.T) {
+	tr := GenerateBursty(AzureCode, 2, 5, 10, 2000, 3)
+	if len(tr.Requests) != 2000 {
+		t.Fatal("wrong request count")
+	}
+	// Count arrivals in calm vs burst windows; burst windows should hold
+	// clearly more.
+	calm, burst := 0, 0
+	for _, r := range tr.Requests {
+		if math.Mod(r.Arrival, 20) >= 10 {
+			burst++
+		} else {
+			calm++
+		}
+	}
+	if burst < calm*2 {
+		t.Fatalf("burst=%d calm=%d: burstiness not visible", burst, calm)
+	}
+}
+
+func TestTotals(t *testing.T) {
+	tr := Generate(ShareGPT, 10, 50, 5)
+	in, out := 0, 0
+	for _, r := range tr.Requests {
+		in += r.InputTokens
+		out += r.OutputTokens
+	}
+	if tr.TotalInputTokens() != in || tr.TotalOutputTokens() != out {
+		t.Fatal("totals mismatch")
+	}
+}
+
+// Property: CDF output is monotone in the probe points.
+func TestPropertyCDFMonotone(t *testing.T) {
+	f := func(seed int64, nU uint8) bool {
+		tr := Generate(ShareGPT, 5, int(nU%200)+1, seed)
+		probes := []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1}
+		cdf := CDF(tr.InputLengths(), probes)
+		for i := 1; i < len(cdf); i++ {
+			if cdf[i] < cdf[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: all sampled lengths respect the dataset bounds.
+func TestPropertyLengthBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		for _, d := range Datasets {
+			tr := Generate(d, 1, 50, seed)
+			for _, r := range tr.Requests {
+				if r.InputTokens < d.input.min || r.InputTokens > d.input.max ||
+					r.OutputTokens < d.output.min || r.OutputTokens > d.output.max {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Generate(ShareGPT, 10, 1000, int64(i))
+	}
+}
