@@ -1,0 +1,24 @@
+# Convenience aliases; ci.sh is the authoritative gate.
+
+.PHONY: ci build test race lint fuzz bench
+
+ci:
+	./ci.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+lint:
+	go run ./cmd/bulletlint ./...
+
+fuzz:
+	go test -run='^$$' -fuzz=Fuzz -fuzztime=5s ./internal/smmask
+
+bench:
+	go test -bench=. -benchtime=1x -short

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# ci.sh — the full verification gate, in dependency order: formatting,
+# vet, build, tests, race detector, a short fuzz pass over the SM-mask
+# set algebra, and the bulletlint determinism contract (see DESIGN.md,
+# "Determinism contract"). Every step must pass; the script stops at the
+# first failure.
+#
+# Usage: ./ci.sh            (or: make ci)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+step "gofmt"
+unformatted=$(gofmt -l . | grep -v '^internal/lint/testdata/' || true)
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt: files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+step "go vet ./..."
+go vet ./...
+
+step "go build ./..."
+go build ./...
+
+step "go test ./..."
+go test ./...
+
+step "go test -race ./..."
+go test -race ./...
+
+step "fuzz: smmask set algebra (5s)"
+go test -run='^$' -fuzz=Fuzz -fuzztime=5s ./internal/smmask
+
+step "bulletlint ./..."
+go run ./cmd/bulletlint ./...
+
+step "ci: all gates passed"

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/workload"
@@ -97,7 +98,9 @@ func render(id string, quick bool) string {
 	case "fig15":
 		return experiments.RenderFigure15(experiments.Figure15(n, 42))
 	case "table3":
-		return experiments.RenderTable3(experiments.Table3(2000))
+		return experiments.RenderTable3(experiments.Table3(2000, func() float64 {
+			return float64(time.Now().UnixNano()) / 1e9
+		}))
 	case "ext-knobs":
 		var sb strings.Builder
 		sb.WriteString(experiments.RenderKnobRows("Extension: prefill layer-group sweep (Azure-Code @ 4 req/s)",
@@ -131,5 +134,5 @@ func render(id string, quick bool) string {
 		rows := experiments.ExtKnees(workload.AzureCode, 0.9, kneeN, 42, 2, 10, experiments.SystemNames)
 		return experiments.RenderExtKnees("azure-code", 0.9, rows)
 	}
-	panic("unreachable")
+	panic(fmt.Sprintf("bulletbench: experiment %q listed in order but not dispatched", id))
 }

@@ -1,0 +1,85 @@
+// Command bulletlint enforces the determinism contract of the simulation
+// core (DESIGN.md, "Determinism contract"). It loads every non-test
+// package in the module with the pure-stdlib loader in internal/lint,
+// runs the analyzer suite, and prints findings as
+//
+//	file:line: [rule] message
+//
+// Usage:
+//
+//	go run ./cmd/bulletlint ./...            # whole module
+//	go run ./cmd/bulletlint ./internal/...   # one subtree
+//	go run ./cmd/bulletlint -list            # show the rules and exit
+//
+// Exit codes: 0 no findings, 1 findings reported, 2 load/usage error.
+// Individual findings can be suppressed with a `//lint:ignore rule
+// reason` comment on the offending line or the line above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzer rules and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: bulletlint [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.DefaultAnalyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name(), a.Doc())
+		}
+		return
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	// Patterns are interpreted relative to the module root; translate
+	// patterns given from a subdirectory.
+	patterns := flag.Args()
+	if rel, err := filepath.Rel(root, cwd); err == nil && rel != "." {
+		for i, p := range patterns {
+			patterns[i] = filepath.ToSlash(filepath.Join(rel, p))
+		}
+	}
+
+	pkgs, err := lint.LoadModule(root, patterns)
+	if err != nil {
+		fatal(err)
+	}
+	if len(patterns) > 0 && len(pkgs) == 0 {
+		fatal(fmt.Errorf("no packages match %v", patterns))
+	}
+	findings := lint.Run(pkgs, analyzers)
+	for _, f := range findings {
+		rel, err := filepath.Rel(root, f.Pos.Filename)
+		if err != nil {
+			rel = f.Pos.Filename
+		}
+		fmt.Printf("%s:%d: [%s] %s\n", rel, f.Pos.Line, f.Rule, f.Msg)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "bulletlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "bulletlint: %v\n", err)
+	os.Exit(2)
+}

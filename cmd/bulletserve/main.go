@@ -31,5 +31,5 @@ func main() {
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	log.Printf("bulletserve listening on %s", *addr)
-	log.Fatal(srv.ListenAndServe())
+	log.Fatalf("bulletserve: server exited: %v", srv.ListenAndServe())
 }

@@ -20,7 +20,7 @@ func main() {
 
 	trace, err := bullet.GenerateTrace("sharegpt", *rate, *n, 7)
 	if err != nil {
-		log.Fatal(err)
+		log.Fatalf("chatserving: generating trace: %v", err)
 	}
 
 	fmt.Printf("ShareGPT @ %.0f req/s, %d requests (SLO: 3.0 ms/token TTFT, 150 ms TPOT)\n\n", *rate, *n)
@@ -28,11 +28,11 @@ func main() {
 	for _, sys := range bullet.Systems() {
 		srv, err := bullet.New(bullet.Config{System: sys, Dataset: "sharegpt"})
 		if err != nil {
-			log.Fatal(err)
+			log.Fatalf("chatserving: building %s server: %v", sys, err)
 		}
 		res, err := srv.Run(trace)
 		if err != nil {
-			log.Fatal(err)
+			log.Fatalf("chatserving: running %s: %v", sys, err)
 		}
 		fmt.Printf("%-14s  %8.0f  %9.1f  %9.1f  %10.2f  %5.1f%%\n",
 			sys, 1000*res.MeanTTFT, res.MeanTPOTMs, res.P90TPOTMs,

@@ -20,18 +20,18 @@ func main() {
 		Dataset: "sharegpt",
 	})
 	if err != nil {
-		log.Fatal(err)
+		log.Fatalf("quickstart: building server: %v", err)
 	}
 
 	// 200 chat requests arriving as a Poisson process at 10 req/s.
 	trace, err := bullet.GenerateTrace("sharegpt", 10, 200, 42)
 	if err != nil {
-		log.Fatal(err)
+		log.Fatalf("quickstart: generating trace: %v", err)
 	}
 
 	res, err := srv.Run(trace)
 	if err != nil {
-		log.Fatal(err)
+		log.Fatalf("quickstart: running trace: %v", err)
 	}
 
 	fmt.Println("Bullet on ShareGPT @ 10 req/s")

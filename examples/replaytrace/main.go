@@ -25,10 +25,10 @@ func main() {
 	tr := workload.Generate(workload.AzureCode, 5, 120, 2026)
 	f, err := os.Create(*file)
 	if err != nil {
-		log.Fatal(err)
+		log.Fatalf("replaytrace: creating trace file: %v", err)
 	}
 	if err := tr.Write(f); err != nil {
-		log.Fatal(err)
+		log.Fatalf("replaytrace: writing trace: %v", err)
 	}
 	f.Close()
 	fmt.Printf("wrote %d requests (%d input tokens) to %s\n",
@@ -37,12 +37,12 @@ func main() {
 	// 2. Reload it — simulating a trace captured elsewhere.
 	g, err := os.Open(*file)
 	if err != nil {
-		log.Fatal(err)
+		log.Fatalf("replaytrace: reopening trace file: %v", err)
 	}
 	replay, err := workload.Read(g)
 	g.Close()
 	if err != nil {
-		log.Fatal(err)
+		log.Fatalf("replaytrace: decoding trace: %v", err)
 	}
 
 	// 3. Run two systems on the identical sequence via the public API.
@@ -56,11 +56,11 @@ func main() {
 	for _, sys := range []string{"bullet", "sglang-1024"} {
 		srv, err := bullet.New(bullet.Config{System: sys, Dataset: replay.Dataset})
 		if err != nil {
-			log.Fatal(err)
+			log.Fatalf("replaytrace: building %s server: %v", sys, err)
 		}
 		res, err := srv.Run(reqs)
 		if err != nil {
-			log.Fatal(err)
+			log.Fatalf("replaytrace: running %s: %v", sys, err)
 		}
 		fmt.Printf("%-14s TTFT %.0fms  TPOT %.1fms  SLO %.1f%%\n",
 			sys, 1000*res.MeanTTFT, res.MeanTPOTMs, 100*res.SLOAttainment)

@@ -31,18 +31,18 @@ func main() {
 	for _, sys := range systems {
 		srv, err := bullet.New(bullet.Config{System: sys, Dataset: "arxiv-summary"})
 		if err != nil {
-			log.Fatal(err)
+			log.Fatalf("slotuning: building %s server: %v", sys, err)
 		}
 		fmt.Printf("%-14s", sys)
 		knee := 0.0
 		for _, rate := range rates {
 			trace, err := bullet.GenerateTrace("arxiv-summary", rate, *n, 42)
 			if err != nil {
-				log.Fatal(err)
+				log.Fatalf("slotuning: generating trace at %.1f req/s: %v", rate, err)
 			}
 			res, err := srv.Run(trace)
 			if err != nil {
-				log.Fatal(err)
+				log.Fatalf("slotuning: running %s at %.1f req/s: %v", sys, rate, err)
 			}
 			fmt.Printf("  %5.1f%%", 100*res.SLOAttainment)
 			if res.SLOAttainment >= 0.9 && rate > knee {

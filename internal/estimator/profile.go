@@ -119,8 +119,14 @@ func ClassificationAccuracy(samples []Sample, factor float64) float64 {
 	for _, s := range samples {
 		byKind[s.Kind] = append(byKind[s.Kind], s.Actual)
 	}
+	kinds := make([]string, 0, len(byKind))
+	for k := range byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
 	thresh := map[string]float64{}
-	for k, v := range byKind {
+	for _, k := range kinds {
+		v := byKind[k]
 		sort.Float64s(v)
 		thresh[k] = v[len(v)/2] * factor
 	}

@@ -27,7 +27,7 @@ func Figure11(cfg E2EConfig) []Figure11Row {
 	for _, ds := range sortedKeys(cfg.Rates) {
 		d, err := workload.ByName(ds)
 		if err != nil {
-			panic(err)
+			panic(fmt.Sprintf("experiments: figure 11 dataset %q: %v", ds, err))
 		}
 		for _, rate := range cfg.Rates[ds] {
 			for _, sys := range cfg.Systems {
@@ -82,7 +82,7 @@ func Figure11Headline(rows []Figure11Row) (avgGain, maxGain float64, perBaseline
 	if n > 0 {
 		avgGain /= float64(n)
 	}
-	for k := range perBaseline {
+	for _, k := range sortedKeys(perBaseline) {
 		perBaseline[k] /= float64(counts[k])
 	}
 	return avgGain, maxGain, perBaseline

@@ -5,7 +5,6 @@ import (
 	"math"
 	"sort"
 	"strings"
-	"time"
 
 	"repro/internal/engine"
 	"repro/internal/estimator"
@@ -32,7 +31,20 @@ type Table3Row struct {
 // Python serialization and IPC, which this reproduction models as the
 // buffer's 0.21 ms simulated latency; the rows below are the in-process
 // costs.
-func Table3(iters int) []Table3Row {
+//
+// timer supplies monotonic seconds and is the only clock this function
+// reads: real measurements inject a wall-clock timer from a cmd/ main or
+// benchmark (outside the deterministic internal tree), while tests inject
+// a synthetic counter so the output is bit-reproducible. A nil timer
+// falls back to a fixed-increment synthetic clock.
+func Table3(iters int, timer func() float64) []Table3Row {
+	if timer == nil {
+		t := 0.0
+		timer = func() float64 {
+			t += 1e-6
+			return t
+		}
+	}
 	spec, cfg := Platform()
 	s := sim.New()
 	g := gpusim.New(s, spec)
@@ -64,9 +76,9 @@ func Table3(iters int) []Table3Row {
 	measure := func(name string, fn func(i int)) Table3Row {
 		durs := make([]float64, iters)
 		for i := 0; i < iters; i++ {
-			t0 := time.Now()
+			t0 := timer()
 			fn(i)
-			durs[i] = float64(time.Since(t0).Nanoseconds()) / 1e3
+			durs[i] = (timer() - t0) * 1e6
 		}
 		sort.Float64s(durs)
 		mean := 0.0

@@ -12,6 +12,7 @@ package kvcache
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // ErrOutOfMemory is returned when the pool cannot satisfy an allocation.
@@ -214,8 +215,16 @@ func (s *Sequence) Extend(n int) error {
 // CheckInvariants panics if the pool's bookkeeping is inconsistent. Used
 // by tests and integration checks.
 func (p *Pool) CheckInvariants() {
+	// Walk sequences in sorted id order so a violation always panics with
+	// the same message regardless of map iteration order.
+	ids := make([]string, 0, len(p.seqs))
+	for id := range p.seqs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
 	held := 0
-	for _, s := range p.seqs {
+	for _, id := range ids {
+		s := p.seqs[id]
 		held += len(s.blocks)
 		if blocksFor(s.tokens, p.blockTokens) != len(s.blocks) {
 			panic(fmt.Sprintf("kvcache: sequence %q holds %d blocks for %d tokens", s.id, len(s.blocks), s.tokens))

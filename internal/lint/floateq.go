@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+)
+
+// FloatEq flags exact ==/!= between floating-point operands (and float
+// switch cases) outside cmd/ and examples/. Computed floats differ in
+// their low bits across evaluation orders and optimization levels, so
+// exact comparison is both a robustness hazard and a determinism hazard.
+//
+// Comparisons where either side is a compile-time constant with an exact
+// (integral) value — sentinels like 0, 1, -1 — are permitted: those
+// values are representable exactly, and comparing against them tests
+// "was this ever assigned" rather than "did two computations converge".
+// Helper functions whose job is float comparison can be allowlisted via
+// floatEqAllowFuncs.
+type FloatEq struct{}
+
+func (FloatEq) Name() string { return "floateq" }
+
+func (FloatEq) Doc() string {
+	return "flag exact ==/!= between float operands (exact sentinels like 0 permitted)"
+}
+
+// floatEqAllowFuncs lists fully-qualified functions permitted to compare
+// floats exactly ("pkg/path.Func" or "pkg/path.Recv.Method"). Keep this
+// list empty if at all possible: prefer restructuring the comparison.
+var floatEqAllowFuncs = map[string]bool{}
+
+func (FloatEq) Check(p *Package) []Finding {
+	if p.InCmdOrExamples() {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if fd, ok := n.(*ast.FuncDecl); ok && floatEqAllowFuncs[qualifiedName(p, fd)] {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if (n.Op == token.EQL || n.Op == token.NEQ) &&
+					isFloat(p, n.X) && isFloat(p, n.Y) &&
+					!exactConst(p, n.X) && !exactConst(p, n.Y) {
+					out = append(out, Finding{
+						Pos:  p.Fset.Position(n.OpPos),
+						Rule: "floateq",
+						Msg: "exact " + n.Op.String() + " between floats; " +
+							"compare with an epsilon, an ordering, or an exact sentinel constant",
+					})
+				}
+			case *ast.SwitchStmt:
+				if n.Tag != nil && isFloat(p, n.Tag) {
+					for _, c := range n.Body.List {
+						for _, e := range c.(*ast.CaseClause).List {
+							if !exactConst(p, e) {
+								out = append(out, Finding{
+									Pos:  p.Fset.Position(e.Pos()),
+									Rule: "floateq",
+									Msg:  "switch case compares floats exactly; use if/else with epsilon comparisons",
+								})
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// exactConst reports whether e is a compile-time constant whose value is
+// exactly representable (an integral float such as 0, 1, or -3).
+func exactConst(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v := constant.ToFloat(tv.Value)
+	if v.Kind() != constant.Float {
+		return false
+	}
+	return constant.ToInt(tv.Value).Kind() == constant.Int
+}
+
+// qualifiedName renders a FuncDecl as "pkg/path.Name" or
+// "pkg/path.Recv.Name" for allowlist lookup.
+func qualifiedName(p *Package, fd *ast.FuncDecl) string {
+	name := fd.Name.Name
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		t := fd.Recv.List[0].Type
+		if st, ok := t.(*ast.StarExpr); ok {
+			t = st.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			name = id.Name + "." + name
+		}
+	}
+	return p.Path + "." + name
+}

@@ -1,0 +1,205 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Shared across fixture tests so the source importer's type-checking of
+// the standard library is paid once.
+var (
+	fixtureFset = token.NewFileSet()
+	fixtureImp  = importer.ForCompiler(fixtureFset, "source", nil)
+)
+
+// loadFixture parses and type-checks one standalone fixture file. The
+// fixture's assumed import path comes from a first-line
+// "//linttest:path <path>" directive (default repro/internal/fixture),
+// so path-scoped rules see the fixture as if it lived on the real tree.
+func loadFixture(t *testing.T, file string) *Package {
+	t.Helper()
+	f, err := parser.ParseFile(fixtureFset, file, nil, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse %s: %v", file, err)
+	}
+	path := "repro/internal/fixture"
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if rest, ok := strings.CutPrefix(c.Text, "//linttest:path"); ok {
+				path = strings.TrimSpace(rest)
+			}
+		}
+	}
+	info := newInfo()
+	conf := types.Config{Importer: fixtureImp}
+	tpkg, err := conf.Check(path, fixtureFset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type-check %s: %v", file, err)
+	}
+	return &Package{
+		Path:   path,
+		Module: "repro",
+		Fset:   fixtureFset,
+		Files:  []*ast.File{f},
+		Types:  tpkg,
+		Info:   info,
+	}
+}
+
+// expectation is one "// want rule[@offset]" marker resolved to a line.
+type expectation struct {
+	line int
+	rule string
+}
+
+func wantedFindings(t *testing.T, p *Package) []expectation {
+	t.Helper()
+	var out []expectation
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				line := p.Fset.Position(c.Pos()).Line
+				for _, tok := range strings.Fields(rest) {
+					rule, offs, hasOff := strings.Cut(tok, "@")
+					exp := expectation{line: line, rule: rule}
+					if hasOff {
+						d, err := strconv.Atoi(offs)
+						if err != nil {
+							t.Fatalf("bad want offset %q", tok)
+						}
+						exp.line += d
+					}
+					out = append(out, exp)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func sortedExpectations(es []expectation) []string {
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = fmt.Sprintf("%d:%s", e.line, e.rule)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// runFixtureDir checks every fixture file under testdata/<rule> against
+// its // want markers, running only the analyzer under test (plus the
+// ignore machinery, whose findings carry rule "ignore").
+func runFixtureDir(t *testing.T, a Analyzer) {
+	dir := filepath.Join("testdata", a.Name())
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixtures: %v", err)
+	}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		t.Run(e.Name(), func(t *testing.T) {
+			p := loadFixture(t, filepath.Join(dir, e.Name()))
+			findings := Run([]*Package{p}, []Analyzer{a})
+			var got []expectation
+			for _, f := range findings {
+				got = append(got, expectation{line: f.Pos.Line, rule: f.Rule})
+			}
+			want := wantedFindings(t, p)
+			gs, ws := sortedExpectations(got), sortedExpectations(want)
+			if strings.Join(gs, " ") != strings.Join(ws, " ") {
+				t.Errorf("findings mismatch\n got: %v\nwant: %v\nfull findings:", gs, ws)
+				for _, f := range findings {
+					t.Logf("  %s", f)
+				}
+			}
+		})
+	}
+}
+
+func TestNoDetermFixtures(t *testing.T)    { runFixtureDir(t, NoDeterm{}) }
+func TestMapOrderFixtures(t *testing.T)    { runFixtureDir(t, MapOrder{}) }
+func TestNoGoroutineFixtures(t *testing.T) { runFixtureDir(t, NoGoroutine{}) }
+func TestFloatEqFixtures(t *testing.T)     { runFixtureDir(t, FloatEq{}) }
+func TestPanicMsgFixtures(t *testing.T)    { runFixtureDir(t, PanicMsg{}) }
+
+// TestFixtureCoverage enforces the testdata contract: every analyzer has
+// at least one known-bad fixture that yields findings and at least one
+// known-good fixture that yields none.
+func TestFixtureCoverage(t *testing.T) {
+	for _, a := range DefaultAnalyzers() {
+		dir := filepath.Join("testdata", a.Name())
+		for _, kind := range []string{"bad.go", "good.go"} {
+			p := loadFixture(t, filepath.Join(dir, kind))
+			n := len(a.Check(p))
+			if kind == "bad.go" && n < 2 {
+				t.Errorf("%s/bad.go: %d findings, want >= 2", a.Name(), n)
+			}
+			if kind == "good.go" && n != 0 {
+				t.Errorf("%s/good.go: %d findings, want 0", a.Name(), n)
+			}
+		}
+	}
+}
+
+// TestRepoTreeClean is the integration gate: the analyzer suite must
+// report zero findings on the repository's own source tree. This is the
+// same check `go run ./cmd/bulletlint ./...` performs in CI.
+func TestRepoTreeClean(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("finding module root: %v", err)
+	}
+	pkgs, err := LoadModule(root, nil)
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; loader is missing parts of the tree", len(pkgs))
+	}
+	for _, f := range Run(pkgs, DefaultAnalyzers()) {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}
+
+// TestLoaderScopes spot-checks package classification, which every
+// path-scoped rule depends on.
+func TestLoaderScopes(t *testing.T) {
+	mk := func(path string) *Package { return &Package{Path: path, Module: "repro"} }
+	cases := []struct {
+		path                   string
+		internal, core, cmdish bool
+	}{
+		{"repro", false, false, false},
+		{"repro/bullet", false, false, false},
+		{"repro/internal/sim", true, true, false},
+		{"repro/internal/sched", true, true, false},
+		{"repro/internal/serving", true, false, false},
+		{"repro/internal/baselines/nanoflow", true, false, false},
+		{"repro/cmd/bulletlint", false, false, true},
+		{"repro/examples/quickstart", false, false, true},
+	}
+	for _, c := range cases {
+		p := mk(c.path)
+		if p.InInternal() != c.internal || p.InCore() != c.core || p.InCmdOrExamples() != c.cmdish {
+			t.Errorf("%s: internal=%v core=%v cmdish=%v, want %v %v %v",
+				c.path, p.InInternal(), p.InCore(), p.InCmdOrExamples(),
+				c.internal, c.core, c.cmdish)
+		}
+	}
+}

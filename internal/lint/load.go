@@ -1,0 +1,262 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadModule parses and type-checks every non-test package under the
+// module rooted at dir, using only the standard library toolchain:
+// module-local imports are resolved from the source tree itself and
+// standard-library imports through go/importer's source importer. Test
+// files (_test.go) and testdata directories are excluded — the rules
+// exempt tests by construction.
+//
+// patterns filters which packages are returned (not which are loaded —
+// dependencies are always type-checked): "./..." matches everything, a
+// trailing "/..." matches a subtree, anything else must match a package
+// directory exactly. Patterns are relative to dir.
+func LoadModule(dir string, patterns []string) ([]*Package, error) {
+	root, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:    fset,
+		root:    root,
+		modPath: modPath,
+		dirs:    map[string]string{},
+		pkgs:    map[string]*Package{},
+		std:     importer.ForCompiler(fset, "source", nil),
+	}
+	for _, d := range dirs {
+		ld.dirs[importPathFor(modPath, root, d)] = d
+	}
+
+	paths := make([]string, 0, len(ld.dirs))
+	for p := range ld.dirs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	var out []*Package
+	for _, path := range paths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue // directory with only test files
+		}
+		if matchesAny(pkg, patterns) {
+			out = append(out, pkg)
+		}
+	}
+	return out, nil
+}
+
+// FindModuleRoot walks upward from dir to the nearest directory holding a
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("lint: reading go.mod: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: go.mod has no module directive")
+}
+
+// packageDirs returns every directory under root that contains at least
+// one buildable .go file, skipping hidden directories and testdata.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				dirs = append(dirs, path)
+				return nil
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+func importPathFor(modPath, root, dir string) string {
+	if dir == root {
+		return modPath
+	}
+	rel, _ := filepath.Rel(root, dir)
+	return modPath + "/" + filepath.ToSlash(rel)
+}
+
+func matchesAny(p *Package, patterns []string) bool {
+	if len(patterns) == 0 {
+		return true
+	}
+	for _, pat := range patterns {
+		if matches(p, pat) {
+			return true
+		}
+	}
+	return false
+}
+
+func matches(p *Package, pat string) bool {
+	pat = strings.TrimPrefix(filepath.ToSlash(pat), "./")
+	rel := p.Rel()
+	if pat == "..." || pat == "" {
+		return true
+	}
+	if sub, ok := strings.CutSuffix(pat, "/..."); ok {
+		return rel == sub || strings.HasPrefix(rel, sub+"/")
+	}
+	return rel == pat || p.Path == pat
+}
+
+// loader type-checks module packages on demand, memoizing results. It is
+// its own types.Importer so module-local imports recurse into the source
+// tree while everything else falls through to the stdlib source importer.
+type loader struct {
+	fset    *token.FileSet
+	root    string
+	modPath string
+	dirs    map[string]string // import path -> directory
+	pkgs    map[string]*Package
+	std     types.Importer
+	stack   []string // cycle detection
+}
+
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("lint: import %q resolves to a test-only package", path)
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	for _, s := range l.stack {
+		if s == path {
+			return nil, fmt.Errorf("lint: import cycle through %s", path)
+		}
+	}
+	dir, ok := l.dirs[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: no package directory for import path %q", path)
+	}
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		l.pkgs[path] = nil
+		return nil, nil
+	}
+
+	l.stack = append(l.stack, path)
+	defer func() { l.stack = l.stack[:len(l.stack)-1] }()
+
+	info := newInfo()
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{
+		Path:   path,
+		Module: l.modPath,
+		Fset:   l.fset,
+		Files:  files,
+		Types:  tpkg,
+		Info:   info,
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+}

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// NoGoroutine enforces the single-threaded actor model of the
+// deterministic simulation core (sim, gpusim, sched, engine, resource,
+// estimator, kvcache, smmask): no goroutines, no channels, no select, and
+// no sync/sync·atomic imports. Concurrency inside the core would make
+// event interleaving depend on the Go scheduler, destroying the
+// bit-reproducibility the experiments rely on; anything concurrent
+// (serving frontends, benchmark drivers) belongs outside these packages.
+type NoGoroutine struct{}
+
+func (NoGoroutine) Name() string { return "nogoroutine" }
+
+func (NoGoroutine) Doc() string {
+	return "forbid goroutines, channels, select, and sync imports in the simulation core"
+}
+
+func (NoGoroutine) Check(p *Package) []Finding {
+	if !p.InCore() {
+		return nil
+	}
+	var out []Finding
+	flag := func(n ast.Node, what string) {
+		out = append(out, Finding{
+			Pos:  p.Fset.Position(n.Pos()),
+			Rule: "nogoroutine",
+			Msg:  what + " in the deterministic core; the simulation is a single-threaded actor model",
+		})
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ImportSpec:
+				if path, err := strconv.Unquote(n.Path.Value); err == nil {
+					if path == "sync" || path == "sync/atomic" {
+						flag(n, "import of "+path)
+					}
+				}
+			case *ast.GoStmt:
+				flag(n, "go statement")
+			case *ast.SelectStmt:
+				flag(n, "select statement")
+			case *ast.SendStmt:
+				flag(n, "channel send")
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					flag(n, "channel receive")
+				}
+			case *ast.ChanType:
+				flag(n, "channel type")
+			case *ast.RangeStmt:
+				if t := typeOf(p, n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						flag(n, "range over channel")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"strings"
+)
+
+// PanicMsg requires every panic and log.Fatal-family exit in non-test
+// code to carry a formatted, contextual message: a future reader of the
+// crash must learn which subsystem gave up and why without a debugger.
+//
+// Accepted panic arguments:
+//   - fmt.Sprintf / fmt.Errorf / errors.New whose format/message literal
+//     carries context (contains a space or ':')
+//   - a string constant or string-concatenation expression with such a
+//     literal part
+//   - any non-literal call that builds a message (the callee is assumed
+//     to format one)
+//
+// Rejected: bare values (panic(err), panic(n)), terse single-token
+// strings (panic("unreachable")). For the log package, Fatal/Fatalln and
+// Panic/Panicln are always rejected in favor of Fatalf/Panicf with a
+// contextual format string.
+type PanicMsg struct{}
+
+func (PanicMsg) Name() string { return "panicmsg" }
+
+func (PanicMsg) Doc() string {
+	return "require panic and log.Fatal exits to carry a formatted, contextual message"
+}
+
+var logBare = map[string]string{
+	"Fatal": "log.Fatalf", "Fatalln": "log.Fatalf",
+	"Panic": "log.Panicf", "Panicln": "log.Panicf",
+}
+
+func (PanicMsg) Check(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				if isBuiltin(p, fun, "panic") && len(call.Args) == 1 &&
+					!contextualMessage(p, call.Args[0]) {
+					out = append(out, Finding{
+						Pos:  p.Fset.Position(call.Pos()),
+						Rule: "panicmsg",
+						Msg:  "panic without a contextual message; use panic(fmt.Sprintf(\"pkg: what failed: %v\", ...))",
+					})
+				}
+			case *ast.SelectorExpr:
+				obj := useOf(p, fun)
+				if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "log" {
+					return true
+				}
+				if repl, bare := logBare[obj.Name()]; bare && pkgFunc(obj, "log", obj.Name()) {
+					out = append(out, Finding{
+						Pos:  p.Fset.Position(call.Pos()),
+						Rule: "panicmsg",
+						Msg:  "log." + obj.Name() + " drops context; use " + repl + " with a message naming what failed",
+					})
+				} else if (obj.Name() == "Fatalf" || obj.Name() == "Panicf") &&
+					pkgFunc(obj, "log", obj.Name()) &&
+					len(call.Args) > 0 && !contextualMessage(p, call.Args[0]) {
+					out = append(out, Finding{
+						Pos:  p.Fset.Position(call.Pos()),
+						Rule: "panicmsg",
+						Msg:  "log." + obj.Name() + " format string carries no context; name the subsystem and operation",
+					})
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// contextualMessage reports whether e plausibly yields a message with
+// context rather than a bare value.
+func contextualMessage(p *Package, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return contextualMessage(p, e.X)
+	case *ast.BinaryExpr:
+		// String concatenation counts when either part does.
+		return e.Op == token.ADD && (contextualMessage(p, e.X) || contextualMessage(p, e.Y))
+	case *ast.CallExpr:
+		if obj := useOf(p, e.Fun); obj != nil && obj.Pkg() != nil {
+			path, name := obj.Pkg().Path(), obj.Name()
+			formatting := (path == "fmt" && (name == "Sprintf" || name == "Errorf")) ||
+				(path == "errors" && name == "New")
+			if formatting {
+				return len(e.Args) > 0 && contextualMessage(p, e.Args[0])
+			}
+		}
+		// Some other call: assume it constructs a message (e.g. a local
+		// error helper). Conversions of bare values do not qualify.
+		if tv, ok := p.Info.Types[e.Fun]; ok && tv.IsType() {
+			return false
+		}
+		return true
+	}
+	// A constant string with a space or colon reads as a message; a bare
+	// token ("unreachable") or any non-string value does not.
+	if tv, ok := p.Info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		s := constant.StringVal(tv.Value)
+		return strings.ContainsAny(s, " :")
+	}
+	return false
+}

@@ -1,0 +1,30 @@
+//linttest:path repro/internal/fixture
+
+// Known-bad inputs for the floateq rule: exact equality between computed
+// floating-point values.
+package fixture
+
+func sameResult(a, b float64) bool {
+	return a == b // want floateq
+}
+
+func converged(prev, next float32) bool {
+	return prev != next // want floateq
+}
+
+func sumsMatch(xs []float64, want float64) bool {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s == want // want floateq
+}
+
+func switchOnFloat(x float64) int {
+	switch x {
+	case 1.5: // want floateq
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,33 @@
+//linttest:path repro/internal/fixture
+
+// Known-good inputs for the floateq rule: sentinel comparisons, epsilon
+// comparisons, and orderings.
+package fixture
+
+import "math"
+
+const unset = -1.0
+
+func sentinelZero(x float64) bool {
+	return x == 0 // a zero sentinel is exactly representable
+}
+
+func sentinelConst(x float64) bool {
+	return x != unset // integral constants compare exactly
+}
+
+func epsilonEqual(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
+func ordering(a, b float64) bool {
+	// The exact-equality-free tie-break pattern (see sim.eventQueue.Less).
+	if a < b {
+		return true
+	}
+	return !(b < a)
+}
+
+func intsCompareFine(a, b int) bool {
+	return a == b
+}

@@ -1,0 +1,12 @@
+//linttest:path repro/bullet
+
+// maporder is scoped to the internal tree; public-API glue outside it is
+// not checked.
+package fixture
+
+func firstKeyOutsideInternal(m map[string]int) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}

@@ -1,0 +1,65 @@
+//linttest:path repro/internal/fixture
+
+// Known-good inputs for the maporder rule: the sorted-keys idiom and
+// genuinely commutative accumulations.
+package fixture
+
+import "sort"
+
+type pair struct {
+	name string
+	v    float64
+}
+
+func sortedIdiom(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedRecords(m map[string]float64) []pair {
+	var recs []pair
+	for k, v := range m {
+		recs = append(recs, pair{name: k, v: v})
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].name < recs[j].name })
+	return recs
+}
+
+func intCount(m map[string][]int) int {
+	n := 0
+	for _, v := range m {
+		n += len(v)
+	}
+	return n
+}
+
+func copyMap(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func dropZeros(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+func guardedCount(m map[string]int, min int) int {
+	n := 0
+	for _, v := range m {
+		if v < min {
+			continue
+		}
+		n++
+	}
+	return n
+}

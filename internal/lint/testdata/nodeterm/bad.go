@@ -1,0 +1,30 @@
+//linttest:path repro/internal/fixture
+
+// Known-bad inputs for the nodeterm rule: wall-clock reads, the global
+// math/rand source, and environment lookups inside an internal package.
+package fixture
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func wallClock() float64 {
+	t0 := time.Now()                // want nodeterm
+	time.Sleep(time.Second)         // want nodeterm
+	return time.Since(t0).Seconds() // want nodeterm
+}
+
+func globalRand() float64 {
+	n := rand.Intn(10)                 // want nodeterm
+	return rand.Float64() + float64(n) // want nodeterm
+}
+
+func hostEnv() string {
+	return os.Getenv("BULLET_DEBUG") // want nodeterm
+}
+
+func timerChan() {
+	<-time.After(time.Millisecond) // want nodeterm
+}

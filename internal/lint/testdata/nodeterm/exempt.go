@@ -1,0 +1,15 @@
+//linttest:path repro/cmd/fixture
+
+// cmd/ mains talk to the real world by design: the same calls that are
+// findings inside internal/ are fine here.
+package fixture
+
+import (
+	"os"
+	"time"
+)
+
+func wallClockAllowedInCmd() (float64, string) {
+	t0 := time.Now()
+	return time.Since(t0).Seconds(), os.Getenv("HOME")
+}

@@ -1,0 +1,26 @@
+//linttest:path repro/internal/fixture
+
+// Known-good inputs for the nodeterm rule: explicitly seeded randomness
+// and time handled as plain values (durations, simulated seconds).
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func seededRand(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(r, 1.1, 1, 100)
+	return r.Float64() + float64(z.Uint64())
+}
+
+func plainDurations(d time.Duration) float64 {
+	// Duration arithmetic and formatting never read the host clock.
+	return (d + 5*time.Millisecond).Seconds()
+}
+
+func simulatedNow(now func() float64) float64 {
+	// The injected-clock pattern the rule exists to encourage.
+	return now() + 0.25
+}

@@ -1,0 +1,22 @@
+//linttest:path repro/internal/fixture
+
+// The //lint:ignore escape hatch: a well-formed directive suppresses the
+// finding on its own line or the next; a directive without a reason is
+// itself reported.
+package fixture
+
+import "time"
+
+func suppressed() time.Time {
+	//lint:ignore nodeterm boot banner only, never enters simulated state
+	return time.Now()
+}
+
+func suppressedSameLine() time.Time {
+	return time.Now() //lint:ignore nodeterm boot banner only
+}
+
+func malformed() time.Time {
+	//lint:ignore nodeterm
+	return time.Now() // want nodeterm ignore@-1
+}

@@ -1,0 +1,30 @@
+//linttest:path repro/internal/sim
+
+// Known-bad inputs for the nogoroutine rule inside a deterministic-core
+// package: every concurrency construct is a finding.
+package fixture
+
+import "sync" // want nogoroutine
+
+type mailbox struct {
+	ch chan int // want nogoroutine
+	mu sync.Mutex
+}
+
+func spawn(fn func()) {
+	go fn() // want nogoroutine
+}
+
+func sendRecv(ch chan int) { // want nogoroutine
+	ch <- 1 // want nogoroutine
+	<-ch    // want nogoroutine
+}
+
+func waitEither(a, b chan int) int { // want nogoroutine
+	select { // want nogoroutine
+	case v := <-a: // want nogoroutine
+		return v
+	case v := <-b: // want nogoroutine
+		return v
+	}
+}

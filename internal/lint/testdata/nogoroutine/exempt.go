@@ -1,0 +1,21 @@
+//linttest:path repro/internal/serving
+
+// nogoroutine is scoped to the deterministic core; other internal
+// packages may use concurrency (e.g. a serving frontend).
+package fixture
+
+import "sync"
+
+func fanOut(work []func()) {
+	var wg sync.WaitGroup
+	results := make(chan int, len(work))
+	for _, w := range work {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w()
+			results <- 1
+		}()
+	}
+	wg.Wait()
+}

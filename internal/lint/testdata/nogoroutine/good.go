@@ -1,0 +1,31 @@
+//linttest:path repro/internal/sim
+
+// Known-good input for the nogoroutine rule: single-threaded event-loop
+// code, callbacks, and plain data structures.
+package fixture
+
+type event struct {
+	at Time
+	fn func()
+}
+
+// Time mirrors sim.Time.
+type Time = float64
+
+type queue struct {
+	events []event
+}
+
+func (q *queue) push(at Time, fn func()) {
+	q.events = append(q.events, event{at: at, fn: fn})
+}
+
+func (q *queue) step() bool {
+	if len(q.events) == 0 {
+		return false
+	}
+	e := q.events[0]
+	q.events = q.events[1:]
+	e.fn()
+	return true
+}

@@ -1,0 +1,36 @@
+//linttest:path repro/internal/fixture
+
+// Known-bad inputs for the panicmsg rule: panics and log exits that drop
+// all context.
+package fixture
+
+import (
+	"errors"
+	"log"
+)
+
+var errBoom = errors.New("boom")
+
+func bareError() {
+	panic(errBoom) // want panicmsg
+}
+
+func bareToken() {
+	panic("unreachable") // want panicmsg
+}
+
+func bareNumber(code int) {
+	panic(code) // want panicmsg
+}
+
+func logNoContext(err error) {
+	log.Fatal(err) // want panicmsg
+}
+
+func loglnNoContext(err error) {
+	log.Fatalln(err) // want panicmsg
+}
+
+func formatNoContext(err error) {
+	log.Fatalf("%v", err) // want panicmsg
+}

@@ -1,0 +1,39 @@
+//linttest:path repro/internal/fixture
+
+// Known-good inputs for the panicmsg rule: every exit names the
+// subsystem and what failed.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"log"
+)
+
+func formatted(n int) {
+	panic(fmt.Sprintf("fixture: invalid level count %d", n))
+}
+
+func wrapped(err error) {
+	panic(fmt.Errorf("fixture: loading profile: %w", err))
+}
+
+func constructed() {
+	panic(errors.New("fixture: queue drained while request in flight"))
+}
+
+func literalWithContext() {
+	panic("fixture: levels not sorted")
+}
+
+func concatenated(name string) {
+	panic("fixture: unknown dataset " + name)
+}
+
+func helperBuilt(describe func() string) {
+	panic(describe()) // helper calls are assumed to format a message
+}
+
+func logWithContext(err error) {
+	log.Fatalf("fixture: replaying trace: %v", err)
+}

@@ -213,10 +213,13 @@ func (s *Series) Len() int { return len(s.T) }
 // At returns the most recent value at or before t (step interpolation),
 // or 0 before the first sample.
 func (s *Series) At(t float64) float64 {
+	// SearchFloat64s returns the first index with T[i] >= t, so T[i] <= t
+	// holds exactly when T[i] == t — an ordering comparison stands in for
+	// exact float equality.
 	i := sort.SearchFloat64s(s.T, t)
-	if i < len(s.T) && s.T[i] == t {
+	if i < len(s.T) && s.T[i] <= t {
 		// Return the last sample at exactly t.
-		for i+1 < len(s.T) && s.T[i+1] == t {
+		for i+1 < len(s.T) && s.T[i+1] <= t {
 			i++
 		}
 		return s.V[i]

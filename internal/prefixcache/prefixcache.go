@@ -125,8 +125,17 @@ func (c *Cache) Insert(group string, tokens int) bool {
 // evictOne removes the least-recently-used unpinned entry. It returns
 // false when nothing is evictable.
 func (c *Cache) evictOne() bool {
+	// Scan in sorted group order: Go's randomized map iteration would
+	// otherwise pick an arbitrary victim among entries tied on lastUsed,
+	// leaking nondeterminism into hit rates and pool contents.
+	groups := make([]string, 0, len(c.entries))
+	for g := range c.entries {
+		groups = append(groups, g)
+	}
+	sort.Strings(groups)
 	var victim *entry
-	for _, e := range c.entries {
+	for _, g := range groups {
+		e := c.entries[g]
 		if e.pins > 0 {
 			continue
 		}

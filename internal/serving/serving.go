@@ -50,7 +50,7 @@ func NewEnv(spec gpusim.Spec, cfg model.Config, dataset string) *Env {
 // clock.
 func NewEnvWithSim(s *sim.Simulation, spec gpusim.Spec, cfg model.Config, dataset string) *Env {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		panic(fmt.Sprintf("serving: invalid model config %s: %v", cfg.Name, err))
 	}
 	gpu := gpusim.New(s, spec)
 	blocks := kvcache.PlanBlocks(spec.HBMBytes, cfg.WeightBytes(), DefaultKVReserveBytes,

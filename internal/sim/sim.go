@@ -39,8 +39,11 @@ type eventQueue []*Event
 
 func (q eventQueue) Len() int { return len(q) }
 func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+	if q[i].at < q[j].at {
+		return true
+	}
+	if q[j].at < q[i].at {
+		return false
 	}
 	return q[i].seq < q[j].seq
 }
