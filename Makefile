@@ -15,6 +15,7 @@ race:
 	go test -race ./...
 
 lint:
+	go run ./cmd/bulletlint -list
 	go run ./cmd/bulletlint ./...
 
 fuzz:

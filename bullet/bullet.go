@@ -22,6 +22,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/serving"
+	"repro/internal/units"
 	"repro/internal/workload"
 )
 
@@ -165,7 +166,7 @@ func GenerateTrace(dataset string, rate float64, n int, seed int64) ([]Request, 
 	tr := workload.Generate(d, rate, n, seed)
 	out := make([]Request, len(tr.Requests))
 	for i, r := range tr.Requests {
-		out[i] = Request{ID: r.ID, Arrival: r.Arrival, InputTokens: r.InputTokens, OutputTokens: r.OutputTokens}
+		out[i] = Request{ID: r.ID, Arrival: r.Arrival.Float(), InputTokens: r.InputTokens, OutputTokens: r.OutputTokens}
 	}
 	return out, nil
 }
@@ -209,7 +210,7 @@ func (s *Server) Run(reqs []Request) (Result, error) {
 			id = fmt.Sprintf("req-%d", i)
 		}
 		wl.Requests = append(wl.Requests, workload.Request{
-			ID: id, Arrival: r.Arrival, InputTokens: r.InputTokens,
+			ID: id, Arrival: units.Seconds(r.Arrival), InputTokens: r.InputTokens,
 			OutputTokens: r.OutputTokens, Dataset: s.dataset,
 		})
 	}
@@ -226,24 +227,24 @@ func convert(res serving.Result, slo metrics.SLO) Result {
 	out := Result{
 		System:        res.System,
 		Requests:      res.Summary.Requests,
-		MeanTTFT:      res.Summary.MeanTTFT,
-		P90TTFT:       res.Summary.P90TTFT,
+		MeanTTFT:      res.Summary.MeanTTFT.Float(),
+		P90TTFT:       res.Summary.P90TTFT.Float(),
 		P90NormTTFT:   res.Summary.P90NormTTFT,
 		MeanTPOTMs:    res.Summary.MeanTPOTMs,
 		P90TPOTMs:     res.Summary.P90TPOTMs,
 		Throughput:    res.Summary.Throughput,
 		TokenThru:     res.Summary.TokenThroughput,
 		SLOAttainment: res.Summary.SLOAttainment,
-		Makespan:      res.Makespan,
+		Makespan:      res.Makespan.Float(),
 	}
 	for _, r := range res.Requests {
 		out.PerRequest = append(out.PerRequest, RequestMetrics{
 			ID:         r.ID,
-			TTFT:       r.TTFT(),
+			TTFT:       r.TTFT().Float(),
 			NormTTFTMs: r.NormTTFTMs(),
 			TPOTMs:     r.TPOTMs(),
-			E2E:        r.E2E(),
-			QueueDelay: r.QueueDelay(),
+			E2E:        r.E2E().Float(),
+			QueueDelay: r.QueueDelay().Float(),
 			MetSLO:     r.MeetsSLO(slo),
 		})
 	}

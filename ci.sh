@@ -37,4 +37,28 @@ go test -run='^$' -fuzz=Fuzz -fuzztime=5s ./internal/smmask
 step "bulletlint ./..."
 go run ./cmd/bulletlint ./...
 
+step "bulletlint -json smoke test"
+# The tree is clean, so -json on the module must emit nothing; verify the
+# machine-readable path works (and emits only JSON objects) on a fixture
+# known to contain findings instead of trusting it blindly.
+json_out=$(go run ./cmd/bulletlint -json ./... || true)
+if [[ -n "$json_out" ]]; then
+    echo "bulletlint -json: unexpected findings on clean tree:" >&2
+    echo "$json_out" >&2
+    exit 1
+fi
+smoke=$(mktemp -d)
+trap 'rm -rf "$smoke"' EXIT
+go build -o "$smoke/bulletlint" ./cmd/bulletlint
+mkdir -p "$smoke/mod/internal/demo"
+printf 'module lintsmoke\n\ngo 1.22\n' > "$smoke/mod/go.mod"
+printf 'package demo\n\nimport "time"\n\n// Stamp trips nodeterm on purpose.\nfunc Stamp() time.Time { return time.Now() }\n' \
+    > "$smoke/mod/internal/demo/demo.go"
+json_out=$( (cd "$smoke/mod" && ../bulletlint -json) || true)
+if [[ -z "$json_out" ]] || grep -qv '^{' <<< "$json_out"; then
+    echo "bulletlint -json: expected one JSON object per line, got:" >&2
+    echo "$json_out" >&2
+    exit 1
+fi
+
 step "ci: all gates passed"

@@ -1,7 +1,8 @@
-// Command bulletlint enforces the determinism contract of the simulation
-// core (DESIGN.md, "Determinism contract"). It loads every non-test
-// package in the module with the pure-stdlib loader in internal/lint,
-// runs the analyzer suite, and prints findings as
+// Command bulletlint enforces the determinism and unit-safety contracts
+// of the simulation core (DESIGN.md, "Determinism contract" and
+// "Unit-safety contract"). It loads every non-test package in the module
+// with the pure-stdlib loader in internal/lint, runs the analyzer suite,
+// and prints findings as
 //
 //	file:line: [rule] message
 //
@@ -10,6 +11,13 @@
 //	go run ./cmd/bulletlint ./...            # whole module
 //	go run ./cmd/bulletlint ./internal/...   # one subtree
 //	go run ./cmd/bulletlint -list            # show the rules and exit
+//	go run ./cmd/bulletlint -json ./...      # one JSON object per finding
+//
+// With -json each finding is one object per line — {"file", "line",
+// "rule", "message", "suppressed"} — and findings silenced by
+// //lint:ignore directives are included with "suppressed": true (they
+// never affect the exit code), so tooling can audit what the ignores
+// hide.
 //
 // Exit codes: 0 no findings, 1 findings reported, 2 load/usage error.
 // Individual findings can be suppressed with a `//lint:ignore rule
@@ -17,8 +25,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -26,32 +36,50 @@ import (
 )
 
 func main() {
-	list := flag.Bool("list", false, "list the analyzer rules and exit")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: bulletlint [-list] [packages]\n")
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonFinding is the -json wire shape, one object per output line.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Rule       string `json:"rule"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bulletlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzer rules and exit")
+	jsonOut := fs.Bool("json", false, "print one JSON object per finding (suppressed findings included)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: bulletlint [-list] [-json] [packages]\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	analyzers := lint.DefaultAnalyzers()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-12s %s\n", a.Name(), a.Doc())
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name(), a.Doc())
 		}
-		return
+		return 0
 	}
 
 	cwd, err := os.Getwd()
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
 	root, err := lint.FindModuleRoot(cwd)
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
 	// Patterns are interpreted relative to the module root; translate
 	// patterns given from a subdirectory.
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if rel, err := filepath.Rel(root, cwd); err == nil && rel != "." {
 		for i, p := range patterns {
 			patterns[i] = filepath.ToSlash(filepath.Join(rel, p))
@@ -60,26 +88,42 @@ func main() {
 
 	pkgs, err := lint.LoadModule(root, patterns)
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
 	if len(patterns) > 0 && len(pkgs) == 0 {
-		fatal(fmt.Errorf("no packages match %v", patterns))
+		return fatal(stderr, fmt.Errorf("no packages match %v", patterns))
 	}
-	findings := lint.Run(pkgs, analyzers)
+	findings := lint.RunAll(pkgs, analyzers)
+	enc := json.NewEncoder(stdout)
+	reported := 0
 	for _, f := range findings {
 		rel, err := filepath.Rel(root, f.Pos.Filename)
 		if err != nil {
 			rel = f.Pos.Filename
 		}
-		fmt.Printf("%s:%d: [%s] %s\n", rel, f.Pos.Line, f.Rule, f.Msg)
+		switch {
+		case *jsonOut:
+			if err := enc.Encode(jsonFinding{
+				File: rel, Line: f.Pos.Line, Rule: f.Rule,
+				Message: f.Msg, Suppressed: f.Suppressed,
+			}); err != nil {
+				return fatal(stderr, err)
+			}
+		case !f.Suppressed:
+			fmt.Fprintf(stdout, "%s:%d: [%s] %s\n", rel, f.Pos.Line, f.Rule, f.Msg)
+		}
+		if !f.Suppressed {
+			reported++
+		}
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "bulletlint: %d finding(s)\n", len(findings))
-		os.Exit(1)
+	if reported > 0 {
+		fmt.Fprintf(stderr, "bulletlint: %d finding(s)\n", reported)
+		return 1
 	}
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "bulletlint: %v\n", err)
-	os.Exit(2)
+func fatal(stderr io.Writer, err error) int {
+	fmt.Fprintf(stderr, "bulletlint: %v\n", err)
+	return 2
 }

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/bullet"
@@ -123,8 +124,14 @@ func runTraced(system, dataset string, rate float64, n int, seed int64, path str
 		return err
 	}
 	fmt.Printf("system %s: %d requests, %.1fs makespan\n", res.System, res.Summary.Requests, res.Makespan)
-	for lane, s := range rec.Summary() {
-		fmt.Printf("  lane %-10s %s\n", lane, s)
+	sum := rec.Summary()
+	lanes := make([]string, 0, len(sum))
+	for lane := range sum {
+		lanes = append(lanes, lane)
+	}
+	sort.Strings(lanes)
+	for _, lane := range lanes {
+		fmt.Printf("  lane %-10s %s\n", lane, sum[lane])
 	}
 	if rec.Dropped > 0 {
 		fmt.Printf("  (%d events dropped past the %d-event cap)\n", rec.Dropped, rec.MaxEvents)

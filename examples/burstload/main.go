@@ -18,6 +18,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/serving"
+	"repro/internal/units"
 	"repro/internal/workload"
 )
 
@@ -38,7 +39,7 @@ func main() {
 
 	tl := sys.Timeline
 	const cols = 72
-	bar := func(s *metrics.Series, t float64, max float64, glyph byte) string {
+	bar := func(s *metrics.Series, t units.Seconds, max float64, glyph byte) string {
 		v := s.At(t)
 		w := int(v / max * 24)
 		if w > 24 {
@@ -48,7 +49,7 @@ func main() {
 	}
 	fmt.Println("  t(s)  prefill-SMs              decode-SMs               waiting")
 	for i := 0; i <= cols; i += 2 {
-		t := res.Makespan * float64(i) / float64(cols)
+		t := units.Over(units.Scale(res.Makespan, float64(i)), float64(cols))
 		fmt.Printf("%6.1f  %-26s %-26s %s\n",
 			t,
 			bar(&tl.PrefillSMs, t, 108, '#'),

@@ -49,7 +49,7 @@ func main() {
 	reqs := make([]bullet.Request, len(replay.Requests))
 	for i, r := range replay.Requests {
 		reqs[i] = bullet.Request{
-			ID: r.ID, Arrival: r.Arrival,
+			ID: r.ID, Arrival: r.Arrival.Float(),
 			InputTokens: r.InputTokens, OutputTokens: r.OutputTokens,
 		}
 	}

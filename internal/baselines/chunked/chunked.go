@@ -17,6 +17,8 @@ import (
 	"repro/internal/kvcache"
 	"repro/internal/metrics"
 	"repro/internal/serving"
+	"repro/internal/sim"
+	"repro/internal/units"
 	"repro/internal/workload"
 )
 
@@ -33,7 +35,7 @@ type Scheme struct {
 	// time).
 	PackPrefills bool
 	// IterOverhead is the CPU scheduling cost per iteration.
-	IterOverhead float64
+	IterOverhead sim.Time
 }
 
 // VLLM1024 approximates vLLM V1 with a 1024-token budget. The heavier
@@ -57,8 +59,8 @@ func SGLang2048() Scheme {
 type req struct {
 	w            workload.Request
 	seq          *kvcache.Sequence
-	prefillStart float64
-	firstToken   float64
+	prefillStart sim.Time
+	firstToken   sim.Time
 	generated    int
 	prefilled    int // prompt tokens processed so far
 	admitted     bool
@@ -67,7 +69,7 @@ type req struct {
 // HybridBatchSample records one iteration's budget composition, the
 // Fig. 12(b) instrumentation.
 type HybridBatchSample struct {
-	T            float64
+	T            sim.Time
 	DecodeTokens int
 	ChunkTokens  int
 	Waiting      int
@@ -196,7 +198,7 @@ func (e *Engine) cycle() {
 
 	// One lockstep pass over all layers plus the LM head.
 	for l := 0; l < e.env.Model.NumLayers; l++ {
-		for _, k := range e.env.Model.HybridLayerKernels(chunkLens, histLens, len(e.decode), avgCtx, "hybrid") {
+		for _, k := range e.env.Model.HybridLayerKernels(chunkLens, histLens, len(e.decode), units.Tokens(avgCtx), "hybrid") {
 			e.env.GPU.Launch(e.stream, k, nil)
 		}
 	}
@@ -253,7 +255,7 @@ func (e *Engine) dequeue(r *req) {
 	panic("chunked: request not in waiting queue")
 }
 
-func (e *Engine) finish(r *req, now float64) {
+func (e *Engine) finish(r *req, now sim.Time) {
 	r.generated = r.w.OutputTokens
 	e.env.KV.Free(r.seq)
 	e.env.Complete(metrics.Request{

@@ -19,6 +19,8 @@ import (
 	"repro/internal/kvcache"
 	"repro/internal/metrics"
 	"repro/internal/serving"
+	"repro/internal/sim"
+	"repro/internal/units"
 	"repro/internal/workload"
 )
 
@@ -27,16 +29,16 @@ type Config struct {
 	// LinkBandwidth is the KV migration path (NVLink ~300 GB/s;
 	// PCIe 4.0 x16 ~25 GB/s — the paper notes disaggregation demands
 	// high-bandwidth interconnects).
-	LinkBandwidth float64
+	LinkBandwidth units.BytesPerSec
 	// LinkLatency is the per-migration fixed cost (handshake, launch).
-	LinkLatency float64
+	LinkLatency sim.Time
 	// MaxPrefillTokens bounds one prefill batch on the prefill GPU.
 	MaxPrefillTokens int
 	MaxPrefillReqs   int
 	// MaxBatch bounds the decode batch on the decode GPU.
 	MaxBatch int
 	// CycleOverhead is the per-iteration CPU cost on each instance.
-	CycleOverhead float64
+	CycleOverhead sim.Time
 }
 
 // DefaultConfig uses an NVLink-class interconnect.
@@ -64,8 +66,8 @@ type req struct {
 	w            workload.Request
 	prefillSeq   *kvcache.Sequence // on the prefill GPU
 	decodeSeq    *kvcache.Sequence // on the decode GPU
-	prefillStart float64
-	firstToken   float64
+	prefillStart sim.Time
+	firstToken   sim.Time
 	generated    int
 }
 
@@ -88,7 +90,7 @@ type Engine struct {
 	pending     []*req
 	decodeRun   bool
 	migrations  int
-	linkBusyTil float64
+	linkBusyTil sim.Time
 }
 
 // New creates a disaggregated engine pair.
@@ -192,12 +194,12 @@ func (e *Engine) startMigration(r *req) {
 		return
 	}
 	now := e.env.Sim.Now()
-	kvBytes := float64(r.w.InputTokens) * e.env.Model.KVBytesPerToken()
+	kvBytes := units.Scale(e.env.Model.KVBytesPerToken(), float64(r.w.InputTokens))
 	start := now
 	if e.linkBusyTil > start {
 		start = e.linkBusyTil
 	}
-	finish := start + e.cfg.LinkLatency + kvBytes/e.cfg.LinkBandwidth
+	finish := start + e.cfg.LinkLatency + kvBytes.Div(e.cfg.LinkBandwidth)
 	e.linkBusyTil = finish
 	e.migrations++
 	e.env.Sim.At(finish, func() {
@@ -254,7 +256,7 @@ func (e *Engine) decodeCycle() {
 		ctx += r.w.InputTokens + r.generated
 	}
 	avgCtx := float64(ctx) / float64(bs)
-	step := e.env.Model.DecodeStepKernel(bs, avgCtx, "decode")
+	step := e.env.Model.DecodeStepKernel(bs, units.Tokens(avgCtx), "decode")
 	e.env.GPU.Launch(e.dStream, step, func(gpusim.KernelRecord) {
 		now := e.env.Sim.Now()
 		kept := e.decode[:0]
@@ -278,7 +280,7 @@ func (e *Engine) decodeCycle() {
 	})
 }
 
-func (e *Engine) complete(r *req, now float64) {
+func (e *Engine) complete(r *req, now sim.Time) {
 	e.env.Complete(metrics.Request{
 		ID:           r.w.ID,
 		Dataset:      r.w.Dataset,

@@ -6,6 +6,7 @@ import (
 	"repro/internal/gpusim"
 	"repro/internal/model"
 	"repro/internal/serving"
+	"repro/internal/units"
 	"repro/internal/workload"
 )
 
@@ -42,7 +43,7 @@ func TestMigrationLatencyVisible(t *testing.T) {
 	// A single request's decode start is delayed by KV migration: over
 	// PCIe the 2048-token KV (2048 × 131072 B ≈ 268 MB) costs ~10.7 ms
 	// versus ~0.9 ms on NVLink.
-	mk := func(cfg Config) float64 {
+	mk := func(cfg Config) units.Seconds {
 		env := serving.NewEnv(gpusim.A100(), model.Llama31_8B(), "sharegpt")
 		e := New(env, cfg)
 		trace := &workload.Trace{Dataset: "sharegpt", Rate: 1, Requests: []workload.Request{

@@ -22,6 +22,8 @@ import (
 	"repro/internal/kvcache"
 	"repro/internal/metrics"
 	"repro/internal/serving"
+	"repro/internal/sim"
+	"repro/internal/units"
 	"repro/internal/workload"
 )
 
@@ -34,7 +36,7 @@ type Config struct {
 	// phase boundaries.
 	PipelineEfficiency float64
 	// IterOverhead is the per-iteration CPU cost.
-	IterOverhead float64
+	IterOverhead sim.Time
 }
 
 // DefaultConfig matches the paper's evaluated configuration.
@@ -45,8 +47,8 @@ func DefaultConfig() Config {
 type req struct {
 	w            workload.Request
 	seq          *kvcache.Sequence
-	prefillStart float64
-	firstToken   float64
+	prefillStart sim.Time
+	firstToken   sim.Time
 	generated    int
 	prefilled    int
 	admitted     bool
@@ -113,7 +115,8 @@ func (e *Engine) admit(r *req) bool {
 // repair tail waves.
 func (e *Engine) fuseLayer(ks []gpusim.Kernel) gpusim.Kernel {
 	M := e.env.GPU.Spec.NumSMs
-	var flops, bytes, weighted float64
+	var flops, weighted units.FLOPs
+	var bytes units.Bytes
 	for _, k := range ks {
 		eff := k.Efficiency
 		if eff == 0 {
@@ -124,11 +127,11 @@ func (e *Engine) fuseLayer(ks []gpusim.Kernel) gpusim.Kernel {
 		eff *= 1 - 0.5*gpusim.WaveIdleRatio(k.Grid, M)
 		flops += k.FLOPs
 		bytes += k.Bytes
-		weighted += k.FLOPs / eff
+		weighted += units.Over(k.FLOPs, eff)
 	}
 	eff := 1.0
 	if weighted > 0 {
-		eff = flops / weighted
+		eff = units.Ratio(flops, weighted)
 	}
 	return gpusim.Kernel{
 		Name:       "nano-layer",
@@ -182,7 +185,7 @@ func (e *Engine) cycle() {
 
 	e.iterations++
 	for l := 0; l < e.env.Model.NumLayers; l++ {
-		ks := e.env.Model.HybridLayerKernels(chunkLens, histLens, len(e.decode), avgCtx, "hybrid")
+		ks := e.env.Model.HybridLayerKernels(chunkLens, histLens, len(e.decode), units.Tokens(avgCtx), "hybrid")
 		e.env.GPU.Launch(e.stream, e.fuseLayer(ks), nil)
 	}
 	headRows := len(e.decode)
@@ -239,7 +242,7 @@ func (e *Engine) dequeue(r *req) {
 	panic("nanoflow: request not in waiting queue")
 }
 
-func (e *Engine) finish(r *req, now float64) {
+func (e *Engine) finish(r *req, now sim.Time) {
 	e.env.KV.Free(r.seq)
 	e.env.Complete(metrics.Request{
 		ID:           r.w.ID,

@@ -22,6 +22,7 @@ import (
 	"repro/internal/resource"
 	"repro/internal/sched"
 	"repro/internal/serving"
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -60,7 +61,7 @@ type Options struct {
 	// cached profile for the (model, device) pair is used.
 	Params estimator.Params
 	// MetadataLatency models the inter-engine metadata path (Table 3).
-	MetadataLatency float64
+	MetadataLatency sim.Time
 	// MaxPrefillTokens / MaxPrefillReqs bound prefill batches.
 	MaxPrefillTokens int
 	MaxPrefillReqs   int
@@ -235,7 +236,7 @@ func New(env *serving.Env, opts Options) *Bullet {
 
 	if opts.RecordTimeline {
 		b.Timeline = &Timeline{Branches: map[string]int{}}
-		record := func(t float64, d sched.Decision) {
+		record := func(t sim.Time, d sched.Decision) {
 			b.Timeline.PrefillSMs.Add(t, float64(d.PrefillSMs))
 			b.Timeline.DecodeSMs.Add(t, float64(d.DecodeSMs))
 			b.Timeline.Waiting.Add(t, float64(b.Prefill.QueueDepth()))
@@ -244,7 +245,7 @@ func New(env *serving.Env, opts Options) *Bullet {
 		}
 		b.Prefill.OnDecision = record
 		b.Decode.OnDecision = record
-		b.Prefill.OnBatchStart = func(t float64, tokens, reqs, waiting int) {
+		b.Prefill.OnBatchStart = func(t sim.Time, tokens, reqs, waiting int) {
 			b.Timeline.PrefillTokens.Add(t, float64(tokens))
 			b.Timeline.Waiting.Add(t, float64(waiting))
 		}

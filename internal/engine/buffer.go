@@ -22,7 +22,7 @@ type Buffer struct {
 	sim *sim.Simulation
 	// Latency models the serialization and transfer of request metadata
 	// between the engines' processes (Table 3: ~0.21 ms mean).
-	Latency float64
+	Latency sim.Time
 
 	// Status providers registered by the engines.
 	prefillStatus func() (sched.PrefillStatus, []sched.WaitingReq)
@@ -41,7 +41,7 @@ type Buffer struct {
 }
 
 // NewBuffer creates the shared buffer.
-func NewBuffer(s *sim.Simulation, latency float64) *Buffer {
+func NewBuffer(s *sim.Simulation, latency sim.Time) *Buffer {
 	return &Buffer{sim: s, Latency: latency, prefillSMs: 0, decodeSMs: 0}
 }
 

@@ -9,6 +9,8 @@ import (
 	"repro/internal/resource"
 	"repro/internal/sched"
 	"repro/internal/serving"
+	"repro/internal/sim"
+	"repro/internal/units"
 )
 
 // DecodeConfig shapes the decode engine. The flags are the ablation
@@ -23,10 +25,10 @@ type DecodeConfig struct {
 	// MaxBatch caps the decode batch size.
 	MaxBatch int
 	// CycleOverhead is the CPU cost per iteration (graph launch path).
-	CycleOverhead float64
+	CycleOverhead sim.Time
 	// MaxPause is the failsafe bound on one pause (the engine normally
 	// resumes at the next prefill layer-group sync).
-	MaxPause float64
+	MaxPause sim.Time
 }
 
 // DefaultDecodeConfig returns Bullet's full configuration.
@@ -58,9 +60,9 @@ type DecodeEngine struct {
 	steps   int
 
 	// OnDecision observes every scheduling decision.
-	OnDecision func(t float64, d sched.Decision)
+	OnDecision func(t sim.Time, d sched.Decision)
 	// OnStep observes each completed iteration.
-	OnStep func(t float64, batch int, stepDur float64)
+	OnStep func(t sim.Time, batch int, stepDur units.Seconds)
 }
 
 // NewDecodeEngine wires a decode engine.
@@ -105,12 +107,12 @@ func (d *DecodeEngine) status() sched.DecodeStatus {
 		ctx += r.Ctx()
 	}
 	if len(d.batch) > 0 {
-		ds.AvgCtx = float64(ctx) / float64(len(d.batch))
+		ds.AvgCtx = units.Tokens(float64(ctx) / float64(len(d.batch)))
 	}
 	return ds
 }
 
-func (d *DecodeEngine) avgCtx() float64 {
+func (d *DecodeEngine) avgCtx() units.Tokens {
 	if len(d.batch) == 0 {
 		return 0
 	}
@@ -118,7 +120,7 @@ func (d *DecodeEngine) avgCtx() float64 {
 	for _, r := range d.batch {
 		ctx += r.Ctx()
 	}
-	return float64(ctx) / float64(len(d.batch))
+	return units.Tokens(float64(ctx) / float64(len(d.batch)))
 }
 
 // decide runs one scheduling cycle with the engine's overrides applied.

@@ -12,6 +12,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/serving"
 	"repro/internal/sim"
+	"repro/internal/units"
 	"repro/internal/workload"
 )
 
@@ -46,7 +47,7 @@ func defaultRig(t testing.TB) *rig {
 	return newRig(t, DefaultPrefillConfig(108), DefaultDecodeConfig(108))
 }
 
-func req(id string, arrival float64, in, out int) workload.Request {
+func req(id string, arrival units.Seconds, in, out int) workload.Request {
 	return workload.Request{ID: id, Arrival: arrival, InputTokens: in, OutputTokens: out, Dataset: "azure-code"}
 }
 
@@ -93,7 +94,7 @@ func TestHandoffLatencyApplied(t *testing.T) {
 func TestPrefillBatchesQueuedRequests(t *testing.T) {
 	r := defaultRig(t)
 	var batches []int
-	r.prefill.OnBatchStart = func(_ float64, _, reqs, _ int) { batches = append(batches, reqs) }
+	r.prefill.OnBatchStart = func(_ sim.Time, _, reqs, _ int) { batches = append(batches, reqs) }
 	// Three short requests arriving at the same instant: all should
 	// prefill in one batch (deadlines permit).
 	r.env.Sim.At(0.001, func() {
@@ -124,7 +125,7 @@ func TestReorderPrioritizesTightDeadlines(t *testing.T) {
 	})
 	r.env.Sim.At(0.002, func() { r.prefill.Submit(req("tiny", 0.002, 128, 2)) })
 	r.env.Sim.RunAll(1 << 23)
-	var bigFirstToken, tinyFirstToken float64
+	var bigFirstToken, tinyFirstToken units.Seconds
 	for _, m := range r.env.Completed() {
 		switch m.ID {
 		case "big2":
@@ -150,7 +151,7 @@ func TestNoReorderKeepsFCFS(t *testing.T) {
 	})
 	r.env.Sim.At(0.002, func() { r.prefill.Submit(req("tiny", 0.002, 128, 2)) })
 	r.env.Sim.RunAll(1 << 23)
-	var big2First, tinyFirst float64
+	var big2First, tinyFirst units.Seconds
 	for _, m := range r.env.Completed() {
 		switch m.ID {
 		case "big2":
@@ -173,7 +174,7 @@ func TestDecodePauseUnderTTFTPressure(t *testing.T) {
 	const burst = 30
 	for i := 0; i < burst; i++ {
 		i := i
-		at := 0.5 + float64(i)*0.002
+		at := sim.Time(0.5 + float64(i)*0.002)
 		r.env.Sim.At(at, func() { r.prefill.Submit(req(fmt.Sprintf("b%d", i), at, 512, 4)) })
 	}
 	r.env.Sim.RunAll(1 << 24)
@@ -195,7 +196,7 @@ func TestKVBackpressureBlocksAdmission(t *testing.T) {
 	per := total/3 + 1000
 	for i := 0; i < 4; i++ {
 		i := i
-		at := 0.001 + float64(i)*1e-6
+		at := sim.Time(0.001 + float64(i)*1e-6)
 		r.env.Sim.At(at, func() {
 			r.prefill.Submit(workload.Request{
 				ID: idOf(i), Arrival: at, InputTokens: per - 64, OutputTokens: 64,
@@ -271,7 +272,7 @@ func TestFixedSMEnginesNeverReconfigure(t *testing.T) {
 	r := newRig(t, pcfg, dcfg)
 	for i := 0; i < 5; i++ {
 		i := i
-		at := 0.001 + 0.2*float64(i)
+		at := sim.Time(0.001 + 0.2*float64(i))
 		r.env.Sim.At(at, func() { r.prefill.Submit(req(idOf(i), at, 2048, 20)) })
 	}
 	r.env.Sim.RunAll(1 << 24)

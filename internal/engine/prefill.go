@@ -10,6 +10,8 @@ import (
 	"repro/internal/resource"
 	"repro/internal/sched"
 	"repro/internal/serving"
+	"repro/internal/sim"
+	"repro/internal/units"
 	"repro/internal/workload"
 )
 
@@ -35,7 +37,7 @@ type PrefillConfig struct {
 	FixedSMs  int
 	// CycleOverhead is the CPU cost of one scheduling cycle
 	// (snapshot + decision + launch), cf. Table 3.
-	CycleOverhead float64
+	CycleOverhead sim.Time
 }
 
 // DefaultPrefillConfig returns Bullet's full configuration for a device
@@ -75,9 +77,9 @@ type PrefillEngine struct {
 	startPending bool
 
 	// OnDecision observes every scheduling decision (timeline hooks).
-	OnDecision func(t float64, d sched.Decision)
+	OnDecision func(t sim.Time, d sched.Decision)
 	// OnBatchStart observes batch formation.
-	OnBatchStart func(t float64, tokens, reqs, waiting int)
+	OnBatchStart func(t sim.Time, tokens, reqs, waiting int)
 }
 
 // NewPrefillEngine wires a prefill engine. Call SetDecode before use.
@@ -170,7 +172,7 @@ func (p *PrefillEngine) tryStart() {
 				p.res.NumSMs(), true)
 			violates := false
 			for _, member := range append(p.batch, r) {
-				budget := slo.NormTTFTMs * float64(member.W.InputTokens) / 1000
+				budget := units.FromMs(slo.NormTTFTMs * float64(member.W.InputTokens))
 				if (now-member.W.Arrival)+grown > budget {
 					violates = true
 					break
@@ -262,7 +264,7 @@ func (p *PrefillEngine) cycle() {
 		histLens[i] = r.PrefixHit
 	}
 	colocated := p.dec != nil && p.dec.BatchSize() > 0
-	predicted := p.est.PrefillLayerTime(p.batchTokens, 0, pm, colocated) * float64(group)
+	predicted := units.Scale(p.est.PrefillLayerTime(p.batchTokens, 0, pm, colocated), float64(group))
 	start := p.env.Sim.Now()
 	for l := 0; l < group; l++ {
 		for _, k := range p.env.Model.PrefillBatchLayerKernels(seqLens, histLens, "prefill") {
@@ -271,7 +273,7 @@ func (p *PrefillEngine) cycle() {
 	}
 	p.env.GPU.Synchronize(stream, func() {
 		actual := p.env.Sim.Now() - start
-		p.est.ObservePrefill(predicted/float64(group), actual/float64(group))
+		p.est.ObservePrefill(units.Over(predicted, float64(group)), units.Over(actual, float64(group)))
 		p.layersDone += group
 		p.buf.PublishPrefillProgress()
 		if p.layersDone >= p.env.Model.NumLayers {

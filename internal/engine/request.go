@@ -3,6 +3,7 @@ package engine
 import (
 	"repro/internal/kvcache"
 	"repro/internal/metrics"
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -11,9 +12,9 @@ type Req struct {
 	W   workload.Request
 	Seq *kvcache.Sequence
 
-	PrefillStart float64
-	FirstToken   float64
-	Finish       float64
+	PrefillStart sim.Time
+	FirstToken   sim.Time
+	Finish       sim.Time
 	// Generated counts emitted output tokens (the prefill's first token
 	// included).
 	Generated int

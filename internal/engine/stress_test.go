@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/units"
 	"repro/internal/workload"
 )
 
@@ -18,7 +19,7 @@ type scenario struct {
 }
 
 func stressScenarios() []scenario {
-	mk := func(id string, at float64, in, out int) workload.Request {
+	mk := func(id string, at units.Seconds, in, out int) workload.Request {
 		return workload.Request{ID: id, Arrival: at, InputTokens: in, OutputTokens: out, Dataset: "azure-code"}
 	}
 	return []scenario{
@@ -32,21 +33,21 @@ func stressScenarios() []scenario {
 		{"all-single-token-outputs", func() []workload.Request {
 			var rs []workload.Request
 			for i := 0; i < 30; i++ {
-				rs = append(rs, mk(fmt.Sprintf("s%d", i), 0.001+float64(i)*0.01, 1024, 1))
+				rs = append(rs, mk(fmt.Sprintf("s%d", i), units.Seconds(0.001+float64(i)*0.01), 1024, 1))
 			}
 			return rs
 		}},
 		{"tiny-inputs-long-outputs", func() []workload.Request {
 			var rs []workload.Request
 			for i := 0; i < 20; i++ {
-				rs = append(rs, mk(fmt.Sprintf("t%d", i), 0.001+float64(i)*0.05, 1, 300))
+				rs = append(rs, mk(fmt.Sprintf("t%d", i), units.Seconds(0.001+float64(i)*0.05), 1, 300))
 			}
 			return rs
 		}},
 		{"one-giant-among-mice", func() []workload.Request {
 			rs := []workload.Request{mk("giant", 0.001, 24000, 64)}
 			for i := 0; i < 25; i++ {
-				rs = append(rs, mk(fmt.Sprintf("m%d", i), 0.002+float64(i)*0.02, 64, 16))
+				rs = append(rs, mk(fmt.Sprintf("m%d", i), units.Seconds(0.002+float64(i)*0.02), 64, 16))
 			}
 			return rs
 		}},
@@ -54,9 +55,9 @@ func stressScenarios() []scenario {
 			var rs []workload.Request
 			for i := 0; i < 20; i++ {
 				if i%2 == 0 {
-					rs = append(rs, mk(fmt.Sprintf("a%d", i), 0.001+float64(i)*0.1, 16000, 2))
+					rs = append(rs, mk(fmt.Sprintf("a%d", i), units.Seconds(0.001+float64(i)*0.1), 16000, 2))
 				} else {
-					rs = append(rs, mk(fmt.Sprintf("a%d", i), 0.001+float64(i)*0.1, 2, 200))
+					rs = append(rs, mk(fmt.Sprintf("a%d", i), units.Seconds(0.001+float64(i)*0.1), 2, 200))
 				}
 			}
 			return rs
@@ -65,7 +66,7 @@ func stressScenarios() []scenario {
 			// 40 big prompts in 2 seconds: far beyond capacity.
 			var rs []workload.Request
 			for i := 0; i < 40; i++ {
-				rs = append(rs, mk(fmt.Sprintf("o%d", i), 0.001+float64(i)*0.05, 8000, 8))
+				rs = append(rs, mk(fmt.Sprintf("o%d", i), units.Seconds(0.001+float64(i)*0.05), 8000, 8))
 			}
 			return rs
 		}},

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/gpusim"
 	"repro/internal/model"
+	"repro/internal/units"
 )
 
 // Params are the profile-fitted scalars of Equation 2.
@@ -51,7 +52,7 @@ type Estimator struct {
 
 	// OnObserve, when set, sees every (prediction, observation) pair fed
 	// back by the engines — the Figure 15 accuracy instrumentation.
-	OnObserve func(phase string, predicted, actual float64)
+	OnObserve func(phase string, predicted, actual units.Seconds)
 
 	// feedbackOff freezes the online corrections (ablation switch).
 	feedbackOff bool
@@ -79,7 +80,7 @@ func (e *Estimator) Params() Params { return e.params }
 func (e *Estimator) Corrections() (float64, float64) { return e.prefillCorr, e.decodeCorr }
 
 // kernelTime applies Equation 2 to a single kernel on m SMs.
-func (e *Estimator) kernelTime(k gpusim.Kernel, m int, colocated bool) float64 {
+func (e *Estimator) kernelTime(k gpusim.Kernel, m int, colocated bool) units.Seconds {
 	if m <= 0 {
 		panic(fmt.Sprintf("estimator: %d SMs", m))
 	}
@@ -90,64 +91,64 @@ func (e *Estimator) kernelTime(k gpusim.Kernel, m int, colocated bool) float64 {
 	}
 	M := float64(e.spec.NumSMs)
 	frac := float64(m) / M
-	ct := 0.0
+	ct := units.Seconds(0)
 	if k.FLOPs > 0 {
-		ct = k.FLOPs / e.spec.PeakFLOPS / (frac * p.DC * pc)
+		ct = units.Over(k.FLOPs.Div(e.spec.PeakFLOPS), frac*p.DC*pc)
 	}
-	bt := 0.0
+	bt := units.Seconds(0)
 	if k.Bytes > 0 {
-		bt = k.Bytes / e.spec.PeakBW / (frac * p.DB * pb)
+		bt = units.Over(k.Bytes.Div(e.spec.PeakBW), frac*p.DB*pb)
 	}
-	t := math.Max(ct, bt)
+	t := units.Max(ct, bt)
 	if k.CommBytes > 0 && e.spec.LinkBW > 0 {
-		if lt := k.CommBytes / e.spec.LinkBW; lt > t {
+		if lt := k.CommBytes.Div(e.spec.LinkBW); lt > t {
 			t = lt
 		}
 	}
 	wave := 1 - gpusim.WaveIdleRatio(k.Grid, m)
-	return t / wave
+	return units.Over(t, wave)
 }
 
 // PrefillLayerTime predicts one decoder layer of prefill over newTokens
 // tokens (with histTokens of cached context) on sms SMs.
-func (e *Estimator) PrefillLayerTime(newTokens, histTokens, sms int, colocated bool) float64 {
-	t := 0.0
+func (e *Estimator) PrefillLayerTime(newTokens, histTokens, sms int, colocated bool) units.Seconds {
+	t := units.Seconds(0)
 	for _, k := range e.cfg.PrefillLayerKernels(newTokens, histTokens, "") {
 		t += e.kernelTime(k, sms, colocated)
 	}
-	return t * e.prefillCorr
+	return units.Scale(t, e.prefillCorr)
 }
 
 // PrefillRemainingTime predicts the time to finish a prefill that still
 // has layersLeft layers to run.
-func (e *Estimator) PrefillRemainingTime(newTokens, histTokens, layersLeft, sms int, colocated bool) float64 {
+func (e *Estimator) PrefillRemainingTime(newTokens, histTokens, layersLeft, sms int, colocated bool) units.Seconds {
 	if layersLeft <= 0 {
 		return 0
 	}
-	return e.PrefillLayerTime(newTokens, histTokens, sms, colocated) * float64(layersLeft)
+	return units.Scale(e.PrefillLayerTime(newTokens, histTokens, sms, colocated), float64(layersLeft))
 }
 
 // PrefillTotalTime predicts a full prefill pass (all layers plus the LM
 // head row for the first token).
-func (e *Estimator) PrefillTotalTime(newTokens, histTokens, sms int, colocated bool) float64 {
+func (e *Estimator) PrefillTotalTime(newTokens, histTokens, sms int, colocated bool) units.Seconds {
 	t := e.PrefillRemainingTime(newTokens, histTokens, e.cfg.NumLayers, sms, colocated)
-	return t + e.kernelTime(e.cfg.LMHeadKernel(1, ""), sms, colocated)*e.prefillCorr
+	return t + units.Scale(e.kernelTime(e.cfg.LMHeadKernel(1, ""), sms, colocated), e.prefillCorr)
 }
 
 // DecodeStepTime predicts one full decode iteration (all layers + LM head,
 // launched as a CUDA graph) for a batch with avgCtx average context.
-func (e *Estimator) DecodeStepTime(batch int, avgCtx float64, sms int, colocated bool) float64 {
+func (e *Estimator) DecodeStepTime(batch int, avgCtx units.Tokens, sms int, colocated bool) units.Seconds {
 	if batch <= 0 {
 		return 0
 	}
 	k := e.cfg.DecodeStepKernel(batch, avgCtx, "")
 	k.Efficiency = 0 // the estimator does not know device efficiencies
-	return e.kernelTime(k, sms, colocated) * e.decodeCorr
+	return units.Scale(e.kernelTime(k, sms, colocated), e.decodeCorr)
 }
 
 // ObservePrefill feeds back an observed prefill-layer duration against the
 // prediction made for it, refining future predictions (§3.3.2).
-func (e *Estimator) ObservePrefill(predicted, actual float64) {
+func (e *Estimator) ObservePrefill(predicted, actual units.Seconds) {
 	if e.OnObserve != nil {
 		e.OnObserve("prefill", predicted, actual)
 	}
@@ -158,7 +159,7 @@ func (e *Estimator) ObservePrefill(predicted, actual float64) {
 }
 
 // ObserveDecode feeds back an observed decode-step duration.
-func (e *Estimator) ObserveDecode(predicted, actual float64) {
+func (e *Estimator) ObserveDecode(predicted, actual units.Seconds) {
 	if e.OnObserve != nil {
 		e.OnObserve("decode", predicted, actual)
 	}
@@ -168,14 +169,14 @@ func (e *Estimator) ObserveDecode(predicted, actual float64) {
 	e.decodeCorr = updateCorr(e.decodeCorr, predicted, actual)
 }
 
-func updateCorr(corr, predicted, actual float64) float64 {
+func updateCorr(corr float64, predicted, actual units.Seconds) float64 {
 	if predicted <= 0 || actual <= 0 {
 		return corr
 	}
 	// predicted already includes corr; extract the raw model value so the
 	// EWMA tracks actual/raw.
-	raw := predicted / corr
-	target := actual / raw
+	raw := units.Over(predicted, corr)
+	target := units.Ratio(actual, raw)
 	next := corr*(1-corrAlpha) + target*corrAlpha
 	return math.Min(corrMax, math.Max(corrMin, next))
 }

@@ -1,12 +1,12 @@
 package estimator
 
 import (
-	"math"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/gpusim"
 	"repro/internal/model"
+	"repro/internal/units"
 )
 
 func testEstimator() *Estimator {
@@ -68,7 +68,7 @@ func TestWaveQuantizationVisible(t *testing.T) {
 	smooth := e.kernelTime(gpusim.Kernel{FLOPs: 1e12, Grid: 0}, 108, false)
 	quantized := e.kernelTime(gpusim.Kernel{FLOPs: 1e12, Grid: 128}, 108, false)
 	want := smooth / (128.0 / 216.0)
-	if math.Abs(quantized-want)/want > 1e-9 {
+	if units.Ratio(units.Abs(quantized-want), want) > 1e-9 {
 		t.Fatalf("quantized = %v, want %v (smooth %v)", quantized, want, smooth)
 	}
 }
@@ -93,7 +93,7 @@ func TestOnlineCorrection(t *testing.T) {
 		t.Fatalf("prefill correction = %v", pc)
 	}
 	e.ResetCorrections()
-	if got := e.PrefillLayerTime(2048, 0, 108, false); math.Abs(got-base)/base > 1e-9 {
+	if got := e.PrefillLayerTime(2048, 0, 108, false); units.Ratio(units.Abs(got-base), base) > 1e-9 {
 		t.Fatal("reset did not restore base prediction")
 	}
 }
@@ -148,7 +148,7 @@ func TestProfileQuick(t *testing.T) {
 	// compare against a fresh ground-truth measurement.
 	actual := measurePrefillLayer(cfg, spec, 2048, 0, spec.NumSMs)
 	pred := est.PrefillLayerTime(2048, 0, spec.NumSMs, false)
-	if math.Abs(pred-actual)/actual > 0.6 {
+	if units.Ratio(units.Abs(pred-actual), actual) > 0.6 {
 		t.Fatalf("pred %v vs actual %v: too far off", pred, actual)
 	}
 }

@@ -11,20 +11,22 @@ package estimator
 
 import (
 	"math"
+	"slices"
 	"sort"
 
 	"repro/internal/gpusim"
 	"repro/internal/model"
 	"repro/internal/sim"
 	"repro/internal/smmask"
+	"repro/internal/units"
 )
 
 // ProfileOptions selects the sampled grid.
 type ProfileOptions struct {
-	SeqLens  []int     // prefill sequence lengths (sl)
-	Batches  []int     // decode batch sizes (bs)
-	Ctxs     []float64 // decode average context lengths (cl)
-	SMCounts []int     // SM allocations (pm / dm)
+	SeqLens  []int          // prefill sequence lengths (sl)
+	Batches  []int          // decode batch sizes (bs)
+	Ctxs     []units.Tokens // decode average context lengths (cl)
+	SMCounts []int          // SM allocations (pm / dm)
 	// ColocSMSplits are (prefill SMs, decode SMs) pairs for contention
 	// fitting.
 	ColocSMSplits [][2]int
@@ -43,7 +45,7 @@ func DefaultProfileOptions(spec gpusim.Spec) ProfileOptions {
 	return ProfileOptions{
 		SeqLens:  []int{512, 1024, 2048, 4096, 8192, 16384},
 		Batches:  []int{8, 16, 32, 64, 128, 256},
-		Ctxs:     []float64{512, 1024, 2048, 4096},
+		Ctxs:     []units.Tokens{512, 1024, 2048, 4096},
 		SMCounts: sms,
 		ColocSMSplits: [][2]int{
 			{M - M/4, M / 4}, {M - M/3, M / 3}, {M / 2, M / 2},
@@ -58,7 +60,7 @@ func QuickProfileOptions(spec gpusim.Spec) ProfileOptions {
 	return ProfileOptions{
 		SeqLens:       []int{1024, 4096},
 		Batches:       []int{16, 64},
-		Ctxs:          []float64{1024},
+		Ctxs:          []units.Tokens{1024},
 		SMCounts:      []int{M / 2, M},
 		ColocSMSplits: [][2]int{{M / 2, M / 2}, {M - M/4, M / 4}},
 	}
@@ -70,10 +72,10 @@ type Sample struct {
 	Kind      string // "prefill-iso", "decode-iso", "prefill-coloc", "decode-coloc"
 	SeqLen    int
 	Batch     int
-	Ctx       float64
+	Ctx       units.Tokens
 	SMs       int
-	Actual    float64
-	Predicted float64
+	Actual    units.Seconds
+	Predicted units.Seconds
 }
 
 // RelError returns |pred-actual|/actual.
@@ -81,7 +83,7 @@ func (s Sample) RelError() float64 {
 	if s.Actual == 0 {
 		return 0
 	}
-	return math.Abs(s.Predicted-s.Actual) / s.Actual
+	return units.Ratio(units.Abs(s.Predicted-s.Actual), s.Actual)
 }
 
 // Report summarises a fitting run.
@@ -115,7 +117,7 @@ func ClassificationAccuracy(samples []Sample, factor float64) float64 {
 	if len(samples) == 0 {
 		return 0
 	}
-	byKind := map[string][]float64{}
+	byKind := map[string][]units.Seconds{}
 	for _, s := range samples {
 		byKind[s.Kind] = append(byKind[s.Kind], s.Actual)
 	}
@@ -124,11 +126,11 @@ func ClassificationAccuracy(samples []Sample, factor float64) float64 {
 		kinds = append(kinds, k)
 	}
 	sort.Strings(kinds)
-	thresh := map[string]float64{}
+	thresh := map[string]units.Seconds{}
 	for _, k := range kinds {
 		v := byKind[k]
-		sort.Float64s(v)
-		thresh[k] = v[len(v)/2] * factor
+		slices.Sort(v)
+		thresh[k] = units.Scale(v[len(v)/2], factor)
 	}
 	agree := 0
 	for _, s := range samples {
@@ -242,27 +244,27 @@ func thin(xs []int, keep int) []int {
 }
 
 // predictKernels applies Equation 2 with candidate parameters.
-func predictKernels(spec gpusim.Spec, p Params, ks []gpusim.Kernel, sms int, coloc bool) float64 {
+func predictKernels(spec gpusim.Spec, p Params, ks []gpusim.Kernel, sms int, coloc bool) units.Seconds {
 	pc, pb := 1.0, 1.0
 	if coloc {
 		pc, pb = p.PC, p.PB
 	}
 	frac := float64(sms) / float64(spec.NumSMs)
-	t := 0.0
+	t := units.Seconds(0)
 	for _, k := range ks {
-		ct, bt := 0.0, 0.0
+		ct, bt := units.Seconds(0), units.Seconds(0)
 		if k.FLOPs > 0 {
-			ct = k.FLOPs / spec.PeakFLOPS / (frac * p.DC * pc)
+			ct = units.Over(k.FLOPs.Div(spec.PeakFLOPS), frac*p.DC*pc)
 		}
 		if k.Bytes > 0 {
-			bt = k.Bytes / spec.PeakBW / (frac * p.DB * pb)
+			bt = units.Over(k.Bytes.Div(spec.PeakBW), frac*p.DB*pb)
 		}
-		kt := math.Max(ct, bt)
+		kt := units.Max(ct, bt)
 		if k.CommBytes > 0 && spec.LinkBW > 0 {
-			kt = math.Max(kt, k.CommBytes/spec.LinkBW)
+			kt = units.Max(kt, k.CommBytes.Div(spec.LinkBW))
 		}
 		wave := 1 - gpusim.WaveIdleRatio(k.Grid, sms)
-		t += kt / wave
+		t += units.Over(kt, wave)
 	}
 	return t
 }
@@ -275,7 +277,7 @@ func fit(cfg model.Config, spec gpusim.Spec, iso, coloc []measured) Params {
 		sum := 0.0
 		for _, m := range samples {
 			pred := predictKernels(spec, cand, m.kernels, m.sms, m.colocate)
-			d := math.Log(pred) - math.Log(m.sample.Actual)
+			d := math.Log(pred.Float()) - math.Log(m.sample.Actual.Float())
 			sum += d * d
 		}
 		return sum / float64(len(samples))
@@ -324,25 +326,25 @@ func fit(cfg model.Config, spec gpusim.Spec, iso, coloc []measured) Params {
 
 // --- ground-truth measurement harnesses -------------------------------
 
-func measurePrefillLayer(cfg model.Config, spec gpusim.Spec, sl, hist, sms int) float64 {
+func measurePrefillLayer(cfg model.Config, spec gpusim.Spec, sl, hist, sms int) units.Seconds {
 	s := sim.New()
 	g := gpusim.New(s, spec)
 	st := g.NewStream(smmask.Range(0, sms))
 	for _, k := range cfg.PrefillLayerKernels(sl, hist, "profile") {
 		g.Launch(st, k, nil)
 	}
-	var end float64
+	var end sim.Time
 	g.Synchronize(st, func() { end = s.Now() })
 	s.RunAll(1 << 20)
 	return end
 }
 
-func measureDecodeStep(cfg model.Config, spec gpusim.Spec, bs int, cl float64, sms int) float64 {
+func measureDecodeStep(cfg model.Config, spec gpusim.Spec, bs int, cl units.Tokens, sms int) units.Seconds {
 	s := sim.New()
 	g := gpusim.New(s, spec)
 	st := g.NewStream(smmask.Range(0, sms))
 	g.Launch(st, cfg.DecodeStepKernel(bs, cl, "profile"), nil)
-	var end float64
+	var end sim.Time
 	g.Synchronize(st, func() { end = s.Now() })
 	s.RunAll(1 << 20)
 	return end
@@ -351,7 +353,7 @@ func measureDecodeStep(cfg model.Config, spec gpusim.Spec, bs int, cl float64, s
 // measureColocated runs `reps` prefill layers on pm low SMs while decode
 // steps loop on dm high SMs, returning the average prefill-layer duration
 // and the average duration of decode steps completed during the overlap.
-func measureColocated(cfg model.Config, spec gpusim.Spec, sl, bs int, cl float64, pm, dm int) (prefillLayer, decodeStep float64) {
+func measureColocated(cfg model.Config, spec gpusim.Spec, sl, bs int, cl units.Tokens, pm, dm int) (prefillLayer, decodeStep units.Seconds) {
 	s := sim.New()
 	g := gpusim.New(s, spec)
 	pSt := g.NewStream(smmask.Range(0, pm))
@@ -363,14 +365,14 @@ func measureColocated(cfg model.Config, spec gpusim.Spec, sl, bs int, cl float64
 			g.Launch(pSt, k, nil)
 		}
 	}
-	var prefillEnd float64
+	var prefillEnd sim.Time
 	prefillDone := false
 	g.Synchronize(pSt, func() {
 		prefillEnd = s.Now()
 		prefillDone = true
 	})
 
-	stepDurs := []float64{}
+	stepDurs := []units.Seconds{}
 	var relaunch func()
 	relaunch = func() {
 		g.Launch(dSt, cfg.DecodeStepKernel(bs, cl, "profile"), func(r gpusim.KernelRecord) {
@@ -387,10 +389,10 @@ func measureColocated(cfg model.Config, spec gpusim.Spec, sl, bs int, cl float64
 
 	s.RunAll(1 << 22)
 	prefillLayer = prefillEnd / reps
-	sum := 0.0
+	sum := units.Seconds(0)
 	for _, d := range stepDurs {
 		sum += d
 	}
-	decodeStep = sum / float64(len(stepDurs))
+	decodeStep = units.Over(sum, float64(len(stepDurs)))
 	return prefillLayer, decodeStep
 }

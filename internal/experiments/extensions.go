@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/estimator"
 	"repro/internal/serving"
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -41,7 +42,7 @@ func knobRow(knob, value string, res serving.Result) KnobRow {
 	s := res.Summary
 	return KnobRow{
 		Knob: knob, Value: value,
-		MeanTTFT: s.MeanTTFT, P90NormTTFT: s.P90NormTTFT,
+		MeanTTFT: s.MeanTTFT.Float(), P90NormTTFT: s.P90NormTTFT,
 		MeanTPOTMs: s.MeanTPOTMs, Throughput: s.Throughput,
 		SLOAttainment: s.SLOAttainment,
 	}
@@ -75,9 +76,9 @@ func AblationSMStep(d workload.Dataset, rate float64, n int, seed int64) []KnobR
 // control plane.
 func AblationMetadataLatency(d workload.Dataset, rate float64, n int, seed int64) []KnobRow {
 	var rows []KnobRow
-	for _, lat := range []float64{0.01e-3, 0.21e-3, 1e-3, 5e-3} {
+	for _, lat := range []sim.Time{0.01e-3, 0.21e-3, 1e-3, 5e-3} {
 		res := runBulletOpts(core.Options{Mode: core.ModeFull, MetadataLatency: lat}, d, rate, n, seed, nil)
-		rows = append(rows, knobRow("metadata-latency", fmt.Sprintf("%.2fms", lat*1000), res))
+		rows = append(rows, knobRow("metadata-latency", fmt.Sprintf("%.2fms", lat.Ms()), res))
 	}
 	return rows
 }
@@ -159,7 +160,7 @@ func ExtDisagg(d workload.Dataset, rates []float64, n int, seed int64) []DisaggR
 			s := res.Summary
 			rows = append(rows, DisaggRow{
 				System: sys.name, GPUs: sys.gpus, Rate: rate,
-				MeanTTFT: s.MeanTTFT, MeanTPOTMs: s.MeanTPOTMs,
+				MeanTTFT: s.MeanTTFT.Float(), MeanTPOTMs: s.MeanTPOTMs,
 				Throughput: s.Throughput, PerGPUThru: s.Throughput / float64(sys.gpus),
 				SLOAttainment: s.SLOAttainment,
 			})
@@ -205,7 +206,7 @@ func ExtCrossDevice(d workload.Dataset, rate float64, n int, seed int64) []Cross
 			s := res.Summary
 			rows = append(rows, CrossDeviceRow{
 				Device: spec.name, System: sys,
-				MeanTTFT: s.MeanTTFT, MeanTPOTMs: s.MeanTPOTMs,
+				MeanTTFT: s.MeanTTFT.Float(), MeanTPOTMs: s.MeanTPOTMs,
 				Throughput: s.Throughput, SLOAttainment: s.SLOAttainment,
 			})
 		}
@@ -250,7 +251,7 @@ func ExtPrefixCache(d workload.Dataset, rate float64, n int, seed int64, sharePr
 			res := env.Run(b, trace)
 			row := PrefixRow{
 				System: b.Name(), ShareProb: p,
-				MeanTTFT: res.Summary.MeanTTFT, Throughput: res.Summary.Throughput,
+				MeanTTFT: res.Summary.MeanTTFT.Float(), Throughput: res.Summary.Throughput,
 				SLOAttainment: res.Summary.SLOAttainment,
 			}
 			if b.PrefixCache != nil {
@@ -313,7 +314,7 @@ func ExtCluster(d workload.Dataset, rate float64, n int, seed int64) []ClusterRo
 		s := res.Summary
 		rows = append(rows, ClusterRow{
 			Replicas: replicas, Policy: string(cluster.LeastLoaded), Rate: rate,
-			MeanTTFT: s.MeanTTFT, Throughput: s.Throughput,
+			MeanTTFT: s.MeanTTFT.Float(), Throughput: s.Throughput,
 			PerGPUThru: s.Throughput / float64(replicas), SLOAttainment: s.SLOAttainment,
 		})
 	}
@@ -408,7 +409,7 @@ func ExtTensorParallel(d workload.Dataset, rate float64, n int, seed int64) []TP
 		res := env.Run(b, workload.Generate(d, rate, n, seed))
 		s := res.Summary
 		rows = append(rows, TPRow{
-			TP: tp, MeanTTFT: s.MeanTTFT, MeanTPOTMs: s.MeanTPOTMs,
+			TP: tp, MeanTTFT: s.MeanTTFT.Float(), MeanTPOTMs: s.MeanTPOTMs,
 			Throughput: s.Throughput, PerGPUThru: s.Throughput / float64(tp),
 			SLOAttainment: s.SLOAttainment,
 		})

@@ -35,7 +35,7 @@ func Figure11(cfg E2EConfig) []Figure11Row {
 				s := res.Summary
 				rows = append(rows, Figure11Row{
 					Dataset: ds, System: sys, Rate: rate,
-					MeanTTFT: s.MeanTTFT, P90NormTTFT: s.P90NormTTFT,
+					MeanTTFT: s.MeanTTFT.Float(), P90NormTTFT: s.P90NormTTFT,
 					MeanTPOTMs: s.MeanTPOTMs, P90TPOTMs: s.P90TPOTMs,
 					Throughput: s.Throughput, SLOAttainment: s.SLOAttainment,
 				})

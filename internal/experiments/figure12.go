@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/serving"
+	"repro/internal/units"
 	"repro/internal/workload"
 )
 
@@ -16,8 +17,8 @@ import (
 // to SGLang-2048's hybrid-batch budget occupancy, on the Azure-Code
 // workload.
 type Figure12Result struct {
-	// Sampled at SampleTimes (seconds).
-	SampleTimes   []float64
+	// Sampled at SampleTimes (unit-typed seconds).
+	SampleTimes   []units.Seconds
 	PrefillSMs    []float64
 	DecodeSMs     []float64
 	PrefillTokens []float64
@@ -69,7 +70,7 @@ func Figure12(rate float64, n int, seed int64, samples int) Figure12Result {
 		SGLangSummary: resS.Summary,
 	}
 	for i := 0; i < samples; i++ {
-		out.SampleTimes = append(out.SampleTimes, horizon*float64(i)/float64(samples-1))
+		out.SampleTimes = append(out.SampleTimes, units.Over(units.Scale(horizon, float64(i)), float64(samples-1)))
 	}
 	tl := b.Timeline
 	for _, t := range out.SampleTimes {
@@ -82,8 +83,8 @@ func Figure12(rate float64, n int, seed int64, samples int) Figure12Result {
 		out.HybridChunkTokens = append(out.HybridChunkTokens, hybridChunk.At(t))
 		out.HybridWaiting = append(out.HybridWaiting, hybridWait.At(t))
 	}
-	out.BulletQueueMean = resB.Summary.MeanQueue
-	out.SGLangQueueMean = resS.Summary.MeanQueue
+	out.BulletQueueMean = resB.Summary.MeanQueue.Float()
+	out.SGLangQueueMean = resS.Summary.MeanQueue.Float()
 	return out
 }
 
@@ -93,7 +94,7 @@ func RenderFigure12(r Figure12Result) string {
 	var cells [][]string
 	for i, t := range r.SampleTimes {
 		cells = append(cells, []string{
-			f1(t), f1(r.PrefillSMs[i]), f1(r.DecodeSMs[i]), f1(r.PrefillTokens[i]),
+			f1(t.Float()), f1(r.PrefillSMs[i]), f1(r.DecodeSMs[i]), f1(r.PrefillTokens[i]),
 			f1(r.DecodeBatch[i]), f1(r.Waiting[i]),
 			f1(r.HybridDecodeTokens[i]), f1(r.HybridChunkTokens[i]), f1(r.HybridWaiting[i]),
 		})
@@ -111,7 +112,7 @@ func RenderFigure12(r Figure12Result) string {
 		r.BulletQueueMean, r.SGLangQueueMean, ratio(r.BulletQueueMean, r.SGLangQueueMean))
 	fmt.Fprintf(&sb, "TTFT: bullet %.3fs vs sglang-2048 %.3fs (%.2fx); TPOT %.1fms vs %.1fms (%.2fx)\n",
 		r.BulletSummary.MeanTTFT, r.SGLangSummary.MeanTTFT,
-		ratio(r.BulletSummary.MeanTTFT, r.SGLangSummary.MeanTTFT),
+		ratio(r.BulletSummary.MeanTTFT.Float(), r.SGLangSummary.MeanTTFT.Float()),
 		r.BulletSummary.MeanTPOTMs, r.SGLangSummary.MeanTPOTMs,
 		ratio(r.BulletSummary.MeanTPOTMs, r.SGLangSummary.MeanTPOTMs))
 	return sb.String()

@@ -36,7 +36,7 @@ func Figure13(dataset workload.Dataset, rate float64, n int, seed int64) []Figur
 		s := res.Summary
 		rows = append(rows, Figure13Row{
 			Dataset: dataset.Name, Config: sys,
-			MeanTTFT: s.MeanTTFT, P90NormTTFT: s.P90NormTTFT,
+			MeanTTFT: s.MeanTTFT.Float(), P90NormTTFT: s.P90NormTTFT,
 			MeanTPOTMs: s.MeanTPOTMs, P90TPOTMs: s.P90TPOTMs,
 			Throughput: s.Throughput, SLOAttainment: s.SLOAttainment,
 		})

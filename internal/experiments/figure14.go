@@ -31,7 +31,7 @@ func Figure14(rates map[string]float64, n int, seed int64) []Figure14Row {
 			s := res.Summary
 			rows = append(rows, Figure14Row{
 				Dataset: d.Name, Variant: v,
-				MeanTTFT: s.MeanTTFT, P90NormTTFT: s.P90NormTTFT,
+				MeanTTFT: s.MeanTTFT.Float(), P90NormTTFT: s.P90NormTTFT,
 				MeanTPOTMs: s.MeanTPOTMs, SLOAttainment: s.SLOAttainment,
 			})
 		}

@@ -2,13 +2,13 @@ package experiments
 
 import (
 	"fmt"
-	"math"
 	"sort"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/estimator"
 	"repro/internal/serving"
+	"repro/internal/units"
 	"repro/internal/workload"
 )
 
@@ -50,10 +50,10 @@ func Figure15(n int, seed int64) Figure15Result {
 	b := core.New(env, core.Options{Mode: core.ModeFull, Params: rep.Params})
 	type pair struct {
 		kind      string
-		pred, act float64
+		pred, act units.Seconds
 	}
 	var pairs []pair
-	b.Estimator.OnObserve = func(phase string, predicted, actual float64) {
+	b.Estimator.OnObserve = func(phase string, predicted, actual units.Seconds) {
 		pairs = append(pairs, pair{phase, predicted, actual})
 	}
 	b.RunTrace(workload.Generate(workload.AzureCode, 4.5, n, seed))
@@ -67,7 +67,7 @@ func Figure15(n int, seed int64) Figure15Result {
 		if p.act <= 0 || p.pred <= 0 {
 			continue
 		}
-		rels = append(rels, math.Abs(p.pred-p.act)/p.act)
+		rels = append(rels, units.Ratio(units.Abs(p.pred-p.act), p.act))
 		samples = append(samples, estimator.Sample{Kind: p.kind, Actual: p.act, Predicted: p.pred})
 	}
 	sort.Float64s(rels)

@@ -4,6 +4,7 @@ import (
 	"repro/internal/gpusim"
 	"repro/internal/sim"
 	"repro/internal/smmask"
+	"repro/internal/units"
 )
 
 // Figure2Row is one operator's share of an isolated prefill pass plus its
@@ -19,7 +20,7 @@ type Figure2Row struct {
 // Figure2Summary aggregates one sequence length's whole layer.
 type Figure2Summary struct {
 	SeqLen      int
-	LayerTime   float64
+	LayerTime   units.Seconds
 	ComputeUtil float64
 	BWUtil      float64
 }
@@ -35,7 +36,11 @@ func Figure2() ([]Figure2Row, []Figure2Summary) {
 	for _, seq := range []int{1024, 2048, 4096, 16384} {
 		s := sim.New()
 		g := gpusim.New(s, spec)
-		type agg struct{ time, flops, bytes float64 }
+		type agg struct {
+			time  units.Seconds
+			flops units.FLOPs
+			bytes units.Bytes
+		}
 		perOp := map[string]agg{}
 		var order []string
 		g.Trace = func(r gpusim.KernelRecord) {
@@ -53,19 +58,20 @@ func Figure2() ([]Figure2Row, []Figure2Summary) {
 		for _, k := range cfg.PrefillLayerKernels(seq, 0, "prefill") {
 			g.Launch(st, k, nil)
 		}
-		var layerTime float64
+		var layerTime sim.Time
 		g.Synchronize(st, func() { layerTime = s.Now() })
 		s.RunAll(1 << 20)
 
-		var totalFlops, totalBytes float64
+		var totalFlops units.FLOPs
+		var totalBytes units.Bytes
 		for _, op := range order {
 			a := perOp[op]
 			rows = append(rows, Figure2Row{
 				SeqLen:      seq,
 				Op:          op,
-				TimeFrac:    a.time / layerTime,
-				ComputeUtil: a.flops / (a.time * spec.PeakFLOPS),
-				BWUtil:      a.bytes / (a.time * spec.PeakBW),
+				TimeFrac:    units.Ratio(a.time, layerTime),
+				ComputeUtil: units.Ratio(a.flops, spec.PeakFLOPS.Times(a.time)),
+				BWUtil:      units.Ratio(a.bytes, spec.PeakBW.Times(a.time)),
 			})
 			totalFlops += a.flops
 			totalBytes += a.bytes
@@ -73,8 +79,8 @@ func Figure2() ([]Figure2Row, []Figure2Summary) {
 		sums = append(sums, Figure2Summary{
 			SeqLen:      seq,
 			LayerTime:   layerTime,
-			ComputeUtil: totalFlops / (layerTime * spec.PeakFLOPS),
-			BWUtil:      totalBytes / (layerTime * spec.PeakBW),
+			ComputeUtil: units.Ratio(totalFlops, spec.PeakFLOPS.Times(layerTime)),
+			BWUtil:      units.Ratio(totalBytes, spec.PeakBW.Times(layerTime)),
 		})
 	}
 	return rows, sums
@@ -94,7 +100,7 @@ func RenderFigure2(rows []Figure2Row, sums []Figure2Summary) string {
 	header = []string{"SeqLen", "LayerTime(ms)", "ComputeUtil", "BWUtil"}
 	cells = nil
 	for _, s := range sums {
-		cells = append(cells, []string{itoa(s.SeqLen), f3(s.LayerTime * 1000), f2(s.ComputeUtil), f2(s.BWUtil)})
+		cells = append(cells, []string{itoa(s.SeqLen), f3(s.LayerTime.Ms()), f2(s.ComputeUtil), f2(s.BWUtil)})
 	}
 	return out + "\nWhole-layer aggregate (red-line comparison):\n" + table(header, cells)
 }

@@ -4,6 +4,7 @@ import (
 	"repro/internal/gpusim"
 	"repro/internal/sim"
 	"repro/internal/smmask"
+	"repro/internal/units"
 )
 
 // Figure4Chunk is one chunk of a chunked 16k-token prefill (Fig. 4): its
@@ -12,7 +13,7 @@ import (
 type Figure4Chunk struct {
 	ChunkSize int
 	Index     int
-	Latency   float64
+	Latency   units.Seconds
 	Util      float64
 }
 
@@ -20,8 +21,8 @@ type Figure4Chunk struct {
 type Figure4Result struct {
 	SeqLen       int
 	Chunks       []Figure4Chunk
-	TotalLatency map[int]float64 // per chunk size
-	Unchunked    float64
+	TotalLatency map[int]units.Seconds // per chunk size
+	Unchunked    units.Seconds
 	UnchunkedUtl float64
 }
 
@@ -32,14 +33,14 @@ func Figure4() Figure4Result {
 	spec, cfg := Platform()
 	spec.LaunchOverhead = 0
 	const seqLen = 16384
-	res := Figure4Result{SeqLen: seqLen, TotalLatency: map[int]float64{}}
+	res := Figure4Result{SeqLen: seqLen, TotalLatency: map[int]units.Seconds{}}
 
 	runChunks := func(cs int) {
 		s := sim.New()
 		g := gpusim.New(s, spec)
 		st := g.NewStream(smmask.Full(spec.NumSMs))
 		done := 0
-		prev := 0.0
+		var prev sim.Time
 		for hist := 0; hist < seqLen; hist += cs {
 			hist := hist
 			idx := hist / cs
@@ -58,7 +59,7 @@ func Figure4() Figure4Result {
 					ChunkSize: cs,
 					Index:     idx,
 					Latency:   dur,
-					Util:      work.FLOPs / (dur * spec.PeakFLOPS),
+					Util:      units.Ratio(work.FLOPs, spec.PeakFLOPS.Times(dur)),
 				})
 				done++
 			})
@@ -81,7 +82,7 @@ func Figure4() Figure4Result {
 	g.Synchronize(st, func() { res.Unchunked = s.Now() })
 	s.RunAll(1 << 22)
 	work := cfg.PrefillWork(seqLen, 0)
-	res.UnchunkedUtl = work.FLOPs / (res.Unchunked * spec.PeakFLOPS)
+	res.UnchunkedUtl = units.Ratio(work.FLOPs, spec.PeakFLOPS.Times(res.Unchunked))
 	return res
 }
 
@@ -94,18 +95,18 @@ func RenderFigure4(r Figure4Result) string {
 		if c.ChunkSize == 1024 && c.Index%2 == 1 {
 			continue
 		}
-		cells = append(cells, []string{itoa(c.ChunkSize), itoa(c.Index), f2(c.Latency * 1000), f2(c.Util)})
+		cells = append(cells, []string{itoa(c.ChunkSize), itoa(c.Index), f2(c.Latency.Ms()), f2(c.Util)})
 	}
 	out := "Figure 4: per-chunk GPU utilization and latency, 16k-token chunked prefill\n" +
 		table(header, cells)
 	header = []string{"Config", "TotalLatency(ms)", "vs unchunked"}
 	cells = [][]string{
-		{"unchunked", f1(r.Unchunked * 1000), "1.00x"},
+		{"unchunked", f1(r.Unchunked.Ms()), "1.00x"},
 	}
 	for _, cs := range []int{1024, 2048} {
 		cells = append(cells, []string{
-			"chunk-" + itoa(cs), f1(r.TotalLatency[cs] * 1000),
-			f2(r.TotalLatency[cs]/r.Unchunked) + "x",
+			"chunk-" + itoa(cs), f1(r.TotalLatency[cs].Ms()),
+			f2(units.Ratio(r.TotalLatency[cs], r.Unchunked)) + "x",
 		})
 	}
 	return out + "\nTotal prefill latency:\n" + table(header, cells)

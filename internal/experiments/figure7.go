@@ -4,6 +4,7 @@ import (
 	"repro/internal/gpusim"
 	"repro/internal/sim"
 	"repro/internal/smmask"
+	"repro/internal/units"
 )
 
 // Figure7Row is the speedup of running a phase on a partial SM allocation
@@ -26,14 +27,14 @@ func Figure7() []Figure7Row {
 	spec.LaunchOverhead = 0
 	sms := []int{12, 24, 36, 48, 60, 72, 84, 96, 108}
 
-	measure := func(build func() []gpusim.Kernel, m int) float64 {
+	measure := func(build func() []gpusim.Kernel, m int) sim.Time {
 		s := sim.New()
 		g := gpusim.New(s, spec)
 		st := g.NewStream(smmask.Range(0, m))
 		for _, k := range build() {
 			g.Launch(st, k, nil)
 		}
-		var end float64
+		var end sim.Time
 		g.Synchronize(st, func() { end = s.Now() })
 		s.RunAll(1 << 20)
 		return end
@@ -48,21 +49,21 @@ func Figure7() []Figure7Row {
 			rows = append(rows, Figure7Row{
 				Phase: "prefill", Param: seq, SMs: m,
 				SMFrac:  float64(m) / float64(spec.NumSMs),
-				Speedup: full / measure(build, m),
+				Speedup: units.Ratio(full, measure(build, m)),
 			})
 		}
 	}
 	for _, bs := range []int{16, 64, 256} {
 		bs := bs
 		build := func() []gpusim.Kernel {
-			return []gpusim.Kernel{cfg.DecodeStepKernel(bs, 2048, "d")}
+			return []gpusim.Kernel{cfg.DecodeStepKernel(bs, units.Tokens(2048), "d")}
 		}
 		full := measure(build, spec.NumSMs)
 		for _, m := range sms {
 			rows = append(rows, Figure7Row{
 				Phase: "decode", Param: bs, SMs: m,
 				SMFrac:  float64(m) / float64(spec.NumSMs),
-				Speedup: full / measure(build, m),
+				Speedup: units.Ratio(full, measure(build, m)),
 			})
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/serving"
+	"repro/internal/units"
 	"repro/internal/workload"
 )
 
@@ -71,11 +72,11 @@ func TestGPUWorkAccounting(t *testing.T) {
 	spec, cfg := Platform()
 	d := workload.AzureCode
 	trace := &workload.Trace{Dataset: d.Name, Rate: 1}
-	demand := 0.0
+	var demand units.FLOPs
 	for i := 0; i < 5; i++ {
 		in := 1024 * (i + 1)
 		trace.Requests = append(trace.Requests, workload.Request{
-			ID: itoa(i), Arrival: float64(i) * 2, InputTokens: in, OutputTokens: 1,
+			ID: itoa(i), Arrival: units.Seconds(float64(i) * 2), InputTokens: in, OutputTokens: 1,
 			Dataset: d.Name,
 		})
 		w := cfg.PrefillWork(in, 0)

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"repro/internal/gpusim"
+	"repro/internal/units"
 )
 
 // Table1Row is the theoretical SM idle ratio (%) caused by wave
@@ -26,17 +27,17 @@ func Table1() []Table1Row {
 	var rows []Table1Row
 	for _, seq := range []int{1024, 2048, 4096, 16384} {
 		ks := cfg.PrefillLayerKernels(seq, 0, "")
-		type acc struct{ idleTime, time float64 }
+		type acc struct{ idleTime, time units.Seconds }
 		perOp := map[string]acc{}
 		var layer acc
 		for _, k := range ks {
 			t := kernelSoloTime(spec, k, spec.NumSMs)
 			idle := gpusim.WaveIdleRatio(k.Grid, spec.NumSMs)
 			a := perOp[opGroup(k.Name)]
-			a.idleTime += idle * t
+			a.idleTime += units.Scale(t, idle)
 			a.time += t
 			perOp[opGroup(k.Name)] = a
-			layer.idleTime += idle * t
+			layer.idleTime += units.Scale(t, idle)
 			layer.time += t
 		}
 		ratio := func(op string) float64 {
@@ -44,7 +45,7 @@ func Table1() []Table1Row {
 			if a.time == 0 {
 				return 0
 			}
-			return 100 * a.idleTime / a.time
+			return units.Ratio(units.Scale(a.idleTime, 100), a.time)
 		}
 		rows = append(rows, Table1Row{
 			SeqLen: seq,
@@ -52,7 +53,7 @@ func Table1() []Table1Row {
 			Attn:   ratio("attn"),
 			OProj:  ratio("oproj"),
 			MLP:    ratio("mlp"),
-			Total:  100 * layer.idleTime / layer.time,
+			Total:  units.Ratio(units.Scale(layer.idleTime, 100), layer.time),
 		})
 	}
 	return rows
@@ -72,20 +73,20 @@ func opGroup(name string) string {
 
 // kernelSoloTime is the isolated full-mask roofline duration used for
 // weighting (same arithmetic as the simulator's solo path).
-func kernelSoloTime(spec gpusim.Spec, k gpusim.Kernel, sms int) float64 {
+func kernelSoloTime(spec gpusim.Spec, k gpusim.Kernel, sms int) units.Seconds {
 	eff := k.Efficiency
 	if eff == 0 {
 		eff = 1
 	}
 	frac := float64(sms) / float64(spec.NumSMs)
-	ct := 0.0
+	ct := units.Seconds(0)
 	if k.FLOPs > 0 {
-		ct = k.FLOPs / (spec.PeakFLOPS * eff * frac)
-		ct /= 1 - gpusim.WaveIdleRatio(k.Grid, sms)
+		ct = k.FLOPs.Div(units.Scale(units.Scale(spec.PeakFLOPS, eff), frac))
+		ct = units.Over(ct, 1-gpusim.WaveIdleRatio(k.Grid, sms))
 	}
-	bt := 0.0
+	bt := units.Seconds(0)
 	if k.Bytes > 0 {
-		bt = k.Bytes / (spec.PeakBW * minf(1, powf(frac, spec.BWScaleExp)))
+		bt = k.Bytes.Div(units.Scale(spec.PeakBW, minf(1, powf(frac, spec.BWScaleExp))))
 	}
 	if ct > bt {
 		return ct

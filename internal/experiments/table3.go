@@ -12,6 +12,7 @@ import (
 	"repro/internal/resource"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/units"
 )
 
 // Table3Row is one control-plane component's measured CPU overhead
@@ -54,18 +55,18 @@ func Table3(iters int, timer func() float64) []Table3Row {
 		TotalLayers: cfg.NumLayers, LayerGroup: 1,
 		NumSMs: spec.NumSMs, Levels: res.Levels(),
 	})
-	buf := engine.NewBuffer(s, 0.21e-3)
+	buf := engine.NewBuffer(s, units.Seconds(0.21e-3))
 	buf.RegisterPrefill(func() (sched.PrefillStatus, []sched.WaitingReq) {
 		return sched.PrefillStatus{
 			Active: true, Tokens: 4096, LayersDone: 10,
-			Arrivals:    []float64{0, 0, 0},
+			Arrivals:    []sim.Time{0, 0, 0},
 			InputTokens: []int{1024, 2048, 1024},
 		}, []sched.WaitingReq{{Arrival: 0, InputTokens: 2048}}
 	})
 	buf.RegisterDecode(func() sched.DecodeStatus {
 		ds := sched.DecodeStatus{Batch: 64, AvgCtx: 1500}
 		for i := 0; i < 64; i++ {
-			ds.Elapsed = append(ds.Elapsed, 0.2)
+			ds.Elapsed = append(ds.Elapsed, units.Seconds(0.2))
 			ds.Generated = append(ds.Generated, 8)
 		}
 		return ds
@@ -104,7 +105,7 @@ func Table3(iters int, timer func() float64) []Table3Row {
 		measure("Metadata Snapshot", func(i int) { _ = buf.Snapshot() }),
 		measure("Performance Predict", func(i int) {
 			_ = est.PrefillLayerTime(2048, 0, 84, true)
-			_ = est.DecodeStepTime(64, 1500, 24, true)
+			_ = est.DecodeStepTime(64, units.Tokens(1500), 24, true)
 		}),
 		measure("Scheduler Decide", func(i int) { _ = schd.Decide(st) }),
 		measure("Resource Re-config", func(i int) {

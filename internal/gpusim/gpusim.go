@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/smmask"
+	"repro/internal/units"
 )
 
 // Kernel describes one unit of GPU work.
@@ -35,9 +36,9 @@ type Kernel struct {
 	// Name appears in traces ("qkv", "attn-prefill", ...).
 	Name string
 	// FLOPs is the arithmetic work of the kernel.
-	FLOPs float64
+	FLOPs units.FLOPs
 	// Bytes is the DRAM traffic of the kernel.
-	Bytes float64
+	Bytes units.Bytes
 	// Grid is the number of thread blocks; it drives wave quantization.
 	// Zero means the work has no quantized shape (no tail-wave penalty).
 	Grid int
@@ -50,7 +51,7 @@ type Kernel struct {
 	Tag string
 	// CommBytes is interconnect traffic (tensor-parallel allreduce):
 	// it adds a LinkBW-limited term to the kernel's roofline.
-	CommBytes float64
+	CommBytes units.Bytes
 	// Graph marks the kernel as part of a captured CUDA graph: it pays
 	// no per-kernel launch overhead (the graph launch is paid by the
 	// first kernel carrying GraphHead).
@@ -68,10 +69,10 @@ type launch struct {
 	running   bool
 	mask      smmask.Mask
 	maskCount int
-	remaining float64 // fraction of the kernel still to execute, in (0,1]
-	rate      float64 // fraction per second under the current regime
+	remaining float64      // fraction of the kernel still to execute, in (0,1]
+	rate      units.PerSec // fraction per second under the current regime
 	startTime sim.Time
-	overhead  float64 // launch overhead still to elapse before running
+	overhead  sim.Time // launch overhead still to elapse before running
 	complete  *sim.Event
 	// weight is the kernel's compute intensity in [minComputeWeight, 1]:
 	// how much of an SM's issue bandwidth it consumes. Memory-bound
@@ -92,14 +93,14 @@ type KernelRecord struct {
 	Start    sim.Time
 	End      sim.Time
 	SMs      int
-	FLOPs    float64
-	Bytes    float64
+	FLOPs    units.FLOPs
+	Bytes    units.Bytes
 	Grid     int
 	WaveIdle float64 // idle ratio under the mask it actually ran on
 }
 
 // Duration returns the wall-clock execution time of the kernel.
-func (r KernelRecord) Duration() float64 { return r.End - r.Start }
+func (r KernelRecord) Duration() sim.Time { return r.End - r.Start }
 
 // Stream is a FIFO queue of kernels bound to an SM mask, the simulated
 // equivalent of a CUDA stream with an smctrl mask.
@@ -146,14 +147,14 @@ type GPU struct {
 	lastUpdate sim.Time
 
 	// Accounting integrals.
-	flopsDone   float64
-	bytesDone   float64
-	smBusyTime  float64 // ∫ Σ_i m_eff_i dt  (SM·seconds of occupancy)
-	anyBusyTime float64 // wall time with ≥1 resident kernel
+	flopsDone   units.FLOPs
+	bytesDone   units.Bytes
+	smBusyTime  units.SMSeconds // ∫ Σ_i m_eff_i dt  (SM·seconds of occupancy)
+	anyBusyTime sim.Time        // wall time with ≥1 resident kernel
 	lastAnyBusy bool
-	tagFlops    map[string]float64
-	tagBytes    map[string]float64
-	tagTime     map[string]float64 // SM·seconds per tag
+	tagFlops    map[string]units.FLOPs
+	tagBytes    map[string]units.Bytes
+	tagTime     map[string]units.SMSeconds // SM·seconds per tag
 
 	// Trace receives a record per completed kernel when non-nil.
 	Trace func(KernelRecord)
@@ -170,7 +171,7 @@ type Utilization struct {
 	// Bandwidth is achieved byte rate / peak bandwidth.
 	Bandwidth float64
 	// BusySMs is the number of SMs occupied by resident kernels.
-	BusySMs float64
+	BusySMs units.SMs
 	// Resident is the number of kernels currently executing.
 	Resident int
 }
@@ -183,9 +184,9 @@ func New(s *sim.Simulation, spec Spec) *GPU {
 	return &GPU{
 		Spec:     spec,
 		sim:      s,
-		tagFlops: make(map[string]float64),
-		tagBytes: make(map[string]float64),
-		tagTime:  make(map[string]float64),
+		tagFlops: make(map[string]units.FLOPs),
+		tagBytes: make(map[string]units.Bytes),
+		tagTime:  make(map[string]units.SMSeconds),
 	}
 }
 
@@ -246,7 +247,7 @@ func (g *GPU) startHead(st *Stream) {
 	g.beginResident(l)
 }
 
-func (g *GPU) launchCost(k Kernel) float64 {
+func (g *GPU) launchCost(k Kernel) sim.Time {
 	switch {
 	case k.GraphHead:
 		return g.Spec.GraphLaunchOverhead
@@ -273,12 +274,12 @@ func (g *GPU) computeIntensity(k Kernel) float64 {
 	if eff == 0 {
 		eff = 1
 	}
-	ct := k.FLOPs / (g.Spec.PeakFLOPS * eff)
-	bt := k.Bytes / g.Spec.PeakBW
+	ct := k.FLOPs.Div(units.Scale(g.Spec.PeakFLOPS, eff))
+	bt := k.Bytes.Div(g.Spec.PeakBW)
 	if ct+bt == 0 {
 		return minComputeWeight
 	}
-	q := ct / (ct + bt)
+	q := units.Ratio(ct, ct+bt)
 	if q < minComputeWeight {
 		q = minComputeWeight
 	}
@@ -351,18 +352,18 @@ func (g *GPU) advance() {
 		if l.rate <= 0 {
 			continue
 		}
-		done := l.rate * dt
+		done := l.rate.Times(dt)
 		if done > l.remaining {
 			done = l.remaining
 		}
 		l.remaining -= done
-		g.flopsDone += done * l.k.FLOPs
-		g.bytesDone += done * l.k.Bytes
+		g.flopsDone += units.Scale(l.k.FLOPs, done)
+		g.bytesDone += units.Scale(l.k.Bytes, done)
 		meff := g.effectiveSMs(l)
-		g.smBusyTime += meff * dt
-		g.tagFlops[l.k.Tag] += done * l.k.FLOPs
-		g.tagBytes[l.k.Tag] += done * l.k.Bytes
-		g.tagTime[l.k.Tag] += meff * dt
+		g.smBusyTime += meff.Times(dt)
+		g.tagFlops[l.k.Tag] += units.Scale(l.k.FLOPs, done)
+		g.tagBytes[l.k.Tag] += units.Scale(l.k.Bytes, done)
+		g.tagTime[l.k.Tag] += meff.Times(dt)
 	}
 }
 
@@ -371,7 +372,7 @@ func (g *GPU) advance() {
 // bandwidth is split in proportion to the sharers' compute intensities,
 // so a memory-bound kernel co-resident with a GEMM costs the GEMM little
 // compute (the warp scheduler interleaves around its DRAM stalls).
-func (g *GPU) effectiveSMs(l *launch) float64 {
+func (g *GPU) effectiveSMs(l *launch) units.SMs {
 	// Fast path: no overlap with any other resident kernel.
 	overlapped := false
 	for _, o := range g.running {
@@ -381,9 +382,9 @@ func (g *GPU) effectiveSMs(l *launch) float64 {
 		}
 	}
 	if !overlapped {
-		return float64(l.maskCount)
+		return units.SMs(l.maskCount)
 	}
-	eff := 0.0
+	eff := units.SMs(0)
 	l.mask.ForEach(func(i int) {
 		total := l.weight
 		for _, o := range g.running {
@@ -391,7 +392,7 @@ func (g *GPU) effectiveSMs(l *launch) float64 {
 				total += o.weight
 			}
 		}
-		eff += l.weight / total
+		eff += units.SMs(l.weight / total)
 	})
 	return eff
 }
@@ -419,37 +420,37 @@ func (g *GPU) overlapFraction(l *launch) float64 {
 // thrash) scales with how much the masks actually collide — strictly
 // partitioned kernels only contend for DRAM, which the water-filling
 // handles separately.
-func (g *GPU) soloRate(l *launch, meff, ov float64) (rate, bwCap float64) {
+func (g *GPU) soloRate(l *launch, meff units.SMs, ov float64) (rate units.PerSec, bwCap units.BytesPerSec) {
 	spec := g.Spec
-	frac := meff / float64(spec.NumSMs)
+	frac := units.Ratio(meff, units.SMs(spec.NumSMs))
 	effPeak := l.k.Efficiency
 	if effPeak == 0 {
 		effPeak = 1
 	}
 	pc := 1 - (1-spec.CoRunComputePenalty)*ov
 	pb := 1 - (1-spec.CoRunBWPenalty)*ov
-	computeCap := spec.PeakFLOPS * effPeak * frac * pc
+	computeCap := units.Scale(units.Scale(units.Scale(spec.PeakFLOPS, effPeak), frac), pc)
 	// Wave quantization is a placement effect of the mask size, not the
 	// contended share, so it uses the mask's SM count. Bandwidth access
 	// likewise scales with occupancy (the SMs the kernel is resident
 	// on), not with its contended compute share.
 	wave := 1 - WaveIdleRatio(l.k.Grid, l.maskCount)
 	occFrac := float64(l.maskCount) / float64(spec.NumSMs)
-	bwCap = spec.PeakBW * math.Min(1, math.Pow(occFrac, spec.BWScaleExp)) * pb
+	bwCap = units.Scale(units.Scale(spec.PeakBW, math.Min(1, math.Pow(occFrac, spec.BWScaleExp))), pb)
 
-	rc := math.Inf(1)
+	rc := units.Inf[units.PerSec](1)
 	if l.k.FLOPs > 0 {
-		rc = computeCap * wave / l.k.FLOPs
+		rc = units.Scale(computeCap, wave).Progress(l.k.FLOPs)
 	}
-	rb := math.Inf(1)
+	rb := units.Inf[units.PerSec](1)
 	if l.k.Bytes > 0 {
-		rb = bwCap / l.k.Bytes
+		rb = bwCap.Progress(l.k.Bytes)
 	}
-	rl := math.Inf(1)
+	rl := units.Inf[units.PerSec](1)
 	if l.k.CommBytes > 0 && spec.LinkBW > 0 {
-		rl = spec.LinkBW / l.k.CommBytes
+		rl = spec.LinkBW.Progress(l.k.CommBytes)
 	}
-	return math.Min(math.Min(rc, rb), rl), bwCap
+	return units.Min(units.Min(rc, rb), rl), bwCap
 }
 
 // recompute re-derives every resident kernel's rate from the current mix
@@ -459,14 +460,14 @@ func (g *GPU) recompute() {
 
 	type demand struct {
 		l       *launch
-		nominal float64
-		bytes   float64 // bytes/s at nominal rate
+		nominal units.PerSec
+		bytes   units.BytesPerSec // bytes/s at nominal rate
 	}
 	demands := make([]demand, 0, len(g.running))
 	for _, l := range g.running {
 		meff := g.effectiveSMs(l)
 		nominal, _ := g.soloRate(l, meff, g.overlapFraction(l))
-		demands = append(demands, demand{l, nominal, nominal * l.k.Bytes})
+		demands = append(demands, demand{l, nominal, l.k.Bytes.AtRate(nominal)})
 	}
 
 	// Max–min fair bandwidth allocation with per-kernel caps: kernels
@@ -476,31 +477,31 @@ func (g *GPU) recompute() {
 	remaining := totalBW
 	left := len(demands)
 	for idx, d := range demands {
-		share := remaining / float64(left)
-		alloc := math.Min(d.bytes, share)
+		share := units.Over(remaining, float64(left))
+		alloc := units.Min(d.bytes, share)
 		remaining -= alloc
 		left--
 		rate := d.nominal
 		if d.l.k.Bytes > 0 && alloc < d.bytes {
-			rate = alloc / d.l.k.Bytes
+			rate = alloc.Progress(d.l.k.Bytes)
 		}
 		demands[idx].l.rate = rate
 	}
 
 	// Reschedule completions.
 	now := g.sim.Now()
-	instFlops, instBytes, busySMs := 0.0, 0.0, 0.0
+	instFlops, instBytes, busySMs := units.FLOPsPerSec(0), units.BytesPerSec(0), units.SMs(0)
 	for _, l := range g.running {
-		instFlops += l.rate * l.k.FLOPs
-		instBytes += l.rate * l.k.Bytes
+		instFlops += l.k.FLOPs.AtRate(l.rate)
+		instBytes += l.k.Bytes.AtRate(l.rate)
 		busySMs += g.effectiveSMs(l)
 		var eta sim.Time
 		if l.rate <= 0 {
-			eta = math.Inf(1)
+			eta = units.Inf[units.Seconds](1)
 		} else {
-			eta = now + l.remaining/l.rate
+			eta = now + units.Elapse(l.remaining, l.rate)
 		}
-		if math.IsInf(eta, 1) {
+		if units.IsInf(eta, 1) {
 			panic(fmt.Sprintf("gpusim: kernel %q stalled with zero rate", l.k.Name))
 		}
 		l := l
@@ -511,8 +512,8 @@ func (g *GPU) recompute() {
 	}
 	if g.Sampler != nil {
 		g.Sampler(now, Utilization{
-			Compute:   instFlops / g.Spec.PeakFLOPS,
-			Bandwidth: instBytes / g.Spec.PeakBW,
+			Compute:   units.Ratio(instFlops, g.Spec.PeakFLOPS),
+			Bandwidth: units.Ratio(instBytes, g.Spec.PeakBW),
 			BusySMs:   busySMs,
 			Resident:  len(g.running),
 		})
@@ -521,27 +522,27 @@ func (g *GPU) recompute() {
 
 // Stats summarises accumulated device activity.
 type Stats struct {
-	FLOPs       float64
-	Bytes       float64
-	SMBusyTime  float64 // SM·seconds occupied
-	AnyBusyTime float64 // wall seconds with ≥1 kernel resident
-	TagFlops    map[string]float64
-	TagBytes    map[string]float64
-	TagSMTime   map[string]float64
+	FLOPs       units.FLOPs
+	Bytes       units.Bytes
+	SMBusyTime  units.SMSeconds // SM·seconds occupied
+	AnyBusyTime sim.Time        // wall seconds with ≥1 kernel resident
+	TagFlops    map[string]units.FLOPs
+	TagBytes    map[string]units.Bytes
+	TagSMTime   map[string]units.SMSeconds
 }
 
 // Stats returns accumulated counters up to the current simulation time.
 func (g *GPU) Stats() Stats {
 	g.advance()
-	cpF := make(map[string]float64, len(g.tagFlops))
+	cpF := make(map[string]units.FLOPs, len(g.tagFlops))
 	for k, v := range g.tagFlops {
 		cpF[k] = v
 	}
-	cpB := make(map[string]float64, len(g.tagBytes))
+	cpB := make(map[string]units.Bytes, len(g.tagBytes))
 	for k, v := range g.tagBytes {
 		cpB[k] = v
 	}
-	cpT := make(map[string]float64, len(g.tagTime))
+	cpT := make(map[string]units.SMSeconds, len(g.tagTime))
 	for k, v := range g.tagTime {
 		cpT[k] = v
 	}
@@ -564,7 +565,7 @@ func (g *GPU) ComputeUtilization() float64 {
 		return 0
 	}
 	g.advance()
-	return g.flopsDone / (g.Spec.PeakFLOPS * now)
+	return units.Ratio(g.flopsDone, g.Spec.PeakFLOPS.Times(now))
 }
 
 // BandwidthUtilization returns average achieved bytes over [0, now] as a
@@ -575,7 +576,7 @@ func (g *GPU) BandwidthUtilization() float64 {
 		return 0
 	}
 	g.advance()
-	return g.bytesDone / (g.Spec.PeakBW * now)
+	return units.Ratio(g.bytesDone, g.Spec.PeakBW.Times(now))
 }
 
 // Idle reports whether no kernels are queued or resident anywhere.

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/smmask"
+	"repro/internal/units"
 )
 
 func newTestGPU() (*sim.Simulation, *GPU) {
@@ -15,11 +16,11 @@ func newTestGPU() (*sim.Simulation, *GPU) {
 	return s, New(s, TestGPU())
 }
 
-func almost(a, b, tol float64) bool {
+func almost[F ~float64](a, b F, tol float64) bool {
 	if b == 0 {
-		return math.Abs(a) < tol
+		return math.Abs(float64(a)) < tol
 	}
-	return math.Abs(a-b)/math.Abs(b) < tol
+	return math.Abs(float64(a-b))/math.Abs(float64(b)) < tol
 }
 
 func runKernel(t *testing.T, g *GPU, st *Stream, k Kernel) KernelRecord {
@@ -83,7 +84,7 @@ func TestWaveQuantizationInflation(t *testing.T) {
 	st := g.NewStream(g.FullMask())
 	// Grid 9 on 8 SMs: 2 waves, active fraction 9/16.
 	rec := runKernel(t, g, st, Kernel{Name: "tail", FLOPs: 1e12, Bytes: 1, Grid: 9})
-	want := 1.0 / (9.0 / 16.0)
+	want := sim.Time(1.0 / (9.0 / 16.0))
 	if !almost(rec.Duration(), want, 1e-9) {
 		t.Fatalf("duration = %v, want %v", rec.Duration(), want)
 	}
@@ -114,7 +115,7 @@ func TestPartialSMBandwidthScalesSuperLinearly(t *testing.T) {
 	_, g := newTestGPU() // BWScaleExp = 0.5
 	st := g.NewStream(smmask.Range(0, 4))
 	rec := runKernel(t, g, st, Kernel{Name: "copy", Bytes: 1e11})
-	want := 1.0 / math.Pow(0.5, 0.5) // ≈ 1.414 (not 2.0)
+	want := sim.Time(1.0 / math.Pow(0.5, 0.5)) // ≈ 1.414 (not 2.0)
 	if !almost(rec.Duration(), want, 1e-9) {
 		t.Fatalf("duration = %v, want %v", rec.Duration(), want)
 	}
@@ -193,7 +194,7 @@ func TestComputeAndMemoryKernelsComplement(t *testing.T) {
 	// Compute kernel on 6 SMs: 1e12*6/8 = 0.75e12 FLOP/s, tiny bytes.
 	// Memory kernel on 2 SMs: bw cap = (2/8)^0.5 = 0.5 → 0.5e11 B/s.
 	// They barely contend: both should finish near their solo times.
-	var compEnd, memEnd float64
+	var compEnd, memEnd sim.Time
 	g.Launch(a, Kernel{Name: "comp", FLOPs: 0.75e12, Bytes: 1e9, Grid: 6},
 		func(r KernelRecord) { compEnd = r.End })
 	g.Launch(b, Kernel{Name: "mem", Bytes: 0.5e11},
@@ -214,13 +215,13 @@ func TestRateRecomputationOnFinish(t *testing.T) {
 	// Kernel A: memory-bound, 1e11 bytes. Kernel B: memory-bound,
 	// 0.25e11 bytes. Together they split BW 0.5/0.5e11. B finishes at
 	// t=0.5; then A speeds up to its solo 4-SM cap 0.707e11.
-	var aEnd float64
+	var aEnd sim.Time
 	g.Launch(a, Kernel{Name: "A", Bytes: 1e11}, func(r KernelRecord) { aEnd = r.End })
 	g.Launch(b, Kernel{Name: "B", Bytes: 0.25e11}, nil)
 	s.RunAll(1000)
 	// A does 0.5e11*0.5 = 0.25e11 bytes by t=0.5, then 0.75e11 bytes at
 	// 0.707e11 B/s → 1.0607s more → total ≈ 1.5607.
-	want := 0.5 + 0.75e11/(1e11*math.Pow(0.5, 0.5))
+	want := sim.Time(0.5 + 0.75e11/(1e11*math.Pow(0.5, 0.5)))
 	if !almost(aEnd, want, 1e-6) {
 		t.Fatalf("A end = %v, want %v", aEnd, want)
 	}
@@ -229,7 +230,7 @@ func TestRateRecomputationOnFinish(t *testing.T) {
 func TestSetMaskAppliesToNextKernel(t *testing.T) {
 	s, g := newTestGPU()
 	st := g.NewStream(g.FullMask())
-	var d1, d2 float64
+	var d1, d2 sim.Time
 	g.Launch(st, Kernel{FLOPs: 1e12, Bytes: 1, Grid: 8}, func(r KernelRecord) { d1 = r.Duration() })
 	st.SetMask(smmask.Range(0, 4))
 	g.Launch(st, Kernel{FLOPs: 1e12, Bytes: 1, Grid: 4}, func(r KernelRecord) { d2 = r.Duration() })
@@ -245,7 +246,7 @@ func TestSetMaskAppliesToNextKernel(t *testing.T) {
 func TestSynchronize(t *testing.T) {
 	s, g := newTestGPU()
 	st := g.NewStream(g.FullMask())
-	var syncAt float64 = -1
+	syncAt := sim.Time(-1)
 	g.Launch(st, Kernel{FLOPs: 1e12, Bytes: 1, Grid: 8}, nil)
 	g.Synchronize(st, func() { syncAt = s.Now() })
 	s.RunAll(1000)
@@ -303,12 +304,12 @@ func TestGraphKernelsSkipPerKernelOverhead(t *testing.T) {
 func TestCoRunPenaltiesScaleWithOverlap(t *testing.T) {
 	spec := TestGPU()
 	spec.CoRunComputePenalty = 0.5
-	run := func(aMask, bMask smmask.Mask, flopsA float64) float64 {
+	run := func(aMask, bMask smmask.Mask, flopsA units.FLOPs) sim.Time {
 		s := sim.New()
 		g := New(s, spec)
 		a := g.NewStream(aMask)
 		b := g.NewStream(bMask)
-		var aEnd float64
+		var aEnd sim.Time
 		g.Launch(a, Kernel{FLOPs: flopsA, Bytes: 1, Grid: aMask.Count()},
 			func(r KernelRecord) { aEnd = r.End })
 		g.Launch(b, Kernel{FLOPs: 1e12, Bytes: 1, Grid: bMask.Count()}, nil)
@@ -402,8 +403,8 @@ func TestPropertyBandwidthConserved(t *testing.T) {
 			}
 			st := g.NewStream(smmask.Range(lo, hi))
 			g.Launch(st, Kernel{
-				FLOPs: float64(rng.Intn(10)+1) * 1e10,
-				Bytes: float64(rng.Intn(10)+1) * 1e9,
+				FLOPs: units.FLOPs(rng.Intn(10)+1) * 1e10,
+				Bytes: units.Bytes(rng.Intn(10)+1) * 1e9,
 				Grid:  rng.Intn(20),
 			}, nil)
 		}
@@ -419,16 +420,16 @@ func TestPropertyBandwidthConserved(t *testing.T) {
 func TestPropertyMonotoneInSMs(t *testing.T) {
 	f := func(flopsU, bytesU uint32, gridU uint16) bool {
 		k := Kernel{
-			FLOPs: float64(flopsU%1000+1) * 1e9,
-			Bytes: float64(bytesU%1000+1) * 1e8,
+			FLOPs: units.FLOPs(flopsU%1000+1) * 1e9,
+			Bytes: units.Bytes(bytesU%1000+1) * 1e8,
 			Grid:  int(gridU % 64),
 		}
-		prev := math.Inf(1)
+		prev := sim.Time(math.Inf(1))
 		for m := 2; m <= 8; m += 2 {
 			s := sim.New()
 			g := New(s, TestGPU())
 			st := g.NewStream(smmask.Range(0, m))
-			var d float64
+			var d sim.Time
 			g.Launch(st, k, func(r KernelRecord) { d = r.Duration() })
 			s.RunAll(100000)
 			if d > prev+1e-9 {

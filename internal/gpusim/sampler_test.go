@@ -5,12 +5,13 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/smmask"
+	"repro/internal/units"
 )
 
 func TestSamplerObservesConcurrency(t *testing.T) {
 	s, g := newTestGPU()
 	var maxResident int
-	var sawBusySMs float64
+	var sawBusySMs units.SMs
 	g.Sampler = func(_ sim.Time, u Utilization) {
 		if u.Resident > maxResident {
 			maxResident = u.Resident

@@ -1,24 +1,26 @@
 package gpusim
 
+import "repro/internal/units"
+
 // Spec describes a simulated GPU. All rates are in SI units (FLOP/s,
-// bytes/s, seconds).
+// bytes/s, seconds), carried as unit types from internal/units.
 type Spec struct {
 	// Name identifies the device in traces ("A100-PCIe-80GB").
 	Name string
 	// NumSMs is the number of streaming multiprocessors (108 on A100).
 	NumSMs int
 	// PeakFLOPS is the peak dense tensor throughput (FP16 w/ FP32 acc).
-	PeakFLOPS float64
+	PeakFLOPS units.FLOPsPerSec
 	// PeakBW is the peak HBM bandwidth in bytes/s.
-	PeakBW float64
+	PeakBW units.BytesPerSec
 	// HBMBytes is the device memory capacity.
-	HBMBytes float64
+	HBMBytes units.Bytes
 	// LaunchOverhead is the CPU-side cost of launching one kernel.
 	// Kernels launched as part of a CUDA graph instead pay
 	// GraphLaunchOverhead once for the whole graph.
-	LaunchOverhead float64
+	LaunchOverhead units.Seconds
 	// GraphLaunchOverhead is the cost of launching a captured graph.
-	GraphLaunchOverhead float64
+	GraphLaunchOverhead units.Seconds
 	// BWScaleExp shapes how achievable bandwidth scales with the
 	// fraction x of SMs a kernel may occupy: fb(x) = min(1, x^BWScaleExp).
 	// Exponents < 1 give the super-linear scaling of memory-bound
@@ -34,7 +36,7 @@ type Spec struct {
 	CoRunBWPenalty float64
 	// LinkBW is the per-GPU interconnect bandwidth (NVLink-class) used
 	// by kernels carrying CommBytes (tensor-parallel allreduces).
-	LinkBW float64
+	LinkBW units.BytesPerSec
 }
 
 // A100 returns the specification of the paper's evaluation platform:

@@ -13,6 +13,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"repro/internal/units"
 )
 
 // ErrOutOfMemory is returned when the pool cannot satisfy an allocation.
@@ -60,12 +62,12 @@ func NewPool(totalBlocks, blockTokens int) *Pool {
 
 // PlanBlocks computes how many KV blocks fit on a device: HBM minus
 // weights minus a runtime reserve, divided by the per-token KV footprint.
-func PlanBlocks(hbmBytes, weightBytes, reserveBytes, kvBytesPerToken float64, blockTokens int) int {
+func PlanBlocks(hbmBytes, weightBytes, reserveBytes, kvBytesPerToken units.Bytes, blockTokens int) int {
 	free := hbmBytes - weightBytes - reserveBytes
 	if free <= 0 || kvBytesPerToken <= 0 || blockTokens <= 0 {
 		return 0
 	}
-	return int(free / (kvBytesPerToken * float64(blockTokens)))
+	return int(units.Ratio(free, units.Scale(kvBytesPerToken, float64(blockTokens))))
 }
 
 // BlockTokens returns the tokens per block.

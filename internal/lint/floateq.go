@@ -7,9 +7,10 @@ import (
 )
 
 // FloatEq flags exact ==/!= between floating-point operands (and float
-// switch cases) outside cmd/ and examples/. Computed floats differ in
-// their low bits across evaluation orders and optimization levels, so
-// exact comparison is both a robustness hazard and a determinism hazard.
+// switch cases) across the whole module, cmd/ and examples/ included.
+// Computed floats differ in their low bits across evaluation orders and
+// optimization levels, so exact comparison is both a robustness hazard
+// and a determinism hazard.
 //
 // Comparisons where either side is a compile-time constant with an exact
 // (integral) value — sentinels like 0, 1, -1 — are permitted: those
@@ -31,9 +32,6 @@ func (FloatEq) Doc() string {
 var floatEqAllowFuncs = map[string]bool{}
 
 func (FloatEq) Check(p *Package) []Finding {
-	if p.InCmdOrExamples() {
-		return nil
-	}
 	var out []Finding
 	for _, file := range p.Files {
 		ast.Inspect(file, func(n ast.Node) bool {

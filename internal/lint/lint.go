@@ -16,6 +16,10 @@
 //   - floateq:     no exact ==/!= between computed floats
 //   - panicmsg:    panics and log.Fatal exits must carry a formatted,
 //     contextual message
+//   - unitsafe:    physical quantities stay inside their internal/units
+//     types — no unit-mixing conversions, no laundering through bare
+//     float64, no raw literals fed to unit-typed parameters, no
+//     dimensionally unsound unit*unit arithmetic
 //
 // Findings can be suppressed per line with a directive comment:
 //
@@ -39,6 +43,10 @@ type Finding struct {
 	Pos  token.Position
 	Rule string
 	Msg  string
+	// Suppressed marks a finding matched by a //lint:ignore directive.
+	// Run drops suppressed findings; RunAll returns them flagged so
+	// drivers (bulletlint -json) can surface what the ignores hide.
+	Suppressed bool
 }
 
 // String formats the finding in the canonical "file:line: [rule] message"
@@ -125,6 +133,7 @@ func DefaultAnalyzers() []Analyzer {
 		NoGoroutine{},
 		FloatEq{},
 		PanicMsg{},
+		UnitSafe{},
 	}
 }
 
@@ -132,15 +141,27 @@ func DefaultAnalyzers() []Analyzer {
 // by //lint:ignore directives, and returns the rest sorted by position.
 // Malformed directives are reported as rule "ignore" findings.
 func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
+	var out []Finding
+	for _, f := range RunAll(pkgs, analyzers) {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// RunAll is Run without the suppression filter: findings matched by a
+// //lint:ignore directive come back with Suppressed set instead of being
+// dropped, still sorted by position.
+func RunAll(pkgs []*Package, analyzers []Analyzer) []Finding {
 	var all []Finding
 	for _, p := range pkgs {
 		ignores, bad := collectIgnores(p)
 		all = append(all, bad...)
 		for _, a := range analyzers {
 			for _, f := range a.Check(p) {
-				if !ignores.suppresses(f) {
-					all = append(all, f)
-				}
+				f.Suppressed = ignores.suppresses(f)
+				all = append(all, f)
 			}
 		}
 	}

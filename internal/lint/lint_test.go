@@ -19,8 +19,52 @@ import (
 // the standard library is paid once.
 var (
 	fixtureFset = token.NewFileSet()
-	fixtureImp  = importer.ForCompiler(fixtureFset, "source", nil)
+	fixtureStd  = importer.ForCompiler(fixtureFset, "source", nil)
+	fixtureImp  = &fixtureImporter{std: fixtureStd}
 )
+
+// fixtureImporter resolves the module's own units package (which the
+// stdlib source importer cannot see) by type-checking ../units once, and
+// defers everything else to the standard importer. Fixtures can then
+// `import "repro/internal/units"` like real tree code.
+type fixtureImporter struct {
+	std      types.Importer
+	units    *types.Package
+	unitsErr error
+	loaded   bool
+}
+
+func (im *fixtureImporter) Import(path string) (*types.Package, error) {
+	if path != "repro/internal/units" {
+		return im.std.Import(path)
+	}
+	if !im.loaded {
+		im.loaded = true
+		im.units, im.unitsErr = im.loadUnits()
+	}
+	return im.units, im.unitsErr
+}
+
+func (im *fixtureImporter) loadUnits() (*types.Package, error) {
+	dir := filepath.Join("..", "units")
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fixtureFset, filepath.Join(dir, e.Name()), nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{Importer: im.std}
+	return conf.Check("repro/internal/units", fixtureFset, files, nil)
+}
 
 // loadFixture parses and type-checks one standalone fixture file. The
 // fixture's assumed import path comes from a first-line
@@ -28,7 +72,14 @@ var (
 // so path-scoped rules see the fixture as if it lived on the real tree.
 func loadFixture(t *testing.T, file string) *Package {
 	t.Helper()
-	f, err := parser.ParseFile(fixtureFset, file, nil, parser.ParseComments)
+	return loadFixtureSource(t, file, nil)
+}
+
+// loadFixtureSource is loadFixture for in-memory sources (src non-nil),
+// used by table-driven tests that synthesize one function per case.
+func loadFixtureSource(t *testing.T, file string, src any) *Package {
+	t.Helper()
+	f, err := parser.ParseFile(fixtureFset, file, src, parser.ParseComments)
 	if err != nil {
 		t.Fatalf("parse %s: %v", file, err)
 	}
@@ -137,6 +188,64 @@ func TestMapOrderFixtures(t *testing.T)    { runFixtureDir(t, MapOrder{}) }
 func TestNoGoroutineFixtures(t *testing.T) { runFixtureDir(t, NoGoroutine{}) }
 func TestFloatEqFixtures(t *testing.T)     { runFixtureDir(t, FloatEq{}) }
 func TestPanicMsgFixtures(t *testing.T)    { runFixtureDir(t, PanicMsg{}) }
+func TestUnitSafeFixtures(t *testing.T)    { runFixtureDir(t, UnitSafe{}) }
+
+// TestUnitSafeTable drives the unitsafe analyzer over synthesized
+// single-function packages, one rule shape per case. The first case is
+// the canonical mixing bug the rule exists for: a token count silently
+// relabelled as seconds.
+func TestUnitSafeTable(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want int // unitsafe findings
+	}{
+		{"seconds-plus-tokens", `func f(s units.Seconds, n units.Tokens) units.Seconds { return s + units.Seconds(n) }`, 1},
+		{"tokens-from-seconds", `func f(s units.Seconds) units.Tokens { return units.Tokens(s) }`, 1},
+		{"bytes-from-flops", `func f(w units.FLOPs) units.Bytes { return units.Bytes(w) }`, 1},
+		{"launder-float64", `func f(s units.Seconds) float64 { return float64(s) }`, 1},
+		{"launder-int", `func f(n units.Tokens) int { return int(n) }`, 1},
+		{"float-escape-ok", `func f(s units.Seconds) float64 { return s.Float() }`, 0},
+		{"ratio-ok", `func f(a, b units.Seconds) float64 { return units.Ratio(a, b) }`, 0},
+		{"div-unit-by-unit", `func f(a, b units.Seconds) units.Seconds { return a / b }`, 1},
+		{"mul-unit-by-unit", `func f(a, b units.Seconds) units.Seconds { return a * b }`, 1},
+		{"scale-by-const-ok", `func f(a units.Seconds) units.Seconds { return a * 2 }`, 0},
+		{"div-by-const-ok", `func f(a units.Seconds) units.Seconds { return a / 4 }`, 0},
+		{"raw-literal-arg", "func g(d units.Seconds) units.Seconds { return d }\nfunc f() units.Seconds { return g(0.25) }", 1},
+		{"negative-literal-arg", "func g(d units.Seconds) units.Seconds { return d }\nfunc f() units.Seconds { return g(-3) }", 1},
+		{"zero-literal-ok", "func g(d units.Seconds) units.Seconds { return d }\nfunc f() units.Seconds { return g(0) }", 0},
+		{"constructed-arg-ok", "func g(d units.Seconds) units.Seconds { return d }\nfunc f() units.Seconds { return g(units.Seconds(0.25)) }", 0},
+		{"named-const-arg-ok", "const warmup = 0.25\nfunc g(d units.Seconds) units.Seconds { return d }\nfunc f() units.Seconds { return g(warmup) }", 0},
+		{"same-type-conversion-ok", `func f(s units.Seconds) units.Seconds { return units.Seconds(s) }`, 0},
+		{"construct-from-float-ok", `func f(x float64) units.Seconds { return units.Seconds(x) }`, 0},
+		{"append-literal-to-unit-slice", `func f(xs []units.Seconds) []units.Seconds { return append(xs, 0.2) }`, 1},
+	}
+	for i, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			src := "package fixture\n\nimport \"repro/internal/units\"\n\n" + c.body + "\n"
+			p := loadFixtureSource(t, fmt.Sprintf("unitsafe_table_%d.go", i), src)
+			got := UnitSafe{}.Check(p)
+			if len(got) != c.want {
+				t.Errorf("%d findings, want %d", len(got), c.want)
+				for _, f := range got {
+					t.Logf("  %s", f)
+				}
+			}
+		})
+	}
+}
+
+// TestUnitSafeSkipsUnitsPackage pins the one scope exemption: the units
+// package itself may look underneath its types.
+func TestUnitSafeSkipsUnitsPackage(t *testing.T) {
+	src := "//linttest:path repro/internal/units\npackage units\n\n" +
+		"type Seconds float64\n" +
+		"func (s Seconds) Float() float64 { return float64(s) }\n"
+	p := loadFixtureSource(t, "unitsafe_selfscope.go", src)
+	if got := (UnitSafe{}).Check(p); len(got) != 0 {
+		t.Errorf("%d findings inside internal/units, want 0: %v", len(got), got)
+	}
+}
 
 // TestFixtureCoverage enforces the testdata contract: every analyzer has
 // at least one known-bad fixture that yields findings and at least one

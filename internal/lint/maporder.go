@@ -6,9 +6,10 @@ import (
 	"go/types"
 )
 
-// MapOrder flags `for range` over map-typed expressions in internal
-// packages when the loop's effects can depend on Go's randomized map
-// iteration order. Two shapes are accepted without a finding:
+// MapOrder flags `for range` over map-typed expressions in internal,
+// cmd, and examples packages when the loop's effects can depend on Go's
+// randomized map iteration order. Two shapes are accepted without a
+// finding:
 //
 //  1. The sorted-keys idiom: the loop only appends keys (or key/value
 //     records) into slices that are subsequently sorted in an enclosing
@@ -33,11 +34,11 @@ type MapOrder struct{}
 func (MapOrder) Name() string { return "maporder" }
 
 func (MapOrder) Doc() string {
-	return "flag map iteration whose order can leak into program state in internal packages"
+	return "flag map iteration whose order can leak into program state (internal, cmd, examples)"
 }
 
 func (MapOrder) Check(p *Package) []Finding {
-	if !p.InInternal() {
+	if !p.InInternal() && !p.InCmdOrExamples() {
 		return nil
 	}
 	var out []Finding

@@ -4,8 +4,21 @@
 // floating-point values.
 package fixture
 
+import "repro/internal/units"
+
 func sameResult(a, b float64) bool {
 	return a == b // want floateq
+}
+
+// Unit types are float64 underneath: computed-vs-computed equality is
+// just as much a hazard, and the literal-zero exemption must not leak
+// into non-sentinel comparisons like this one.
+func sameDuration(a, b units.Seconds) bool {
+	return a == b // want floateq
+}
+
+func nonIntegralSentinel(d units.Seconds) bool {
+	return d == 0.5 // want floateq
 }
 
 func converged(prev, next float32) bool {

@@ -4,7 +4,11 @@
 // comparisons, and orderings.
 package fixture
 
-import "math"
+import (
+	"math"
+
+	"repro/internal/units"
+)
 
 const unset = -1.0
 
@@ -30,4 +34,25 @@ func ordering(a, b float64) bool {
 
 func intsCompareFine(a, b int) bool {
 	return a == b
+}
+
+// kernel mirrors gpusim.Kernel's work fields, which are defined float
+// types from internal/units.
+type kernel struct {
+	FLOPs units.FLOPs
+	Bytes units.Bytes
+}
+
+// zeroWorkSentinel pins the literal-zero exemption for unit-typed floats:
+// "was any work ever recorded" is an assignment test against the exactly
+// representable zero, not a convergence test, so it stays legal even
+// though FLOPs and Bytes are float64 underneath.
+func zeroWorkSentinel(k kernel) bool {
+	return k.FLOPs == 0 && k.Bytes == 0
+}
+
+// integralUnitSentinel: integral constants stay exempt for unit types
+// too, matching plain float64 behaviour.
+func integralUnitSentinel(d units.Seconds) bool {
+	return d != -1
 }

@@ -1,0 +1,35 @@
+//linttest:path repro/internal/fixture
+
+package fixture
+
+import "repro/internal/units"
+
+// deadline relabels a token budget as seconds: the conversion compiles
+// (both are float64 underneath), which is why it needs a lint rule.
+func deadline(arrival units.Seconds, budget units.Tokens) units.Seconds {
+	return arrival + units.Seconds(budget) // want unitsafe
+}
+
+// launder strips the dimension through a bare numeric conversion instead
+// of the sanctioned Float() escape.
+func launder(d units.Seconds) float64 {
+	return float64(d) // want unitsafe
+}
+
+// rawArg feeds an unlabelled magnitude to a unit-typed parameter.
+func rawArg() units.Seconds {
+	return after(0.25) // want unitsafe
+}
+
+func after(d units.Seconds) units.Seconds { return d }
+
+// product computes seconds², a dimension the operand type cannot express.
+func product(a, b units.Seconds) units.Seconds {
+	return a * b // want unitsafe
+}
+
+// quotient is a dimensionless ratio still typed as seconds; use
+// units.Ratio.
+func quotient(a, b units.Seconds) units.Seconds {
+	return a / b // want unitsafe
+}

@@ -1,0 +1,26 @@
+//linttest:path repro/internal/fixture
+
+package fixture
+
+import "repro/internal/units"
+
+// ok exercises every sanctioned way in and out of the unit types:
+// constructors from untyped constants and plain floats, scalar
+// multiplication, the declared dimension-changing helpers, the zero
+// sentinel, and the Float()/Ratio escapes.
+func ok(arrival units.Seconds, bw units.BytesPerSec, moved units.Bytes) (units.Seconds, float64) {
+	d := units.Scale(arrival, 2.5) // scalar multiply keeps the dimension
+	d += moved.Div(bw)             // bytes / (bytes/sec) -> seconds, declared
+	d += wait(0)                   // zero literal: universal sentinel, exempt
+	d += units.Seconds(0.25)       // explicit constructor labels the magnitude
+	half := d / 2                  // untyped constant operand is a scalar
+	return half, units.Ratio(arrival, d) + d.Float()
+}
+
+func wait(d units.Seconds) units.Seconds { return d }
+
+// okConst shows the named-constant idiom: a const carries a reviewed name
+// for its magnitude, so it is not a raw literal.
+const settle = 0.5
+
+func okConst() units.Seconds { return wait(settle) }

@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// UnitSafe enforces the dimensional-analysis contract of internal/units:
+// a value typed units.Seconds (or FLOPs, Bytes, Tokens, ...) must keep
+// its dimension until it crosses a declared boundary. Four shapes are
+// findings:
+//
+//  1. Unit-mixing conversions: units.Seconds(x) where x is already a
+//     different unit type. The conversion compiles — both sides are
+//     float64 underneath — which is exactly why it needs a lint rule:
+//     it silently relabels tokens as seconds.
+//  2. Laundering: float64(x) (or any bare numeric conversion) of a
+//     unit-typed value outside internal/units. The sanctioned escape is
+//     the type's Float() method or a ratio/rate helper, both of which
+//     name the operation.
+//  3. Raw literals: a non-zero numeric literal passed directly to a
+//     unit-typed parameter, e.g. NewBuffer(s, 0.21e-3). Zero stays
+//     exempt (it is the universal sentinel and dimensionless); non-zero
+//     magnitudes must be labelled at the call site with an explicit
+//     conversion such as units.FromMs(0.21) or sim.Time(0.21e-3).
+//  4. Unit*unit and unit/unit arithmetic between non-constant operands:
+//     seconds*seconds is seconds² and seconds/seconds is a dimensionless
+//     ratio, neither of which is expressible as the operand type Go
+//     infers. Quotients go through units.Ratio or a Div helper;
+//     products through a declared helper (e.g. SMs.Times -> SMSeconds).
+//
+// Multiplying or dividing by untyped constants and by plain float64
+// scalars is dimension-preserving and stays idiomatic (t * 2,
+// units.Scale(t, k)). internal/units itself is exempt: it is the one
+// place allowed to look underneath the types.
+type UnitSafe struct{}
+
+func (UnitSafe) Name() string { return "unitsafe" }
+
+func (UnitSafe) Doc() string {
+	return "flag unit-mixing conversions, float64 laundering, raw literals to unit params, and unit×unit arithmetic"
+}
+
+func (UnitSafe) Check(p *Package) []Finding {
+	unitsPath := p.Module + "/internal/units"
+	if p.Path == unitsPath || p.Info == nil {
+		return nil
+	}
+	var out []Finding
+	add := func(pos token.Pos, msg string) {
+		out = append(out, Finding{Pos: p.Fset.Position(pos), Rule: "unitsafe", Msg: msg})
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if tv, ok := p.Info.Types[n.Fun]; ok && tv.IsType() {
+					checkUnitConversion(p, n, unitsPath, add)
+				} else {
+					checkUnitArgs(p, n, unitsPath, add)
+				}
+			case *ast.BinaryExpr:
+				checkUnitArith(p, n, unitsPath, add)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// unitNamed returns the named type if t (after alias resolution) is one
+// of the unit types: defined in unitsPath with a numeric underlying type.
+func unitNamed(t types.Type, unitsPath string) *types.Named {
+	if t == nil {
+		return nil
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != unitsPath {
+		return nil
+	}
+	b, ok := named.Underlying().(*types.Basic)
+	if !ok || b.Info()&(types.IsFloat|types.IsInteger) == 0 {
+		return nil
+	}
+	return named
+}
+
+// shortName renders a type with package-name qualifiers ("units.Seconds").
+func shortName(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
+// checkUnitConversion flags T(x) conversions that relabel one unit as
+// another (rule 1) or strip the unit onto a bare numeric type (rule 2).
+// Constant operands are exempt: converting an untyped or constant value
+// into a unit type is precisely how unit values are constructed.
+func checkUnitConversion(p *Package, call *ast.CallExpr, unitsPath string, add func(token.Pos, string)) {
+	if len(call.Args) != 1 {
+		return
+	}
+	arg := call.Args[0]
+	if p.Info.Types[arg].Value != nil {
+		return
+	}
+	src := unitNamed(typeOf(p, arg), unitsPath)
+	if src == nil {
+		return
+	}
+	dst := typeOf(p, call.Fun)
+	if dstUnit := unitNamed(dst, unitsPath); dstUnit != nil {
+		if !types.Identical(dstUnit, src) {
+			add(call.Pos(), "conversion "+shortName(src)+" -> "+shortName(dstUnit)+
+				" relabels one unit as another; convert through an explicit units helper")
+		}
+		return
+	}
+	if b, ok := types.Unalias(dst).Underlying().(*types.Basic); ok &&
+		b.Info()&(types.IsFloat|types.IsInteger) != 0 {
+		add(call.Pos(), "conversion "+shortName(dst)+"("+shortName(src)+
+			") launders the unit away; use its Float() escape or a units ratio/rate helper")
+	}
+}
+
+// checkUnitArgs flags non-zero numeric literals passed directly to
+// unit-typed parameters (rule 3).
+func checkUnitArgs(p *Package, call *ast.CallExpr, unitsPath string, add func(token.Pos, string)) {
+	sig, ok := typeOf(p, call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		unit := unitNamed(pt, unitsPath)
+		if unit == nil || !isNonZeroLiteral(p, arg) {
+			continue
+		}
+		add(arg.Pos(), "raw numeric literal passed as "+shortName(unit)+
+			"; label the magnitude with an explicit conversion (e.g. "+shortName(unit)+"(...) or units.FromMs)")
+	}
+}
+
+// isNonZeroLiteral reports whether e is syntactically a numeric literal
+// (possibly signed or parenthesized) with a non-zero value. Named
+// constants are deliberately not literals: a const already carries a
+// reviewed name for its magnitude.
+func isNonZeroLiteral(p *Package, e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return isNonZeroLiteral(p, x.X)
+	case *ast.UnaryExpr:
+		if x.Op != token.ADD && x.Op != token.SUB {
+			return false
+		}
+		return isNonZeroLiteral(p, x.X)
+	case *ast.BasicLit:
+		if x.Kind != token.INT && x.Kind != token.FLOAT {
+			return false
+		}
+		tv, ok := p.Info.Types[e]
+		return ok && tv.Value != nil && constant.Sign(tv.Value) != 0
+	}
+	return false
+}
+
+// checkUnitArith flags * and / between two non-constant unit-typed
+// operands (rule 4). Go's type rules only let identical defined types
+// meet under these operators, so what reaches here is seconds*seconds or
+// seconds/seconds — a dimension the operand type cannot represent.
+func checkUnitArith(p *Package, n *ast.BinaryExpr, unitsPath string, add func(token.Pos, string)) {
+	if n.Op != token.MUL && n.Op != token.QUO {
+		return
+	}
+	for _, side := range [2]ast.Expr{n.X, n.Y} {
+		if p.Info.Types[side].Value != nil {
+			return
+		}
+	}
+	x := unitNamed(typeOf(p, n.X), unitsPath)
+	y := unitNamed(typeOf(p, n.Y), unitsPath)
+	if x == nil || y == nil {
+		return
+	}
+	if n.Op == token.QUO {
+		add(n.OpPos, shortName(x)+" / "+shortName(y)+
+			" yields a dimensionless ratio typed as the operand; use units.Ratio or a Div helper")
+		return
+	}
+	add(n.OpPos, shortName(x)+" * "+shortName(y)+
+		" has no declared dimension; multiply through a units helper or scale by a plain float64")
+}

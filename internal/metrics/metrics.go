@@ -7,7 +7,10 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
+
+	"repro/internal/units"
 )
 
 // SLO is a latency requirement pair (Table 2). TTFT is normalized by
@@ -35,45 +38,45 @@ func SLOFor(dataset string) SLO {
 }
 
 // Request records the lifecycle timestamps of one served request. All
-// times are simulation seconds.
+// times are unit-typed simulation seconds.
 type Request struct {
 	ID           string
 	Dataset      string
-	Arrival      float64
-	PrefillStart float64
-	FirstToken   float64 // completion of prefill (first output token)
-	Finish       float64 // last output token
+	Arrival      units.Seconds
+	PrefillStart units.Seconds
+	FirstToken   units.Seconds // completion of prefill (first output token)
+	Finish       units.Seconds // last output token
 	InputTokens  int
 	OutputTokens int
 }
 
 // TTFT is time-to-first-token, measured from arrival (queueing included).
-func (r Request) TTFT() float64 { return r.FirstToken - r.Arrival }
+func (r Request) TTFT() units.Seconds { return r.FirstToken - r.Arrival }
 
 // NormTTFTMs is TTFT in milliseconds per input token.
 func (r Request) NormTTFTMs() float64 {
 	if r.InputTokens <= 0 {
 		return 0
 	}
-	return r.TTFT() * 1000 / float64(r.InputTokens)
+	return r.TTFT().Ms() / float64(r.InputTokens)
 }
 
 // TPOT is the mean time per output token after the first.
-func (r Request) TPOT() float64 {
+func (r Request) TPOT() units.Seconds {
 	if r.OutputTokens <= 1 {
 		return 0
 	}
-	return (r.Finish - r.FirstToken) / float64(r.OutputTokens-1)
+	return units.Over(r.Finish-r.FirstToken, float64(r.OutputTokens-1))
 }
 
 // TPOTMs is TPOT in milliseconds.
-func (r Request) TPOTMs() float64 { return r.TPOT() * 1000 }
+func (r Request) TPOTMs() float64 { return r.TPOT().Ms() }
 
 // E2E is the total request latency.
-func (r Request) E2E() float64 { return r.Finish - r.Arrival }
+func (r Request) E2E() units.Seconds { return r.Finish - r.Arrival }
 
 // QueueDelay is the time from arrival to prefill start.
-func (r Request) QueueDelay() float64 { return r.PrefillStart - r.Arrival }
+func (r Request) QueueDelay() units.Seconds { return r.PrefillStart - r.Arrival }
 
 // MeetsSLO reports whether the request satisfies both constraints.
 func (r Request) MeetsSLO(s SLO) bool {
@@ -92,13 +95,14 @@ func (r Request) Validate() {
 }
 
 // Percentile returns the p-quantile (p in [0,1]) of xs using linear
-// interpolation. An empty slice yields NaN.
-func Percentile(xs []float64, p float64) float64 {
+// interpolation, preserving the element type (plain float64 or any
+// float64-backed unit type). An empty slice yields NaN.
+func Percentile[F ~float64](xs []F, p float64) F {
 	if len(xs) == 0 {
-		return math.NaN()
+		return F(math.NaN())
 	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
+	s := append([]F(nil), xs...)
+	slices.Sort(s)
 	if p <= 0 {
 		return s[0]
 	}
@@ -111,34 +115,35 @@ func Percentile(xs []float64, p float64) float64 {
 	if lo+1 >= len(s) {
 		return s[len(s)-1]
 	}
-	return s[lo]*(1-frac) + s[lo+1]*frac
+	return F(float64(s[lo])*(1-frac) + float64(s[lo+1])*frac)
 }
 
-// Mean returns the arithmetic mean, NaN if empty.
-func Mean(xs []float64) float64 {
+// Mean returns the arithmetic mean, NaN if empty. Like Percentile it is
+// dimension-preserving over any float64-backed element type.
+func Mean[F ~float64](xs []F) F {
 	if len(xs) == 0 {
-		return math.NaN()
+		return F(math.NaN())
 	}
 	sum := 0.0
 	for _, x := range xs {
-		sum += x
+		sum += float64(x)
 	}
-	return sum / float64(len(xs))
+	return F(sum / float64(len(xs)))
 }
 
 // Summary aggregates a completed run, matching the panels of Fig. 11.
 type Summary struct {
 	Requests int
-	Duration float64 // makespan: first arrival to last finish
+	Duration units.Seconds // makespan: first arrival to last finish
 
-	MeanTTFT     float64 // seconds
-	P90TTFT      float64
+	MeanTTFT     units.Seconds
+	P90TTFT      units.Seconds
 	MeanNormTTFT float64 // ms/token
 	P90NormTTFT  float64
 	MeanTPOTMs   float64
 	P90TPOTMs    float64
-	MeanE2E      float64
-	MeanQueue    float64
+	MeanE2E      units.Seconds
+	MeanQueue    units.Seconds
 
 	Throughput      float64 // completed requests per second
 	TokenThroughput float64 // output tokens per second
@@ -150,8 +155,10 @@ func Summarize(reqs []Request, slo SLO) Summary {
 	if len(reqs) == 0 {
 		return Summary{}
 	}
-	var ttft, norm, tpot, e2e, queue []float64
-	firstArrival, lastFinish := math.Inf(1), math.Inf(-1)
+	var ttft, e2e, queue []units.Seconds
+	var norm, tpot []float64
+	firstArrival := units.Inf[units.Seconds](1)
+	lastFinish := units.Inf[units.Seconds](-1)
 	met := 0
 	outTokens := 0
 	for _, r := range reqs {
@@ -166,8 +173,8 @@ func Summarize(reqs []Request, slo SLO) Summary {
 			met++
 		}
 		outTokens += r.OutputTokens
-		firstArrival = math.Min(firstArrival, r.Arrival)
-		lastFinish = math.Max(lastFinish, r.Finish)
+		firstArrival = units.Min(firstArrival, r.Arrival)
+		lastFinish = units.Max(lastFinish, r.Finish)
 	}
 	dur := lastFinish - firstArrival
 	s := Summary{
@@ -186,20 +193,20 @@ func Summarize(reqs []Request, slo SLO) Summary {
 		s.P90TPOTMs = Percentile(tpot, 0.9)
 	}
 	if dur > 0 {
-		s.Throughput = float64(len(reqs)) / dur
-		s.TokenThroughput = float64(outTokens) / dur
+		s.Throughput = float64(len(reqs)) / dur.Float()
+		s.TokenThroughput = float64(outTokens) / dur.Float()
 	}
 	return s
 }
 
 // Series is a time-ordered sampled signal for timeline figures (Fig. 12).
 type Series struct {
-	T []float64
+	T []units.Seconds
 	V []float64
 }
 
 // Add appends a sample; time must be nondecreasing.
-func (s *Series) Add(t, v float64) {
+func (s *Series) Add(t units.Seconds, v float64) {
 	if n := len(s.T); n > 0 && t < s.T[n-1] {
 		panic(fmt.Sprintf("metrics: series time went backwards: %v after %v", t, s.T[n-1]))
 	}
@@ -212,11 +219,11 @@ func (s *Series) Len() int { return len(s.T) }
 
 // At returns the most recent value at or before t (step interpolation),
 // or 0 before the first sample.
-func (s *Series) At(t float64) float64 {
-	// SearchFloat64s returns the first index with T[i] >= t, so T[i] <= t
-	// holds exactly when T[i] == t — an ordering comparison stands in for
-	// exact float equality.
-	i := sort.SearchFloat64s(s.T, t)
+func (s *Series) At(t units.Seconds) float64 {
+	// Search returns the first index with T[i] >= t, so T[i] <= t holds
+	// exactly when T[i] == t — an ordering comparison stands in for exact
+	// float equality.
+	i := sort.Search(len(s.T), func(i int) bool { return s.T[i] >= t })
 	if i < len(s.T) && s.T[i] <= t {
 		// Return the last sample at exactly t.
 		for i+1 < len(s.T) && s.T[i+1] <= t {
@@ -232,14 +239,14 @@ func (s *Series) At(t float64) float64 {
 
 // Resample returns the series evaluated at n evenly spaced points over
 // [t0, t1].
-func (s *Series) Resample(t0, t1 float64, n int) []float64 {
+func (s *Series) Resample(t0, t1 units.Seconds, n int) []float64 {
 	out := make([]float64, n)
 	if n == 1 {
 		out[0] = s.At(t0)
 		return out
 	}
 	for i := 0; i < n; i++ {
-		t := t0 + (t1-t0)*float64(i)/float64(n-1)
+		t := t0 + units.Over(units.Scale(t1-t0, float64(i)), float64(n-1))
 		out[i] = s.At(t)
 	}
 	return out
@@ -247,7 +254,7 @@ func (s *Series) Resample(t0, t1 float64, n int) []float64 {
 
 // TimeAverage integrates the step series over [t0, t1] and divides by the
 // window, useful for average SM allocation / batch occupancy.
-func (s *Series) TimeAverage(t0, t1 float64) float64 {
+func (s *Series) TimeAverage(t0, t1 units.Seconds) float64 {
 	if t1 <= t0 || len(s.T) == 0 {
 		return 0
 	}
@@ -260,9 +267,9 @@ func (s *Series) TimeAverage(t0, t1 float64) float64 {
 		if tt >= t1 {
 			break
 		}
-		total += prevV * (tt - prevT)
+		total += prevV * (tt - prevT).Float()
 		prevT, prevV = tt, s.V[i]
 	}
-	total += prevV * (t1 - prevT)
-	return total / (t1 - t0)
+	total += prevV * (t1 - prevT).Float()
+	return total / (t1 - t0).Float()
 }

@@ -6,9 +6,11 @@ import (
 	"sort"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/units"
 )
 
-func req(arr, start, first, fin float64, in, out int) Request {
+func req(arr, start, first, fin units.Seconds, in, out int) Request {
 	return Request{
 		ID: "r", Arrival: arr, PrefillStart: start, FirstToken: first,
 		Finish: fin, InputTokens: in, OutputTokens: out,
@@ -23,13 +25,13 @@ func TestRequestDerivedMetrics(t *testing.T) {
 	if got := r.NormTTFTMs(); got != 0.5 {
 		t.Fatalf("NormTTFT = %v ms/token, want 0.5", got)
 	}
-	if got := r.TPOT(); math.Abs(got-0.1) > 1e-12 {
+	if got := r.TPOT(); units.Abs(got-0.1) > 1e-12 {
 		t.Fatalf("TPOT = %v, want 0.1", got)
 	}
 	if got := r.E2E(); got != 2.5 {
 		t.Fatalf("E2E = %v", got)
 	}
-	if got := r.QueueDelay(); math.Abs(got-0.1) > 1e-12 {
+	if got := r.QueueDelay(); units.Abs(got-0.1) > 1e-12 {
 		t.Fatalf("QueueDelay = %v", got)
 	}
 }
@@ -92,7 +94,7 @@ func TestPercentile(t *testing.T) {
 	if got := Percentile(xs, 0.5); math.Abs(got-2.5) > 1e-12 {
 		t.Fatalf("p50 = %v, want 2.5", got)
 	}
-	if !math.IsNaN(Percentile(nil, 0.5)) {
+	if !math.IsNaN(Percentile[float64](nil, 0.5)) {
 		t.Fatal("empty percentile should be NaN")
 	}
 	// Input must not be mutated.
@@ -116,7 +118,7 @@ func TestSummarize(t *testing.T) {
 	if math.Abs(s.SLOAttainment-0.5) > 1e-12 {
 		t.Fatalf("attainment = %v, want 0.5", s.SLOAttainment)
 	}
-	if math.Abs(s.Duration-5.0) > 1e-12 {
+	if units.Abs(s.Duration-5.0) > 1e-12 {
 		t.Fatalf("duration = %v, want 5", s.Duration)
 	}
 	if math.Abs(s.Throughput-4.0/5.0) > 1e-12 {
@@ -229,9 +231,9 @@ func TestPropertySLOAttainment(t *testing.T) {
 		reqs := make([]Request, n)
 		met := 0
 		for i := range reqs {
-			arr := float64(i)
-			first := arr + rng.Float64()
-			fin := first + rng.Float64()*3
+			arr := units.Seconds(i)
+			first := arr + units.Seconds(rng.Float64())
+			fin := first + units.Seconds(rng.Float64()*3)
 			reqs[i] = req(arr, arr, first, fin, rng.Intn(2000)+1, rng.Intn(100)+2)
 			if reqs[i].MeetsSLO(slo) {
 				met++
@@ -250,9 +252,9 @@ func BenchmarkSummarize(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	reqs := make([]Request, 1000)
 	for i := range reqs {
-		arr := float64(i) * 0.05
-		first := arr + rng.Float64()
-		reqs[i] = req(arr, arr, first, first+rng.Float64()*5, 500, 100)
+		arr := units.Seconds(float64(i) * 0.05)
+		first := arr + units.Seconds(rng.Float64())
+		reqs[i] = req(arr, arr, first, first+units.Seconds(rng.Float64()*5), 500, 100)
 	}
 	slo := SLOFor("sharegpt")
 	b.ReportAllocs()

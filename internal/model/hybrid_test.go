@@ -1,14 +1,14 @@
 package model
 
 import (
-	"math"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/gpusim"
+	"repro/internal/units"
 )
 
-func sumWork(ks []gpusim.Kernel) (flops, bytes float64) {
+func sumWork(ks []gpusim.Kernel) (flops units.FLOPs, bytes units.Bytes) {
 	for _, k := range ks {
 		flops += k.FLOPs
 		bytes += k.Bytes
@@ -49,7 +49,7 @@ func TestHybridLayerKernelsComposition(t *testing.T) {
 				want = k
 			}
 		}
-		if math.Abs(got.FLOPs-want.FLOPs) > 1 {
+		if units.Abs(got.FLOPs-want.FLOPs) > 1 {
 			t.Errorf("%s FLOPs = %g, want %g", name, got.FLOPs, want.FLOPs)
 		}
 	}
@@ -171,7 +171,8 @@ func TestPropertyHybridWorkConservation(t *testing.T) {
 		batch := int(batchU%32) + 1
 		hy := c.HybridLayerKernels([]int{a, b}, []int{0, 64}, batch, 128, "h")
 		// Linear rows = a+b+batch; attention separate.
-		var attnF, attnB, linF, linB float64
+		var attnF, linF units.FLOPs
+		var attnB, linB units.Bytes
 		for _, k := range hy {
 			if k.Name == "attn" {
 				attnF += k.FLOPs
@@ -182,13 +183,13 @@ func TestPropertyHybridWorkConservation(t *testing.T) {
 			}
 		}
 		ref := c.PrefillLayerKernels(a+b+batch, 0, "h")
-		var refLinF float64
+		var refLinF units.FLOPs
 		for _, k := range ref {
 			if k.Name != "attn" {
 				refLinF += k.FLOPs
 			}
 		}
-		return math.Abs(linF-refLinF) < 1 && attnF > 0 && attnB > 0
+		return units.Abs(linF-refLinF) < 1 && attnF > 0 && attnB > 0
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
@@ -206,8 +207,8 @@ func TestLMHeadKernel(t *testing.T) {
 	c := Llama31_8B()
 	k := c.LMHeadKernel(4, "t")
 	// 2 * rows * h * vocab FLOPs.
-	want := 2.0 * 4 * 4096 * 128256
-	if math.Abs(k.FLOPs-want) > 1 {
+	want := units.FLOPs(2.0 * 4 * 4096 * 128256)
+	if units.Abs(k.FLOPs-want) > 1 {
 		t.Fatalf("lmhead FLOPs = %g, want %g", k.FLOPs, want)
 	}
 	if k.Grid <= 0 || k.Bytes <= 0 {

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/gpusim"
+	"repro/internal/units"
 )
 
 // Tile sizes used to derive GEMM grids. They reproduce the wave
@@ -84,8 +85,8 @@ func (c Config) allReduceKernel(rows int, tag string) gpusim.Kernel {
 	return gpusim.Kernel{
 		Name:      "allreduce",
 		Tag:       tag,
-		Bytes:     2 * payload,
-		CommBytes: 2 * (n - 1) / n * payload,
+		Bytes:     units.Bytes(2 * payload),
+		CommBytes: units.Bytes(2 * (n - 1) / n * payload),
 	}
 }
 
@@ -213,26 +214,26 @@ func (c Config) ParamCount() float64 {
 
 // WeightBytes returns the resident weight footprint in bytes, per rank
 // under tensor parallelism.
-func (c Config) WeightBytes() float64 {
-	return c.ParamCount() * float64(c.BytesPerParam) / c.tp()
+func (c Config) WeightBytes() units.Bytes {
+	return units.Over(units.Bytes(c.ParamCount()*float64(c.BytesPerParam)), c.tp())
 }
 
 // LayerWeightBytes returns one decoder layer's weight bytes.
-func (c Config) LayerWeightBytes() float64 {
-	return float64(c.HiddenSize*c.QKVOutDim()+c.HiddenSize*c.HiddenSize+
-		3*c.HiddenSize*c.IntermediateSize) * float64(c.BytesPerParam)
+func (c Config) LayerWeightBytes() units.Bytes {
+	return units.Bytes(float64(c.HiddenSize*c.QKVOutDim()+c.HiddenSize*c.HiddenSize+
+		3*c.HiddenSize*c.IntermediateSize) * float64(c.BytesPerParam))
 }
 
 // KVBytesPerTokenLayer returns the KV cache bytes one token occupies in
 // one layer (K and V).
-func (c Config) KVBytesPerTokenLayer() float64 {
-	return 2 * float64(c.KVDim()) * float64(c.BytesPerParam) / c.tp()
+func (c Config) KVBytesPerTokenLayer() units.Bytes {
+	return units.Over(units.Bytes(2*float64(c.KVDim())*float64(c.BytesPerParam)), c.tp())
 }
 
 // KVBytesPerToken returns the KV cache bytes one token occupies across all
 // layers.
-func (c Config) KVBytesPerToken() float64 {
-	return c.KVBytesPerTokenLayer() * float64(c.NumLayers)
+func (c Config) KVBytesPerToken() units.Bytes {
+	return units.Scale(c.KVBytesPerTokenLayer(), float64(c.NumLayers))
 }
 
 func ceilDiv(a, b int) int { return (a + b - 1) / b }
@@ -274,20 +275,20 @@ func (c Config) PrefillLayerKernels(newTokens, histTokens int, tag string) []gpu
 	n := c.tp()
 	nInt := int(n)
 	attnKeys := s*hist + s*(s+1)/2
-	attnFLOPs := 4 * h * attnKeys / n
-	attnBytes := (2*(hist+s)*kvDim/n + // K and V read (per-rank shard)
-		2*s*h/n) * bpp // Q in, O out
+	attnFLOPs := units.FLOPs(4 * h * attnKeys / n)
+	attnBytes := units.Bytes((2*(hist+s)*kvDim/n + // K and V read (per-rank shard)
+		2*s*h/n) * bpp) // Q in, O out
 
 	ks := []gpusim.Kernel{
 		{
 			Name: "norm1", Tag: tag,
-			FLOPs: 10 * s * h,
-			Bytes: elementwiseBWFactor * s * h * bpp,
+			FLOPs: units.FLOPs(10 * s * h),
+			Bytes: units.Bytes(elementwiseBWFactor * s * h * bpp),
 		},
 		{
 			Name: "qkv", Tag: tag,
-			FLOPs:      2 * s * h * qkvOut / n,
-			Bytes:      (h*qkvOut/n + s*h + s*qkvOut/n) * bpp,
+			FLOPs:      units.FLOPs(2 * s * h * qkvOut / n),
+			Bytes:      units.Bytes((h*qkvOut/n + s*h + s*qkvOut/n) * bpp),
 			Grid:       gemmGrid(newTokens, c.QKVOutDim()/nInt, wideTileN),
 			Efficiency: gemmEfficiency,
 		},
@@ -300,27 +301,27 @@ func (c Config) PrefillLayerKernels(newTokens, histTokens int, tag string) []gpu
 		},
 		{
 			Name: "oproj", Tag: tag,
-			FLOPs:      2 * s * h * h / n,
-			Bytes:      (h*h/n + s*h/n + s*h) * bpp,
+			FLOPs:      units.FLOPs(2 * s * h * h / n),
+			Bytes:      units.Bytes((h*h/n + s*h/n + s*h) * bpp),
 			Grid:       gemmGrid(newTokens, c.HiddenSize, wideTileN),
 			Efficiency: gemmEfficiency,
 		},
 		{
 			Name: "norm2", Tag: tag,
-			FLOPs: 10 * s * h,
-			Bytes: elementwiseBWFactor * s * h * bpp,
+			FLOPs: units.FLOPs(10 * s * h),
+			Bytes: units.Bytes(elementwiseBWFactor * s * h * bpp),
 		},
 		{
 			Name: "gateup", Tag: tag,
-			FLOPs:      2 * s * h * 2 * inter / n,
-			Bytes:      (2*h*inter/n + s*h + 2*s*inter/n) * bpp,
+			FLOPs:      units.FLOPs(2 * s * h * 2 * inter / n),
+			Bytes:      units.Bytes((2*h*inter/n + s*h + 2*s*inter/n) * bpp),
 			Grid:       gemmGrid(newTokens, 2*c.IntermediateSize/nInt, wideTileN),
 			Efficiency: gemmEfficiency,
 		},
 		{
 			Name: "down", Tag: tag,
-			FLOPs:      2 * s * inter * h / n,
-			Bytes:      (h*inter/n + s*inter/n + s*h) * bpp,
+			FLOPs:      units.FLOPs(2 * s * inter * h / n),
+			Bytes:      units.Bytes((h*inter/n + s*inter/n + s*h) * bpp),
 			Grid:       gemmGrid(newTokens, c.HiddenSize, downTileN),
 			Efficiency: gemmEfficiency,
 		},
@@ -383,7 +384,7 @@ func (c Config) PrefillBatchLayerKernels(seqLens, histLens []int, tag string) []
 // length. Decode GEMMs are weight-bound GEMVs; decode attention reads the
 // whole KV cache through the page table (traffic inflated by
 // pagedTrafficInflation).
-func (c Config) DecodeLayerKernels(batch int, avgCtx float64, tag string) []gpusim.Kernel {
+func (c Config) DecodeLayerKernels(batch int, avgCtx units.Tokens, tag string) []gpusim.Kernel {
 	if batch <= 0 {
 		panic(fmt.Sprintf("model: DecodeLayerKernels with batch %d", batch))
 	}
@@ -393,9 +394,10 @@ func (c Config) DecodeLayerKernels(batch int, avgCtx float64, tag string) []gpus
 	qkvOut := float64(c.QKVOutDim())
 	kvDim := float64(c.KVDim())
 	inter := float64(c.IntermediateSize)
+	ctx := avgCtx.Float()
 
-	attnFLOPs := 4 * h * b * avgCtx
-	attnBytes := (2*b*avgCtx*kvDim*pagedTrafficInflation + 2*b*h) * bpp
+	attnFLOPs := units.FLOPs(4 * h * b * ctx)
+	attnBytes := units.Bytes((2*b*ctx*kvDim*pagedTrafficInflation + 2*b*h) * bpp)
 
 	// Decode GEMV grids: one block row per 16 batch rows, tiled over the
 	// output width. Memory-bound, so the grid mostly matters for SM
@@ -405,13 +407,13 @@ func (c Config) DecodeLayerKernels(batch int, avgCtx float64, tag string) []gpus
 	return []gpusim.Kernel{
 		{
 			Name: "norm1", Tag: tag,
-			FLOPs: 10 * b * h,
-			Bytes: elementwiseBWFactor * b * h * bpp,
+			FLOPs: units.FLOPs(10 * b * h),
+			Bytes: units.Bytes(elementwiseBWFactor * b * h * bpp),
 		},
 		{
 			Name: "qkv", Tag: tag,
-			FLOPs:      2 * b * h * qkvOut,
-			Bytes:      (h*qkvOut + b*h + b*qkvOut) * bpp,
+			FLOPs:      units.FLOPs(2 * b * h * qkvOut),
+			Bytes:      units.Bytes((h*qkvOut + b*h + b*qkvOut) * bpp),
 			Grid:       dgrid(c.QKVOutDim()),
 			Efficiency: gemmEfficiency,
 		},
@@ -424,27 +426,27 @@ func (c Config) DecodeLayerKernels(batch int, avgCtx float64, tag string) []gpus
 		},
 		{
 			Name: "oproj", Tag: tag,
-			FLOPs:      2 * b * h * h,
-			Bytes:      (h*h + 2*b*h) * bpp,
+			FLOPs:      units.FLOPs(2 * b * h * h),
+			Bytes:      units.Bytes((h*h + 2*b*h) * bpp),
 			Grid:       dgrid(c.HiddenSize),
 			Efficiency: gemmEfficiency,
 		},
 		{
 			Name: "norm2", Tag: tag,
-			FLOPs: 10 * b * h,
-			Bytes: elementwiseBWFactor * b * h * bpp,
+			FLOPs: units.FLOPs(10 * b * h),
+			Bytes: units.Bytes(elementwiseBWFactor * b * h * bpp),
 		},
 		{
 			Name: "gateup", Tag: tag,
-			FLOPs:      2 * b * h * 2 * inter,
-			Bytes:      (2*h*inter + b*h + 2*b*inter) * bpp,
+			FLOPs:      units.FLOPs(2 * b * h * 2 * inter),
+			Bytes:      units.Bytes((2*h*inter + b*h + 2*b*inter) * bpp),
 			Grid:       dgrid(2 * c.IntermediateSize),
 			Efficiency: gemmEfficiency,
 		},
 		{
 			Name: "down", Tag: tag,
-			FLOPs:      2 * b * inter * h,
-			Bytes:      (h*inter + b*inter + b*h) * bpp,
+			FLOPs:      units.FLOPs(2 * b * inter * h),
+			Bytes:      units.Bytes((h*inter + b*inter + b*h) * bpp),
 			Grid:       dgrid(c.HiddenSize),
 			Efficiency: gemmEfficiency,
 		},
@@ -459,7 +461,7 @@ func (c Config) DecodeLayerKernels(batch int, avgCtx float64, tag string) []gpus
 //
 // chunkLens[i] is the number of new tokens of prefill sequence i in this
 // chunk and histLens[i] its already-cached tokens (re-read by attention).
-func (c Config) HybridLayerKernels(chunkLens, histLens []int, batch int, avgCtx float64, tag string) []gpusim.Kernel {
+func (c Config) HybridLayerKernels(chunkLens, histLens []int, batch int, avgCtx units.Tokens, tag string) []gpusim.Kernel {
 	chunkTotal := 0
 	for _, n := range chunkLens {
 		chunkTotal += n
@@ -511,23 +513,23 @@ func (c Config) LMHeadKernel(rows int, tag string) gpusim.Kernel {
 	n := c.tp()
 	k := gpusim.Kernel{
 		Name: "lmhead", Tag: tag,
-		FLOPs:      2 * r * h * v / n,
-		Bytes:      (h*v/n + r*h + r*v/n) * bpp,
+		FLOPs:      units.FLOPs(2 * r * h * v / n),
+		Bytes:      units.Bytes((h*v/n + r*h + r*v/n) * bpp),
 		Grid:       gemmGrid(rows, c.VocabSize/int(n), wideTileN),
 		Efficiency: gemmEfficiency,
 	}
 	if n > 1 {
 		// All-gather of the per-rank logit shards.
-		k.CommBytes = (n - 1) / n * r * v * bpp
+		k.CommBytes = units.Bytes((n - 1) / n * r * v * bpp)
 	}
 	return k
 }
 
 // Work aggregates FLOPs and bytes of a kernel sequence.
 type Work struct {
-	FLOPs     float64
-	Bytes     float64
-	CommBytes float64
+	FLOPs     units.FLOPs
+	Bytes     units.Bytes
+	CommBytes units.Bytes
 }
 
 // Aggregate sums a kernel list into a Work.
@@ -546,15 +548,15 @@ func Aggregate(ks []gpusim.Kernel) Work {
 // Bullet launches decode (§3.3.1: "a single compounded operation via CUDA
 // Graph"). Aggregation is accurate here because every decode kernel is
 // memory-bound, so the step time is dominated by total bytes.
-func (c Config) DecodeStepKernel(batch int, avgCtx float64, tag string) gpusim.Kernel {
+func (c Config) DecodeStepKernel(batch int, avgCtx units.Tokens, tag string) gpusim.Kernel {
 	layer := Aggregate(c.DecodeLayerKernels(batch, avgCtx, tag))
 	head := c.LMHeadKernel(batch, tag)
 	return gpusim.Kernel{
 		Name:       "decode-step",
 		Tag:        tag,
-		FLOPs:      layer.FLOPs*float64(c.NumLayers) + head.FLOPs,
-		Bytes:      layer.Bytes*float64(c.NumLayers) + head.Bytes,
-		CommBytes:  layer.CommBytes*float64(c.NumLayers) + head.CommBytes,
+		FLOPs:      units.Scale(layer.FLOPs, float64(c.NumLayers)) + head.FLOPs,
+		Bytes:      units.Scale(layer.Bytes, float64(c.NumLayers)) + head.Bytes,
+		CommBytes:  units.Scale(layer.CommBytes, float64(c.NumLayers)) + head.CommBytes,
 		Efficiency: decodeAttnEfficiency, // conservative: graph mixes ops
 		Graph:      true,
 		GraphHead:  true,
@@ -566,7 +568,7 @@ func (c Config) DecodeStepKernel(batch int, avgCtx float64, tag string) gpusim.K
 func (c Config) PrefillWork(newTokens, histTokens int) Work {
 	layer := Aggregate(c.PrefillLayerKernels(newTokens, histTokens, ""))
 	return Work{
-		FLOPs: layer.FLOPs * float64(c.NumLayers),
-		Bytes: layer.Bytes * float64(c.NumLayers),
+		FLOPs: units.Scale(layer.FLOPs, float64(c.NumLayers)),
+		Bytes: units.Scale(layer.Bytes, float64(c.NumLayers)),
 	}
 }

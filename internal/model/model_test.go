@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/gpusim"
+	"repro/internal/units"
 )
 
 func TestValidatePresets(t *testing.T) {
@@ -41,7 +42,7 @@ func TestLlama8BParamCount(t *testing.T) {
 	if params < 7.9e9 || params > 8.2e9 {
 		t.Fatalf("param count = %.3g, want ≈ 8.03e9", params)
 	}
-	if w := c.WeightBytes(); math.Abs(w-2*params) > 1 {
+	if w := c.WeightBytes(); units.Abs(w-units.Bytes(2*params)) > 1 {
 		t.Fatalf("weight bytes = %v, want 2x params", w)
 	}
 }
@@ -92,7 +93,7 @@ func TestPrefillFLOPsScale(t *testing.T) {
 	// Dense transformer prefill ≈ 2 * params * tokens (attention adds a
 	// little, embeddings excluded). Expect within ~15% of 2*7B*2048 for
 	// the layer stack (8B minus 1.05B embedding params).
-	approx := 2 * (c.ParamCount() - 2*float64(c.VocabSize*c.HiddenSize)) * 2048
+	approx := units.FLOPs(2 * (c.ParamCount() - 2*float64(c.VocabSize*c.HiddenSize)) * 2048)
 	if w.FLOPs < approx*0.95 || w.FLOPs > approx*1.25 {
 		t.Fatalf("prefill FLOPs = %.3g, want ≈ %.3g", w.FLOPs, approx)
 	}
@@ -126,8 +127,8 @@ func TestDecodeLayerMemoryBound(t *testing.T) {
 	c := Llama31_8B()
 	spec := gpusim.A100()
 	for _, k := range c.DecodeLayerKernels(32, 1024, "d") {
-		ct := k.FLOPs / spec.PeakFLOPS
-		bt := k.Bytes / spec.PeakBW
+		ct := k.FLOPs.Div(spec.PeakFLOPS)
+		bt := k.Bytes.Div(spec.PeakBW)
 		if ct > bt {
 			t.Errorf("decode kernel %s compute-bound (ct=%.3g bt=%.3g)", k.Name, ct, bt)
 		}
@@ -139,10 +140,10 @@ func TestDecodeStepKernelAggregates(t *testing.T) {
 	step := c.DecodeStepKernel(64, 2048, "d")
 	layer := Aggregate(c.DecodeLayerKernels(64, 2048, "d"))
 	head := c.LMHeadKernel(64, "d")
-	if math.Abs(step.FLOPs-(layer.FLOPs*32+head.FLOPs)) > 1 {
+	if units.Abs(step.FLOPs-(layer.FLOPs*32+head.FLOPs)) > 1 {
 		t.Fatal("step FLOPs mismatch")
 	}
-	if math.Abs(step.Bytes-(layer.Bytes*32+head.Bytes)) > 1 {
+	if units.Abs(step.Bytes-(layer.Bytes*32+head.Bytes)) > 1 {
 		t.Fatal("step bytes mismatch")
 	}
 	if !step.Graph || !step.GraphHead {
@@ -150,7 +151,7 @@ func TestDecodeStepKernelAggregates(t *testing.T) {
 	}
 	// Sanity: a 64-batch 2048-ctx decode step on A100 should take
 	// 10-30ms (weights 16GB + KV ~17GB at ~2TB/s, with inefficiency).
-	dur := step.Bytes / (gpusim.A100().PeakBW)
+	dur := step.Bytes.Div(gpusim.A100().PeakBW)
 	if dur < 0.008 || dur > 0.08 {
 		t.Fatalf("decode step raw byte time = %v, outside sanity window", dur)
 	}
@@ -200,7 +201,7 @@ func TestPropertyDecodeMonotone(t *testing.T) {
 	c := Tiny()
 	f := func(bU, cU uint16) bool {
 		b := int(bU%256) + 1
-		cl := float64(cU%8192) + 1
+		cl := units.Tokens(cU%8192) + 1
 		k1 := c.DecodeStepKernel(b, cl, "d")
 		k2 := c.DecodeStepKernel(b+1, cl, "d")
 		k3 := c.DecodeStepKernel(b, cl+64, "d")

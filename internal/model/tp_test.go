@@ -1,11 +1,11 @@
 package model
 
 import (
-	"math"
 	"strings"
 	"testing"
 
 	"repro/internal/gpusim"
+	"repro/internal/units"
 )
 
 func TestTPConfigDerivation(t *testing.T) {
@@ -18,10 +18,10 @@ func TestTPConfigDerivation(t *testing.T) {
 	}
 	base := Llama31_8B()
 	// Per-rank weights and KV shrink by the TP degree.
-	if got, want := c.WeightBytes(), base.WeightBytes()/4; math.Abs(got-want) > 1 {
+	if got, want := c.WeightBytes(), base.WeightBytes()/4; units.Abs(got-want) > 1 {
 		t.Fatalf("weights/rank = %g, want %g", got, want)
 	}
-	if got, want := c.KVBytesPerToken(), base.KVBytesPerToken()/4; math.Abs(got-want) > 1 {
+	if got, want := c.KVBytesPerToken(), base.KVBytesPerToken()/4; units.Abs(got-want) > 1 {
 		t.Fatalf("kv/token/rank = %g, want %g", got, want)
 	}
 }
@@ -57,8 +57,8 @@ func TestTPShardsComputeAndAddsAllreduce(t *testing.T) {
 		t.Fatal("base model has comm traffic")
 	}
 	// Ring allreduce: 2 × 2(n-1)/n × payload = 2 × 2048×4096×2 bytes.
-	wantComm := 2.0 * (2.0 * 0.5) * 2048 * 4096 * 2
-	if math.Abs(tpW.CommBytes-wantComm)/wantComm > 0.01 {
+	wantComm := units.Bytes(2.0 * (2.0 * 0.5) * 2048 * 4096 * 2)
+	if units.Ratio(units.Abs(tpW.CommBytes-wantComm), wantComm) > 0.01 {
 		t.Fatalf("comm = %g, want %g", tpW.CommBytes, wantComm)
 	}
 }
@@ -80,29 +80,29 @@ func TestTPPrefillFasterPerRankButCommBound(t *testing.T) {
 	// than TP1 (compute halves) but by less than 2x (allreduce +
 	// replicated elementwise).
 	spec := gpusim.A100()
-	measure := func(c Config) float64 {
+	measure := func(c Config) units.Seconds {
 		w := Aggregate(c.PrefillLayerKernels(4096, 0, "p"))
-		ct := w.FLOPs / (spec.PeakFLOPS * 0.9)
-		bt := w.Bytes / spec.PeakBW
-		lt := w.CommBytes / spec.LinkBW
-		return math.Max(ct, bt) + lt
+		ct := w.FLOPs.Div(spec.PeakFLOPS * 0.9)
+		bt := w.Bytes.Div(spec.PeakBW)
+		lt := w.CommBytes.Div(spec.LinkBW)
+		return units.Max(ct, bt) + lt
 	}
 	t1 := measure(Llama31_8B())
 	t2 := measure(Llama31_8B().TP(2))
 	if t2 >= t1 {
 		t.Fatalf("TP2 layer (%g) not faster than TP1 (%g)", t2, t1)
 	}
-	if t1/t2 > 1.95 {
-		t.Fatalf("TP2 speedup %.2fx implausibly ideal", t1/t2)
+	if units.Ratio(t1, t2) > 1.95 {
+		t.Fatalf("TP2 speedup %.2fx implausibly ideal", units.Ratio(t1, t2))
 	}
 }
 
 func TestAllReduceKernelRespectsRing(t *testing.T) {
 	c := Llama31_8B().TP(8)
 	k := c.allReduceKernel(1024, "p")
-	payload := 1024.0 * 4096 * 2
-	want := 2 * (7.0 / 8.0) * payload
-	if math.Abs(k.CommBytes-want) > 1 {
+	const payload = 1024.0 * 4096 * 2
+	want := units.Bytes(2 * (7.0 / 8.0) * payload)
+	if units.Abs(k.CommBytes-want) > 1 {
 		t.Fatalf("comm = %g, want %g", k.CommBytes, want)
 	}
 	if k.Bytes != 2*payload {

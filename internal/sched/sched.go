@@ -15,17 +15,19 @@ import (
 
 	"repro/internal/estimator"
 	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/units"
 )
 
 // WaitingReq is a queued request not yet in prefill.
 type WaitingReq struct {
-	Arrival     float64
+	Arrival     sim.Time
 	InputTokens int
 }
 
 // Deadline returns the latest acceptable first-token time under the SLO.
-func (w WaitingReq) Deadline(slo metrics.SLO) float64 {
-	return w.Arrival + slo.NormTTFTMs*float64(w.InputTokens)/1000
+func (w WaitingReq) Deadline(slo metrics.SLO) sim.Time {
+	return w.Arrival + units.FromMs(slo.NormTTFTMs*float64(w.InputTokens))
 }
 
 // PrefillStatus is the running prefill batch's progress (P_k).
@@ -33,22 +35,22 @@ type PrefillStatus struct {
 	Active      bool
 	Tokens      int // np: total tokens in the batch
 	LayersDone  int // l_k
-	StartTime   float64
-	Arrivals    []float64 // per batched request
-	InputTokens []int     // per batched request
+	StartTime   sim.Time
+	Arrivals    []sim.Time // per batched request
+	InputTokens []int      // per batched request
 }
 
 // DecodeStatus is the decode batch's progress (D_k).
 type DecodeStatus struct {
-	Batch     int     // n_d
-	AvgCtx    float64 // cl
-	Elapsed   []float64
+	Batch     int          // n_d
+	AvgCtx    units.Tokens // cl
+	Elapsed   []units.Seconds
 	Generated []int
 }
 
 // State is the system snapshot S_k read from the shared metadata buffer.
 type State struct {
-	Now        float64
+	Now        sim.Time
 	Prefill    PrefillStatus
 	Waiting    []WaitingReq
 	Decode     DecodeStatus
@@ -125,13 +127,13 @@ func (s *Scheduler) SortWaiting(reqs []WaitingReq) {
 // SMs from now on.
 func (s *Scheduler) predictNormTTFT(st State, pm int, coloc bool) float64 {
 	var norms []float64
-	rem := 0.0
+	rem := units.Seconds(0)
 	if st.Prefill.Active {
 		layersLeft := s.cfg.TotalLayers - st.Prefill.LayersDone
 		rem = s.est.PrefillRemainingTime(st.Prefill.Tokens, 0, layersLeft, pm, coloc)
 		for i, arr := range st.Prefill.Arrivals {
 			ttft := (st.Now - arr) + rem
-			norms = append(norms, 1000*ttft/float64(st.Prefill.InputTokens[i]))
+			norms = append(norms, 1000*ttft.Float()/float64(st.Prefill.InputTokens[i]))
 		}
 	}
 	// Queued requests wait for the running prefill plus everything ahead
@@ -141,7 +143,7 @@ func (s *Scheduler) predictNormTTFT(st State, pm int, coloc bool) float64 {
 		own := s.est.PrefillTotalTime(w.InputTokens, 0, pm, coloc)
 		ahead += own
 		ttft := (st.Now - w.Arrival) + ahead
-		norms = append(norms, 1000*ttft/float64(w.InputTokens))
+		norms = append(norms, 1000*ttft.Float()/float64(w.InputTokens))
 	}
 	if len(norms) == 0 {
 		return 0
@@ -151,7 +153,7 @@ func (s *Scheduler) predictNormTTFT(st State, pm int, coloc bool) float64 {
 
 // predictTPOTMs returns the P90 predicted TPOT (ms) if decode runs its
 // next step on dm SMs, optionally after an extra stall of pause seconds.
-func (s *Scheduler) predictTPOTMs(st State, dm int, coloc bool, pause float64) float64 {
+func (s *Scheduler) predictTPOTMs(st State, dm int, coloc bool, pause units.Seconds) float64 {
 	d := st.Decode
 	if d.Batch == 0 {
 		return 0
@@ -160,7 +162,7 @@ func (s *Scheduler) predictTPOTMs(st State, dm int, coloc bool, pause float64) f
 	var tpots []float64
 	for i := range d.Elapsed {
 		gen := d.Generated[i]
-		tpots = append(tpots, 1000*(d.Elapsed[i]+step+pause)/float64(gen+1))
+		tpots = append(tpots, 1000*(d.Elapsed[i]+step+pause).Float()/float64(gen+1))
 	}
 	return metrics.Percentile(tpots, 0.9)
 }
@@ -287,8 +289,8 @@ func (s *Scheduler) reduceDecodeSM(st State, allowPause bool) Decision {
 		if tokens <= 0 {
 			tokens = 1
 		}
-		pause := s.est.PrefillLayerTime(tokens, 0, M, false) *
-			float64(s.cfg.LayerGroup)
+		pause := units.Scale(s.est.PrefillLayerTime(tokens, 0, M, false),
+			float64(s.cfg.LayerGroup))
 		if s.predictTPOTMs(st, M, false, pause) <= s.slo.TPOTMs {
 			return Decision{PrefillSMs: M, DecodeSMs: s.cfg.MinDecodeSMs,
 				PauseDecode: true, Branch: "pause-decode",

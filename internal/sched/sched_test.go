@@ -8,6 +8,8 @@ import (
 	"repro/internal/gpusim"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/units"
 )
 
 func testScheduler() *Scheduler {
@@ -31,11 +33,11 @@ func slackState() State {
 		Now: 10,
 		Prefill: PrefillStatus{
 			Active: true, Tokens: 2048, LayersDone: 0, StartTime: 10,
-			Arrivals: []float64{9.99}, InputTokens: []int{2048},
+			Arrivals: []sim.Time{9.99}, InputTokens: []int{2048},
 		},
 		Decode: DecodeStatus{
 			Batch: 8, AvgCtx: 512,
-			Elapsed:   []float64{0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1},
+			Elapsed:   []units.Seconds{0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1},
 			Generated: []int{10, 10, 10, 10, 10, 10, 10, 10},
 		},
 		PrefillSMs: 54, DecodeSMs: 54,
@@ -118,7 +120,7 @@ func TestTTFTViolationPausesDecodeWhenTPOTHasSlack(t *testing.T) {
 	// Request has waited 2s already with a 512-token input: hopeless
 	// TTFT (target 1.5 ms/token ⇒ 0.77s budget) unless prefill gets
 	// everything.
-	st.Prefill.Arrivals = []float64{8.0}
+	st.Prefill.Arrivals = []sim.Time{8.0}
 	st.Prefill.InputTokens = []int{512}
 	st.Prefill.Tokens = 512
 	d := s.Decide(st)
@@ -149,7 +151,7 @@ func TestQueuePressureWithoutActivePrefill(t *testing.T) {
 func TestBothViolatedBalances(t *testing.T) {
 	s := testScheduler()
 	st := slackState()
-	st.Prefill.Arrivals = []float64{7.0}
+	st.Prefill.Arrivals = []sim.Time{7.0}
 	st.Prefill.InputTokens = []int{512}
 	st.Prefill.Tokens = 512
 	st.Decode = DecodeStatus{
@@ -248,7 +250,7 @@ func TestPropertyDecisionValid(t *testing.T) {
 			Prefill: PrefillStatus{
 				Active: true, Tokens: int(tokU%16000) + 64,
 				LayersDone: int(genU % 32), StartTime: 99,
-				Arrivals:    []float64{99 - float64(elapsedU%200)/100},
+				Arrivals:    []sim.Time{sim.Time(99 - float64(elapsedU%200)/100)},
 				InputTokens: []int{int(tokU%16000) + 64},
 			},
 			Decode: DecodeStatus{
@@ -258,7 +260,7 @@ func TestPropertyDecisionValid(t *testing.T) {
 			PrefillSMs: 54, DecodeSMs: 54,
 		}
 		for i := 0; i < st.Decode.Batch; i++ {
-			st.Decode.Elapsed = append(st.Decode.Elapsed, float64(elapsedU)/1000)
+			st.Decode.Elapsed = append(st.Decode.Elapsed, units.Seconds(elapsedU)/1000)
 			st.Decode.Generated = append(st.Decode.Generated, int(genU)+1)
 		}
 		for i := 0; i < int(waitU%10); i++ {
@@ -278,8 +280,8 @@ func TestPropertyDecisionValid(t *testing.T) {
 	}
 }
 
-func repeatF(v float64, n int) []float64 {
-	out := make([]float64, n)
+func repeatF(v units.Seconds, n int) []units.Seconds {
+	out := make([]units.Seconds, n)
 	for i := range out {
 		out[i] = v
 	}
@@ -315,7 +317,7 @@ func TestReducePrefillFallbackWhenNothingFeasible(t *testing.T) {
 		Elapsed:   repeatF(10, 256), // absurdly behind
 		Generated: repeatI(1, 256),
 	}
-	st.Prefill.Arrivals = []float64{9.99}
+	st.Prefill.Arrivals = []sim.Time{9.99}
 	st.Prefill.InputTokens = []int{2048}
 	d := s.Decide(st)
 	if d.PrefillSMs <= 0 || d.DecodeSMs <= 0 {

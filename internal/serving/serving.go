@@ -97,7 +97,7 @@ type Result struct {
 	Requests []metrics.Request
 	GPUStats gpusim.Stats
 	// Makespan is the simulated time at which the last request finished.
-	Makespan float64
+	Makespan sim.Time
 }
 
 // maxEventsPerRequest bounds runaway simulations.

@@ -7,13 +7,14 @@ import (
 	"repro/internal/gpusim"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
 // echoSystem completes each request after a fixed simulated delay.
 type echoSystem struct {
 	env   *Env
-	delay float64
+	delay sim.Time
 	leak  bool // when set, allocate KV and never free it
 	stall bool // when set, never complete anything
 }

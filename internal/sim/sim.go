@@ -11,12 +11,15 @@ package sim
 import (
 	"container/heap"
 	"fmt"
-	"math"
+
+	"repro/internal/units"
 )
 
-// Time is simulated time in seconds. float64 resolution (~1e-15 of the
-// magnitude) is far below the microsecond granularity we care about.
-type Time = float64
+// Time is simulated time in seconds — an alias for units.Seconds, so
+// every timestamp flowing out of the event core is unit-typed without a
+// conversion layer. float64 resolution (~1e-15 of the magnitude) is far
+// below the microsecond granularity we care about.
+type Time = units.Seconds
 
 // Event is a scheduled callback. It is returned by At/After so callers can
 // cancel it before it fires.
@@ -98,7 +101,7 @@ func (s *Simulation) At(t Time, fn func()) *Event {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %.9g before now %.9g", t, s.now))
 	}
-	if math.IsNaN(t) || math.IsInf(t, 0) {
+	if units.IsNaN(t) || units.IsInf(t, 0) {
 		panic(fmt.Sprintf("sim: scheduling event at non-finite time %v", t))
 	}
 	e := &Event{at: t, seq: s.seq, fn: fn, created: s.now}

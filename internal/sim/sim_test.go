@@ -215,7 +215,7 @@ func TestPropertyTimeOrdered(t *testing.T) {
 		if len(fired) != len(raw) {
 			return false
 		}
-		return sort.Float64sAreSorted(fired)
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)

@@ -13,6 +13,8 @@ import (
 
 	"repro/internal/gpusim"
 	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/units"
 )
 
 // EventKind tags recorded events.
@@ -30,12 +32,12 @@ const (
 	KindPhase EventKind = "phase"
 )
 
-// Event is one recorded item. Times are simulation seconds.
+// Event is one recorded item. Times are unit-typed simulation seconds.
 type Event struct {
-	Kind  EventKind `json:"kind"`
-	Name  string    `json:"name"`
-	Start float64   `json:"start"`
-	End   float64   `json:"end,omitempty"` // == Start for instants
+	Kind  EventKind     `json:"kind"`
+	Name  string        `json:"name"`
+	Start units.Seconds `json:"start"`
+	End   units.Seconds `json:"end,omitempty"` // == Start for instants
 	// Lane groups events for display ("prefill", "decode", "hybrid",
 	// "sched", "requests").
 	Lane string `json:"lane"`
@@ -90,8 +92,8 @@ func (r *Recorder) KernelHook() func(gpusim.KernelRecord) {
 }
 
 // DecisionHook returns an engine OnDecision callback feeding the recorder.
-func (r *Recorder) DecisionHook() func(t float64, d sched.Decision) {
-	return func(t float64, d sched.Decision) {
+func (r *Recorder) DecisionHook() func(t sim.Time, d sched.Decision) {
+	return func(t sim.Time, d sched.Decision) {
 		r.Add(Event{
 			Kind: KindDecision, Name: d.Branch, Start: t, End: t, Lane: "sched",
 			Detail: map[string]any{
@@ -104,7 +106,7 @@ func (r *Recorder) DecisionHook() func(t float64, d sched.Decision) {
 }
 
 // AddRequest records a request lifecycle span.
-func (r *Recorder) AddRequest(id string, arrival, firstToken, finish float64, inTokens, outTokens int) {
+func (r *Recorder) AddRequest(id string, arrival, firstToken, finish units.Seconds, inTokens, outTokens int) {
 	r.Add(Event{
 		Kind: KindRequest, Name: id, Start: arrival, End: finish, Lane: "requests",
 		Detail: map[string]any{
@@ -152,14 +154,14 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 		ce := chromeEvent{
 			Name: e.Name,
 			Cat:  string(e.Kind),
-			TS:   e.Start * 1e6,
+			TS:   e.Start.Float() * 1e6,
 			PID:  1,
 			TID:  laneID(e.Lane),
 			Args: e.Detail,
 		}
 		if e.End > e.Start {
 			ce.Phase = "X"
-			ce.Dur = (e.End - e.Start) * 1e6
+			ce.Dur = (e.End - e.Start).Float() * 1e6
 		} else {
 			ce.Phase = "i"
 		}
@@ -201,7 +203,7 @@ func (r *Recorder) Summary() map[string]LaneSummary {
 // LaneSummary aggregates one lane.
 type LaneSummary struct {
 	Events   int
-	BusyTime float64
+	BusyTime units.Seconds
 }
 
 // String renders the summary compactly.

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/gpusim"
 	"repro/internal/sched"
+	"repro/internal/units"
 )
 
 func TestAddAndEventsSorted(t *testing.T) {
@@ -26,7 +27,7 @@ func TestAddAndEventsSorted(t *testing.T) {
 func TestMaxEventsCap(t *testing.T) {
 	r := Recorder{MaxEvents: 2}
 	for i := 0; i < 5; i++ {
-		r.Add(Event{Name: "x", Start: float64(i)})
+		r.Add(Event{Name: "x", Start: units.Seconds(i)})
 	}
 	if r.Len() != 2 || r.Dropped != 3 {
 		t.Fatalf("len=%d dropped=%d", r.Len(), r.Dropped)

@@ -1,0 +1,181 @@
+// Package units gives the simulator's physical quantities distinct Go
+// types, so that dimensionally nonsensical arithmetic — adding seconds to
+// tokens, dividing FLOPs by bytes — fails to compile instead of silently
+// producing a wrong figure. The `unitsafe` analyzer in internal/lint
+// enforces the conventions this package establishes (see DESIGN.md,
+// "Unit-safety contract"):
+//
+//   - Quantities are defined types over float64 with identical
+//     representation and arithmetic, so migrating a value to a unit type
+//     is bit-preserving by construction.
+//   - Same-unit addition, subtraction and ordering use the built-in
+//     operators; they are dimension-preserving.
+//   - Dimension-changing arithmetic (work/rate, rate·time, unit ratios)
+//     goes through the explicit helpers below, which each perform exactly
+//     one floating-point operation in a documented order.
+//   - Scaling by a dimensionless factor uses Scale (multiply) or Over
+//     (divide); untyped constants ("t * 2") remain legal because constants
+//     are dimensionless.
+//   - Leaving the typed world ("laundering") is only legal through the
+//     Float methods (or the millisecond helpers), never through a bare
+//     float64(x) conversion — that keeps every escape greppable.
+//
+// The package is intentionally dependency-free (stdlib math only) so the
+// lint fixture harness can type-check it in isolation.
+package units
+
+import "math"
+
+// The quantity types. All are defined types over float64: conversion to
+// and from float64 is representation-preserving, and arithmetic compiles
+// to exactly the same operations as on raw float64.
+type (
+	// Seconds is simulated wall-clock time or a duration.
+	Seconds float64
+	// FLOPs is arithmetic work (floating-point operations).
+	FLOPs float64
+	// Bytes is data volume (DRAM traffic, memory footprints, payloads).
+	Bytes float64
+	// FLOPsPerSec is compute throughput.
+	FLOPsPerSec float64
+	// BytesPerSec is memory or interconnect bandwidth.
+	BytesPerSec float64
+	// Tokens is a (possibly fractional) token count.
+	Tokens float64
+	// SMs is a (possibly fractional) number of streaming multiprocessors,
+	// e.g. the contended effective share of an SM mask.
+	SMs float64
+	// SMSeconds is the integral of SM occupancy over time.
+	SMSeconds float64
+	// PerSec is a dimensionless progress rate (fraction of a kernel, or
+	// of any whole, completed per second).
+	PerSec float64
+)
+
+// Quantity is the constraint satisfied by every unit type in this
+// package. Helpers generic over Quantity are dimension-preserving: they
+// never convert one unit into another.
+type Quantity interface {
+	Seconds | FLOPs | Bytes | FLOPsPerSec | BytesPerSec | Tokens | SMs | SMSeconds | PerSec
+}
+
+// Scale returns q·k for a dimensionless factor k.
+func Scale[Q Quantity](q Q, k float64) Q { return Q(float64(q) * k) }
+
+// Over returns q/k for a dimensionless divisor k.
+func Over[Q Quantity](q Q, k float64) Q { return Q(float64(q) / k) }
+
+// Ratio returns the dimensionless quotient num/den of two like
+// quantities.
+func Ratio[Q Quantity](num, den Q) float64 { return float64(num) / float64(den) }
+
+// Min returns the smaller of two like quantities.
+func Min[Q Quantity](a, b Q) Q { return Q(math.Min(float64(a), float64(b))) }
+
+// Max returns the larger of two like quantities.
+func Max[Q Quantity](a, b Q) Q { return Q(math.Max(float64(a), float64(b))) }
+
+// Abs returns |q|.
+func Abs[Q Quantity](q Q) Q { return Q(math.Abs(float64(q))) }
+
+// Inf returns the infinity of the given sign in Q (sign >= 0 yields
+// +Inf), mirroring math.Inf.
+func Inf[Q Quantity](sign int) Q { return Q(math.Inf(sign)) }
+
+// IsInf reports whether q is the infinity of the given sign, mirroring
+// math.IsInf.
+func IsInf[Q Quantity](q Q, sign int) bool { return math.IsInf(float64(q), sign) }
+
+// IsNaN reports whether q is an IEEE not-a-number.
+func IsNaN[Q Quantity](q Q) bool { return math.IsNaN(float64(q)) }
+
+// --- dimension-changing helpers ---------------------------------------
+//
+// Each helper performs exactly the floating-point operations its formula
+// states, in that order, so replacing inline float64 arithmetic with a
+// helper is bit-identical.
+
+// Div returns the time to perform w units of work at rate r: w/r.
+func (w FLOPs) Div(r FLOPsPerSec) Seconds { return Seconds(float64(w) / float64(r)) }
+
+// Div returns the time to move b bytes at bandwidth r: b/r.
+func (b Bytes) Div(r BytesPerSec) Seconds { return Seconds(float64(b) / float64(r)) }
+
+// Per returns the throughput of doing w work in d seconds: w/d.
+func (w FLOPs) Per(d Seconds) FLOPsPerSec { return FLOPsPerSec(float64(w) / float64(d)) }
+
+// Per returns the bandwidth of moving b bytes in d seconds: b/d.
+func (b Bytes) Per(d Seconds) BytesPerSec { return BytesPerSec(float64(b) / float64(d)) }
+
+// Times returns the work done at rate r over d seconds: r·d.
+func (r FLOPsPerSec) Times(d Seconds) FLOPs { return FLOPs(float64(r) * float64(d)) }
+
+// Times returns the bytes moved at bandwidth r over d seconds: r·d.
+func (r BytesPerSec) Times(d Seconds) Bytes { return Bytes(float64(r) * float64(d)) }
+
+// Times returns the occupancy integral of m SMs busy for d seconds: m·d.
+func (m SMs) Times(d Seconds) SMSeconds { return SMSeconds(float64(m) * float64(d)) }
+
+// Progress returns the fraction-per-second progress rate of a kernel
+// with w total FLOPs executing at throughput r: r/w.
+func (r FLOPsPerSec) Progress(w FLOPs) PerSec { return PerSec(float64(r) / float64(w)) }
+
+// Progress returns the fraction-per-second progress rate of a kernel
+// with b total bytes moving at bandwidth r: r/b.
+func (r BytesPerSec) Progress(b Bytes) PerSec { return PerSec(float64(r) / float64(b)) }
+
+// Times returns the fraction of the whole completed at progress rate p
+// over d seconds: p·d.
+func (p PerSec) Times(d Seconds) float64 { return float64(p) * float64(d) }
+
+// Elapse returns the time for frac of the whole to complete at progress
+// rate p: frac/p.
+func Elapse(frac float64, p PerSec) Seconds { return Seconds(frac / float64(p)) }
+
+// AtRate returns the instantaneous throughput of a kernel with w total
+// FLOPs progressing at rate p: p·w.
+func (w FLOPs) AtRate(p PerSec) FLOPsPerSec { return FLOPsPerSec(float64(p) * float64(w)) }
+
+// AtRate returns the instantaneous bandwidth of a kernel with b total
+// bytes progressing at rate p: p·b.
+func (b Bytes) AtRate(p PerSec) BytesPerSec { return BytesPerSec(float64(p) * float64(b)) }
+
+// Ms returns the duration in milliseconds: s·1000.
+func (s Seconds) Ms() float64 { return float64(s) * 1000 }
+
+// FromMs converts a millisecond count to Seconds: ms/1000.
+func FromMs(ms float64) Seconds { return Seconds(ms / 1000) }
+
+// --- laundering escapes ------------------------------------------------
+//
+// Float is the sanctioned way to hand a quantity to dimensionless math
+// (logarithms, formatting, external interfaces). A bare float64(x)
+// conversion is flagged by unitsafe precisely so these escapes stay
+// visible and greppable.
+
+// Float returns the raw value.
+func (s Seconds) Float() float64 { return float64(s) }
+
+// Float returns the raw value.
+func (w FLOPs) Float() float64 { return float64(w) }
+
+// Float returns the raw value.
+func (b Bytes) Float() float64 { return float64(b) }
+
+// Float returns the raw value.
+func (r FLOPsPerSec) Float() float64 { return float64(r) }
+
+// Float returns the raw value.
+func (r BytesPerSec) Float() float64 { return float64(r) }
+
+// Float returns the raw value.
+func (t Tokens) Float() float64 { return float64(t) }
+
+// Float returns the raw value.
+func (m SMs) Float() float64 { return float64(m) }
+
+// Float returns the raw value.
+func (o SMSeconds) Float() float64 { return float64(o) }
+
+// Float returns the raw value.
+func (p PerSec) Float() float64 { return float64(p) }

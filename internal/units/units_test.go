@@ -1,0 +1,64 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBitIdentity pins the contract the gpusim/estimator migration relies
+// on: every helper performs exactly the operations its formula states, so
+// typed arithmetic is bit-for-bit the raw float64 arithmetic it replaced.
+func TestBitIdentity(t *testing.T) {
+	w, r := 3.7e12, 312e12
+	if got, want := FLOPs(w).Div(FLOPsPerSec(r)).Float(), w/r; got != want {
+		t.Errorf("FLOPs.Div = %v, want %v", got, want)
+	}
+	b, bw := 1.9e9, 2.0e12
+	if got, want := Bytes(b).Div(BytesPerSec(bw)).Float(), b/bw; got != want {
+		t.Errorf("Bytes.Div = %v, want %v", got, want)
+	}
+	x, y := 0.1, 0.3
+	if got, want := Scale(Seconds(x), y).Float(), x*y; got != want {
+		t.Errorf("Scale = %v, want %v", got, want)
+	}
+	if got, want := Over(Seconds(x), y).Float(), x/y; got != want {
+		t.Errorf("Over = %v, want %v", got, want)
+	}
+	if got, want := Ratio(Seconds(x), Seconds(y)), x/y; got != want {
+		t.Errorf("Ratio = %v, want %v", got, want)
+	}
+	p := BytesPerSec(bw).Progress(Bytes(b))
+	if got, want := p.Float(), bw/b; got != want {
+		t.Errorf("Progress = %v, want %v", got, want)
+	}
+	if got, want := Elapse(0.25, p).Float(), 0.25/(bw/b); got != want {
+		t.Errorf("Elapse = %v, want %v", got, want)
+	}
+	if got, want := Bytes(b).AtRate(p).Float(), (bw/b)*b; got != want {
+		t.Errorf("Bytes.AtRate = %v, want %v", got, want)
+	}
+	if got, want := SMs(13.5).Times(Seconds(0.2)).Float(), 13.5*0.2; got != want {
+		t.Errorf("SMs.Times = %v, want %v", got, want)
+	}
+	if got, want := Seconds(0.0042).Ms(), 0.0042*1000; got != want {
+		t.Errorf("Ms = %v, want %v", got, want)
+	}
+	if got, want := FromMs(150).Float(), 150.0/1000; got != want {
+		t.Errorf("FromMs = %v, want %v", got, want)
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !IsInf(Inf[Seconds](1), 1) || IsInf(Seconds(1), 0) {
+		t.Error("Inf/IsInf mismatch")
+	}
+	if !IsNaN(Seconds(math.NaN())) || IsNaN(Seconds(0)) {
+		t.Error("IsNaN mismatch")
+	}
+	if Min(Seconds(1), Seconds(2)) != 1 || Max(Seconds(1), Seconds(2)) != 2 {
+		t.Error("Min/Max mismatch")
+	}
+	if Abs(Seconds(-3)) != 3 {
+		t.Error("Abs mismatch")
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/units"
 )
 
 // FuzzRead exercises the trace parser with arbitrary input: it must never
@@ -25,7 +27,7 @@ func FuzzRead(f *testing.F) {
 		if len(tr.Requests) == 0 {
 			t.Fatal("accepted empty trace")
 		}
-		prev := 0.0
+		prev := units.Seconds(0)
 		seen := map[string]bool{}
 		for _, r := range tr.Requests {
 			if r.Arrival < prev {

@@ -5,6 +5,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"repro/internal/units"
 )
 
 func TestTraceRoundTrip(t *testing.T) {
@@ -68,8 +70,8 @@ func TestReadSortsAndFillsDefaults(t *testing.T) {
 func TestGenerateConstant(t *testing.T) {
 	tr := GenerateConstant(AzureCode, 4, 20, 1)
 	for i, r := range tr.Requests {
-		want := float64(i+1) / 4
-		if math.Abs(r.Arrival-want) > 1e-12 {
+		want := units.Seconds(i+1) / 4
+		if units.Abs(r.Arrival-want) > 1e-12 {
 			t.Fatalf("arrival %d = %v, want %v", i, r.Arrival, want)
 		}
 	}
@@ -80,9 +82,9 @@ func TestGenerateGammaCV(t *testing.T) {
 	for _, cv := range []float64{0.5, 1.0, 2.0} {
 		tr := GenerateGamma(ShareGPT, 10, cv, 20000, 9)
 		var gaps []float64
-		prev := 0.0
+		prev := units.Seconds(0)
 		for _, r := range tr.Requests {
-			gaps = append(gaps, r.Arrival-prev)
+			gaps = append(gaps, (r.Arrival - prev).Float())
 			prev = r.Arrival
 		}
 		mean, varsum := 0.0, 0.0

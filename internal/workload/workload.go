@@ -15,12 +15,14 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"repro/internal/units"
 )
 
 // Request is one serving request of a trace.
 type Request struct {
 	ID           string
-	Arrival      float64 // seconds since trace start
+	Arrival      units.Seconds // seconds since trace start
 	InputTokens  int
 	OutputTokens int
 	Dataset      string
@@ -41,7 +43,7 @@ type Trace struct {
 }
 
 // Duration returns the arrival time of the last request.
-func (t *Trace) Duration() float64 {
+func (t *Trace) Duration() units.Seconds {
 	if len(t.Requests) == 0 {
 		return 0
 	}
@@ -150,7 +152,7 @@ func Generate(d Dataset, rate float64, n int, seed int64) *Trace {
 		t += rng.ExpFloat64() / rate
 		tr.Requests[i] = Request{
 			ID:           fmt.Sprintf("%s-%d", d.Name, i),
-			Arrival:      t,
+			Arrival:      units.Seconds(t),
 			InputTokens:  d.SampleInput(rng),
 			OutputTokens: d.SampleOutput(rng),
 			Dataset:      d.Name,
@@ -177,7 +179,7 @@ func GenerateBursty(d Dataset, baseRate, burstFactor, period float64, n int, see
 		t += rng.ExpFloat64() / rate
 		tr.Requests[i] = Request{
 			ID:           fmt.Sprintf("%s-b%d", d.Name, i),
-			Arrival:      t,
+			Arrival:      units.Seconds(t),
 			InputTokens:  d.SampleInput(rng),
 			OutputTokens: d.SampleOutput(rng),
 			Dataset:      d.Name,
@@ -223,7 +225,7 @@ func GenerateConstant(d Dataset, rate float64, n int, seed int64) *Trace {
 	for i := 0; i < n; i++ {
 		tr.Requests[i] = Request{
 			ID:           fmt.Sprintf("%s-c%d", d.Name, i),
-			Arrival:      float64(i+1) / rate,
+			Arrival:      units.Seconds(float64(i+1) / rate),
 			InputTokens:  d.SampleInput(rng),
 			OutputTokens: d.SampleOutput(rng),
 			Dataset:      d.Name,
@@ -273,7 +275,7 @@ func GenerateGamma(d Dataset, rate, cv float64, n int, seed int64) *Trace {
 		t += sampleGamma()
 		tr.Requests[i] = Request{
 			ID:           fmt.Sprintf("%s-g%d", d.Name, i),
-			Arrival:      t,
+			Arrival:      units.Seconds(t),
 			InputTokens:  d.SampleInput(rng),
 			OutputTokens: d.SampleOutput(rng),
 			Dataset:      d.Name,

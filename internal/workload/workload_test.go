@@ -5,6 +5,8 @@ import (
 	"sort"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/units"
 )
 
 func TestGenerateDeterministic(t *testing.T) {
@@ -33,7 +35,7 @@ func TestGenerateDeterministic(t *testing.T) {
 
 func TestArrivalsSortedAndPositive(t *testing.T) {
 	tr := Generate(AzureCode, 5, 500, 1)
-	prev := 0.0
+	prev := units.Seconds(0)
 	for _, r := range tr.Requests {
 		if r.Arrival <= prev {
 			t.Fatalf("non-increasing arrival %v after %v", r.Arrival, prev)
@@ -48,7 +50,7 @@ func TestArrivalsSortedAndPositive(t *testing.T) {
 func TestPoissonRate(t *testing.T) {
 	tr := Generate(ShareGPT, 20, 5000, 7)
 	// Empirical rate should be within ~5% of 20 req/s for 5000 samples.
-	rate := float64(len(tr.Requests)) / tr.Duration()
+	rate := float64(len(tr.Requests)) / tr.Duration().Float()
 	if rate < 19 || rate > 21 {
 		t.Fatalf("empirical rate = %v, want ≈ 20", rate)
 	}
@@ -120,7 +122,7 @@ func TestBurstyTrace(t *testing.T) {
 	// clearly more.
 	calm, burst := 0, 0
 	for _, r := range tr.Requests {
-		if math.Mod(r.Arrival, 20) >= 10 {
+		if math.Mod(r.Arrival.Float(), 20) >= 10 {
 			burst++
 		} else {
 			calm++
