@@ -246,3 +246,18 @@ func BenchmarkExtensionTensorParallel(b *testing.B) {
 		printOnce(b, i, func() string { return experiments.RenderExtTensorParallel(rows) })
 	}
 }
+
+// BenchmarkExtensionFaults studies resilience under injected SM
+// degradation: dynamic Bullet vs MuxServe-style static splits on one
+// shared trace and fault schedule.
+func BenchmarkExtensionFaults(b *testing.B) {
+	n := 150
+	if testing.Short() {
+		n = 60
+	}
+	for i := 0; i < b.N; i++ {
+		rows := experiments.ExtFaults(workload.AzureCode, 4, n, 42,
+			[]float64{0, 0.1, 0.2}, experiments.FaultSystems)
+		printOnce(b, i, func() string { return experiments.RenderExtFaults(rows) })
+	}
+}

@@ -25,11 +25,19 @@ go vet ./...
 step "go build ./..."
 go build ./...
 
-step "go test ./..."
-go test ./...
+step "go test -shuffle=on ./..."
+go test -shuffle=on ./...
 
-step "go test -race ./..."
-go test -race ./...
+step "go test -race -shuffle=on ./..."
+go test -race -shuffle=on ./...
+
+step "fault-injection determinism smoke (-race, double run)"
+# Same seed + same fault schedule must replay bit-identically — the
+# resilience paths (SM degradation, watchdog aborts, replica failover)
+# are the newest determinism surface, so pin them explicitly.
+go test -race -count=1 \
+    -run 'TestFaultRunDeterminism|TestFaultyRunBitIdentical|TestClusterFaultDeterminism' \
+    ./internal/experiments ./internal/core ./internal/cluster
 
 step "fuzz: smmask set algebra (5s)"
 go test -run='^$' -fuzz=Fuzz -fuzztime=5s ./internal/smmask

@@ -1,5 +1,6 @@
 // Command bulletbench regenerates the paper's tables and figures as text
-// tables (see DESIGN.md §3 for the experiment index).
+// tables (see DESIGN.md §3 for the experiment index and §6 for the
+// extension studies; TestListMatchesDESIGN pins -list to those tables).
 //
 // Usage:
 //
@@ -12,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -22,39 +24,48 @@ import (
 
 var order = []string{
 	"table1", "fig2", "fig4", "fig7", "fig10", "fig11", "fig12", "table3",
-	"fig13", "fig14", "fig15", "ext-knobs", "ext-disagg", "ext-device", "ext-prefix", "ext-cluster", "ext-knee", "ext-tp",
+	"fig13", "fig14", "fig15", "ext-knobs", "ext-disagg", "ext-device", "ext-prefix", "ext-cluster", "ext-knee", "ext-tp", "ext-faults",
 }
 
 func main() {
-	var (
-		exp   = flag.String("exp", "all", "experiment id (see -list)")
-		quick = flag.Bool("quick", false, "reduced request counts / sweeps")
-		list  = flag.Bool("list", false, "list experiment ids, then exit")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if *list {
-		fmt.Println("experiments:", strings.Join(order, ", "))
-		return
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bulletbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		exp   = fs.String("exp", "all", "experiment id (see -list)")
+		quick = fs.Bool("quick", false, "reduced request counts / sweeps")
+		list  = fs.Bool("list", false, "list experiment ids, then exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
 
-	run := func(id string) {
-		fmt.Printf("===== %s =====\n", id)
-		fmt.Println(render(id, *quick))
+	if *list {
+		fmt.Fprintln(stdout, "experiments:", strings.Join(order, ", "))
+		return 0
+	}
+
+	runOne := func(id string) {
+		fmt.Fprintf(stdout, "===== %s =====\n", id)
+		fmt.Fprintln(stdout, render(id, *quick))
 	}
 	if *exp == "all" {
 		for _, id := range order {
-			run(id)
+			runOne(id)
 		}
-		return
+		return 0
 	}
 	for _, id := range strings.Split(*exp, ",") {
 		if !known(id) {
-			fmt.Fprintf(os.Stderr, "bulletbench: unknown experiment %q (have %s)\n", id, strings.Join(order, ", "))
-			os.Exit(1)
+			fmt.Fprintf(stderr, "bulletbench: unknown experiment %q (have %s)\n", id, strings.Join(order, ", "))
+			return 1
 		}
-		run(id)
+		runOne(id)
 	}
+	return 0
 }
 
 func known(id string) bool {
@@ -133,6 +144,9 @@ func render(id string, quick bool) string {
 		kneeN := n / 2
 		rows := experiments.ExtKnees(workload.AzureCode, 0.9, kneeN, 42, 2, 10, experiments.SystemNames)
 		return experiments.RenderExtKnees("azure-code", 0.9, rows)
+	case "ext-faults":
+		return experiments.RenderExtFaults(experiments.ExtFaults(
+			workload.AzureCode, 4, n, 42, []float64{0, 0.05, 0.1, 0.2}, experiments.FaultSystems))
 	}
 	panic(fmt.Sprintf("bulletbench: experiment %q listed in order but not dispatched", id))
 }

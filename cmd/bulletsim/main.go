@@ -6,7 +6,13 @@
 //	bulletsim -system bullet -dataset azure-code -rate 5 -n 300 -seed 42
 //	bulletsim -system sglang-1024 -dataset sharegpt -rate 16 -json
 //	bulletsim -system bullet -trace out.trace.json   # chrome://tracing file
+//	bulletsim -system bullet -faults -fault-rate 0.1 -fault-seed 7
 //	bulletsim -list
+//
+// With -faults a deterministic fault schedule (SM degradations and
+// engine stalls at -fault-rate events/s each, seeded by -fault-seed) is
+// injected into the run and the resilience accounting is printed
+// alongside the summary. Only Bullet variants support fault injection.
 package main
 
 import (
@@ -20,9 +26,11 @@ import (
 	"repro/bullet"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/serving"
 	"repro/internal/trace"
+	"repro/internal/units"
 	"repro/internal/workload"
 )
 
@@ -35,6 +43,9 @@ func main() {
 		seed      = flag.Int64("seed", 42, "trace random seed")
 		asJSON    = flag.Bool("json", false, "emit the full result as JSON")
 		traceFile = flag.String("trace", "", "write a Chrome trace-event file (Bullet systems only)")
+		withFault = flag.Bool("faults", false, "inject a deterministic fault schedule (Bullet systems only)")
+		faultRate = flag.Float64("fault-rate", 0.1, "SM-degradation and engine-stall rates, events/s of virtual time")
+		faultSeed = flag.Int64("fault-seed", 1, "fault schedule random seed")
 		list      = flag.Bool("list", false, "list systems and datasets, then exit")
 	)
 	flag.Parse()
@@ -50,6 +61,13 @@ func main() {
 
 	if *traceFile != "" {
 		if err := runTraced(*system, *dataset, *rate, *n, *seed, *traceFile); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	if *withFault {
+		if err := runFaulty(*system, *dataset, *rate, *n, *seed, *faultRate, *faultSeed, *asJSON); err != nil {
 			fail(err)
 		}
 		return
@@ -88,6 +106,63 @@ func printSummary(dataset string, rate float64, n int, seed int64, res bullet.Re
 	fmt.Printf("throughput      %.2f req/s, %.0f tok/s\n", res.Throughput, res.TokenThru)
 	fmt.Printf("SLO attainment  %.1f%%\n", 100*res.SLOAttainment)
 	fmt.Printf("makespan        %.1f s\n", res.Makespan)
+}
+
+// runFaulty executes the run with a generated fault schedule injected
+// and prints the resilience accounting alongside the usual summary.
+func runFaulty(system, dataset string, rate float64, n int, seed int64, faultRate float64, faultSeed int64, asJSON bool) error {
+	spec, cfg := experiments.Platform()
+	d, err := workload.ByName(dataset)
+	if err != nil {
+		return err
+	}
+	env := serving.NewEnv(spec, cfg, dataset)
+	sys := experiments.NewSystem(system, env)
+	b, ok := sys.(*core.Bullet)
+	if !ok {
+		return fmt.Errorf("-faults requires a Bullet variant, got %q", system)
+	}
+	// Cover the arrival span plus drain slack with faults.
+	horizon := units.Scale(units.Over(units.Seconds(float64(n)), rate), 1.5)
+	fcfg := faults.DefaultConfig(spec.NumSMs, horizon)
+	fcfg.Seed = faultSeed
+	fcfg.DegradeRate = faultRate
+	fcfg.StallRate = faultRate
+	inj := faults.NewInjector(env.Sim, faults.Generate(fcfg))
+	b.AttachFaults(inj, core.DefaultWatchdog())
+	inj.Arm()
+	res := env.Run(sys, workload.Generate(d, rate, n, seed))
+	rl := b.Resilience()
+	rl.FaultsInjected = inj.Injected()
+	rl.Downtime = inj.ScheduledDowntime()
+
+	if asJSON {
+		out := struct {
+			System     string
+			Dataset    string
+			Rate       float64
+			Shed       int
+			Summary    metrics.Summary
+			Resilience metrics.Resilience
+		}{res.System, dataset, rate, res.Shed, res.Summary, rl}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+
+	s := res.Summary
+	fmt.Printf("system          %s (faulty: degrade+stall @ %.2f/s, fault seed %d)\n", res.System, faultRate, faultSeed)
+	fmt.Printf("dataset         %s @ %.2f req/s (%d requests, seed %d)\n", dataset, rate, n, seed)
+	fmt.Printf("completed       %d (%d shed)\n", s.Requests, res.Shed)
+	fmt.Printf("mean TTFT       %.3f s (P90 %.3f s)\n", s.MeanTTFT.Float(), s.P90TTFT.Float())
+	fmt.Printf("mean TPOT       %.1f ms (P90 %.1f ms)\n", s.MeanTPOTMs, s.P90TPOTMs)
+	fmt.Printf("throughput      %.2f req/s (goodput %.2f req/s)\n", s.Throughput, s.Goodput)
+	fmt.Printf("SLO attainment  %.1f%%\n", 100*s.SLOAttainment)
+	fmt.Printf("faults injected %d (scheduled downtime %.1f s)\n", rl.FaultsInjected, rl.Downtime.Float())
+	fmt.Printf("batch aborts    %d (retried %d, shed %d)\n", rl.BatchAborts, rl.Retried, rl.Shed)
+	fmt.Printf("recoveries      %d (MTTR %.2f s)\n", rl.Recoveries, rl.MTTR().Float())
+	fmt.Printf("makespan        %.1f s\n", res.Makespan.Float())
+	return nil
 }
 
 // runTraced executes the run with full kernel/decision tracing and writes

@@ -8,8 +8,10 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/gpusim"
 	"repro/internal/metrics"
 	"repro/internal/serving"
@@ -49,6 +51,12 @@ type replica struct {
 	sys      *core.Bullet
 	inflight int // live requests routed here
 	tokens   int // live input tokens routed here
+	// down marks a crashed replica: the router stops picking it and its
+	// late completions are swallowed as stale.
+	down bool
+	// live tracks the requests currently owned by this replica, the set
+	// that fails over when it crashes.
+	live map[string]workload.Request
 }
 
 // Cluster implements serving.System over N replicas.
@@ -58,6 +66,18 @@ type Cluster struct {
 	replicas []*replica
 	next     int
 	routed   map[string]*replica
+
+	// wcfg is non-nil once AttachFaults armed resilience; restarted
+	// replicas inherit it.
+	wcfg *core.WatchdogConfig
+	// deferred holds arrivals that found every replica down; they flush
+	// at the next recovery.
+	deferred []workload.Request
+
+	crashes    int
+	retried    int
+	recoveries int
+	stale      int
 }
 
 // New builds the cluster on an outer environment. The outer env's own GPU
@@ -74,17 +94,46 @@ func New(outer *serving.Env, cfg Config) *Cluster {
 	}
 	c := &Cluster{outer: outer, cfg: cfg, routed: map[string]*replica{}}
 	for i := 0; i < cfg.Replicas; i++ {
-		env := serving.NewEnvWithSim(outer.Sim, outer.GPU.Spec, outer.Model, datasetOf(outer))
-		r := &replica{env: env}
-		env.OnComplete = func(m metrics.Request) {
-			r.inflight--
-			r.tokens -= m.InputTokens
-			c.outer.Complete(m)
-		}
-		r.sys = core.New(env, cfg.Options)
-		c.replicas = append(c.replicas, r)
+		c.replicas = append(c.replicas, c.newReplica())
 	}
 	return c
+}
+
+// newReplica builds one replica (fresh device, fresh KV pool) whose
+// completion and shed paths route through the cluster's ownership check:
+// a request completed by a replica that no longer owns it (it crashed
+// and the request failed over) is swallowed as stale instead of being
+// double-counted.
+func (c *Cluster) newReplica() *replica {
+	env := serving.NewEnvWithSim(c.outer.Sim, c.outer.GPU.Spec, c.outer.Model, datasetOf(c.outer))
+	r := &replica{env: env, live: map[string]workload.Request{}}
+	env.OnComplete = func(m metrics.Request) {
+		if c.routed[m.ID] != r {
+			c.stale++
+			return
+		}
+		delete(c.routed, m.ID)
+		delete(r.live, m.ID)
+		r.inflight--
+		r.tokens -= m.InputTokens
+		c.outer.Complete(m)
+	}
+	env.OnShed = func(w workload.Request) {
+		if c.routed[w.ID] != r {
+			c.stale++
+			return
+		}
+		delete(c.routed, w.ID)
+		delete(r.live, w.ID)
+		r.inflight--
+		r.tokens -= w.InputTokens
+		c.outer.Shed(w)
+	}
+	r.sys = core.New(env, c.cfg.Options)
+	if c.wcfg != nil {
+		r.sys.EnableResilience(*c.wcfg)
+	}
+	return r
 }
 
 // datasetOf recovers the dataset name from the env's SLO (Table 2 pairs
@@ -103,38 +152,119 @@ func (c *Cluster) Name() string {
 	return fmt.Sprintf("cluster-%dx-%s", c.cfg.Replicas, c.cfg.Policy)
 }
 
-// Submit implements serving.System.
+// Submit implements serving.System. Arrivals that find every replica
+// down are deferred and flushed at the next recovery.
 func (c *Cluster) Submit(r workload.Request) {
 	rep := c.pick(r)
+	if rep == nil {
+		c.deferred = append(c.deferred, r)
+		return
+	}
 	rep.inflight++
 	rep.tokens += r.InputTokens
+	rep.live[r.ID] = r
 	c.routed[r.ID] = rep
 	rep.sys.Submit(r)
 }
 
+// pick returns the routing policy's choice among healthy replicas, nil
+// when all are down.
 func (c *Cluster) pick(r workload.Request) *replica {
 	switch c.cfg.Policy {
 	case RoundRobin:
-		rep := c.replicas[c.next%len(c.replicas)]
-		c.next++
-		return rep
+		for i := 0; i < len(c.replicas); i++ {
+			rep := c.replicas[c.next%len(c.replicas)]
+			c.next++
+			if !rep.down {
+				return rep
+			}
+		}
+		return nil
 	case JoinShortestQueue:
-		best := c.replicas[0]
-		for _, rep := range c.replicas[1:] {
-			if rep.sys.Prefill.QueueDepth() < best.sys.Prefill.QueueDepth() {
+		var best *replica
+		for _, rep := range c.replicas {
+			if rep.down {
+				continue
+			}
+			if best == nil || rep.sys.Prefill.QueueDepth() < best.sys.Prefill.QueueDepth() {
 				best = rep
 			}
 		}
 		return best
 	default: // LeastLoaded
-		best := c.replicas[0]
-		for _, rep := range c.replicas[1:] {
-			if rep.tokens < best.tokens {
+		var best *replica
+		for _, rep := range c.replicas {
+			if rep.down {
+				continue
+			}
+			if best == nil || rep.tokens < best.tokens {
 				best = rep
 			}
 		}
 		return best
 	}
+}
+
+// AttachFaults arms resilience on every replica and registers the
+// cluster as the injector's handler for all fault kinds: crashes are
+// handled here, single-device faults are routed to the targeted replica.
+func (c *Cluster) AttachFaults(inj *faults.Injector, wcfg core.WatchdogConfig) {
+	if c.wcfg != nil {
+		panic("cluster: faults attached twice")
+	}
+	c.wcfg = &wcfg
+	for _, r := range c.replicas {
+		r.sys.EnableResilience(wcfg)
+	}
+	inj.Handle(faults.KindReplicaCrash, c.onReplicaCrash)
+	inj.Handle(faults.KindSMDegrade, c.routeFault)
+	inj.Handle(faults.KindEngineStall, c.routeFault)
+}
+
+// routeFault applies a single-device fault to the targeted replica.
+// Faults aimed at a crashed replica are dropped — the machine is gone.
+func (c *Cluster) routeFault(ev faults.Event) {
+	rep := c.replicas[ev.Replica%len(c.replicas)]
+	if rep.down {
+		return
+	}
+	rep.sys.ApplyFault(ev)
+}
+
+// onReplicaCrash fails a replica: health-aware routing stops picking it,
+// its in-flight requests are re-submitted elsewhere (deterministically,
+// in request-ID order), and after the recovery delay a fresh replica
+// (new device, new KV pool) takes its slot. The crashed instance keeps
+// draining whatever was on its GPU, but it no longer owns any request —
+// its late completions are swallowed by the ownership check.
+func (c *Cluster) onReplicaCrash(ev faults.Event) {
+	rep := c.replicas[ev.Replica%len(c.replicas)]
+	if rep.down {
+		return // already down; the machine cannot crash twice
+	}
+	rep.down = true
+	c.crashes++
+	idx := ev.Replica % len(c.replicas)
+	lost := make([]workload.Request, 0, len(rep.live))
+	for _, w := range rep.live {
+		lost = append(lost, w)
+	}
+	sort.Slice(lost, func(i, j int) bool { return lost[i].ID < lost[j].ID })
+	rep.live = map[string]workload.Request{}
+	for _, w := range lost {
+		delete(c.routed, w.ID)
+		c.retried++
+		c.Submit(w)
+	}
+	c.outer.Sim.After(ev.Recovery, func() {
+		c.replicas[idx] = c.newReplica()
+		c.recoveries++
+		flush := c.deferred
+		c.deferred = nil
+		for _, w := range flush {
+			c.Submit(w)
+		}
+	})
 }
 
 // Replicas returns the per-replica completed-request counts, for balance
@@ -147,14 +277,38 @@ func (c *Cluster) Replicas() []int {
 	return out
 }
 
-// CheckDrained panics if any replica leaked KV blocks.
+// CheckDrained panics if any live replica leaked KV blocks. Crashed
+// replicas are exempt: a machine that died mid-run may hold KV for work
+// it was draining when the run ended.
 func (c *Cluster) CheckDrained() {
 	for i, r := range c.replicas {
+		if r.down {
+			continue
+		}
 		r.env.KV.CheckInvariants()
 		if used := r.env.KV.UsedBlocks(); used != 0 {
 			panic(fmt.Sprintf("cluster: replica %d leaked %d KV blocks", i, used))
 		}
 	}
+}
+
+// Crashes returns how many replica-crash events were applied.
+func (c *Cluster) Crashes() int { return c.crashes }
+
+// StaleCompletions returns how many late completions from crashed
+// replicas were swallowed by the ownership check.
+func (c *Cluster) StaleCompletions() int { return c.stale }
+
+// Resilience aggregates recovery accounting across the cluster: the
+// router's own failover counters plus every current replica's local
+// watchdog counters. The caller owns injector-level counters
+// (FaultsInjected, Downtime).
+func (c *Cluster) Resilience() metrics.Resilience {
+	out := metrics.Resilience{Retried: c.retried, Recoveries: c.recoveries}
+	for _, r := range c.replicas {
+		out.Add(r.sys.Resilience())
+	}
+	return out
 }
 
 // GPUStats aggregates device counters across replicas.

@@ -113,7 +113,10 @@ type Bullet struct {
 	Timeline *Timeline
 	// PrefixCache is non-nil when EnablePrefixCache is set.
 	PrefixCache *prefixcache.Cache
-	name        string
+	// faults is non-nil once EnableResilience/AttachFaults armed the
+	// watchdog and fault bookkeeping (see faults.go).
+	faults *faultState
+	name   string
 }
 
 // fittedParamsCache memoizes offline profiling per (model, device).

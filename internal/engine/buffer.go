@@ -11,6 +11,8 @@
 package engine
 
 import (
+	"fmt"
+
 	"repro/internal/sched"
 	"repro/internal/sim"
 )
@@ -27,6 +29,10 @@ type Buffer struct {
 	// Status providers registered by the engines.
 	prefillStatus func() (sched.PrefillStatus, []sched.WaitingReq)
 	decodeStatus  func() sched.DecodeStatus
+
+	// extra is transient fault-injected latency added on top of Latency
+	// (a slow or contended metadata buffer).
+	extra sim.Time
 
 	prefillSMs int
 	decodeSMs  int
@@ -83,6 +89,18 @@ func (b *Buffer) Snapshot() sched.State {
 	return st
 }
 
+// SetExtraLatency sets the fault-injected latency added to every
+// subsequent handoff (0 restores the healthy buffer).
+func (b *Buffer) SetExtraLatency(d sim.Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("engine: negative extra buffer latency %v", d))
+	}
+	b.extra = d
+}
+
+// ExtraLatency returns the fault-injected latency currently in force.
+func (b *Buffer) ExtraLatency() sim.Time { return b.extra }
+
 // Handoff migrates requests from prefill to decode after the metadata
 // latency. The KV cache does not move (shared pool); only metadata does.
 func (b *Buffer) Handoff(reqs []*Req, deliver func([]*Req)) {
@@ -90,7 +108,7 @@ func (b *Buffer) Handoff(reqs []*Req, deliver func([]*Req)) {
 		return
 	}
 	b.Handoffs += len(reqs)
-	b.sim.After(b.Latency, func() { deliver(reqs) })
+	b.sim.After(b.Latency+b.extra, func() { deliver(reqs) })
 }
 
 // OnPrefillProgress registers a one-shot callback fired at the next

@@ -59,6 +59,11 @@ type DecodeEngine struct {
 	pauses  int
 	steps   int
 
+	// stalledUntil holds the iteration chain while a fault-injected hang
+	// is in force; stalls counts injected hangs.
+	stalledUntil sim.Time
+	stalls       int
+
 	// OnDecision observes every scheduling decision.
 	OnDecision func(t sim.Time, d sched.Decision)
 	// OnStep observes each completed iteration.
@@ -95,6 +100,23 @@ func (d *DecodeEngine) Pauses() int { return d.pauses }
 
 // Steps returns how many decode iterations completed.
 func (d *DecodeEngine) Steps() int { return d.steps }
+
+// Stall hangs the iteration chain for dur of virtual time: the step
+// already on the GPU finishes, but no new one launches until the stall
+// expires. Requests keep their batch slots and KV.
+func (d *DecodeEngine) Stall(dur sim.Time) {
+	if dur < 0 {
+		panic(fmt.Sprintf("engine: negative decode stall %v", dur))
+	}
+	d.stalls++
+	until := d.env.Sim.Now() + dur
+	if until > d.stalledUntil {
+		d.stalledUntil = until
+	}
+}
+
+// Stalls returns how many hangs were injected.
+func (d *DecodeEngine) Stalls() int { return d.stalls }
 
 // status is the buffer's decode state provider.
 func (d *DecodeEngine) status() sched.DecodeStatus {
@@ -145,6 +167,12 @@ func (d *DecodeEngine) decide() sched.Decision {
 
 // cycle runs one decode iteration: admit, decide, (maybe pause), launch.
 func (d *DecodeEngine) cycle() {
+	if wait := d.stalledUntil - d.env.Sim.Now(); wait > 0 {
+		// The chain stays active (exactly one pending continuation) and
+		// resumes when the stall expires.
+		d.env.Sim.After(wait, d.cycle)
+		return
+	}
 	for len(d.pending) > 0 && len(d.batch) < d.cfg.MaxBatch {
 		d.batch = append(d.batch, d.pending[0])
 		d.pending = d.pending[1:]

@@ -76,6 +76,13 @@ type PrefillEngine struct {
 	waitingOnKV  bool
 	startPending bool
 
+	// stalledUntil holds launches while a fault-injected hang is in
+	// force; epoch fences stale continuations (kernel-sync callbacks and
+	// cycle reschedules) across watchdog aborts; aborts counts them.
+	stalledUntil sim.Time
+	epoch        int
+	aborts       int
+
 	// OnDecision observes every scheduling decision (timeline hooks).
 	OnDecision func(t sim.Time, d sched.Decision)
 	// OnBatchStart observes batch formation.
@@ -121,6 +128,80 @@ func (p *PrefillEngine) QueueDepth() int { return len(p.waiting) }
 // Running reports whether a prefill batch is in flight.
 func (p *PrefillEngine) Running() bool { return p.running }
 
+// Stall hangs the engine's scheduling cycle for d of virtual time: no
+// new layer group or batch launches until the stall expires. Kernels
+// already on the GPU keep running.
+func (p *PrefillEngine) Stall(d sim.Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("engine: negative prefill stall %v", d))
+	}
+	until := p.env.Sim.Now() + d
+	if until > p.stalledUntil {
+		p.stalledUntil = until
+	}
+}
+
+// Stalled reports whether a stall is currently in force.
+func (p *PrefillEngine) Stalled() bool { return p.env.Sim.Now() < p.stalledUntil }
+
+// Epoch returns the abort fence: it increments on every AbortBatch, so a
+// watchdog can detect whether the batch it armed against is still the
+// one in flight.
+func (p *PrefillEngine) Epoch() int { return p.epoch }
+
+// Aborts returns how many batches were watchdog-aborted.
+func (p *PrefillEngine) Aborts() int { return p.aborts }
+
+// AbortBatch cancels the in-flight batch: its KV reservations are freed,
+// prefix pins released, and per-request progress rewound so the requests
+// can be prefilled again from scratch (each records one more retry). It
+// returns the aborted requests (nil when idle) and clears any pending
+// stall — the restart is the recovery action. Kernels already launched
+// keep occupying the GPU until they drain; the epoch fence discards
+// their completion callbacks.
+func (p *PrefillEngine) AbortBatch() []*Req {
+	if !p.running {
+		return nil
+	}
+	p.epoch++
+	p.aborts++
+	aborted := p.batch
+	for _, r := range aborted {
+		r.ReleasePrefix()
+		p.env.KV.Free(r.Seq)
+		r.Seq = nil
+		r.PrefillStart = 0
+		r.FirstToken = 0
+		r.Generated = 0
+		r.PrefixHit = 0
+		r.Retries++
+	}
+	p.batch = nil
+	p.batchTokens = 0
+	p.layersDone = 0
+	p.running = false
+	p.stalledUntil = 0
+	p.buf.PublishKVRelease()
+	return aborted
+}
+
+// Requeue returns aborted requests to the head of the waiting queue
+// (they already spent their deadline budget) and schedules a restart.
+func (p *PrefillEngine) Requeue(reqs []*Req) {
+	if len(reqs) == 0 {
+		return
+	}
+	p.waiting = append(append([]*Req(nil), reqs...), p.waiting...)
+	if p.startPending {
+		return
+	}
+	p.startPending = true
+	p.env.Sim.After(0, func() {
+		p.startPending = false
+		p.tryStart()
+	})
+}
+
 // status is the buffer's prefill state provider.
 func (p *PrefillEngine) status() (sched.PrefillStatus, []sched.WaitingReq) {
 	ps := sched.PrefillStatus{}
@@ -146,6 +227,15 @@ func (p *PrefillEngine) status() (sched.PrefillStatus, []sched.WaitingReq) {
 // tryStart forms and launches the next prefill batch if idle.
 func (p *PrefillEngine) tryStart() {
 	if p.running || len(p.waiting) == 0 {
+		return
+	}
+	if wait := p.stalledUntil - p.env.Sim.Now(); wait > 0 {
+		ep := p.epoch
+		p.env.Sim.After(wait, func() {
+			if p.epoch == ep {
+				p.tryStart()
+			}
+		})
 		return
 	}
 	if p.cfg.Reorder {
@@ -249,6 +339,18 @@ func (p *PrefillEngine) decide() sched.Decision {
 // cycle launches one layer group and schedules the next cycle at its
 // completion (the sync point that gives real-time progress perception).
 func (p *PrefillEngine) cycle() {
+	if !p.running {
+		return
+	}
+	if wait := p.stalledUntil - p.env.Sim.Now(); wait > 0 {
+		ep := p.epoch
+		p.env.Sim.After(wait, func() {
+			if p.epoch == ep && p.running {
+				p.cycle()
+			}
+		})
+		return
+	}
 	d := p.decide()
 	stream := p.res.Stream(resource.Prefill, d.PrefillSMs)
 	pm := stream.Mask().Count()
@@ -271,7 +373,11 @@ func (p *PrefillEngine) cycle() {
 			p.env.GPU.Launch(stream, k, nil)
 		}
 	}
+	ep := p.epoch
 	p.env.GPU.Synchronize(stream, func() {
+		if p.epoch != ep {
+			return // batch aborted while its kernels drained
+		}
 		actual := p.env.Sim.Now() - start
 		p.est.ObservePrefill(units.Over(predicted, float64(group)), units.Over(actual, float64(group)))
 		p.layersDone += group
@@ -280,7 +386,11 @@ func (p *PrefillEngine) cycle() {
 			p.finishBatch(stream)
 			return
 		}
-		p.env.Sim.After(p.cfg.CycleOverhead, p.cycle)
+		p.env.Sim.After(p.cfg.CycleOverhead, func() {
+			if p.epoch == ep {
+				p.cycle()
+			}
+		})
 	})
 }
 
@@ -290,7 +400,11 @@ func (p *PrefillEngine) cycle() {
 func (p *PrefillEngine) finishBatch(stream *gpusim.Stream) {
 	head := p.env.Model.LMHeadKernel(len(p.batch), "prefill")
 	p.env.GPU.Launch(stream, head, nil)
+	ep := p.epoch
 	p.env.GPU.Synchronize(stream, func() {
+		if p.epoch != ep {
+			return // batch aborted while the LM head drained
+		}
 		now := p.env.Sim.Now()
 		var migrate []*Req
 		for _, r := range p.batch {

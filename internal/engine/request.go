@@ -24,6 +24,11 @@ type Req struct {
 	// unpins the cached prefix and must run exactly once at completion.
 	PrefixHit     int
 	PrefixRelease func()
+
+	// Retries counts watchdog-initiated re-executions after aborted
+	// prefill batches; the core sheds the request once it exceeds the
+	// watchdog's budget.
+	Retries int
 }
 
 // ReleasePrefix unpins the request's cached prefix, if any.

@@ -7,8 +7,11 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/estimator"
+	"repro/internal/faults"
+	"repro/internal/metrics"
 	"repro/internal/serving"
 	"repro/internal/sim"
+	"repro/internal/units"
 	"repro/internal/workload"
 )
 
@@ -332,6 +335,81 @@ func RenderExtCluster(rows []ClusterRow) string {
 		})
 	}
 	return "Extension: horizontal scale-out of Bullet replicas (least-loaded router)\n" + table(header, cells)
+}
+
+// FaultRow is one (degrade-rate, system) point of the resilience study.
+type FaultRow struct {
+	System        string
+	DegradeRate   float64 // SM-degradation events per second of virtual time
+	Completed     int
+	Shed          int
+	Goodput       float64
+	Throughput    float64
+	SLOAttainment float64
+	Resilience    metrics.Resilience
+}
+
+// FaultSystems are the default ext-faults contenders: dynamic Bullet
+// against two MuxServe-style static splits. Under SM degradation the
+// dynamic system re-runs Algorithm 1 on the shrunken budget while the
+// statics keep their (clamped) fixed quota — the gap this study measures.
+var FaultSystems = []string{"bullet", "bullet-sm54", "bullet-sm84"}
+
+// ExtFaults sweeps the SM-degradation rate over one shared trace and
+// fault schedule for each system: every contender sees exactly the same
+// arrivals and the same fault timeline, so the rows isolate the
+// resilience mechanism. Engine stalls and crashes are disabled here —
+// SM loss is the fault mode where the provisioning policy matters.
+func ExtFaults(d workload.Dataset, rate float64, n int, seed int64, degradeRates []float64, systems []string) []FaultRow {
+	spec, cfg := Platform()
+	trace := workload.Generate(d, rate, n, seed)
+	// Cover the arrival span plus drain slack with faults.
+	horizon := units.Scale(units.Over(units.Seconds(float64(n)), rate), 1.5)
+	var rows []FaultRow
+	for _, fr := range degradeRates {
+		fcfg := faults.DefaultConfig(spec.NumSMs, horizon)
+		fcfg.Seed = seed + 1
+		fcfg.DegradeRate = fr
+		fcfg.StallRate = 0
+		sched := faults.Generate(fcfg)
+		for _, name := range systems {
+			env := serving.NewEnv(spec, cfg, d.Name)
+			sys := NewSystem(name, env)
+			b, ok := sys.(*core.Bullet)
+			if !ok {
+				panic(fmt.Sprintf("experiments: ext-faults needs a Bullet variant, got %q", name))
+			}
+			inj := faults.NewInjector(env.Sim, sched)
+			b.AttachFaults(inj, core.DefaultWatchdog())
+			inj.Arm()
+			res := env.Run(sys, trace)
+			rl := b.Resilience()
+			rl.FaultsInjected = inj.Injected()
+			rl.Downtime = inj.ScheduledDowntime()
+			rows = append(rows, FaultRow{
+				System: res.System, DegradeRate: fr,
+				Completed: res.Summary.Requests, Shed: res.Shed,
+				Goodput: res.Summary.Goodput, Throughput: res.Summary.Throughput,
+				SLOAttainment: res.Summary.SLOAttainment, Resilience: rl,
+			})
+		}
+	}
+	return rows
+}
+
+// RenderExtFaults prints the resilience study.
+func RenderExtFaults(rows []FaultRow) string {
+	header := []string{"DegradeRate", "System", "Done", "Shed", "Goodput", "Thr", "SLO", "Faults", "Recov", "MTTR(s)"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			f2(r.DegradeRate), r.System, itoa(r.Completed), itoa(r.Shed),
+			f2(r.Goodput), f2(r.Throughput), f2(r.SLOAttainment),
+			itoa(r.Resilience.FaultsInjected), itoa(r.Resilience.Recoveries),
+			f2(r.Resilience.MTTR().Float()),
+		})
+	}
+	return "Extension: goodput under injected SM degradation (dynamic vs static split)\n" + table(header, cells)
 }
 
 // FindKnee binary-searches the highest request rate (within [lo, hi]) at

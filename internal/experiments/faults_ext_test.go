@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// TestExtFaultsDynamicRetainsGoodput is the ext-faults acceptance check:
+// under injected SM degradation, dynamic Bullet (which re-runs
+// Algorithm 1 on the shrunken budget) must keep strictly more goodput
+// than every static-split configuration on the same trace and the same
+// fault schedule.
+func TestExtFaultsDynamicRetainsGoodput(t *testing.T) {
+	rows := ExtFaults(workload.AzureCode, 4, 100, 42, []float64{0.2}, FaultSystems)
+	if len(rows) != len(FaultSystems) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(FaultSystems))
+	}
+	byName := map[string]FaultRow{}
+	for _, r := range rows {
+		if r.Completed+r.Shed != 100 {
+			t.Fatalf("%s: completed %d + shed %d, want 100", r.System, r.Completed, r.Shed)
+		}
+		if r.Resilience.FaultsInjected == 0 {
+			t.Fatalf("%s saw no faults at degrade rate %.2f", r.System, r.DegradeRate)
+		}
+		byName[r.System] = r
+	}
+	dyn := byName["bullet"]
+	for _, name := range FaultSystems[1:] {
+		if st := byName[name]; dyn.Goodput <= st.Goodput {
+			t.Errorf("dynamic goodput %.2f not strictly above %s's %.2f under SM degradation",
+				dyn.Goodput, name, st.Goodput)
+		}
+	}
+	out := RenderExtFaults(rows)
+	if !strings.Contains(out, "bullet-sm54") || !strings.Contains(out, "MTTR") {
+		t.Fatalf("render missing rows:\n%s", out)
+	}
+}
+
+// TestFaultRunDeterminism: the whole faulty study — trace generation,
+// fault schedule, injection, recovery, accounting — must replay
+// bit-identically from the same seeds. (ci.sh runs this under -race as
+// the determinism smoke for the fault path.)
+func TestFaultRunDeterminism(t *testing.T) {
+	a := ExtFaults(workload.AzureCode, 4, 60, 7, []float64{0.15}, FaultSystems)
+	b := ExtFaults(workload.AzureCode, 4, 60, 7, []float64{0.15}, FaultSystems)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("faulty study diverged:\n%+v\nvs\n%+v", a, b)
+	}
+	for _, r := range a {
+		if r.Resilience.FaultsInjected == 0 {
+			t.Fatalf("%s: no faults injected", r.System)
+		}
+	}
+}
+
+// TestExtFaultsZeroRateMatchesHealthyRun: a zero-rate schedule is empty,
+// and arming it must not perturb the healthy run.
+func TestExtFaultsZeroRateMatchesHealthyRun(t *testing.T) {
+	rows := ExtFaults(workload.AzureCode, 4, 60, 8, []float64{0}, []string{"bullet"})
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.Resilience != (metrics.Resilience{}) || r.Shed != 0 {
+		t.Fatalf("zero-rate row carries fault activity: %+v", r)
+	}
+	healthy := RunOne("bullet", workload.AzureCode, 4, 60, 8).Summary
+	if healthy.Goodput != r.Goodput || healthy.Requests != r.Completed {
+		t.Fatalf("armed empty schedule changed the run: %+v vs healthy %+v", r, healthy)
+	}
+}

@@ -1,0 +1,330 @@
+// Package faults provides deterministic fault injection for the Bullet
+// simulator: a seeded schedule generator plus an injector that replays
+// the schedule as ordinary virtual-time events.
+//
+// Three fault kinds model the failure surface of a spatially-shared
+// serving GPU:
+//
+//   - SM degradation (KindSMDegrade): a contiguous, granularity-aligned
+//     SM range is throttled or killed outright. The resilience path is
+//     Bullet's own mechanism — the resource manager rebuilds its
+//     pre-configured masked-stream table around the dead SMs (§3.4) and
+//     Algorithm 1 re-optimizes against the shrunken budget.
+//   - Engine stalls (KindEngineStall): a transient hang of the prefill
+//     or decode cycle, or an inflated metadata-buffer latency (§3.5),
+//     bounded by a watchdog in internal/core.
+//   - Replica crash (KindReplicaCrash): a whole replica goes down and
+//     its in-flight requests must be re-routed (internal/cluster).
+//
+// Everything is deterministic: Generate draws from one explicitly
+// seeded *rand.Rand, events fire through internal/sim, and the same
+// seed + schedule always produces bit-identical serving results. The
+// package holds no goroutines, wall clocks, or global randomness — it
+// is subject to the full bulletlint determinism contract.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/smmask"
+	"repro/internal/units"
+)
+
+// Kind names a fault class.
+type Kind string
+
+const (
+	// KindSMDegrade throttles or kills a contiguous SM range.
+	KindSMDegrade Kind = "sm-degrade"
+	// KindEngineStall hangs an engine cycle or delays the metadata buffer.
+	KindEngineStall Kind = "engine-stall"
+	// KindReplicaCrash takes a whole replica down for a recovery period.
+	KindReplicaCrash Kind = "replica-crash"
+)
+
+// Target selects which component an engine stall hits.
+type Target string
+
+const (
+	// TargetPrefill hangs the prefill engine's cycle.
+	TargetPrefill Target = "prefill"
+	// TargetDecode hangs the decode engine's cycle.
+	TargetDecode Target = "decode"
+	// TargetBuffer inflates the metadata buffer's transfer latency.
+	TargetBuffer Target = "buffer"
+)
+
+// Event is one scheduled fault. Only the fields of its Kind are
+// meaningful; the rest stay zero.
+type Event struct {
+	At   sim.Time
+	Kind Kind
+
+	// KindSMDegrade: SMs [FirstSM, FirstSM+NumSMs) drop to speed factor
+	// Throttle (0 dead, fractions throttled) for Duration, then recover.
+	FirstSM  int
+	NumSMs   int
+	Throttle float64
+	Duration sim.Time
+
+	// KindEngineStall: Target hangs (or, for TargetBuffer, slows) for
+	// Stall of virtual time.
+	Target Target
+	Stall  sim.Time
+
+	// KindReplicaCrash: cluster replica index Replica goes down and is
+	// readmitted after Recovery.
+	Replica  int
+	Recovery sim.Time
+}
+
+// Schedule is a generated fault timeline, sorted by At.
+type Schedule struct {
+	Seed   int64
+	Events []Event
+}
+
+// Downtime sums the scheduled outage spans across all events: degrade
+// durations, stall lengths, and replica recovery delays. Spans may
+// overlap in wall time; this is injected-fault volume, not availability.
+func (s Schedule) Downtime() units.Seconds {
+	var d units.Seconds
+	for _, ev := range s.Events {
+		d += ev.Duration + ev.Stall + ev.Recovery
+	}
+	return d
+}
+
+// Config parameterizes Generate. Rates are events per second of virtual
+// time over [0, Horizon); a zero rate disables that kind.
+type Config struct {
+	Seed    int64
+	Horizon sim.Time
+	NumSMs  int
+	// Replicas bounds KindReplicaCrash targets; single-GPU runs use 1.
+	Replicas int
+
+	DegradeRate float64
+	StallRate   float64
+	CrashRate   float64
+
+	// MeanDegradeDuration is the mean transient-degradation length.
+	MeanDegradeDuration sim.Time
+	// MaxDegradeFraction caps the SM span of one degrade event as a
+	// fraction of the device.
+	MaxDegradeFraction float64
+	// DeadProb is the probability a degraded range is fully dead
+	// (Throttle 0) rather than throttled.
+	DeadProb float64
+
+	// MeanStall is the mean engine-cycle hang length.
+	MeanStall sim.Time
+	// MeanBufferDelay is the mean inflated metadata-buffer latency.
+	MeanBufferDelay sim.Time
+
+	// MeanRecovery is the mean replica restart delay.
+	MeanRecovery sim.Time
+}
+
+// DefaultConfig returns a moderate single-replica fault mix for a device
+// of numSMs over the given horizon: transient SM degradations, shorter
+// engine stalls, and no crashes (enable CrashRate for cluster runs).
+func DefaultConfig(numSMs int, horizon sim.Time) Config {
+	return Config{
+		Seed:                1,
+		Horizon:             horizon,
+		NumSMs:              numSMs,
+		Replicas:            1,
+		DegradeRate:         0.05,
+		StallRate:           0.05,
+		CrashRate:           0,
+		MeanDegradeDuration: units.Seconds(4),
+		MaxDegradeFraction:  0.25,
+		DeadProb:            0.5,
+		MeanStall:           units.FromMs(80),
+		MeanBufferDelay:     units.FromMs(2),
+		MeanRecovery:        units.Seconds(2),
+	}
+}
+
+// Generate derives a fault schedule from cfg, deterministically from
+// cfg.Seed. Each kind's arrivals form an independent Poisson process;
+// the merged timeline is sorted by fire time with the generation order
+// (degrade, stall, crash) breaking ties stably.
+func Generate(cfg Config) Schedule {
+	if cfg.Horizon <= 0 || cfg.NumSMs <= 0 {
+		panic(fmt.Sprintf("faults: invalid config horizon=%v numSMs=%d", cfg.Horizon, cfg.NumSMs))
+	}
+	if cfg.DegradeRate < 0 || cfg.StallRate < 0 || cfg.CrashRate < 0 {
+		panic(fmt.Sprintf("faults: negative fault rate in config %+v", cfg))
+	}
+	if cfg.MaxDegradeFraction < 0 || cfg.MaxDegradeFraction > 1 {
+		panic(fmt.Sprintf("faults: MaxDegradeFraction %v outside [0,1]", cfg.MaxDegradeFraction))
+	}
+	if cfg.DeadProb < 0 || cfg.DeadProb > 1 {
+		panic(fmt.Sprintf("faults: DeadProb %v outside [0,1]", cfg.DeadProb))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := Schedule{Seed: cfg.Seed}
+	for _, t := range arrivals(rng, cfg.DegradeRate, cfg.Horizon) {
+		s.Events = append(s.Events, degradeEvent(rng, cfg, t))
+	}
+	for _, t := range arrivals(rng, cfg.StallRate, cfg.Horizon) {
+		s.Events = append(s.Events, stallEvent(rng, cfg, t))
+	}
+	for _, t := range arrivals(rng, cfg.CrashRate, cfg.Horizon) {
+		s.Events = append(s.Events, crashEvent(rng, cfg, t))
+	}
+	sort.SliceStable(s.Events, func(i, j int) bool {
+		return s.Events[i].At < s.Events[j].At
+	})
+	return s
+}
+
+// arrivals returns Poisson event times in [0, horizon) at the given
+// rate (events/s); a zero rate yields none.
+func arrivals(rng *rand.Rand, rate float64, horizon sim.Time) []sim.Time {
+	if rate <= 0 {
+		return nil
+	}
+	var ts []sim.Time
+	t := sim.Time(0)
+	for {
+		t += units.Over(units.Seconds(rng.ExpFloat64()), rate)
+		if t >= horizon {
+			return ts
+		}
+		ts = append(ts, t)
+	}
+}
+
+// degradeEvent draws a granularity-aligned SM range, a throttle factor,
+// and a transient duration.
+func degradeEvent(rng *rand.Rand, cfg Config, t sim.Time) Event {
+	maxSMs := int(cfg.MaxDegradeFraction * float64(cfg.NumSMs))
+	maxSMs -= maxSMs % smmask.Granularity
+	if maxSMs < smmask.Granularity {
+		maxSMs = smmask.Granularity
+	}
+	n := smmask.Granularity * (1 + rng.Intn(maxSMs/smmask.Granularity))
+	if n > cfg.NumSMs {
+		n = cfg.NumSMs
+	}
+	slots := (cfg.NumSMs-n)/smmask.Granularity + 1
+	first := smmask.Granularity * rng.Intn(slots)
+	throttle := 0.0
+	if rng.Float64() >= cfg.DeadProb {
+		throttle = 0.25 + 0.5*rng.Float64()
+	}
+	return Event{
+		At:       t,
+		Kind:     KindSMDegrade,
+		FirstSM:  first,
+		NumSMs:   n,
+		Throttle: throttle,
+		Duration: units.Scale(cfg.MeanDegradeDuration, 0.5+rng.ExpFloat64()),
+	}
+}
+
+// stallEvent picks a component uniformly and draws the hang length from
+// the component's mean.
+func stallEvent(rng *rand.Rand, cfg Config, t sim.Time) Event {
+	targets := [3]Target{TargetPrefill, TargetDecode, TargetBuffer}
+	target := targets[rng.Intn(len(targets))]
+	mean := cfg.MeanStall
+	if target == TargetBuffer {
+		mean = cfg.MeanBufferDelay
+	}
+	return Event{
+		At:     t,
+		Kind:   KindEngineStall,
+		Target: target,
+		Stall:  units.Scale(mean, 0.5+rng.ExpFloat64()),
+	}
+}
+
+// crashEvent picks a replica uniformly and draws its recovery delay.
+func crashEvent(rng *rand.Rand, cfg Config, t sim.Time) Event {
+	replicas := cfg.Replicas
+	if replicas <= 0 {
+		replicas = 1
+	}
+	return Event{
+		At:       t,
+		Kind:     KindReplicaCrash,
+		Replica:  rng.Intn(replicas),
+		Recovery: units.Scale(cfg.MeanRecovery, 0.5+rng.ExpFloat64()),
+	}
+}
+
+// Injector replays a schedule into a simulation, dispatching each event
+// to the handler registered for its kind. Events with no handler are
+// counted as dropped, not errors — a single-GPU run legitimately has no
+// replica-crash handler.
+type Injector struct {
+	sim      *sim.Simulation
+	schedule Schedule
+	handlers map[Kind]func(Event)
+	injected int
+	dropped  int
+	armed    bool
+}
+
+// NewInjector creates an injector for a schedule. Register handlers
+// with Handle, then call Arm once to schedule the events.
+func NewInjector(s *sim.Simulation, schedule Schedule) *Injector {
+	if s == nil {
+		panic("faults: NewInjector with nil simulation")
+	}
+	return &Injector{sim: s, schedule: schedule, handlers: map[Kind]func(Event){}}
+}
+
+// Schedule returns the timeline this injector replays.
+func (in *Injector) Schedule() Schedule { return in.schedule }
+
+// Handle registers the handler for a fault kind, replacing any previous
+// one. It must be called before Arm.
+func (in *Injector) Handle(k Kind, fn func(Event)) {
+	if in.armed {
+		panic(fmt.Sprintf("faults: Handle(%q) after Arm", k))
+	}
+	if fn == nil {
+		panic(fmt.Sprintf("faults: nil handler for kind %q", k))
+	}
+	in.handlers[k] = fn
+}
+
+// Arm schedules every handled event as a simulation event at its fire
+// time (clamped to now for events already in the past). It may be
+// called only once.
+func (in *Injector) Arm() {
+	if in.armed {
+		panic("faults: injector armed twice")
+	}
+	in.armed = true
+	for _, ev := range in.schedule.Events {
+		fn, ok := in.handlers[ev.Kind]
+		if !ok {
+			in.dropped++
+			continue
+		}
+		at := units.Max(ev.At, in.sim.Now())
+		ev := ev
+		in.sim.At(at, func() {
+			in.injected++
+			fn(ev)
+		})
+	}
+}
+
+// Injected returns how many events have fired so far.
+func (in *Injector) Injected() int { return in.injected }
+
+// Dropped returns how many events had no handler at Arm time.
+func (in *Injector) Dropped() int { return in.dropped }
+
+// ScheduledDowntime returns the schedule's total injected-fault volume.
+func (in *Injector) ScheduledDowntime() units.Seconds { return in.schedule.Downtime() }

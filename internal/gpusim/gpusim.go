@@ -144,6 +144,11 @@ type GPU struct {
 	streams []*Stream
 	running []*launch
 
+	// health is the per-SM speed factor in [0,1]: 1 healthy, 0 dead,
+	// between the two throttled (thermal/ECC degradation). nil means the
+	// whole device is healthy — the common case keeps its fast paths.
+	health []float64
+
 	lastUpdate sim.Time
 
 	// Accounting integrals.
@@ -195,6 +200,82 @@ func (g *GPU) Sim() *sim.Simulation { return g.sim }
 
 // FullMask returns the mask covering every SM of the device.
 func (g *GPU) FullMask() smmask.Mask { return smmask.Full(g.Spec.NumSMs) }
+
+// deadDrainSMs is the effective compute granted to a kernel whose whole
+// mask has failed: in-flight work on dead SMs drains at a trickle (the
+// context-save / ECC-retire path) instead of deadlocking the simulation
+// with a zero rate.
+const deadDrainSMs = 0.5
+
+// SetSMHealth sets the health of SMs [first, first+n) to h: 1 fully
+// healthy, 0 dead, values between throttled. Resident kernels see their
+// rates change immediately, but keep the masks they launched with — a
+// failed SM does not migrate its thread blocks, they crawl (or stall at
+// the deadDrainSMs floor) until the kernel retires, which is exactly why
+// the layers above must rebuild masks around dead SMs.
+func (g *GPU) SetSMHealth(first, n int, h float64) {
+	if first < 0 || n <= 0 || first+n > g.Spec.NumSMs {
+		panic(fmt.Sprintf("gpusim: SM health range [%d,%d) outside device of %d SMs",
+			first, first+n, g.Spec.NumSMs))
+	}
+	if h < 0 || h > 1 || math.IsNaN(h) {
+		panic(fmt.Sprintf("gpusim: SM health %v outside [0,1]", h))
+	}
+	g.advance()
+	if g.health == nil {
+		g.health = make([]float64, g.Spec.NumSMs)
+		for i := range g.health {
+			g.health[i] = 1
+		}
+	}
+	for i := first; i < first+n; i++ {
+		g.health[i] = h
+	}
+	g.recompute()
+}
+
+// SMHealth returns the health of SM i.
+func (g *GPU) SMHealth(i int) float64 {
+	if i < 0 || i >= g.Spec.NumSMs {
+		panic(fmt.Sprintf("gpusim: SM index %d outside device of %d SMs", i, g.Spec.NumSMs))
+	}
+	if g.health == nil {
+		return 1
+	}
+	return g.health[i]
+}
+
+// HealthyMask returns the set of SMs with nonzero health.
+func (g *GPU) HealthyMask() smmask.Mask {
+	if g.health == nil {
+		return g.FullMask()
+	}
+	var m smmask.Mask
+	for i, h := range g.health {
+		if h > 0 {
+			m.Set(i)
+		}
+	}
+	return m
+}
+
+// HealthyCapacity returns the summed health of the device — the
+// fractional SM count it can actually deliver.
+func (g *GPU) HealthyCapacity() units.SMs {
+	return units.SMs(g.maskHealth(g.FullMask()))
+}
+
+// maskHealth returns the summed health of the SMs in a mask — the
+// capacity the mask delivers. With a fully healthy device this is the
+// mask's population count, bit for bit.
+func (g *GPU) maskHealth(m smmask.Mask) float64 {
+	if g.health == nil {
+		return float64(m.Count())
+	}
+	total := 0.0
+	m.ForEach(func(i int) { total += g.health[i] })
+	return total
+}
 
 // NewStream creates a stream with the given mask.
 func (g *GPU) NewStream(mask smmask.Mask) *Stream {
@@ -372,6 +453,7 @@ func (g *GPU) advance() {
 // bandwidth is split in proportion to the sharers' compute intensities,
 // so a memory-bound kernel co-resident with a GEMM costs the GEMM little
 // compute (the warp scheduler interleaves around its DRAM stalls).
+// Degraded SMs contribute only their health fraction.
 func (g *GPU) effectiveSMs(l *launch) units.SMs {
 	// Fast path: no overlap with any other resident kernel.
 	overlapped := false
@@ -382,7 +464,7 @@ func (g *GPU) effectiveSMs(l *launch) units.SMs {
 		}
 	}
 	if !overlapped {
-		return units.SMs(l.maskCount)
+		return units.SMs(g.maskHealth(l.mask))
 	}
 	eff := units.SMs(0)
 	l.mask.ForEach(func(i int) {
@@ -392,7 +474,11 @@ func (g *GPU) effectiveSMs(l *launch) units.SMs {
 				total += o.weight
 			}
 		}
-		eff += units.SMs(l.weight / total)
+		share := l.weight / total
+		if g.health != nil {
+			share *= g.health[i]
+		}
+		eff += units.SMs(share)
 	})
 	return eff
 }
@@ -423,6 +509,11 @@ func (g *GPU) overlapFraction(l *launch) float64 {
 func (g *GPU) soloRate(l *launch, meff units.SMs, ov float64) (rate units.PerSec, bwCap units.BytesPerSec) {
 	spec := g.Spec
 	frac := units.Ratio(meff, units.SMs(spec.NumSMs))
+	if frac <= 0 {
+		// Every SM under the mask is dead: drain in-flight work at the
+		// trickle floor instead of stalling the simulation forever.
+		frac = deadDrainSMs / float64(spec.NumSMs)
+	}
 	effPeak := l.k.Efficiency
 	if effPeak == 0 {
 		effPeak = 1
@@ -432,10 +523,15 @@ func (g *GPU) soloRate(l *launch, meff units.SMs, ov float64) (rate units.PerSec
 	computeCap := units.Scale(units.Scale(units.Scale(spec.PeakFLOPS, effPeak), frac), pc)
 	// Wave quantization is a placement effect of the mask size, not the
 	// contended share, so it uses the mask's SM count. Bandwidth access
-	// likewise scales with occupancy (the SMs the kernel is resident
-	// on), not with its contended compute share.
+	// likewise scales with occupancy — the health-weighted SMs the kernel
+	// is resident on (degraded SMs issue proportionally fewer memory
+	// requests), not its contended compute share.
 	wave := 1 - WaveIdleRatio(l.k.Grid, l.maskCount)
-	occFrac := float64(l.maskCount) / float64(spec.NumSMs)
+	occ := g.maskHealth(l.mask)
+	if occ <= 0 {
+		occ = deadDrainSMs
+	}
+	occFrac := occ / float64(spec.NumSMs)
 	bwCap = units.Scale(units.Scale(spec.PeakBW, math.Min(1, math.Pow(occFrac, spec.BWScaleExp))), pb)
 
 	rc := units.Inf[units.PerSec](1)

@@ -101,6 +101,7 @@ var corePackages = map[string]bool{
 	"internal/estimator": true,
 	"internal/kvcache":   true,
 	"internal/smmask":    true,
+	"internal/faults":    true,
 }
 
 // InCore reports whether the package is part of the deterministic

@@ -298,6 +298,7 @@ func TestLoaderScopes(t *testing.T) {
 		{"repro/bullet", false, false, false},
 		{"repro/internal/sim", true, true, false},
 		{"repro/internal/sched", true, true, false},
+		{"repro/internal/faults", true, true, false},
 		{"repro/internal/serving", true, false, false},
 		{"repro/internal/baselines/nanoflow", true, false, false},
 		{"repro/cmd/bulletlint", false, false, true},

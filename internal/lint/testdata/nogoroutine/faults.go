@@ -1,0 +1,16 @@
+//linttest:path repro/internal/faults
+
+// Pins that internal/faults is inside the nogoroutine core scope: fault
+// injection must dispatch through sim events, never through goroutines
+// or channels, or same-seed runs stop being bit-identical.
+package fixture
+
+type injector struct {
+	fired chan int // want nogoroutine
+}
+
+func (in *injector) arm(events []func()) {
+	for _, ev := range events {
+		go ev() // want nogoroutine
+	}
+}

@@ -148,6 +148,7 @@ type Summary struct {
 	Throughput      float64 // completed requests per second
 	TokenThroughput float64 // output tokens per second
 	SLOAttainment   float64 // fraction of requests meeting both SLOs
+	Goodput         float64 // SLO-meeting requests per second
 }
 
 // Summarize computes a Summary over completed requests against an SLO.
@@ -195,8 +196,48 @@ func Summarize(reqs []Request, slo SLO) Summary {
 	if dur > 0 {
 		s.Throughput = float64(len(reqs)) / dur.Float()
 		s.TokenThroughput = float64(outTokens) / dur.Float()
+		s.Goodput = float64(met) / dur.Float()
 	}
 	return s
+}
+
+// Resilience aggregates fault-injection and recovery accounting for one
+// serving run (or, summed, one cluster).
+type Resilience struct {
+	// FaultsInjected counts fault events that actually fired.
+	FaultsInjected int
+	// BatchAborts counts watchdog-cancelled prefill batches.
+	BatchAborts int
+	// Retried counts request re-executions (watchdog re-enqueues and
+	// failover re-submissions); one request may contribute several.
+	Retried int
+	// Shed counts requests given up on after exhausting retries.
+	Shed int
+	// Recoveries counts completed repairs (SM health restorations and
+	// replica restarts).
+	Recoveries int
+	// Downtime is the injected outage volume (degrade durations, stall
+	// lengths, recovery delays), summed over events.
+	Downtime units.Seconds
+}
+
+// Add accumulates another run's counters into r.
+func (r *Resilience) Add(o Resilience) {
+	r.FaultsInjected += o.FaultsInjected
+	r.BatchAborts += o.BatchAborts
+	r.Retried += o.Retried
+	r.Shed += o.Shed
+	r.Recoveries += o.Recoveries
+	r.Downtime += o.Downtime
+}
+
+// MTTR returns the mean time to recover: injected downtime per completed
+// repair (0 when nothing recovered).
+func (r Resilience) MTTR() units.Seconds {
+	if r.Recoveries == 0 {
+		return 0
+	}
+	return units.Over(r.Downtime, float64(r.Recoveries))
 }
 
 // Series is a time-ordered sampled signal for timeline figures (Fig. 12).

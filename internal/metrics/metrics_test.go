@@ -130,8 +130,27 @@ func TestSummarize(t *testing.T) {
 	if s.MeanTTFT <= 0 || s.P90TTFT < s.MeanTTFT/10 {
 		t.Fatalf("ttft stats: %+v", s)
 	}
+	if math.Abs(s.Goodput-2.0/5.0) > 1e-12 {
+		t.Fatalf("goodput = %v, want 0.4 (2 SLO-met over 5s)", s.Goodput)
+	}
 	if e := Summarize(nil, slo); e.Requests != 0 {
 		t.Fatal("empty summarize")
+	}
+}
+
+func TestResilienceAddAndMTTR(t *testing.T) {
+	a := Resilience{FaultsInjected: 3, BatchAborts: 1, Retried: 2, Shed: 1, Recoveries: 2, Downtime: 4}
+	b := Resilience{FaultsInjected: 1, Retried: 1, Recoveries: 2, Downtime: 2}
+	a.Add(b)
+	want := Resilience{FaultsInjected: 4, BatchAborts: 1, Retried: 3, Shed: 1, Recoveries: 4, Downtime: 6}
+	if a != want {
+		t.Fatalf("Add = %+v, want %+v", a, want)
+	}
+	if got := a.MTTR(); units.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("MTTR = %v, want 1.5", got)
+	}
+	if (Resilience{Downtime: 5}).MTTR() != 0 {
+		t.Fatal("MTTR with zero recoveries should be 0")
 	}
 }
 

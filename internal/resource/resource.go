@@ -44,11 +44,14 @@ func (p Phase) String() string {
 type Manager struct {
 	gpu     *gpusim.GPU
 	step    int
-	numSMs  int
+	numSMs  int         // device SM count
+	avail   int         // healthy SM count the current table draws from
+	healthy smmask.Mask // healthy-SM set the current table draws from
 	levels  []int
 	streams map[Phase]map[int]*gpusim.Stream
 
 	reconfigs int
+	rebuilds  int
 	current   map[Phase]int
 }
 
@@ -67,19 +70,81 @@ func NewManager(gpu *gpusim.GPU, step int) *Manager {
 		streams: map[Phase]map[int]*gpusim.Stream{Prefill: {}, Decode: {}},
 		current: map[Phase]int{Prefill: gpu.Spec.NumSMs, Decode: gpu.Spec.NumSMs},
 	}
-	for n := step; n < m.numSMs; n += step {
-		m.levels = append(m.levels, n)
+	m.build(smmask.Full(m.numSMs))
+	return m
+}
+
+// Rebuild re-derives the whole stream table from a changed healthy-SM
+// set (SM faults or recoveries): levels shrink to the healthy count,
+// prefill masks grow from the lowest healthy indices, decode masks from
+// the highest, and existing streams are retargeted in place via SetMask
+// so kernels already running keep the masks they launched with
+// (libsmctrl semantics). The paper's pre-configured masked-stream table
+// (§3.4) is exactly the mechanism that makes routing around dead SMs an
+// O(levels) re-derivation instead of a serving pause.
+func (m *Manager) Rebuild(healthy smmask.Mask) {
+	m.build(healthy)
+	m.rebuilds++
+}
+
+// build derives levels, masks and streams from a healthy-SM set.
+func (m *Manager) build(healthy smmask.Mask) {
+	avail := healthy.Count()
+	if avail <= 0 {
+		panic("resource: rebuild with no healthy SMs")
 	}
-	m.levels = append(m.levels, m.numSMs)
-	for _, n := range m.levels {
-		m.streams[Prefill][n] = gpu.NewStream(smmask.Range(0, n))
-		m.streams[Decode][n] = gpu.NewStream(smmask.Range(m.numSMs-n, m.numSMs))
+	idx := healthy.Indices()
+	var levels []int
+	for n := m.step; n < avail; n += m.step {
+		levels = append(levels, n)
+	}
+	levels = append(levels, avail)
+
+	old := m.streams
+	m.streams = map[Phase]map[int]*gpusim.Stream{Prefill: {}, Decode: {}}
+	for _, n := range levels {
+		m.setStream(old, Prefill, n, maskOf(idx[:n]))
+		m.setStream(old, Decode, n, maskOf(idx[avail-n:]))
+	}
+	m.healthy = healthy
+	m.avail = avail
+	m.levels = levels
+}
+
+// setStream reuses the old stream object for a (phase, level) pair when
+// one exists (retargeting its mask) and creates it otherwise. Streams of
+// dropped levels stay registered on the GPU so their in-flight kernels
+// finish, but are never handed out again.
+func (m *Manager) setStream(old map[Phase]map[int]*gpusim.Stream, p Phase, n int, mask smmask.Mask) {
+	if st, ok := old[p][n]; ok {
+		st.SetMask(mask)
+		m.streams[p][n] = st
+		return
+	}
+	m.streams[p][n] = m.gpu.NewStream(mask)
+}
+
+// maskOf builds a mask from explicit SM indices.
+func maskOf(idx []int) smmask.Mask {
+	var m smmask.Mask
+	for _, i := range idx {
+		m.Set(i)
 	}
 	return m
 }
 
 // NumSMs returns the device SM count.
 func (m *Manager) NumSMs() int { return m.numSMs }
+
+// Avail returns the healthy SM count the current table draws from.
+func (m *Manager) Avail() int { return m.avail }
+
+// Healthy returns the healthy-SM set the current table draws from.
+func (m *Manager) Healthy() smmask.Mask { return m.healthy }
+
+// Rebuilds returns how many times the table was re-derived after health
+// changes.
+func (m *Manager) Rebuilds() int { return m.rebuilds }
 
 // Step returns the allocation granularity.
 func (m *Manager) Step() int { return m.step }
@@ -88,13 +153,14 @@ func (m *Manager) Step() int { return m.step }
 func (m *Manager) Levels() []int { return append([]int(nil), m.levels...) }
 
 // Quantize rounds an SM request to the nearest available level (at least
-// the smallest level, at most the device size).
+// the smallest level, at most the largest — the healthy SM count after a
+// rebuild, the device size otherwise).
 func (m *Manager) Quantize(sms int) int {
 	if sms <= m.levels[0] {
 		return m.levels[0]
 	}
-	if sms >= m.numSMs {
-		return m.numSMs
+	if top := m.levels[len(m.levels)-1]; sms >= top {
+		return top
 	}
 	i := sort.SearchInts(m.levels, sms)
 	// m.levels[i] >= sms; pick the closer of levels[i-1] and levels[i].
@@ -131,10 +197,10 @@ func (m *Manager) Current(p Phase) int { return m.current[p] }
 func (m *Manager) Reconfigurations() int { return m.reconfigs }
 
 // Overlap returns the number of SMs shared between the current prefill
-// and decode allocations.
+// and decode allocations, out of the healthy budget they draw from.
 func (m *Manager) Overlap() int {
 	p, d := m.current[Prefill], m.current[Decode]
-	over := p + d - m.numSMs
+	over := p + d - m.avail
 	if over < 0 {
 		return 0
 	}

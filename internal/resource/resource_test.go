@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/gpusim"
 	"repro/internal/sim"
+	"repro/internal/smmask"
 )
 
 func newManager(t testing.TB, step int) *Manager {
@@ -161,4 +162,96 @@ func BenchmarkReconfigure(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = m.Stream(Prefill, levels[i%len(levels)])
 	}
+}
+
+func TestRebuildShrinksLevels(t *testing.T) {
+	m := newManager(t, 6)
+	// Kill SMs [100,108): 100 healthy SMs remain.
+	healthy := smmask.Range(0, 100)
+	m.Rebuild(healthy)
+	if m.Avail() != 100 {
+		t.Fatalf("Avail = %d, want 100", m.Avail())
+	}
+	if m.Rebuilds() != 1 {
+		t.Fatalf("Rebuilds = %d, want 1", m.Rebuilds())
+	}
+	levels := m.Levels()
+	if levels[len(levels)-1] != 100 {
+		t.Fatalf("top level = %d, want 100", levels[len(levels)-1])
+	}
+	if m.Quantize(108) != 100 {
+		t.Fatalf("Quantize(108) = %d, want clamp to 100", m.Quantize(108))
+	}
+	// No stream mask may touch a dead SM.
+	dead := smmask.Range(100, 108)
+	for _, n := range levels {
+		for _, p := range []Phase{Prefill, Decode} {
+			if st := m.Stream(p, n); st.Mask().Overlaps(dead) {
+				t.Fatalf("%v stream at %d SMs overlaps dead range", p, n)
+			}
+		}
+	}
+}
+
+func TestRebuildHolePlacement(t *testing.T) {
+	m := newManager(t, 6)
+	// Kill SMs [10,20) in the middle: prefill masks must grow from the
+	// lowest healthy indices and decode from the highest, skipping the
+	// hole.
+	healthy := smmask.Range(0, 10).Union(smmask.Range(20, 108))
+	m.Rebuild(healthy)
+	if m.Avail() != 98 {
+		t.Fatalf("Avail = %d, want 98", m.Avail())
+	}
+	p := m.Stream(Prefill, 12)
+	want := smmask.Range(0, 10).Union(smmask.Range(20, 22))
+	if p.Mask() != want {
+		t.Fatalf("prefill mask %v, want %v", p.Mask(), want)
+	}
+	d := m.Stream(Decode, 12)
+	if d.Mask() != smmask.Range(96, 108) {
+		t.Fatalf("decode mask %v, want SMs [96,108)", d.Mask())
+	}
+	// Disjointness at the healthy budget still holds.
+	if p.Mask().Overlaps(d.Mask()) {
+		t.Fatal("prefill and decode masks overlap below the healthy budget")
+	}
+}
+
+func TestRebuildReusesStreams(t *testing.T) {
+	m := newManager(t, 6)
+	before := m.Stream(Prefill, 60)
+	m.Rebuild(smmask.Range(0, 100))
+	after := m.Stream(Prefill, 60)
+	if before != after {
+		t.Fatal("rebuild replaced a reusable stream object")
+	}
+	if before.Mask() != smmask.Range(0, 60) {
+		t.Fatalf("reused stream mask %v, want SMs [0,60)", before.Mask())
+	}
+}
+
+func TestRebuildRecovery(t *testing.T) {
+	m := newManager(t, 6)
+	m.Rebuild(smmask.Range(0, 54))
+	m.Rebuild(smmask.Full(108))
+	if m.Avail() != 108 || m.Quantize(108) != 108 {
+		t.Fatalf("recovery: Avail=%d Quantize(108)=%d", m.Avail(), m.Quantize(108))
+	}
+	if m.Rebuilds() != 2 {
+		t.Fatalf("Rebuilds = %d, want 2", m.Rebuilds())
+	}
+	if got := m.Stream(Decode, 48).Mask(); got != smmask.Range(60, 108) {
+		t.Fatalf("decode mask after recovery %v, want SMs [60,108)", got)
+	}
+}
+
+func TestRebuildEmptyPanics(t *testing.T) {
+	m := newManager(t, 6)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rebuild with no healthy SMs did not panic")
+		}
+	}()
+	m.Rebuild(smmask.Mask{})
 }

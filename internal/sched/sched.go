@@ -114,6 +114,31 @@ func New(est *estimator.Estimator, slo metrics.SLO, cfg Config) *Scheduler {
 // SLO returns the targets the scheduler enforces.
 func (s *Scheduler) SLO() metrics.SLO { return s.slo }
 
+// SetCapacity re-targets Algorithm 1 at a changed SM budget — the
+// resilience path after SM degradation (or recovery) shrinks or restores
+// the healthy set and the resource manager rebuilds its level table.
+// Admission minimums are clamped down to the new smallest level so the
+// scheduler can still produce feasible splits on a shrunken device.
+func (s *Scheduler) SetCapacity(numSMs int, levels []int) {
+	if numSMs <= 0 || len(levels) == 0 {
+		panic(fmt.Sprintf("sched: invalid capacity %d SMs, levels %v", numSMs, levels))
+	}
+	if !sort.IntsAreSorted(levels) {
+		panic(fmt.Sprintf("sched: capacity levels not sorted: %v", levels))
+	}
+	s.cfg.NumSMs = numSMs
+	s.cfg.Levels = append([]int(nil), levels...)
+	if s.cfg.MinPrefillSMs > levels[0] {
+		s.cfg.MinPrefillSMs = levels[0]
+	}
+	if s.cfg.MinDecodeSMs > levels[0] {
+		s.cfg.MinDecodeSMs = levels[0]
+	}
+}
+
+// Capacity returns the SM budget Algorithm 1 currently optimizes over.
+func (s *Scheduler) Capacity() int { return s.cfg.NumSMs }
+
 // SortWaiting reorders the pending queue by SLO deadline (earliest first),
 // the reordering step of Algorithm 1 line 7.
 func (s *Scheduler) SortWaiting(reqs []WaitingReq) {

@@ -360,3 +360,73 @@ func TestZeroAllocationSnapshotSanitized(t *testing.T) {
 		t.Fatalf("bad decision %+v", d)
 	}
 }
+
+func TestSetCapacityShrinksDecisions(t *testing.T) {
+	s := testScheduler()
+	levels := []int{}
+	for n := 6; n <= 96; n += 6 {
+		levels = append(levels, n)
+	}
+	s.SetCapacity(96, levels)
+	if s.Capacity() != 96 {
+		t.Fatalf("Capacity = %d, want 96", s.Capacity())
+	}
+	// Idle and single-phase decisions now top out at the shrunken budget.
+	if d := s.Decide(State{Now: 1}); d.PrefillSMs != 96 || d.DecodeSMs != 96 {
+		t.Fatalf("idle decision after shrink = %+v", d)
+	}
+	st := slackState()
+	st.Decode = DecodeStatus{}
+	if d := s.Decide(st); d.PrefillSMs != 96 {
+		t.Fatalf("prefill-only after shrink = %+v", d)
+	}
+	// Co-running decisions never exceed the new budget either.
+	d := s.Decide(slackState())
+	if d.PrefillSMs > 96 || d.DecodeSMs > 96 {
+		t.Fatalf("co-run decision exceeds capacity: %+v", d)
+	}
+}
+
+func TestSetCapacityClampsAdmissionMinimums(t *testing.T) {
+	est := estimator.New(model.Llama31_8B(), gpusim.A100(), estimator.DefaultParams())
+	s := New(est, metrics.SLOFor("azure-code"), Config{
+		TotalLayers:   32,
+		NumSMs:        108,
+		Levels:        []int{12, 24, 36, 48, 60, 72, 84, 96, 108},
+		MinPrefillSMs: 24,
+		MinDecodeSMs:  24,
+	})
+	// Shrink below the configured minimums: they must clamp to the new
+	// smallest level so a feasible split still exists.
+	s.SetCapacity(18, []int{6, 12, 18})
+	if s.cfg.MinPrefillSMs != 6 || s.cfg.MinDecodeSMs != 6 {
+		t.Fatalf("minimums after shrink = %d/%d, want 6/6",
+			s.cfg.MinPrefillSMs, s.cfg.MinDecodeSMs)
+	}
+	d := s.Decide(slackState())
+	if d.PrefillSMs > 18 || d.DecodeSMs > 18 {
+		t.Fatalf("decision exceeds 18-SM capacity: %+v", d)
+	}
+}
+
+func TestSetCapacityValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		numSMs int
+		levels []int
+	}{
+		{"zero SMs", 0, []int{6}},
+		{"no levels", 54, nil},
+		{"unsorted levels", 54, []int{12, 6}},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: SetCapacity(%d, %v) accepted", c.name, c.numSMs, c.levels)
+				}
+			}()
+			testScheduler().SetCapacity(c.numSMs, c.levels)
+		}()
+	}
+}

@@ -31,8 +31,11 @@ type Env struct {
 	SLO   metrics.SLO
 
 	completed []metrics.Request
+	shed      []workload.Request
 	// OnComplete, when set, observes every completion as it happens.
 	OnComplete func(metrics.Request)
+	// OnShed, when set, observes every shed request as it happens.
+	OnShed func(workload.Request)
 	// OnDrain, when set, runs after the last request completes and
 	// before the end-of-run KV invariant check — the hook caches (e.g.
 	// the prefix cache) use to release long-lived pool allocations.
@@ -80,6 +83,20 @@ func (e *Env) Complete(r metrics.Request) {
 // Completed returns the requests finished so far.
 func (e *Env) Completed() []metrics.Request { return e.completed }
 
+// Shed records a request permanently given up on (a resilience path that
+// ran out of retries). Shed requests count toward run completion — every
+// submitted request must end in exactly one of Complete or Shed — but
+// never toward the summary metrics.
+func (e *Env) Shed(r workload.Request) {
+	e.shed = append(e.shed, r)
+	if e.OnShed != nil {
+		e.OnShed(r)
+	}
+}
+
+// ShedRequests returns the requests given up on so far.
+func (e *Env) ShedRequests() []workload.Request { return e.shed }
+
 // System is a serving engine under test. Submit is invoked from the
 // simulation event loop at each request's arrival time; the system must
 // eventually call Env.Complete for it.
@@ -98,6 +115,8 @@ type Result struct {
 	GPUStats gpusim.Stats
 	// Makespan is the simulated time at which the last request finished.
 	Makespan sim.Time
+	// Shed counts requests given up on under faults (0 in healthy runs).
+	Shed int
 }
 
 // maxEventsPerRequest bounds runaway simulations.
@@ -113,14 +132,14 @@ func (e *Env) Run(sys System, trace *workload.Trace) Result {
 		e.Sim.At(r.Arrival, func() { sys.Submit(r) })
 	}
 	budget := uint64(len(trace.Requests)+1) * maxEventsPerRequest
-	for uint64(len(e.completed)) < uint64(len(trace.Requests)) {
+	for uint64(len(e.completed)+len(e.shed)) < uint64(len(trace.Requests)) {
 		if !e.Sim.Step() {
-			panic(fmt.Sprintf("serving: %s deadlocked with %d/%d requests complete at t=%.3f",
-				sys.Name(), len(e.completed), len(trace.Requests), e.Sim.Now()))
+			panic(fmt.Sprintf("serving: %s deadlocked with %d/%d requests complete (%d shed) at t=%.3f",
+				sys.Name(), len(e.completed), len(trace.Requests), len(e.shed), e.Sim.Now()))
 		}
 		if e.Sim.Processed() > budget {
-			panic(fmt.Sprintf("serving: %s exceeded event budget (%d events, %d/%d complete)",
-				sys.Name(), e.Sim.Processed(), len(e.completed), len(trace.Requests)))
+			panic(fmt.Sprintf("serving: %s exceeded event budget (%d events, %d/%d complete, %d shed)",
+				sys.Name(), e.Sim.Processed(), len(e.completed), len(trace.Requests), len(e.shed)))
 		}
 	}
 	if e.OnDrain != nil {
@@ -138,5 +157,6 @@ func (e *Env) Run(sys System, trace *workload.Trace) Result {
 		Requests: e.completed,
 		GPUStats: e.GPU.Stats(),
 		Makespan: e.Sim.Now(),
+		Shed:     len(e.shed),
 	}
 }
