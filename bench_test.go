@@ -157,6 +157,27 @@ func BenchmarkTable3Overheads(b *testing.B) {
 	}
 }
 
+// BenchmarkTimelineOverhead pins the observability acceptance bar: a
+// serving run with tracing disabled (the nil-recorder fast path) must
+// cost the same as before the timeline layer existed, and the enabled
+// sub-benchmark quantifies what full recording adds. Compare the two
+// with `go test -bench TimelineOverhead -benchmem`.
+func BenchmarkTimelineOverhead(b *testing.B) {
+	const n = 60
+	b.Run("disabled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			experiments.RunOne("bullet", workload.AzureCode, 5, n, 3)
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			experiments.RunOneTraced("bullet", workload.AzureCode, 5, n, 3, 0)
+		}
+	})
+}
+
 // BenchmarkExtensionKnobs sweeps Bullet's own design knobs (layer-group
 // size, SM granularity, metadata latency, estimator configuration,
 // arrival burstiness) — the ablation benches DESIGN.md calls out beyond

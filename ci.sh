@@ -31,13 +31,43 @@ go test -shuffle=on ./...
 step "go test -race -shuffle=on ./..."
 go test -race -shuffle=on ./...
 
-step "fault-injection determinism smoke (-race, double run)"
+step "determinism smoke (-race, double run): faults + timeline traces"
 # Same seed + same fault schedule must replay bit-identically — the
 # resilience paths (SM degradation, watchdog aborts, replica failover)
-# are the newest determinism surface, so pin them explicitly.
+# and the exported timeline traces are the newest determinism surface,
+# so pin them explicitly. The fault tests diff traces too; the golden
+# test diffs the quickstart scenario's Chrome JSON byte for byte.
 go test -race -count=1 \
-    -run 'TestFaultRunDeterminism|TestFaultyRunBitIdentical|TestClusterFaultDeterminism' \
+    -run 'TestFaultRunDeterminism|TestFaultyRunBitIdentical|TestClusterFaultDeterminism|TestTimelineGoldenDeterminism' \
     ./internal/experiments ./internal/core ./internal/cluster
+
+step "coverage gate (internal/timeline >= 90%, module mean >= 86%)"
+# Per-package statement coverage; packages without tests or statements
+# are excluded from the mean. The floors were recorded at the merge that
+# introduced the gate — raise them when coverage rises, never lower them
+# to make a failure go away.
+go test -cover ./... | awk '
+    { print }
+    $1 == "ok" && /coverage: [0-9.]+% of statements/ {
+        pct = $0
+        sub(/.*coverage: /, "", pct); sub(/% of statements.*/, "", pct)
+        sum += pct; n++
+        if ($2 == "repro/internal/timeline" && pct + 0 < 90) {
+            printf "coverage gate: internal/timeline at %.1f%%, floor is 90%%\n", pct > "/dev/stderr"
+            fail = 1
+        }
+    }
+    END {
+        if (n == 0) { print "coverage gate: no coverage lines parsed" > "/dev/stderr"; exit 1 }
+        mean = sum / n
+        printf "coverage gate: mean %.1f%% over %d packages\n", mean, n
+        if (mean < 86.0) {
+            printf "coverage gate: module mean %.1f%% below the 86.0%% floor\n", mean > "/dev/stderr"
+            fail = 1
+        }
+        exit fail
+    }
+'
 
 step "fuzz: smmask set algebra (5s)"
 go test -run='^$' -fuzz=Fuzz -fuzztime=5s ./internal/smmask

@@ -6,6 +6,7 @@
 //	bulletsim -system bullet -dataset azure-code -rate 5 -n 300 -seed 42
 //	bulletsim -system sglang-1024 -dataset sharegpt -rate 16 -json
 //	bulletsim -system bullet -trace out.trace.json   # chrome://tracing file
+//	bulletsim -system bullet -trace-out out.json     # deterministic timeline trace
 //	bulletsim -system bullet -faults -fault-rate 0.1 -fault-seed 7
 //	bulletsim -list
 //
@@ -43,6 +44,7 @@ func main() {
 		seed      = flag.Int64("seed", 42, "trace random seed")
 		asJSON    = flag.Bool("json", false, "emit the full result as JSON")
 		traceFile = flag.String("trace", "", "write a Chrome trace-event file (Bullet systems only)")
+		traceOut  = flag.String("trace-out", "", "write a deterministic timeline trace (Perfetto-loadable Chrome JSON)")
 		withFault = flag.Bool("faults", false, "inject a deterministic fault schedule (Bullet systems only)")
 		faultRate = flag.Float64("fault-rate", 0.1, "SM-degradation and engine-stall rates, events/s of virtual time")
 		faultSeed = flag.Int64("fault-seed", 1, "fault schedule random seed")
@@ -56,6 +58,13 @@ func main() {
 		fmt.Println("         disaggregation disagg-nvlink, disagg-pcie")
 		fmt.Println("datasets:", strings.Join(bullet.Datasets(), ", "))
 		fmt.Println("models:  ", strings.Join(bullet.Models(), ", "))
+		return
+	}
+
+	if *traceOut != "" {
+		if err := runTimeline(*system, *dataset, *rate, *n, *seed, *traceOut); err != nil {
+			fail(err)
+		}
 		return
 	}
 
@@ -162,6 +171,32 @@ func runFaulty(system, dataset string, rate float64, n int, seed int64, faultRat
 	fmt.Printf("batch aborts    %d (retried %d, shed %d)\n", rl.BatchAborts, rl.Retried, rl.Shed)
 	fmt.Printf("recoveries      %d (MTTR %.2f s)\n", rl.Recoveries, rl.MTTR().Float())
 	fmt.Printf("makespan        %.1f s\n", res.Makespan.Float())
+	return nil
+}
+
+// runTimeline executes the run with the internal/timeline recorder
+// attached across every layer (kernels, scheduling decisions, request
+// lifecycles) and writes a deterministic Chrome trace-event file: the
+// same flags always produce a byte-identical trace, loadable at
+// ui.perfetto.dev or chrome://tracing.
+func runTimeline(system, dataset string, rate float64, n int, seed int64, path string) error {
+	d, err := workload.ByName(dataset)
+	if err != nil {
+		return err
+	}
+	res, rec := experiments.RunOneTraced(system, d, rate, n, seed, 0)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := rec.WriteChrome(f); err != nil {
+		return err
+	}
+	fmt.Printf("system %s: %d requests, %.1fs makespan\n",
+		res.System, res.Summary.Requests, res.Makespan.Float())
+	fmt.Print(rec.Summary())
+	fmt.Printf("wrote %s (open at ui.perfetto.dev)\n", path)
 	return nil
 }
 

@@ -15,6 +15,7 @@ import (
 	"repro/internal/gpusim"
 	"repro/internal/metrics"
 	"repro/internal/serving"
+	"repro/internal/timeline"
 	"repro/internal/workload"
 )
 
@@ -78,6 +79,10 @@ type Cluster struct {
 	retried    int
 	recoveries int
 	stale      int
+
+	// tl is the root recorder attached by AttachTimeline; each replica
+	// records through a per-replica scoped view of it.
+	tl *timeline.Recorder
 }
 
 // New builds the cluster on an outer environment. The outer env's own GPU
@@ -94,7 +99,7 @@ func New(outer *serving.Env, cfg Config) *Cluster {
 	}
 	c := &Cluster{outer: outer, cfg: cfg, routed: map[string]*replica{}}
 	for i := 0; i < cfg.Replicas; i++ {
-		c.replicas = append(c.replicas, c.newReplica())
+		c.replicas = append(c.replicas, c.newReplica(i))
 	}
 	return c
 }
@@ -104,7 +109,7 @@ func New(outer *serving.Env, cfg Config) *Cluster {
 // a request completed by a replica that no longer owns it (it crashed
 // and the request failed over) is swallowed as stale instead of being
 // double-counted.
-func (c *Cluster) newReplica() *replica {
+func (c *Cluster) newReplica(idx int) *replica {
 	env := serving.NewEnvWithSim(c.outer.Sim, c.outer.GPU.Spec, c.outer.Model, datasetOf(c.outer))
 	r := &replica{env: env, live: map[string]workload.Request{}}
 	env.OnComplete = func(m metrics.Request) {
@@ -133,7 +138,20 @@ func (c *Cluster) newReplica() *replica {
 	if c.wcfg != nil {
 		r.sys.EnableResilience(*c.wcfg)
 	}
+	// A nil recorder scopes to nil, so the disabled fast path propagates.
+	r.sys.AttachTimeline(c.tl.Scoped(fmt.Sprintf("replica%d", idx)))
 	return r
+}
+
+// AttachTimeline threads a recorder through the cluster: each replica
+// (including ones restarted after a crash) records through a scoped view
+// tagged with its slot, and router-level crash/recovery instants land on
+// the root "cluster" lane.
+func (c *Cluster) AttachTimeline(rec *timeline.Recorder) {
+	c.tl = rec
+	for i, r := range c.replicas {
+		r.sys.AttachTimeline(rec.Scoped(fmt.Sprintf("replica%d", i)))
+	}
 }
 
 // datasetOf recovers the dataset name from the env's SLO (Table 2 pairs
@@ -250,6 +268,11 @@ func (c *Cluster) onReplicaCrash(ev faults.Event) {
 		lost = append(lost, w)
 	}
 	sort.Slice(lost, func(i, j int) bool { return lost[i].ID < lost[j].ID })
+	if c.tl != nil {
+		c.tl.Instant("cluster", "crash", c.outer.Sim.Now(),
+			timeline.I("replica", idx),
+			timeline.I("lost", len(lost)))
+	}
 	rep.live = map[string]workload.Request{}
 	for _, w := range lost {
 		delete(c.routed, w.ID)
@@ -257,8 +280,13 @@ func (c *Cluster) onReplicaCrash(ev faults.Event) {
 		c.Submit(w)
 	}
 	c.outer.Sim.After(ev.Recovery, func() {
-		c.replicas[idx] = c.newReplica()
+		c.replicas[idx] = c.newReplica(idx)
 		c.recoveries++
+		if c.tl != nil {
+			c.tl.Instant("cluster", "recovery", c.outer.Sim.Now(),
+				timeline.I("replica", idx),
+				timeline.I("deferred", len(c.deferred)))
+		}
 		flush := c.deferred
 		c.deferred = nil
 		for _, w := range flush {

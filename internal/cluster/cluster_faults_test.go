@@ -1,7 +1,9 @@
 package cluster
 
 import (
+	"bytes"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -10,17 +12,21 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/serving"
+	"repro/internal/timeline"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
 
-// runFaulty drives a cluster run with an explicit fault schedule and
-// returns the cluster, the result, and the full resilience accounting
-// (router + replicas + injector).
-func runFaulty(t testing.TB, cfg Config, sched faults.Schedule, rate float64, n int, seed int64) (*Cluster, serving.Result, metrics.Resilience) {
+// runFaulty drives a cluster run with an explicit fault schedule — a
+// timeline recorder attached, exercising per-replica span scoping on
+// every fault path — and returns the cluster, the result, the full
+// resilience accounting (router + replicas + injector) and the exported
+// trace.
+func runFaulty(t testing.TB, cfg Config, sched faults.Schedule, rate float64, n int, seed int64) (*Cluster, serving.Result, metrics.Resilience, []byte) {
 	t.Helper()
 	env := serving.NewEnv(gpusim.A100(), model.Llama31_8B(), "azure-code")
 	c := New(env, cfg)
+	c.AttachTimeline(timeline.New(0))
 	inj := faults.NewInjector(env.Sim, sched)
 	c.AttachFaults(inj, core.DefaultWatchdog())
 	inj.Arm()
@@ -29,7 +35,11 @@ func runFaulty(t testing.TB, cfg Config, sched faults.Schedule, rate float64, n 
 	rl := c.Resilience()
 	rl.FaultsInjected = inj.Injected()
 	rl.Downtime = inj.ScheduledDowntime()
-	return c, res, rl
+	var buf bytes.Buffer
+	if err := c.tl.WriteChrome(&buf); err != nil {
+		t.Fatalf("exporting cluster trace: %v", err)
+	}
+	return c, res, rl, buf.Bytes()
 }
 
 func crashAt(at units.Seconds, replica int, recovery units.Seconds) faults.Schedule {
@@ -45,7 +55,7 @@ func crashAt(at units.Seconds, replica int, recovery units.Seconds) faults.Sched
 func TestReplicaCrashFailsOver(t *testing.T) {
 	const n = 60
 	cfg := Config{Replicas: 2, Policy: LeastLoaded, Options: opts()}
-	c, res, rl := runFaulty(t, cfg, crashAt(0.5, 0, 1), 6, n, 21)
+	c, res, rl, _ := runFaulty(t, cfg, crashAt(0.5, 0, 1), 6, n, 21)
 	if got := res.Summary.Requests + res.Shed; got != n {
 		t.Fatalf("completed %d + shed %d = %d, want %d", res.Summary.Requests, res.Shed, got, n)
 	}
@@ -72,7 +82,7 @@ func TestReplicaCrashFailsOver(t *testing.T) {
 func TestZombieCompletionsSwallowed(t *testing.T) {
 	const n = 60
 	cfg := Config{Replicas: 2, Policy: RoundRobin, Options: opts()}
-	c, res, _ := runFaulty(t, cfg, crashAt(0.8, 1, 40), 8, n, 22)
+	c, res, _, _ := runFaulty(t, cfg, crashAt(0.8, 1, 40), 8, n, 22)
 	if got := res.Summary.Requests + res.Shed; got != n {
 		t.Fatalf("completed %d + shed %d, want %d", res.Summary.Requests, res.Shed, n)
 	}
@@ -90,7 +100,7 @@ func TestZombieCompletionsSwallowed(t *testing.T) {
 func TestAllReplicasDownDefersArrivals(t *testing.T) {
 	const n = 30
 	cfg := Config{Replicas: 1, Policy: RoundRobin, Options: opts()}
-	c, res, rl := runFaulty(t, cfg, crashAt(0.3, 0, 2), 6, n, 23)
+	c, res, rl, _ := runFaulty(t, cfg, crashAt(0.3, 0, 2), 6, n, 23)
 	if got := res.Summary.Requests + res.Shed; got != n {
 		t.Fatalf("completed %d + shed %d, want %d", res.Summary.Requests, res.Shed, got)
 	}
@@ -113,7 +123,7 @@ func TestRoutedDeviceFaultsHitOnlyTheirReplica(t *testing.T) {
 			Target: faults.TargetDecode, Stall: units.FromMs(20)},
 	}}
 	cfg := Config{Replicas: 2, Policy: LeastLoaded, Options: opts()}
-	c, res, rl := runFaulty(t, cfg, sched, 6, 40, 24)
+	c, res, rl, _ := runFaulty(t, cfg, sched, 6, 40, 24)
 	if res.Summary.Requests+res.Shed != 40 {
 		t.Fatalf("completed %d + shed %d, want 40", res.Summary.Requests, res.Shed)
 	}
@@ -138,13 +148,19 @@ func TestClusterFaultDeterminism(t *testing.T) {
 	fcfg.StallRate = 0.1
 	fcfg.CrashRate = 0.05
 	cfg := Config{Replicas: 2, Policy: LeastLoaded, Options: opts()}
-	_, a, ra := runFaulty(t, cfg, faults.Generate(fcfg), 5, 40, 25)
-	_, b, rb := runFaulty(t, cfg, faults.Generate(fcfg), 5, 40, 25)
+	_, a, ra, ta := runFaulty(t, cfg, faults.Generate(fcfg), 5, 40, 25)
+	_, b, rb, tb := runFaulty(t, cfg, faults.Generate(fcfg), 5, 40, 25)
 	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("same seed diverged:\n%+v\nvs\n%+v", a.Summary, b.Summary)
 	}
 	if ra != rb {
 		t.Fatalf("resilience diverged: %+v vs %+v", ra, rb)
+	}
+	if !bytes.Equal(ta, tb) {
+		t.Fatalf("cluster trace JSON diverged (%d vs %d bytes)", len(ta), len(tb))
+	}
+	if !strings.Contains(string(ta), `"name":"replica1"`) {
+		t.Fatal("trace lacks per-replica process scoping")
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/serving"
 	"repro/internal/sim"
+	"repro/internal/timeline"
 	"repro/internal/workload"
 )
 
@@ -116,7 +117,10 @@ type Bullet struct {
 	// faults is non-nil once EnableResilience/AttachFaults armed the
 	// watchdog and fault bookkeeping (see faults.go).
 	faults *faultState
-	name   string
+	// tl is the observability recorder attached by AttachTimeline; nil
+	// (the default) keeps every emission site on its no-op fast path.
+	tl   *timeline.Recorder
+	name string
 }
 
 // fittedParamsCache memoizes offline profiling per (model, device).
@@ -255,6 +259,22 @@ func New(env *serving.Env, opts Options) *Bullet {
 	}
 	return b
 }
+
+// AttachTimeline threads one observability recorder through every layer
+// of the system: GPU kernel spans, resource repartitions, engine batch
+// and request lifecycle spans, and (via faults.go) watchdog instants.
+// Attaching nil detaches — every site returns to its no-op fast path.
+func (b *Bullet) AttachTimeline(rec *timeline.Recorder) {
+	b.tl = rec
+	b.env.GPU.TL = rec
+	b.Resources.TL = rec
+	b.Prefill.TL = rec
+	b.Decode.TL = rec
+}
+
+// TimelineRecorder returns the recorder attached by AttachTimeline (nil
+// when tracing is off).
+func (b *Bullet) TimelineRecorder() *timeline.Recorder { return b.tl }
 
 // Name identifies the system variant in results.
 func (b *Bullet) Name() string { return b.name }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/timeline"
 	"repro/internal/units"
 )
 
@@ -84,6 +85,12 @@ func (b *Bullet) ApplyFault(ev faults.Event) {
 // Overlapping degradations are last-write-wins per SM, matching the
 // schedule generator's documented semantics.
 func (b *Bullet) onSMDegrade(ev faults.Event) {
+	if b.tl != nil {
+		b.tl.Instant("faults", "sm-degrade", b.env.Sim.Now(),
+			timeline.I("firstSM", ev.FirstSM),
+			timeline.I("numSMs", ev.NumSMs),
+			timeline.F("throttle", ev.Throttle))
+	}
 	b.env.GPU.SetSMHealth(ev.FirstSM, ev.NumSMs, ev.Throttle)
 	b.reprovision()
 	if ev.Duration > 0 {
@@ -116,6 +123,11 @@ func (b *Bullet) reprovision() {
 // the watchdog timeout trigger the abort/retry path; everything else
 // simply waits the stall out.
 func (b *Bullet) onEngineStall(ev faults.Event) {
+	if b.tl != nil {
+		b.tl.Instant("faults", "stall", b.env.Sim.Now(),
+			timeline.S("target", string(ev.Target)),
+			timeline.F("seconds", ev.Stall.Float()))
+	}
 	switch ev.Target {
 	case faults.TargetBuffer:
 		b.faults.bufferFaults++
@@ -155,9 +167,11 @@ func (b *Bullet) watchdogFire(ep int) {
 	aborted := b.Prefill.AbortBatch()
 	b.faults.aborts++
 	var keep []*engine.Req
+	shed := 0
 	for _, r := range aborted {
 		if r.Retries > b.faults.wcfg.MaxRetries {
 			b.faults.shed++
+			shed++
 			b.env.Shed(r.W)
 			continue
 		}
@@ -165,6 +179,12 @@ func (b *Bullet) watchdogFire(ep int) {
 		keep = append(keep, r)
 	}
 	b.faults.recoveries++
+	if b.tl != nil {
+		b.tl.Instant("watchdog", "abort", b.env.Sim.Now(),
+			timeline.I("aborted", len(aborted)),
+			timeline.I("retried", len(keep)),
+			timeline.I("shed", shed))
+	}
 	if len(keep) > 0 {
 		b.env.Sim.After(b.faults.wcfg.Backoff, func() { b.Prefill.Requeue(keep) })
 	}

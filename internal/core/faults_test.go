@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
 
@@ -11,13 +12,16 @@ import (
 	"repro/internal/model"
 	"repro/internal/serving"
 	"repro/internal/sim"
+	"repro/internal/timeline"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
 
-// runFaulty drives one serving run with a generated fault schedule and
-// returns the result plus the run's resilience accounting.
-func runFaulty(t testing.TB, mode Mode, fcfg faults.Config, rate float64, n int, seed int64) (serving.Result, metrics.Resilience, *faults.Injector) {
+// runFaulty drives one serving run with a generated fault schedule —
+// with the timeline recorder attached, so determinism tests can diff
+// traces too — and returns the result plus the run's resilience
+// accounting and exported trace.
+func runFaulty(t testing.TB, mode Mode, fcfg faults.Config, rate float64, n int, seed int64) (serving.Result, metrics.Resilience, *faults.Injector, []byte) {
 	t.Helper()
 	env := serving.NewEnv(gpusim.A100(), model.Llama31_8B(), workload.ShareGPT.Name)
 	opts := Options{Mode: mode, Params: estimator.DefaultParams()}
@@ -25,6 +29,8 @@ func runFaulty(t testing.TB, mode Mode, fcfg faults.Config, rate float64, n int,
 		opts.FixedPrefillSMs = 54
 	}
 	b := New(env, opts)
+	rec := timeline.New(0)
+	b.AttachTimeline(rec)
 	inj := faults.NewInjector(env.Sim, faults.Generate(fcfg))
 	b.AttachFaults(inj, DefaultWatchdog())
 	inj.Arm()
@@ -33,7 +39,11 @@ func runFaulty(t testing.TB, mode Mode, fcfg faults.Config, rate float64, n int,
 	rl := b.Resilience()
 	rl.FaultsInjected = inj.Injected()
 	rl.Downtime = inj.ScheduledDowntime()
-	return res, rl, inj
+	var buf bytes.Buffer
+	if err := rec.WriteChrome(&buf); err != nil {
+		t.Fatalf("exporting faulty-run trace: %v", err)
+	}
+	return res, rl, inj, buf.Bytes()
 }
 
 func faultyConfig() faults.Config {
@@ -50,7 +60,7 @@ func faultyConfig() faults.Config {
 // panics otherwise), and faults actually having fired.
 func TestFaultyRunCompletesAndBalances(t *testing.T) {
 	const n = 40
-	res, rl, inj := runFaulty(t, ModeFull, faultyConfig(), 4, n, 1)
+	res, rl, inj, _ := runFaulty(t, ModeFull, faultyConfig(), 4, n, 1)
 	if inj.Injected() == 0 {
 		t.Fatal("fault schedule injected nothing")
 	}
@@ -67,15 +77,20 @@ func TestFaultyRunCompletesAndBalances(t *testing.T) {
 }
 
 // TestFaultyRunBitIdentical: same seed + same fault schedule must give
-// bit-identical results, including the resilience accounting.
+// bit-identical results — the resilience accounting and the exported
+// timeline trace included. This composes the fault injector with the
+// observability layer's determinism guarantee.
 func TestFaultyRunBitIdentical(t *testing.T) {
-	a, ra, _ := runFaulty(t, ModeFull, faultyConfig(), 4, 30, 9)
-	b, rb, _ := runFaulty(t, ModeFull, faultyConfig(), 4, 30, 9)
+	a, ra, _, ta := runFaulty(t, ModeFull, faultyConfig(), 4, 30, 9)
+	b, rb, _, tb := runFaulty(t, ModeFull, faultyConfig(), 4, 30, 9)
 	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("same seed diverged:\n%+v\nvs\n%+v", a.Summary, b.Summary)
 	}
 	if ra != rb {
 		t.Fatalf("resilience diverged: %+v vs %+v", ra, rb)
+	}
+	if !bytes.Equal(ta, tb) {
+		t.Fatalf("trace JSON diverged under faults (%d vs %d bytes)", len(ta), len(tb))
 	}
 }
 
@@ -239,7 +254,7 @@ func TestApplyFaultWithoutEnablePanics(t *testing.T) {
 }
 
 func TestStaticModeSurvivesFaults(t *testing.T) {
-	res, _, inj := runFaulty(t, ModeStatic, faultyConfig(), 4, 30, 6)
+	res, _, inj, _ := runFaulty(t, ModeStatic, faultyConfig(), 4, 30, 6)
 	if inj.Injected() == 0 {
 		t.Fatal("no faults fired")
 	}

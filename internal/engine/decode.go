@@ -10,6 +10,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/serving"
 	"repro/internal/sim"
+	"repro/internal/timeline"
 	"repro/internal/units"
 )
 
@@ -68,6 +69,10 @@ type DecodeEngine struct {
 	OnDecision func(t sim.Time, d sched.Decision)
 	// OnStep observes each completed iteration.
 	OnStep func(t sim.Time, batch int, stepDur units.Seconds)
+
+	// TL, when non-nil, records step spans, pause/decision instants and
+	// request lifecycle spans on the shared timeline.
+	TL *timeline.Recorder
 }
 
 // NewDecodeEngine wires a decode engine.
@@ -85,6 +90,12 @@ func NewDecodeEngine(env *serving.Env, res *resource.Manager, schd *sched.Schedu
 // metadata buffer); they join the batch at the next iteration boundary
 // (continuous batching).
 func (d *DecodeEngine) Accept(reqs []*Req) {
+	now := d.env.Sim.Now()
+	for _, r := range reqs {
+		if r.DecodeStart <= 0 {
+			r.DecodeStart = now
+		}
+	}
 	d.pending = append(d.pending, reqs...)
 	if !d.active {
 		d.active = true
@@ -162,6 +173,9 @@ func (d *DecodeEngine) decide() sched.Decision {
 	if d.OnDecision != nil {
 		d.OnDecision(d.env.Sim.Now(), dec)
 	}
+	if d.TL != nil {
+		emitDecision(d.TL, d.env.Sim.Now(), dec)
+	}
 	return dec
 }
 
@@ -184,6 +198,10 @@ func (d *DecodeEngine) cycle() {
 	dec := d.decide()
 	if dec.PauseDecode {
 		d.pauses++
+		if d.TL != nil {
+			d.TL.Instant("decode", "pause", d.env.Sim.Now(),
+				timeline.I("batch", len(d.batch)))
+		}
 		woken := false
 		wake := func() {
 			if woken {
@@ -213,6 +231,11 @@ func (d *DecodeEngine) cycle() {
 		if d.OnStep != nil {
 			d.OnStep(now, bs, rec.Duration())
 		}
+		if d.TL != nil {
+			d.TL.Span("decode", "step", rec.Start, rec.End,
+				timeline.I("batch", bs),
+				timeline.F("avgCtx", ctx.Float()))
+		}
 		kept := d.batch[:0]
 		released := false
 		for _, r := range d.batch {
@@ -221,6 +244,7 @@ func (d *DecodeEngine) cycle() {
 				r.Finish = now
 				r.ReleasePrefix()
 				d.env.KV.Free(r.Seq)
+				r.EmitLifecycle(d.TL)
 				d.env.Complete(r.Record())
 				released = true
 				continue

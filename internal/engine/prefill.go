@@ -11,6 +11,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/serving"
 	"repro/internal/sim"
+	"repro/internal/timeline"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -87,6 +88,12 @@ type PrefillEngine struct {
 	OnDecision func(t sim.Time, d sched.Decision)
 	// OnBatchStart observes batch formation.
 	OnBatchStart func(t sim.Time, tokens, reqs, waiting int)
+
+	// TL, when non-nil, records batch spans, scheduling-decision instants
+	// and request lifecycle spans on the shared timeline.
+	TL *timeline.Recorder
+	// batchStart is when the in-flight batch formed, for its span.
+	batchStart sim.Time
 }
 
 // NewPrefillEngine wires a prefill engine. Call SetDecode before use.
@@ -166,6 +173,11 @@ func (p *PrefillEngine) AbortBatch() []*Req {
 	p.epoch++
 	p.aborts++
 	aborted := p.batch
+	if p.TL != nil {
+		p.TL.Instant("prefill", "abort", p.env.Sim.Now(),
+			timeline.I("reqs", len(aborted)),
+			timeline.I("epoch", p.epoch))
+	}
 	for _, r := range aborted {
 		r.ReleasePrefix()
 		p.env.KV.Free(r.Seq)
@@ -312,8 +324,15 @@ func (p *PrefillEngine) tryStart() {
 	}
 	p.running = true
 	p.layersDone = 0
+	p.batchStart = now
 	if p.OnBatchStart != nil {
 		p.OnBatchStart(now, p.batchTokens, len(p.batch), len(p.waiting))
+	}
+	if p.TL != nil {
+		p.TL.Instant("prefill", "batch-start", now,
+			timeline.I("tokens", p.batchTokens),
+			timeline.I("reqs", len(p.batch)),
+			timeline.I("waiting", len(p.waiting)))
 	}
 	p.cycle()
 }
@@ -332,6 +351,9 @@ func (p *PrefillEngine) decide() sched.Decision {
 	p.buf.SetAllocation(d.PrefillSMs, d.DecodeSMs)
 	if p.OnDecision != nil {
 		p.OnDecision(p.env.Sim.Now(), d)
+	}
+	if p.TL != nil {
+		emitDecision(p.TL, p.env.Sim.Now(), d)
 	}
 	return d
 }
@@ -406,6 +428,11 @@ func (p *PrefillEngine) finishBatch(stream *gpusim.Stream) {
 			return // batch aborted while the LM head drained
 		}
 		now := p.env.Sim.Now()
+		if p.TL != nil {
+			p.TL.Span("prefill", "batch", p.batchStart, now,
+				timeline.I("tokens", p.batchTokens),
+				timeline.I("reqs", len(p.batch)))
+		}
 		var migrate []*Req
 		for _, r := range p.batch {
 			r.FirstToken = now
@@ -419,6 +446,7 @@ func (p *PrefillEngine) finishBatch(stream *gpusim.Stream) {
 				r.Finish = now
 				r.ReleasePrefix()
 				p.env.KV.Free(r.Seq)
+				r.EmitLifecycle(p.TL)
 				p.env.Complete(r.Record())
 				p.buf.PublishKVRelease()
 				continue

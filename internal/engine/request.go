@@ -1,9 +1,13 @@
 package engine
 
 import (
+	"math"
+
 	"repro/internal/kvcache"
 	"repro/internal/metrics"
+	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/timeline"
 	"repro/internal/workload"
 )
 
@@ -14,7 +18,11 @@ type Req struct {
 
 	PrefillStart sim.Time
 	FirstToken   sim.Time
-	Finish       sim.Time
+	// DecodeStart is when the decode engine first stepped the request —
+	// zero until then; the gap after FirstToken is the KV-transfer /
+	// hand-off delay.
+	DecodeStart sim.Time
+	Finish      sim.Time
 	// Generated counts emitted output tokens (the prefill's first token
 	// included).
 	Generated int
@@ -55,8 +63,54 @@ func (r *Req) Record() metrics.Request {
 		Arrival:      r.W.Arrival,
 		PrefillStart: r.PrefillStart,
 		FirstToken:   r.FirstToken,
+		DecodeStart:  r.DecodeStart,
 		Finish:       r.Finish,
 		InputTokens:  r.W.InputTokens,
 		OutputTokens: r.W.OutputTokens,
 	}
+}
+
+// EmitLifecycle records the request's phases — queued → prefill →
+// kv-transfer → decode — as async spans correlated by request ID on the
+// "requests" lane. Called once at completion; Recorder.Events() folds
+// the retrospective spans back into timeline order. No-op on a nil
+// recorder.
+func (r *Req) EmitLifecycle(tl *timeline.Recorder) {
+	if tl == nil {
+		return
+	}
+	id := r.W.ID
+	tl.AsyncSpan("requests", "queued", id, r.W.Arrival, r.PrefillStart,
+		timeline.S("dataset", r.W.Dataset),
+		timeline.I("inputTokens", r.W.InputTokens))
+	tl.AsyncSpan("requests", "prefill", id, r.PrefillStart, r.FirstToken,
+		timeline.I("prefixHit", r.PrefixHit),
+		timeline.I("retries", r.Retries))
+	if 0 < r.DecodeStart {
+		tl.AsyncSpan("requests", "kv-transfer", id, r.FirstToken, r.DecodeStart)
+		tl.AsyncSpan("requests", "decode", id, r.DecodeStart, r.Finish,
+			timeline.I("outputTokens", r.W.OutputTokens))
+	}
+}
+
+// emitDecision records one Algorithm-1 scheduling decision: an instant
+// named after the branch taken plus an allocation counter. The P90
+// predictions the decision was based on are attached only when finite
+// (the scheduler reports NaN when it had no candidates to predict).
+func emitDecision(tl *timeline.Recorder, now sim.Time, d sched.Decision) {
+	args := make([]timeline.Arg, 0, 5)
+	args = append(args,
+		timeline.I("prefillSMs", d.PrefillSMs),
+		timeline.I("decodeSMs", d.DecodeSMs),
+		timeline.B("pauseDecode", d.PauseDecode))
+	if !math.IsNaN(d.PredNormTTFT) && !math.IsInf(d.PredNormTTFT, 0) {
+		args = append(args, timeline.F("predNormTTFT", d.PredNormTTFT))
+	}
+	if !math.IsNaN(d.PredTPOTMs) && !math.IsInf(d.PredTPOTMs, 0) {
+		args = append(args, timeline.F("predTPOTMs", d.PredTPOTMs))
+	}
+	tl.Instant("sched", d.Branch, now, args...)
+	tl.Counter("sched", "alloc", now,
+		timeline.I("prefillSMs", d.PrefillSMs),
+		timeline.I("decodeSMs", d.DecodeSMs))
 }

@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/serving"
+	"repro/internal/timeline"
+	"repro/internal/workload"
+)
+
+// RunOneTraced executes a single serving experiment with the timeline
+// recorder attached, returning both the result and the recorded trace.
+// Bullet variants thread the recorder through every layer; other systems
+// still get GPU-level kernel spans and occupancy counters. maxEvents
+// caps the recording (non-positive means timeline.DefaultMaxEvents).
+func RunOneTraced(system string, dataset workload.Dataset, rate float64, n int, seed int64, maxEvents int) (serving.Result, *timeline.Recorder) {
+	spec, cfg := Platform()
+	env := serving.NewEnv(spec, cfg, dataset.Name)
+	sys := NewSystem(system, env)
+	rec := timeline.New(maxEvents)
+	if b, ok := sys.(*core.Bullet); ok {
+		b.AttachTimeline(rec)
+	} else {
+		env.GPU.TL = rec
+	}
+	res := env.Run(sys, workload.Generate(dataset, rate, n, seed))
+	return res, rec
+}

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/smmask"
+	"repro/internal/timeline"
 	"repro/internal/units"
 )
 
@@ -167,6 +168,10 @@ type GPU struct {
 	// Sampler, when non-nil, is called at every rate recomputation with
 	// the instantaneous utilization, enabling timeline figures.
 	Sampler func(t sim.Time, u Utilization)
+
+	// TL, when non-nil, records per-kernel spans (one lane per stream)
+	// and occupancy/throughput counter samples on the shared timeline.
+	TL *timeline.Recorder
 }
 
 // Utilization is an instantaneous snapshot of device activity.
@@ -399,6 +404,9 @@ func (g *GPU) finish(l *launch) {
 	if g.Trace != nil {
 		g.Trace(rec)
 	}
+	if g.TL != nil {
+		g.emitKernelSpan(st, l, rec)
+	}
 
 	// Start the next kernel before callbacks so back-to-back kernels do
 	// not see a spurious idle gap.
@@ -416,6 +424,32 @@ func (g *GPU) finish(l *launch) {
 		l.done(rec)
 	}
 }
+
+// emitKernelSpan records one completed kernel on its stream's timeline
+// lane, annotated with achieved rates and contention at completion.
+// Called after l leaves g.running, so overlapFraction measures the SMs
+// still contended by other kernels.
+func (g *GPU) emitKernelSpan(st *Stream, l *launch, rec KernelRecord) {
+	dur := rec.Duration()
+	args := make([]timeline.Arg, 0, 8)
+	args = append(args,
+		timeline.S("tag", rec.Tag),
+		timeline.I("sms", rec.SMs),
+		timeline.I("grid", rec.Grid),
+		timeline.F("waveIdle", rec.WaveIdle),
+	)
+	if 0 < dur {
+		args = append(args,
+			timeline.F("gflops", rec.FLOPs.Per(dur).Float()/1e9),
+			timeline.F("gbps", rec.Bytes.Per(dur).Float()/1e9),
+		)
+	}
+	args = append(args, timeline.F("overlap", g.overlapFraction(l)))
+	g.TL.Span(streamLane(st.id), rec.Name, rec.Start, rec.End, args...)
+}
+
+// streamLane names the timeline lane of a stream.
+func streamLane(id int) string { return fmt.Sprintf("stream%02d", id) }
 
 // advance integrates work done at the current rates since lastUpdate and
 // decrements remaining fractions.
@@ -613,6 +647,14 @@ func (g *GPU) recompute() {
 			BusySMs:   busySMs,
 			Resident:  len(g.running),
 		})
+	}
+	if g.TL != nil {
+		g.TL.Counter("gpu", "occupancy", now,
+			timeline.F("busySMs", busySMs.Float()),
+			timeline.I("resident", len(g.running)))
+		g.TL.Counter("gpu", "throughput", now,
+			timeline.F("compute", units.Ratio(instFlops, g.Spec.PeakFLOPS)),
+			timeline.F("bandwidth", units.Ratio(instBytes, g.Spec.PeakBW)))
 	}
 }
 

@@ -1,0 +1,140 @@
+package gpusim
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/timeline"
+	"repro/internal/units"
+)
+
+// TestKernelSpanDurationsSumToBusyTime is the gpusim half of the
+// timeline invariants: on a single stream the recorded kernel spans are
+// back-to-back and their durations must sum — within float tolerance —
+// to the device's accumulated any-busy time. Checked with testing/quick
+// over random serial kernel workloads.
+func TestKernelSpanDurationsSumToBusyTime(t *testing.T) {
+	prop := func(raw []struct {
+		GF   uint16 // tenths of GFLOPs
+		MB   uint16 // tenths of MBs
+		Grid uint8
+	}) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := sim.New()
+		g := New(s, TestGPU())
+		rec := timeline.New(0)
+		g.TL = rec
+		st := g.NewStream(g.FullMask())
+		for i, v := range raw {
+			k := Kernel{
+				Name:  fmt.Sprintf("k%d", i),
+				Tag:   "prop",
+				FLOPs: units.FLOPs(float64(v.GF) * 1e8),
+				Bytes: units.Bytes(float64(v.MB) * 1e5),
+				Grid:  int(v.Grid) + 1,
+			}
+			g.Launch(st, k, nil)
+		}
+		s.RunAll(100000)
+
+		var sum units.Seconds
+		spans := 0
+		for _, e := range rec.Events() {
+			if e.Kind != timeline.KindSpan {
+				continue
+			}
+			spans++
+			sum += e.Duration()
+		}
+		if spans != len(raw) {
+			t.Logf("recorded %d spans for %d kernels", spans, len(raw))
+			return false
+		}
+		busy := g.Stats().AnyBusyTime
+		if !almost(sum, busy, 1e-9) {
+			t.Logf("span durations sum to %v, busy time %v", sum, busy)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKernelSpanArgs pins the per-kernel annotations: achieved rates
+// only when the span has width, SM/grid/contention always.
+func TestKernelSpanArgs(t *testing.T) {
+	s := sim.New()
+	g := New(s, TestGPU())
+	rec := timeline.New(0)
+	g.TL = rec
+	st := g.NewStream(g.FullMask())
+	g.Launch(st, Kernel{Name: "attn", Tag: "prefill", FLOPs: 1e12, Bytes: 1e9, Grid: 216}, nil)
+	s.RunAll(1000)
+
+	var span *timeline.Event
+	for _, e := range rec.Events() {
+		if e.Kind == timeline.KindSpan {
+			ev := e
+			span = &ev
+		}
+	}
+	if span == nil {
+		t.Fatal("no kernel span recorded")
+	}
+	if span.Lane != "stream00" || span.Name != "attn" {
+		t.Fatalf("span on lane %q name %q", span.Lane, span.Name)
+	}
+	got := map[string]bool{}
+	for _, a := range span.Args {
+		got[a.Key] = true
+	}
+	for _, key := range []string{"tag", "sms", "grid", "waveIdle", "gflops", "gbps", "overlap"} {
+		if !got[key] {
+			t.Errorf("span missing arg %q (has %v)", key, span.Args)
+		}
+	}
+}
+
+// TestOccupancyCountersEmitted checks the periodic counter samples: a
+// run with resident kernels produces occupancy and throughput samples
+// on the "gpu" lane, and every sample is exportable (finite, numeric).
+func TestOccupancyCountersEmitted(t *testing.T) {
+	s := sim.New()
+	g := New(s, TestGPU())
+	rec := timeline.New(0)
+	g.TL = rec
+	st := g.NewStream(g.FullMask())
+	for i := 0; i < 3; i++ {
+		g.Launch(st, Kernel{Name: "k", Tag: "x", FLOPs: 1e12, Bytes: 1e8, Grid: 108}, nil)
+	}
+	s.RunAll(1000)
+
+	occ, thr := 0, 0
+	for _, e := range rec.Events() {
+		if e.Kind != timeline.KindCounter || e.Lane != "gpu" {
+			continue
+		}
+		switch e.Name {
+		case "occupancy":
+			occ++
+		case "throughput":
+			thr++
+		}
+	}
+	if occ == 0 || thr == 0 {
+		t.Fatalf("occupancy=%d throughput=%d counter samples, want both > 0", occ, thr)
+	}
+	if err := rec.WriteChrome(discard{}); err != nil {
+		t.Fatalf("counter samples not exportable: %v", err)
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

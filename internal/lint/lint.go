@@ -102,6 +102,7 @@ var corePackages = map[string]bool{
 	"internal/kvcache":   true,
 	"internal/smmask":    true,
 	"internal/faults":    true,
+	"internal/timeline":  true,
 }
 
 // InCore reports whether the package is part of the deterministic

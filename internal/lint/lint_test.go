@@ -299,6 +299,7 @@ func TestLoaderScopes(t *testing.T) {
 		{"repro/internal/sim", true, true, false},
 		{"repro/internal/sched", true, true, false},
 		{"repro/internal/faults", true, true, false},
+		{"repro/internal/timeline", true, true, false},
 		{"repro/internal/serving", true, false, false},
 		{"repro/internal/baselines/nanoflow", true, false, false},
 		{"repro/cmd/bulletlint", false, false, true},

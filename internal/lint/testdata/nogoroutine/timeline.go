@@ -1,0 +1,19 @@
+//linttest:path repro/internal/timeline
+
+// Pins that internal/timeline is inside the nogoroutine core scope: the
+// recorder is mutated from inside sim callbacks and orders events by a
+// sequence counter, so a background flusher goroutine or a channel-fed
+// sink would race the counter and traces would stop being byte-identical.
+package fixture
+
+type recorder struct {
+	sink chan string // want nogoroutine
+	seq  uint64
+}
+
+func (r *recorder) span(name string) {
+	r.seq++
+	go func() { // want nogoroutine
+		r.sink <- name // want nogoroutine
+	}()
+}

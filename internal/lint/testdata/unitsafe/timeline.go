@@ -1,0 +1,32 @@
+//linttest:path repro/internal/timeline
+
+// Pins the unitsafe contract on the timeline recorder's API surface:
+// span boundaries are units.Seconds of virtual time, so raw numeric
+// literals and bare-float laundering at call sites are findings, while
+// the sanctioned Float() escape (the exporter's microsecond conversion)
+// is not.
+package fixture
+
+import "repro/internal/units"
+
+type recorder struct{}
+
+func (r *recorder) span(lane, name string, start, end units.Seconds) {}
+
+// rawBounds feeds unlabelled magnitudes to the unit-typed span
+// parameters.
+func rawBounds(r *recorder) {
+	r.span("gpu", "kernel", units.Seconds(0.5), 1.5) // want unitsafe
+}
+
+// launderedDuration strips the dimension with a bare conversion instead
+// of Float().
+func launderedDuration(start, end units.Seconds) float64 {
+	return float64(end - start) // want unitsafe
+}
+
+// micros is the sanctioned shape: the exporter leaves the unit system
+// through Float() exactly once, at the serialization boundary.
+func micros(t units.Seconds) float64 {
+	return t.Float() * 1e6
+}

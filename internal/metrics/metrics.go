@@ -45,6 +45,7 @@ type Request struct {
 	Arrival      units.Seconds
 	PrefillStart units.Seconds
 	FirstToken   units.Seconds // completion of prefill (first output token)
+	DecodeStart  units.Seconds // first decode step (zero if decode never ran)
 	Finish       units.Seconds // last output token
 	InputTokens  int
 	OutputTokens int
@@ -78,6 +79,16 @@ func (r Request) E2E() units.Seconds { return r.Finish - r.Arrival }
 // QueueDelay is the time from arrival to prefill start.
 func (r Request) QueueDelay() units.Seconds { return r.PrefillStart - r.Arrival }
 
+// KVTransferDelay is the gap between prefill completion and the first
+// decode step — the engine hand-off cost. Zero when decode never ran
+// (single-step requests completed at prefill).
+func (r Request) KVTransferDelay() units.Seconds {
+	if r.DecodeStart <= 0 {
+		return 0
+	}
+	return r.DecodeStart - r.FirstToken
+}
+
 // MeetsSLO reports whether the request satisfies both constraints.
 func (r Request) MeetsSLO(s SLO) bool {
 	return r.NormTTFTMs() <= s.NormTTFTMs && r.TPOTMs() <= s.TPOTMs
@@ -88,6 +99,9 @@ func (r Request) MeetsSLO(s SLO) bool {
 func (r Request) Validate() {
 	if r.PrefillStart < r.Arrival || r.FirstToken < r.PrefillStart || r.Finish < r.FirstToken {
 		panic(fmt.Sprintf("metrics: request %s has inverted timeline: %+v", r.ID, r))
+	}
+	if 0 < r.DecodeStart && (r.DecodeStart < r.FirstToken || r.Finish < r.DecodeStart) {
+		panic(fmt.Sprintf("metrics: request %s decode start outside [firstToken, finish]: %+v", r.ID, r))
 	}
 	if r.InputTokens <= 0 || r.OutputTokens <= 0 {
 		panic(fmt.Sprintf("metrics: request %s has no tokens: %+v", r.ID, r))

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/gpusim"
 	"repro/internal/smmask"
+	"repro/internal/timeline"
 )
 
 // Phase selects which side of the device a stream's mask grows from.
@@ -53,6 +54,10 @@ type Manager struct {
 	reconfigs int
 	rebuilds  int
 	current   map[Phase]int
+
+	// TL, when non-nil, records repartition/rebuild instants on the
+	// "resource" lane.
+	TL *timeline.Recorder
 }
 
 // NewManager builds the stream table. step is the SM allocation
@@ -85,6 +90,10 @@ func NewManager(gpu *gpusim.GPU, step int) *Manager {
 func (m *Manager) Rebuild(healthy smmask.Mask) {
 	m.build(healthy)
 	m.rebuilds++
+	if m.TL != nil {
+		m.TL.Instant("resource", "rebuild", m.gpu.Sim().Now(),
+			timeline.I("healthySMs", healthy.Count()))
+	}
 }
 
 // build derives levels, masks and streams from a healthy-SM set.
@@ -186,6 +195,11 @@ func (m *Manager) Stream(p Phase, sms int) *gpusim.Stream {
 	if m.current[p] != q {
 		m.current[p] = q
 		m.reconfigs++
+		if m.TL != nil {
+			m.TL.Instant("resource", "repartition", m.gpu.Sim().Now(),
+				timeline.S("phase", p.String()),
+				timeline.I("sms", q))
+		}
 	}
 	return st
 }

@@ -181,11 +181,9 @@ func (s *Simulation) Run(until Time) uint64 {
 			break
 		}
 	}
-	if s.now < until && len(s.queue) == 0 {
+	if s.now < until {
 		// Advance the clock to the horizon so repeated Run calls are
 		// idempotent in time.
-		s.now = until
-	} else if s.now < until {
 		s.now = until
 	}
 	return s.processed - start

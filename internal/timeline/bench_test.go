@@ -1,0 +1,59 @@
+package timeline
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// BenchmarkDisabledCallSite measures the guarded hot-path pattern used
+// throughout the stack: `if rec != nil { rec.Span(...) }`. With a nil
+// recorder this must compile down to a pointer test — no variadic slice
+// allocation, no call.
+func BenchmarkDisabledCallSite(b *testing.B) {
+	var rec *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if rec != nil {
+			rec.Span("gpu", "attn", 0, 1, F("gflops", 312), I("sms", 108))
+		}
+	}
+}
+
+// BenchmarkDisabledDirectCall measures an unguarded call on a nil
+// recorder — the slower (but still allocation-bounded) fallback for cold
+// call sites that skip the guard.
+func BenchmarkDisabledDirectCall(b *testing.B) {
+	var rec *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rec.Span("gpu", "attn", 0, 1, F("gflops", 312), I("sms", 108))
+	}
+}
+
+// BenchmarkEnabledSpan measures the recording cost when tracing is on.
+func BenchmarkEnabledSpan(b *testing.B) {
+	rec := New(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rec.Span("gpu", "attn", units.Seconds(float64(i)), units.Seconds(float64(i)+1),
+			F("gflops", 312), I("sms", 108))
+	}
+}
+
+// BenchmarkWriteChrome measures export throughput over a realistic mix.
+func BenchmarkWriteChrome(b *testing.B) {
+	rec := New(0)
+	for i := 0; i < 10_000; i++ {
+		t := units.Seconds(float64(i)) / 1000
+		rec.Span("stream00", "kernel", t, t+0.0005, F("gflops", 250), I("sms", 54))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rec.WriteChrome(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,371 @@
+// Chrome trace-event JSON exporter. The writer emits every byte by hand
+// — no encoding/json, no maps in the output path — so field order,
+// number formatting and event order are fully deterministic: the same
+// seeded run exports a bit-identical file every time, which is what lets
+// ci.sh diff traces across double runs.
+//
+// The format is the Trace Event Format consumed by chrome://tracing and
+// https://ui.perfetto.dev: a JSON array of event objects with phases
+// "M" (metadata), "X" (complete span), "i" (instant), "C" (counter) and
+// "b"/"e" (async span begin/end). Timestamps are microseconds.
+package timeline
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"unicode/utf8"
+
+	"repro/internal/units"
+)
+
+// rootProcName labels the unscoped process row in the exported trace.
+const rootProcName = "main"
+
+// WriteChrome exports the recorder's events as a Chrome trace-event JSON
+// array. A nil or empty recorder writes an empty (still valid) trace. It
+// returns an error — naming the offending event — if any timestamp,
+// duration or numeric argument is NaN or infinite, or a counter carries
+// a non-numeric argument.
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	return WriteChrome(w, r.Events())
+}
+
+// WriteChrome exports events (already in deterministic order — use
+// Recorder.Events) as a Chrome trace-event JSON array.
+func WriteChrome(w io.Writer, events []Event) error {
+	cw := &chromeWriter{w: bufio.NewWriter(w)}
+	cw.assignRows(events)
+	cw.raw("[")
+	cw.writeMetadata()
+	for i := range events {
+		if err := cw.writeEvent(&events[i]); err != nil {
+			return err
+		}
+	}
+	cw.raw("\n]\n")
+	if cw.err != nil {
+		return cw.err
+	}
+	return cw.w.Flush()
+}
+
+// chromeWriter holds the output stream and the deterministic pid/tid
+// assignment derived from the event set.
+type chromeWriter struct {
+	w          *bufio.Writer
+	err        error
+	first      bool // next object is the first in the array
+	firstField bool // next field is the first in the current object
+
+	procs []string       // sorted process names, pid = index+1
+	pids  map[string]int // proc -> pid
+	lanes []procLanes    // per proc, sorted lane names
+	tids  map[string]int // proc "\x00" lane -> tid
+}
+
+type procLanes struct {
+	proc  string
+	lanes []string
+}
+
+// assignRows derives pids and tids: processes sorted by name (the root
+// "" first, shown as "main"), lanes sorted within each process. Maps are
+// used only as sets; every iteration below walks sorted slices.
+func (cw *chromeWriter) assignRows(events []Event) {
+	cw.first = true
+	procSet := map[string]bool{}
+	laneSet := map[string]map[string]bool{}
+	for i := range events {
+		e := &events[i]
+		procSet[e.Proc] = true
+		if laneSet[e.Proc] == nil {
+			laneSet[e.Proc] = map[string]bool{}
+		}
+		laneSet[e.Proc][e.Lane] = true
+	}
+	procs := make([]string, 0, len(procSet))
+	for p := range procSet {
+		procs = append(procs, p)
+	}
+	sort.Strings(procs)
+	cw.procs = procs
+	cw.pids = make(map[string]int, len(cw.procs))
+	cw.tids = map[string]int{}
+	for i, p := range cw.procs {
+		cw.pids[p] = i + 1
+		lanes := make([]string, 0, len(laneSet[p]))
+		for l := range laneSet[p] {
+			lanes = append(lanes, l)
+		}
+		sort.Strings(lanes)
+		cw.lanes = append(cw.lanes, procLanes{proc: p, lanes: lanes})
+		for j, l := range lanes {
+			cw.tids[p+"\x00"+l] = j + 1
+		}
+	}
+}
+
+// writeMetadata emits process_name / thread_name rows so Perfetto labels
+// every track.
+func (cw *chromeWriter) writeMetadata() {
+	for pi, p := range cw.procs {
+		display := p
+		if display == "" {
+			display = rootProcName
+		}
+		cw.open()
+		cw.str("name", "process_name")
+		cw.str("ph", "M")
+		cw.num("pid", pi+1)
+		cw.nameArgs(display)
+		cw.close()
+		for li, l := range cw.lanes[pi].lanes {
+			cw.open()
+			cw.str("name", "thread_name")
+			cw.str("ph", "M")
+			cw.num("pid", pi+1)
+			cw.num("tid", li+1)
+			cw.nameArgs(l)
+			cw.close()
+		}
+	}
+}
+
+// writeEvent emits one recorded event as one (or, for async spans, two)
+// trace objects.
+func (cw *chromeWriter) writeEvent(e *Event) error {
+	if err := checkFinite(e); err != nil {
+		return err
+	}
+	pid := cw.pids[e.Proc]
+	tid := cw.tids[e.Proc+"\x00"+e.Lane]
+	ts := micros(e.Start)
+	switch e.Kind {
+	case KindSpan:
+		cw.open()
+		cw.str("name", e.Name)
+		cw.str("ph", "X")
+		cw.flt("ts", ts)
+		cw.flt("dur", micros(e.End)-ts)
+		cw.num("pid", pid)
+		cw.num("tid", tid)
+		cw.args(e.Args)
+		cw.close()
+	case KindInstant:
+		cw.open()
+		cw.str("name", e.Name)
+		cw.str("ph", "i")
+		cw.str("s", "t") // thread-scoped tick mark
+		cw.flt("ts", ts)
+		cw.num("pid", pid)
+		cw.num("tid", tid)
+		cw.args(e.Args)
+		cw.close()
+	case KindCounter:
+		for _, a := range e.Args {
+			if a.Kind != ArgFloat && a.Kind != ArgInt {
+				return fmt.Errorf("timeline: counter %s/%s arg %q is not numeric", e.Lane, e.Name, a.Key)
+			}
+		}
+		cw.open()
+		cw.str("name", e.Name)
+		cw.str("ph", "C")
+		cw.flt("ts", ts)
+		cw.num("pid", pid)
+		cw.num("tid", tid)
+		cw.args(e.Args)
+		cw.close()
+	case KindAsync:
+		cw.open()
+		cw.str("name", e.Name)
+		cw.str("cat", e.Lane)
+		cw.str("ph", "b")
+		cw.str("id", e.ID)
+		cw.flt("ts", ts)
+		cw.num("pid", pid)
+		cw.num("tid", tid)
+		cw.args(e.Args)
+		cw.close()
+		cw.open()
+		cw.str("name", e.Name)
+		cw.str("cat", e.Lane)
+		cw.str("ph", "e")
+		cw.str("id", e.ID)
+		cw.flt("ts", micros(e.End))
+		cw.num("pid", pid)
+		cw.num("tid", tid)
+		cw.close()
+	default:
+		return fmt.Errorf("timeline: unknown event kind %d (%s/%s)", e.Kind, e.Lane, e.Name)
+	}
+	return cw.err
+}
+
+// checkFinite rejects NaN/Inf timestamps and numeric arguments: a
+// non-finite value in a trace is always an upstream bug, and Perfetto's
+// JSON parser would choke on it anyway.
+func checkFinite(e *Event) error {
+	if !finite(e.Start) || !finite(e.End) {
+		return fmt.Errorf("timeline: event %s/%s has non-finite time [%v, %v]", e.Lane, e.Name, e.Start, e.End)
+	}
+	for _, a := range e.Args {
+		if a.Kind == ArgFloat && (math.IsNaN(a.F) || math.IsInf(a.F, 0)) {
+			return fmt.Errorf("timeline: event %s/%s arg %q is non-finite (%v)", e.Lane, e.Name, a.Key, a.F)
+		}
+	}
+	return nil
+}
+
+func finite(t units.Seconds) bool { return !units.IsNaN(t) && !units.IsInf(t, 0) }
+
+// micros converts virtual seconds to trace microseconds.
+func micros(t units.Seconds) float64 { return t.Float() * 1e6 }
+
+// --- low-level deterministic JSON emission ---
+
+// open begins a new event object (with the array separator as needed).
+func (cw *chromeWriter) open() {
+	if cw.first {
+		cw.raw("\n")
+		cw.first = false
+	} else {
+		cw.raw(",\n")
+	}
+	cw.raw("{")
+	cw.firstField = true
+}
+
+func (cw *chromeWriter) close() { cw.raw("}") }
+
+func (cw *chromeWriter) key(k string) {
+	if !cw.firstField {
+		cw.raw(",")
+	}
+	cw.firstField = false
+	cw.jsonString(k)
+	cw.raw(":")
+}
+
+func (cw *chromeWriter) str(k, v string) {
+	cw.key(k)
+	cw.jsonString(v)
+}
+
+func (cw *chromeWriter) num(k string, v int) {
+	cw.key(k)
+	cw.raw(strconv.Itoa(v))
+}
+
+func (cw *chromeWriter) flt(k string, v float64) {
+	cw.key(k)
+	cw.raw(formatFloat(v))
+}
+
+// nameArgs emits the `"args":{"name":...}` object of a metadata row.
+func (cw *chromeWriter) nameArgs(name string) {
+	cw.key("args")
+	cw.raw("{")
+	cw.jsonString("name")
+	cw.raw(":")
+	cw.jsonString(name)
+	cw.raw("}")
+}
+
+// args emits the args object preserving call-site order.
+func (cw *chromeWriter) args(args []Arg) {
+	if len(args) == 0 {
+		return
+	}
+	cw.key("args")
+	cw.raw("{")
+	for i, a := range args {
+		if i > 0 {
+			cw.raw(",")
+		}
+		cw.jsonString(a.Key)
+		cw.raw(":")
+		switch a.Kind {
+		case ArgFloat:
+			cw.raw(formatFloat(a.F))
+		case ArgInt:
+			cw.raw(strconv.FormatInt(a.I, 10))
+		case ArgString:
+			cw.jsonString(a.S)
+		case ArgBool:
+			if a.B {
+				cw.raw("true")
+			} else {
+				cw.raw("false")
+			}
+		}
+	}
+	cw.raw("}")
+}
+
+// formatFloat renders a finite float deterministically in shortest
+// round-trip form, using fixed notation for ordinary magnitudes so
+// microsecond timestamps read as plain integers ('g' would print
+// 1500000 as "1.5e+06"). Both forms are valid JSON. Callers must have
+// rejected NaN/Inf.
+func formatFloat(v float64) string {
+	if math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func (cw *chromeWriter) raw(s string) {
+	if cw.err != nil {
+		return
+	}
+	_, cw.err = cw.w.WriteString(s)
+}
+
+// jsonString writes a JSON string literal with full escaping: quotes and
+// backslashes, control characters as \u00XX, and invalid UTF-8 replaced
+// by U+FFFD (matching encoding/json), so arbitrary workload request IDs
+// and kernel names always yield valid JSON.
+func (cw *chromeWriter) jsonString(s string) {
+	if cw.err != nil {
+		return
+	}
+	buf := make([]byte, 0, len(s)+2)
+	buf = append(buf, '"')
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c < utf8.RuneSelf {
+			switch {
+			case c == '"':
+				buf = append(buf, '\\', '"')
+			case c == '\\':
+				buf = append(buf, '\\', '\\')
+			case c == '\n':
+				buf = append(buf, '\\', 'n')
+			case c == '\r':
+				buf = append(buf, '\\', 'r')
+			case c == '\t':
+				buf = append(buf, '\\', 't')
+			case c < 0x20:
+				buf = append(buf, []byte(fmt.Sprintf("\\u%04x", c))...)
+			default:
+				buf = append(buf, c)
+			}
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			buf = append(buf, []byte("�")...)
+			i++
+			continue
+		}
+		buf = append(buf, s[i:i+size]...)
+		i += size
+	}
+	buf = append(buf, '"')
+	_, cw.err = cw.w.Write(buf)
+}

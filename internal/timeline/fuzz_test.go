@@ -1,0 +1,56 @@
+package timeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// FuzzWriteChrome throws arbitrary lane/name/id/arg strings (the shapes
+// workload request IDs and kernel tags take) and arbitrary floats at the
+// exporter. Contract: non-finite times or float args yield an error and
+// nothing else does; every successful export is valid JSON.
+func FuzzWriteChrome(f *testing.F) {
+	f.Add("gpu", "attn", "req-1", "key", "val", 0.5, 1.5, 0.25)
+	f.Add("la\"ne", "na\\me", "id\n", "k\tey", "v\x00al", 0.0, 0.0, -1.0)
+	f.Add("π-lane", "名前", "\xff\xfe", "ключ", "värde", 1e-9, 1e9, math.Pi)
+	f.Add("", "", "", "", "", -2.0, -1.0, 0.0)
+	f.Add("nan", "inf", "x", "y", "z", 1.0, 2.0, math.Inf(1))
+	f.Fuzz(func(t *testing.T, lane, name, id, key, sval string, start, end, fval float64) {
+		if end < start {
+			start, end = end, start
+		}
+		if math.IsNaN(start) || math.IsNaN(end) {
+			// An inverted-span panic is the recorder's contract for NaN
+			// comparisons resolving oddly; skip — the writer-level NaN
+			// rejection is covered via fval below and the unit tests.
+			start, end = 0, 1
+		}
+		r := New(0)
+		r.Span(lane, name, units.Seconds(start), units.Seconds(end), F(key, fval), S(key, sval))
+		r.Instant(lane, name, units.Seconds(start), S("id", id))
+		r.AsyncSpan(lane, name, id, units.Seconds(start), units.Seconds(end), B("b", true))
+		r.Counter(lane, name, units.Seconds(end), F(key, 1), I("n", 3))
+
+		var buf bytes.Buffer
+		err := r.WriteChrome(&buf)
+		bad := math.IsInf(start, 0) || math.IsInf(end, 0) ||
+			math.IsNaN(fval) || math.IsInf(fval, 0)
+		if bad {
+			if err == nil {
+				t.Fatalf("non-finite input accepted: start=%v end=%v fval=%v", start, end, fval)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("finite input rejected: %v (start=%v end=%v fval=%v)", err, start, end, fval)
+		}
+		if !json.Valid(buf.Bytes()) {
+			t.Fatalf("invalid JSON for lane=%q name=%q id=%q key=%q sval=%q:\n%s",
+				lane, name, id, key, sval, buf.String())
+		}
+	})
+}

@@ -1,0 +1,113 @@
+// Compact text summary of a recorded timeline: per-lane event counts,
+// span busy time and async correlation counts, in deterministic
+// (process, lane) order — the CLI companion to the Chrome export.
+package timeline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/units"
+)
+
+// laneStats accumulates one (proc, lane) row of the summary.
+type laneStats struct {
+	events   int
+	spans    int
+	busy     units.Seconds
+	instants int
+	counters int
+	asyncIDs map[string]bool
+}
+
+// Summary renders a compact text overview of the recorder's contents,
+// including the drop count when the capacity cap was hit. A nil recorder
+// summarises as empty.
+func (r *Recorder) Summary() string {
+	s := Summarize(r.Events())
+	if d := r.Dropped(); d > 0 {
+		s += fmt.Sprintf("  (%d events dropped past the %d-event cap)\n", d, r.st.max)
+	}
+	return s
+}
+
+// Summarize renders the per-lane overview of an event set.
+func Summarize(events []Event) string {
+	if len(events) == 0 {
+		return "timeline: empty\n"
+	}
+	type key struct{ proc, lane string }
+	stats := map[key]*laneStats{}
+	lo, hi := events[0].Start, events[0].End
+	for i := range events {
+		e := &events[i]
+		if e.Start < lo {
+			lo = e.Start
+		}
+		if e.End > hi {
+			hi = e.End
+		}
+		k := key{e.Proc, e.Lane}
+		st := stats[k]
+		if st == nil {
+			st = &laneStats{asyncIDs: map[string]bool{}}
+			stats[k] = st
+		}
+		st.events++
+		switch e.Kind {
+		case KindSpan:
+			st.spans++
+			st.busy += e.Duration()
+		case KindAsync:
+			st.spans++
+			st.busy += e.Duration()
+			st.asyncIDs[e.ID] = true
+		case KindInstant:
+			st.instants++
+		case KindCounter:
+			st.counters++
+		}
+	}
+	keys := make([]key, 0, len(stats))
+	for k := range stats {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].proc != keys[j].proc {
+			return keys[i].proc < keys[j].proc
+		}
+		return keys[i].lane < keys[j].lane
+	})
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "timeline: %d events across %d lanes, %.3fs–%.3fs\n",
+		len(events), len(keys), lo.Float(), hi.Float())
+	prevProc, shownProc := "", false
+	for _, k := range keys {
+		if k.proc != prevProc || !shownProc {
+			name := k.proc
+			if name == "" {
+				name = rootProcName
+			}
+			fmt.Fprintf(&sb, "  proc %s\n", name)
+			prevProc, shownProc = k.proc, true
+		}
+		st := stats[k]
+		fmt.Fprintf(&sb, "    lane %-12s %6d events", k.lane, st.events)
+		if st.spans > 0 {
+			fmt.Fprintf(&sb, ", %5d spans busy %8.3fs", st.spans, st.busy.Float())
+		}
+		if n := len(st.asyncIDs); n > 0 {
+			fmt.Fprintf(&sb, " over %d ids", n)
+		}
+		if st.instants > 0 {
+			fmt.Fprintf(&sb, ", %d instants", st.instants)
+		}
+		if st.counters > 0 {
+			fmt.Fprintf(&sb, ", %d samples", st.counters)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,264 @@
+// Package timeline is the deterministic observability layer of the
+// reproduction: a zero-dependency, virtual-time span/event recorder that
+// the GPU simulator, the engines, the resource manager and the cluster
+// router thread their activity through (DESIGN.md, "Observability").
+//
+// The recorder obeys the repository's determinism contract end to end:
+// events carry (virtual time, insertion sequence) and no wall-clock or
+// map-ordered state, so the exported Chrome trace of a seeded run is
+// byte-identical across runs — bit-for-bit, even under fault injection.
+//
+// Recording is free when disabled: every method is safe on a nil
+// *Recorder and returns immediately. Hot paths additionally guard call
+// sites with `if rec != nil` so the variadic argument slice is never
+// materialised (see BenchmarkDisabledCallSite).
+package timeline
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/units"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+const (
+	// KindSpan is a complete interval on a lane ([Start, End]).
+	KindSpan Kind = iota
+	// KindInstant is a point event (End == Start).
+	KindInstant
+	// KindCounter is a sampled set of numeric series values at a point.
+	KindCounter
+	// KindAsync is an interval correlated by ID across lanes — the
+	// request-lifecycle phases use one ID per request.
+	KindAsync
+)
+
+// String names the kind for summaries and diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KindSpan:
+		return "span"
+	case KindInstant:
+		return "instant"
+	case KindCounter:
+		return "counter"
+	case KindAsync:
+		return "async"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// ArgKind discriminates the Arg payload.
+type ArgKind uint8
+
+const (
+	// ArgFloat carries a float64 value.
+	ArgFloat ArgKind = iota
+	// ArgInt carries an int64 value.
+	ArgInt
+	// ArgString carries a string value.
+	ArgString
+	// ArgBool carries a bool value.
+	ArgBool
+)
+
+// Arg is one key/value annotation on an event. It is a tagged union
+// rather than a map so argument order — and therefore the exported JSON —
+// is exactly the order the emitting call site wrote.
+type Arg struct {
+	Key  string
+	Kind ArgKind
+	F    float64
+	I    int64
+	S    string
+	B    bool
+}
+
+// F makes a float argument.
+func F(key string, v float64) Arg { return Arg{Key: key, Kind: ArgFloat, F: v} }
+
+// I makes an integer argument.
+func I(key string, v int) Arg { return Arg{Key: key, Kind: ArgInt, I: int64(v)} }
+
+// S makes a string argument.
+func S(key, v string) Arg { return Arg{Key: key, Kind: ArgString, S: v} }
+
+// B makes a boolean argument.
+func B(key string, v bool) Arg { return Arg{Key: key, Kind: ArgBool, B: v} }
+
+// Event is one recorded occurrence. Times are virtual-clock seconds.
+type Event struct {
+	Kind Kind
+	// Proc groups lanes into a process row (a cluster replica); empty
+	// means the main process.
+	Proc string
+	// Lane is the track within the process ("stream03", "prefill", ...).
+	Lane string
+	// Name labels the event ("attn-prefill", "repartition", ...).
+	Name string
+	// ID correlates KindAsync phases; empty otherwise.
+	ID    string
+	Start units.Seconds
+	// End equals Start for instants and counters.
+	End units.Seconds
+	// Seq is the global insertion sequence — the determinism tie-break
+	// for simultaneous events, mirroring the sim event queue.
+	Seq  uint64
+	Args []Arg
+}
+
+// Duration returns End - Start (zero for instants and counters).
+func (e Event) Duration() units.Seconds { return e.End - e.Start }
+
+// DefaultMaxEvents caps a recorder when New is given a non-positive
+// limit. Past the cap events are counted as dropped, deterministically.
+const DefaultMaxEvents = 2_000_000
+
+// state is the shared storage behind a recorder and all its Scoped
+// views. Single-threaded by contract: the recorder is driven from the
+// simulation event loop, like every other core component.
+type state struct {
+	max     int
+	seq     uint64
+	dropped int
+	events  []Event
+}
+
+// Recorder collects events. The zero *Recorder (nil) is the disabled
+// recorder: every method is a no-op returning zero values.
+type Recorder struct {
+	st   *state
+	proc string
+}
+
+// New creates a recorder holding at most maxEvents events (non-positive
+// means DefaultMaxEvents).
+func New(maxEvents int) *Recorder {
+	if maxEvents <= 0 {
+		maxEvents = DefaultMaxEvents
+	}
+	return &Recorder{st: &state{max: maxEvents}}
+}
+
+// Enabled reports whether events are being recorded.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Scoped returns a view of the same recorder that tags every event with
+// a process name — how the cluster router attributes spans to replicas.
+// Scoped on a nil recorder returns nil, so the disabled fast path
+// propagates through attachment chains.
+func (r *Recorder) Scoped(proc string) *Recorder {
+	if r == nil {
+		return nil
+	}
+	return &Recorder{st: r.st, proc: proc}
+}
+
+// Proc returns the process tag of this view ("" for the root).
+func (r *Recorder) Proc() string {
+	if r == nil {
+		return ""
+	}
+	return r.proc
+}
+
+// add appends one event, assigning its sequence number.
+func (r *Recorder) add(e Event) {
+	if r == nil {
+		return
+	}
+	st := r.st
+	if len(st.events) >= st.max {
+		st.dropped++
+		return
+	}
+	e.Proc = r.proc
+	e.Seq = st.seq
+	st.seq++
+	st.events = append(st.events, e)
+}
+
+// Span records a complete interval on a lane. End must not precede
+// Start; non-finite times are accepted here and rejected by the
+// exporters (so a poisoned value fails loudly at the boundary with
+// context rather than corrupting the trace).
+func (r *Recorder) Span(lane, name string, start, end units.Seconds, args ...Arg) {
+	if r == nil {
+		return
+	}
+	if end < start {
+		panic(fmt.Sprintf("timeline: span %s/%s ends at %v before start %v", lane, name, end, start))
+	}
+	r.add(Event{Kind: KindSpan, Lane: lane, Name: name, Start: start, End: end, Args: args})
+}
+
+// Instant records a point event on a lane.
+func (r *Recorder) Instant(lane, name string, t units.Seconds, args ...Arg) {
+	if r == nil {
+		return
+	}
+	r.add(Event{Kind: KindInstant, Lane: lane, Name: name, Start: t, End: t, Args: args})
+}
+
+// Counter records sampled series values at a point; every arg must be
+// numeric (ArgFloat or ArgInt) — the exporters reject anything else.
+func (r *Recorder) Counter(lane, name string, t units.Seconds, args ...Arg) {
+	if r == nil {
+		return
+	}
+	r.add(Event{Kind: KindCounter, Lane: lane, Name: name, Start: t, End: t, Args: args})
+}
+
+// AsyncSpan records an ID-correlated interval: the phases of one request
+// share an ID and render as one per-request track. End must not precede
+// Start.
+func (r *Recorder) AsyncSpan(lane, name, id string, start, end units.Seconds, args ...Arg) {
+	if r == nil {
+		return
+	}
+	if end < start {
+		panic(fmt.Sprintf("timeline: async span %s/%s[%s] ends at %v before start %v", lane, name, id, end, start))
+	}
+	r.add(Event{Kind: KindAsync, Lane: lane, Name: name, ID: id, Start: start, End: end, Args: args})
+}
+
+// Len returns the number of recorded events (across all scoped views).
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.st.events)
+}
+
+// Dropped returns how many events were discarded past the capacity cap.
+func (r *Recorder) Dropped() int {
+	if r == nil {
+		return 0
+	}
+	return r.st.dropped
+}
+
+// Events returns a copy of all recorded events sorted by (Start, Seq):
+// nondecreasing in time, FIFO among simultaneous events — the same
+// ordering contract as the sim event queue. Lifecycle spans emitted
+// retrospectively (at request completion, with earlier start times) are
+// thereby folded into timeline order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	out := append([]Event(nil), r.st.events...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start < out[j].Start {
+			return true
+		}
+		if out[j].Start < out[i].Start {
+			return false
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}

@@ -1,0 +1,268 @@
+package timeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+// TestNilRecorderIsSafe: the disabled recorder accepts every call and
+// exports an empty, valid trace — the contract the whole stack relies on
+// to make tracing free when off.
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder claims to be enabled")
+	}
+	r.Span("lane", "x", 0, 1, F("a", 1))
+	r.Instant("lane", "x", 0)
+	r.Counter("lane", "x", 0, F("a", 1))
+	r.AsyncSpan("lane", "x", "id", 0, 1)
+	if r.Len() != 0 || r.Dropped() != 0 || r.Events() != nil || r.Proc() != "" {
+		t.Fatalf("nil recorder leaked state: len=%d dropped=%d", r.Len(), r.Dropped())
+	}
+	if s := r.Scoped("replica0"); s != nil {
+		t.Fatal("Scoped on nil recorder is not nil")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatalf("nil WriteChrome: %v", err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("nil trace is invalid JSON: %q", buf.String())
+	}
+	if got := r.Summary(); !strings.Contains(got, "empty") {
+		t.Fatalf("nil summary = %q", got)
+	}
+}
+
+// TestEventsSortedProperty: whatever order spans are recorded in —
+// including the retrospective lifecycle emission pattern, where spans
+// with earlier start times arrive late — Events() is nondecreasing in
+// (Start, Seq), Seq reflects insertion order, and nothing is lost below
+// the cap. This is the (time, seq) invariant of the issue, checked with
+// testing/quick over randomized insertion orders.
+func TestEventsSortedProperty(t *testing.T) {
+	prop := func(raw []struct {
+		Start uint16
+		Dur   uint16
+		Lane  uint8
+	}) bool {
+		r := New(0)
+		for _, v := range raw {
+			start := units.Seconds(float64(v.Start) / 7)
+			end := start + units.Seconds(float64(v.Dur)/11)
+			lane := []string{"gpu", "prefill", "decode", "sched"}[int(v.Lane)%4]
+			r.Span(lane, "k", start, end)
+		}
+		evs := r.Events()
+		if len(evs) != len(raw) {
+			return false
+		}
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Start < evs[i-1].Start {
+				return false
+			}
+			if !(evs[i-1].Start < evs[i].Start) && evs[i].Seq <= evs[i-1].Seq {
+				return false // simultaneous events must keep FIFO seq order
+			}
+		}
+		// Seq is the raw insertion order.
+		seen := map[uint64]bool{}
+		for _, e := range evs {
+			if e.Seq >= uint64(len(raw)) || seen[e.Seq] {
+				return false
+			}
+			seen[e.Seq] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScopedViewsShareOneSequence: scoped recorders tag their process
+// but share storage, capacity and the (time, seq) ordering domain.
+func TestScopedViewsShareOneSequence(t *testing.T) {
+	root := New(0)
+	rep0 := root.Scoped("replica0")
+	rep1 := root.Scoped("replica1")
+	root.Instant("cluster", "crash", 1)
+	rep0.Instant("gpu", "a", 1)
+	rep1.Instant("gpu", "b", 1)
+	if root.Len() != 3 {
+		t.Fatalf("shared len = %d, want 3", root.Len())
+	}
+	evs := root.Events()
+	wantProcs := []string{"", "replica0", "replica1"}
+	for i, e := range evs {
+		if e.Proc != wantProcs[i] {
+			t.Fatalf("event %d proc %q, want %q (FIFO among simultaneous)", i, e.Proc, wantProcs[i])
+		}
+		if e.Seq != uint64(i) {
+			t.Fatalf("event %d seq %d", i, e.Seq)
+		}
+	}
+	if rep0.Proc() != "replica0" {
+		t.Fatalf("Proc() = %q", rep0.Proc())
+	}
+}
+
+// TestCapacityDropsDeterministically: past the cap events are dropped
+// and counted; the surviving prefix is exactly the first max insertions.
+func TestCapacityDropsDeterministically(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10; i++ {
+		r.Instant("lane", "e", units.Seconds(float64(i)))
+	}
+	if r.Len() != 3 || r.Dropped() != 7 {
+		t.Fatalf("len=%d dropped=%d, want 3/7", r.Len(), r.Dropped())
+	}
+	for i, e := range r.Events() {
+		if e.Seq != uint64(i) {
+			t.Fatalf("survivor %d has seq %d", i, e.Seq)
+		}
+	}
+	if s := r.Summary(); !strings.Contains(s, "7 events dropped") {
+		t.Fatalf("summary does not report drops:\n%s", s)
+	}
+}
+
+// TestInvertedSpanPanics: a span ending before it starts is a
+// bookkeeping bug and must fail loudly.
+func TestInvertedSpanPanics(t *testing.T) {
+	for _, async := range []bool{false, true} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("inverted span (async=%v) accepted", async)
+				}
+			}()
+			r := New(0)
+			if async {
+				r.AsyncSpan("lane", "x", "id", 2, 1)
+			} else {
+				r.Span("lane", "x", 2, 1)
+			}
+		}()
+	}
+}
+
+// TestWriteChromeGolden pins the exact bytes of a small export: field
+// order, number formatting, pid/tid assignment and metadata rows. Any
+// change to this output is a determinism-contract change and must be
+// deliberate.
+func TestWriteChromeGolden(t *testing.T) {
+	r := New(0)
+	// Times are binary-exact fractions so ts/dur microseconds print as
+	// integers in shortest-round-trip form.
+	r.Span("gpu", "attn", 0.5, 1.75, I("sms", 54), F("waveIdle", 0.25))
+	r.Scoped("replica1").Instant("sched", "balance", 0.75, B("pause", false))
+	r.Counter("gpu", "occupancy", 1.75, F("busySMs", 108))
+	r.AsyncSpan("requests", "decode", "req-7", 0.75, 1.5, S("ds", "sharegpt"))
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `[
+{"name":"process_name","ph":"M","pid":1,"args":{"name":"main"}},
+{"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"gpu"}},
+{"name":"thread_name","ph":"M","pid":1,"tid":2,"args":{"name":"requests"}},
+{"name":"process_name","ph":"M","pid":2,"args":{"name":"replica1"}},
+{"name":"thread_name","ph":"M","pid":2,"tid":1,"args":{"name":"sched"}},
+{"name":"attn","ph":"X","ts":500000,"dur":1250000,"pid":1,"tid":1,"args":{"sms":54,"waveIdle":0.25}},
+{"name":"balance","ph":"i","s":"t","ts":750000,"pid":2,"tid":1,"args":{"pause":false}},
+{"name":"decode","cat":"requests","ph":"b","id":"req-7","ts":750000,"pid":1,"tid":2,"args":{"ds":"sharegpt"}},
+{"name":"decode","cat":"requests","ph":"e","id":"req-7","ts":1500000,"pid":1,"tid":2},
+{"name":"occupancy","ph":"C","ts":1750000,"pid":1,"tid":1,"args":{"busySMs":108}}
+]
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("golden mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("golden trace is not valid JSON")
+	}
+}
+
+// TestWriteChromeRejectsNonFinite: NaN/Inf anywhere — timestamps or
+// float args — must be rejected with an error naming the event.
+func TestWriteChromeRejectsNonFinite(t *testing.T) {
+	cases := []func(r *Recorder){
+		func(r *Recorder) { r.Instant("lane", "nan-ts", units.Seconds(math.NaN())) },
+		func(r *Recorder) { r.Span("lane", "inf-end", 0, units.Inf[units.Seconds](1)) },
+		func(r *Recorder) { r.Instant("lane", "nan-arg", 1, F("v", math.NaN())) },
+		func(r *Recorder) { r.Counter("lane", "inf-arg", 1, F("v", math.Inf(-1))) },
+	}
+	for i, mk := range cases {
+		r := New(0)
+		mk(r)
+		if err := r.WriteChrome(&bytes.Buffer{}); err == nil {
+			t.Errorf("case %d: non-finite value accepted", i)
+		}
+	}
+	// Counters must be numeric-only.
+	r := New(0)
+	r.Counter("lane", "c", 1, S("v", "oops"))
+	if err := r.WriteChrome(&bytes.Buffer{}); err == nil {
+		t.Error("string-valued counter accepted")
+	}
+}
+
+// TestWriteChromeEscaping: hostile names (quotes, control characters,
+// invalid UTF-8) still yield valid JSON, matching encoding/json's
+// replacement semantics for bad bytes.
+func TestWriteChromeEscaping(t *testing.T) {
+	r := New(0)
+	r.Instant("la\"ne", "name\nwith\tctl\x01", 1, S("k\\ey", "v\xffal"))
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("escaped trace is invalid JSON: %q", buf.String())
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range evs {
+		if e["ph"] == "i" && e["name"] == "name\nwith\tctl\x01" {
+			found = true
+			if args := e["args"].(map[string]any); args[`k\ey`] != "v\uFFFDal" {
+				t.Fatalf("arg round-trip: %#v", args)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("escaped instant did not round-trip")
+	}
+}
+
+// TestSummaryContents: the text summary reports lanes in deterministic
+// order with span busy time and async id counts.
+func TestSummaryContents(t *testing.T) {
+	r := New(0)
+	r.Span("gpu", "k", 0, 2)
+	r.Span("gpu", "k", 3, 4)
+	r.AsyncSpan("requests", "prefill", "a", 0, 1)
+	r.AsyncSpan("requests", "decode", "a", 1, 2)
+	r.AsyncSpan("requests", "prefill", "b", 0, 1)
+	r.Scoped("replica1").Instant("sched", "idle", 5)
+	got := r.Summary()
+	for _, want := range []string{"proc main", "proc replica1", "lane gpu", "2 spans busy", "3.000s", "over 2 ids", "1 instants"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("summary missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Index(got, "proc main") > strings.Index(got, "proc replica1") {
+		t.Errorf("procs out of order:\n%s", got)
+	}
+}
