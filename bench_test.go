@@ -282,3 +282,18 @@ func BenchmarkExtensionFaults(b *testing.B) {
 		printOnce(b, i, func() string { return experiments.RenderExtFaults(rows) })
 	}
 }
+
+// BenchmarkExtensionPressure studies graceful degradation under KV
+// memory pressure: the admission gate and decode preemption subsystem
+// vs the no-preemption baseline across an overload sweep with injected
+// KV-capacity shrinks.
+func BenchmarkExtensionPressure(b *testing.B) {
+	n := 200
+	if testing.Short() {
+		n = 80
+	}
+	for i := 0; i < b.N; i++ {
+		rows := experiments.ExtPressure(workload.AzureCode, []float64{4, 8, 12}, n, 42, true)
+		printOnce(b, i, func() string { return experiments.RenderExtPressure(rows) })
+	}
+}

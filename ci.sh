@@ -31,17 +31,31 @@ go test -shuffle=on ./...
 step "go test -race -shuffle=on ./..."
 go test -race -shuffle=on ./...
 
-step "determinism smoke (-race, double run): faults + timeline traces"
+step "determinism smoke (-race, double run): faults + pressure + timeline traces"
 # Same seed + same fault schedule must replay bit-identically — the
-# resilience paths (SM degradation, watchdog aborts, replica failover)
-# and the exported timeline traces are the newest determinism surface,
-# so pin them explicitly. The fault tests diff traces too; the golden
-# test diffs the quickstart scenario's Chrome JSON byte for byte.
+# resilience paths (SM degradation, watchdog aborts, replica failover,
+# memory-pressure preemption/recovery) and the exported timeline traces
+# are the newest determinism surface, so pin them explicitly. The fault
+# and pressure tests diff full sweep tables; the golden test diffs the
+# quickstart scenario's Chrome JSON byte for byte.
 go test -race -count=1 \
-    -run 'TestFaultRunDeterminism|TestFaultyRunBitIdentical|TestClusterFaultDeterminism|TestTimelineGoldenDeterminism' \
+    -run 'TestFaultRunDeterminism|TestFaultyRunBitIdentical|TestClusterFaultDeterminism|TestTimelineGoldenDeterminism|TestPressureRunDeterminism' \
     ./internal/experiments ./internal/core ./internal/cluster
 
-step "coverage gate (internal/timeline >= 90%, module mean >= 86%)"
+step "determinism smoke: bulletsim -pressure double run, byte diff"
+# The user-facing overload sweep must render byte-identically across two
+# same-seed processes — this is the acceptance surface for the pressure
+# subsystem, so diff the actual CLI output rather than trusting the
+# in-process tests alone.
+press_a=$(go run ./cmd/bulletsim -pressure -dataset azure-code -rate 4 -n 60 -seed 11)
+press_b=$(go run ./cmd/bulletsim -pressure -dataset azure-code -rate 4 -n 60 -seed 11)
+if [[ "$press_a" != "$press_b" ]]; then
+    echo "bulletsim -pressure: two same-seed runs diverged" >&2
+    diff <(echo "$press_a") <(echo "$press_b") >&2 || true
+    exit 1
+fi
+
+step "coverage gate (internal/timeline >= 90%, internal/pressure >= 90%, module mean >= 86%)"
 # Per-package statement coverage; packages without tests or statements
 # are excluded from the mean. The floors were recorded at the merge that
 # introduced the gate — raise them when coverage rises, never lower them
@@ -54,6 +68,10 @@ go test -cover ./... | awk '
         sum += pct; n++
         if ($2 == "repro/internal/timeline" && pct + 0 < 90) {
             printf "coverage gate: internal/timeline at %.1f%%, floor is 90%%\n", pct > "/dev/stderr"
+            fail = 1
+        }
+        if ($2 == "repro/internal/pressure" && pct + 0 < 90) {
+            printf "coverage gate: internal/pressure at %.1f%%, floor is 90%%\n", pct > "/dev/stderr"
             fail = 1
         }
     }

@@ -24,7 +24,7 @@ import (
 
 var order = []string{
 	"table1", "fig2", "fig4", "fig7", "fig10", "fig11", "fig12", "table3",
-	"fig13", "fig14", "fig15", "ext-knobs", "ext-disagg", "ext-device", "ext-prefix", "ext-cluster", "ext-knee", "ext-tp", "ext-faults",
+	"fig13", "fig14", "fig15", "ext-knobs", "ext-disagg", "ext-device", "ext-prefix", "ext-cluster", "ext-knee", "ext-tp", "ext-faults", "ext-pressure",
 }
 
 func main() {
@@ -181,6 +181,15 @@ func render(id string, quick bool) string {
 	case "ext-faults":
 		return experiments.RenderExtFaults(experiments.ExtFaults(
 			workload.AzureCode, 4, n, 42, []float64{0, 0.05, 0.1, 0.2}, experiments.FaultSystems))
+	case "ext-pressure":
+		pn := n
+		if quick {
+			pn = 80
+		} else {
+			pn = 200
+		}
+		return experiments.RenderExtPressure(experiments.ExtPressure(
+			workload.AzureCode, []float64{4, 8, 12}, pn, 42, true))
 	}
 	panic(fmt.Sprintf("bulletbench: experiment %q listed in order but not dispatched", id))
 }

@@ -8,12 +8,20 @@
 //	bulletsim -system bullet -trace out.trace.json   # chrome://tracing file
 //	bulletsim -system bullet -trace-out out.json     # deterministic timeline trace
 //	bulletsim -system bullet -faults -fault-rate 0.1 -fault-seed 7
+//	bulletsim -pressure -dataset azure-code -rate 4 -n 200
 //	bulletsim -list
 //
 // With -faults a deterministic fault schedule (SM degradations and
 // engine stalls at -fault-rate events/s each, seeded by -fault-seed) is
 // injected into the run and the resilience accounting is printed
 // alongside the summary. Only Bullet variants support fault injection.
+//
+// With -pressure the memory-pressure overload sweep runs instead of a
+// single experiment: offered load at -rate, 2×, and 3×, with a shared
+// KV-capacity-shrink fault schedule per rate, comparing plain Bullet,
+// the admission-gate ablation, and the full pressure subsystem
+// (admission control + decode preemption + recompute/retransfer
+// recovery). Output is byte-identical across runs of the same flags.
 package main
 
 import (
@@ -37,18 +45,19 @@ import (
 
 func main() {
 	var (
-		system    = flag.String("system", "bullet", "serving system (see -list)")
-		dataset   = flag.String("dataset", "sharegpt", "workload dataset")
-		rate      = flag.Float64("rate", 8, "offered load in requests/second")
-		n         = flag.Int("n", 300, "number of requests")
-		seed      = flag.Int64("seed", 42, "trace random seed")
-		asJSON    = flag.Bool("json", false, "emit the full result as JSON")
-		traceFile = flag.String("trace", "", "write a Chrome trace-event file (Bullet systems only)")
-		traceOut  = flag.String("trace-out", "", "write a deterministic timeline trace (Perfetto-loadable Chrome JSON)")
-		withFault = flag.Bool("faults", false, "inject a deterministic fault schedule (Bullet systems only)")
-		faultRate = flag.Float64("fault-rate", 0.1, "SM-degradation and engine-stall rates, events/s of virtual time")
-		faultSeed = flag.Int64("fault-seed", 1, "fault schedule random seed")
-		list      = flag.Bool("list", false, "list systems and datasets, then exit")
+		system     = flag.String("system", "bullet", "serving system (see -list)")
+		dataset    = flag.String("dataset", "sharegpt", "workload dataset")
+		rate       = flag.Float64("rate", 8, "offered load in requests/second")
+		n          = flag.Int("n", 300, "number of requests")
+		seed       = flag.Int64("seed", 42, "trace random seed")
+		asJSON     = flag.Bool("json", false, "emit the full result as JSON")
+		traceFile  = flag.String("trace", "", "write a Chrome trace-event file (Bullet systems only)")
+		traceOut   = flag.String("trace-out", "", "write a deterministic timeline trace (Perfetto-loadable Chrome JSON)")
+		withFault  = flag.Bool("faults", false, "inject a deterministic fault schedule (Bullet systems only)")
+		faultRate  = flag.Float64("fault-rate", 0.1, "SM-degradation and engine-stall rates, events/s of virtual time")
+		faultSeed  = flag.Int64("fault-seed", 1, "fault schedule random seed")
+		pressSweep = flag.Bool("pressure", false, "run the memory-pressure overload sweep (rate, 2x, 3x) and print the ext-pressure table")
+		list       = flag.Bool("list", false, "list systems and datasets, then exit")
 	)
 	flag.Parse()
 
@@ -70,6 +79,13 @@ func main() {
 
 	if *traceFile != "" {
 		if err := runTraced(*system, *dataset, *rate, *n, *seed, *traceFile); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	if *pressSweep {
+		if err := runPressure(*dataset, *rate, *n, *seed); err != nil {
 			fail(err)
 		}
 		return
@@ -171,6 +187,23 @@ func runFaulty(system, dataset string, rate float64, n int, seed int64, faultRat
 	fmt.Printf("batch aborts    %d (retried %d, shed %d)\n", rl.BatchAborts, rl.Retried, rl.Shed)
 	fmt.Printf("recoveries      %d (MTTR %.2f s)\n", rl.Recoveries, rl.MTTR().Float())
 	fmt.Printf("makespan        %.1f s\n", res.Makespan.Float())
+	return nil
+}
+
+// runPressure sweeps offered load from -rate to 3× past it with the
+// ext-pressure study: a shared trace and a shared KV-capacity-shrink
+// fault schedule per rate, contrasting plain Bullet (no preemption),
+// the admission-gate-only ablation, and the full memory-pressure
+// subsystem. The output is deterministic: the same flags always print
+// byte-identical tables.
+func runPressure(dataset string, rate float64, n int, seed int64) error {
+	d, err := workload.ByName(dataset)
+	if err != nil {
+		return err
+	}
+	rates := []float64{rate, 2 * rate, 3 * rate}
+	rows := experiments.ExtPressure(d, rates, n, seed, true)
+	fmt.Print(experiments.RenderExtPressure(rows))
 	return nil
 }
 

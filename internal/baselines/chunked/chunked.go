@@ -257,7 +257,7 @@ func (e *Engine) dequeue(r *req) {
 
 func (e *Engine) finish(r *req, now sim.Time) {
 	r.generated = r.w.OutputTokens
-	e.env.KV.Free(r.seq)
+	e.env.KV.MustFree(r.seq)
 	e.env.Complete(metrics.Request{
 		ID:           r.w.ID,
 		Dataset:      r.w.Dataset,

@@ -187,7 +187,7 @@ func (e *Engine) prefillCycle() {
 func (e *Engine) startMigration(r *req) {
 	if r.generated >= r.w.OutputTokens {
 		// Single-token request: nothing to decode; complete directly.
-		e.prefillKV.Free(r.prefillSeq)
+		e.prefillKV.MustFree(r.prefillSeq)
 		r.prefillSeq = nil
 		e.complete(r, r.firstToken)
 		e.kickPrefill()
@@ -203,7 +203,7 @@ func (e *Engine) startMigration(r *req) {
 	e.linkBusyTil = finish
 	e.migrations++
 	e.env.Sim.At(finish, func() {
-		e.prefillKV.Free(r.prefillSeq)
+		e.prefillKV.MustFree(r.prefillSeq)
 		r.prefillSeq = nil
 		e.migrating = append(e.migrating, r)
 		e.admitMigrated()
@@ -264,7 +264,7 @@ func (e *Engine) decodeCycle() {
 		for _, r := range e.decode {
 			r.generated++
 			if r.generated >= r.w.OutputTokens {
-				e.env.KV.Free(r.decodeSeq)
+				e.env.KV.MustFree(r.decodeSeq)
 				r.decodeSeq = nil
 				freed = true
 				e.complete(r, now)

@@ -243,7 +243,7 @@ func (e *Engine) dequeue(r *req) {
 }
 
 func (e *Engine) finish(r *req, now sim.Time) {
-	e.env.KV.Free(r.seq)
+	e.env.KV.MustFree(r.seq)
 	e.env.Complete(metrics.Request{
 		ID:           r.w.ID,
 		Dataset:      r.w.Dataset,

@@ -237,6 +237,7 @@ func (c *Cluster) AttachFaults(inj *faults.Injector, wcfg core.WatchdogConfig) {
 	inj.Handle(faults.KindReplicaCrash, c.onReplicaCrash)
 	inj.Handle(faults.KindSMDegrade, c.routeFault)
 	inj.Handle(faults.KindEngineStall, c.routeFault)
+	inj.Handle(faults.KindKVShrink, c.routeFault)
 }
 
 // routeFault applies a single-device fault to the targeted replica.
@@ -335,6 +336,16 @@ func (c *Cluster) Resilience() metrics.Resilience {
 	out := metrics.Resilience{Retried: c.retried, Recoveries: c.recoveries}
 	for _, r := range c.replicas {
 		out.Add(r.sys.Resilience())
+	}
+	return out
+}
+
+// Pressure aggregates memory-pressure accounting across every current
+// replica (zero when Options.Pressure is off).
+func (c *Cluster) Pressure() metrics.Pressure {
+	var out metrics.Pressure
+	for _, r := range c.replicas {
+		out.Add(r.sys.Pressure())
 	}
 	return out
 }

@@ -19,6 +19,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/prefixcache"
+	"repro/internal/pressure"
 	"repro/internal/resource"
 	"repro/internal/sched"
 	"repro/internal/serving"
@@ -73,6 +74,10 @@ type Options struct {
 	// EnablePrefixCache turns on RadixAttention-style shared-prefix
 	// reuse in the prefill engine (an extension beyond the paper).
 	EnablePrefixCache bool
+	// Pressure, when non-nil, arms the memory-pressure subsystem
+	// (watermark admission, decode preemption, recompute/retransfer
+	// recovery — see internal/pressure and EnablePressure).
+	Pressure *pressure.Config
 }
 
 // DefaultOptions returns the full system's defaults.
@@ -117,6 +122,9 @@ type Bullet struct {
 	// faults is non-nil once EnableResilience/AttachFaults armed the
 	// watchdog and fault bookkeeping (see faults.go).
 	faults *faultState
+	// pressure is non-nil once EnablePressure armed the memory-pressure
+	// subsystem (see pressure.go).
+	pressure *pressure.Controller
 	// tl is the observability recorder attached by AttachTimeline; nil
 	// (the default) keeps every emission site on its no-op fast path.
 	tl   *timeline.Recorder
@@ -240,6 +248,9 @@ func New(env *serving.Env, opts Options) *Bullet {
 		env.OnDrain = b.PrefixCache.EvictAll
 		b.name += "+prefix"
 	}
+	if opts.Pressure != nil {
+		b.EnablePressure(*opts.Pressure)
+	}
 
 	if opts.RecordTimeline {
 		b.Timeline = &Timeline{Branches: map[string]int{}}
@@ -270,6 +281,9 @@ func (b *Bullet) AttachTimeline(rec *timeline.Recorder) {
 	b.Resources.TL = rec
 	b.Prefill.TL = rec
 	b.Decode.TL = rec
+	if b.pressure != nil {
+		b.pressure.SetTimeline(rec)
+	}
 }
 
 // TimelineRecorder returns the recorder attached by AttachTimeline (nil

@@ -62,6 +62,7 @@ func (b *Bullet) AttachFaults(inj *faults.Injector, wcfg WatchdogConfig) {
 	b.EnableResilience(wcfg)
 	inj.Handle(faults.KindSMDegrade, b.ApplyFault)
 	inj.Handle(faults.KindEngineStall, b.ApplyFault)
+	inj.Handle(faults.KindKVShrink, b.ApplyFault)
 }
 
 // ApplyFault applies one fault event to this instance. EnableResilience
@@ -75,6 +76,8 @@ func (b *Bullet) ApplyFault(ev faults.Event) {
 		b.onSMDegrade(ev)
 	case faults.KindEngineStall:
 		b.onEngineStall(ev)
+	case faults.KindKVShrink:
+		b.onKVShrink(ev)
 	default:
 		panic(fmt.Sprintf("core: fault kind %q is not a single-device fault", ev.Kind))
 	}

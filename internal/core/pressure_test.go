@@ -1,0 +1,256 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gpusim"
+	"repro/internal/kvcache"
+	"repro/internal/model"
+	"repro/internal/pressure"
+	"repro/internal/serving"
+	"repro/internal/timeline"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// pressureTrace is a three-request squeeze that deterministically forces
+// one preemption on a 160-block pool (2560 tokens at 16 tokens/block):
+//
+//   - "filler" (t=0, 100 blocks) admits into the empty pool first;
+//   - "big" (t=0.005, 144 blocks) arrives next but the SLO-deadline
+//     reorder puts the small "victim" ahead of it;
+//   - "victim" (t=0.010, 50 blocks) admits beside the filler and starts
+//     decoding, leaving the pool too full for "big" to ever fit by
+//     waiting — the gate's physical deficit fires, and "victim" is the
+//     only decode sequence that arrived after "big", so it is evicted.
+//
+// The victim then recovers (recompute or retransfer, per the config
+// under test) and every request still completes.
+func pressureTrace() *workload.Trace {
+	return &workload.Trace{
+		Dataset: "azure-code",
+		Rate:    1,
+		Requests: []workload.Request{
+			{ID: "filler", Arrival: 0, InputTokens: 1504, OutputTokens: 96, Dataset: "azure-code"},
+			{ID: "big", Arrival: units.FromMs(5), InputTokens: 2000, OutputTokens: 304, Dataset: "azure-code"},
+			{ID: "victim", Arrival: units.FromMs(10), InputTokens: 640, OutputTokens: 160, Dataset: "azure-code"},
+		},
+	}
+}
+
+// runSqueeze executes the squeeze trace on a shrunken pool and returns
+// the result, the pressure counters, and the recorded timeline events.
+func runSqueeze(t *testing.T, pcfg pressure.Config) (serving.Result, *Bullet, []timeline.Event) {
+	t.Helper()
+	env := serving.NewEnv(gpusim.A100(), model.Llama31_8B(), "azure-code")
+	env.KV = kvcache.NewPool(160, serving.KVBlockTokens)
+	b := New(env, Options{Mode: ModeFull, Pressure: &pcfg})
+	rec := timeline.New(0)
+	b.AttachTimeline(rec)
+	res := b.RunTrace(pressureTrace())
+	return res, b, rec.Events()
+}
+
+// squeezeConfig loosens the gate enough for the squeeze to admit
+// (projected occupancy runs right at 0.94) while keeping the retry
+// budgets generous, so the only terminal outcomes are the recovery
+// paths under test.
+func squeezeConfig() pressure.Config {
+	return pressure.Config{
+		LowWatermark:      0.85,
+		HighWatermark:     0.96,
+		CriticalWatermark: 0.99,
+		MaxDeferrals:      4096, // re-admission waits out "big"'s multi-second decode
+	}
+}
+
+// lifecycleOf extracts request id's async lifecycle spans in emission
+// order.
+func lifecycleOf(events []timeline.Event, id string) []timeline.Event {
+	var out []timeline.Event
+	for _, e := range events {
+		if e.Kind == timeline.KindAsync && e.Lane == "requests" && e.ID == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func spanNames(spans []timeline.Event) []string {
+	names := make([]string, len(spans))
+	for i, s := range spans {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// checkAbuts fails unless consecutive lifecycle spans share boundaries
+// (span i+1 starts exactly where span i ends) — the trail-clamping
+// contract that keeps preempted lifecycles gap- and overlap-free.
+func checkAbuts(t *testing.T, spans []timeline.Event) {
+	t.Helper()
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start != spans[i-1].End {
+			t.Errorf("span %d (%s) starts at %v, previous (%s) ends at %v — lifecycle does not abut",
+				i, spans[i].Name, spans[i].Start, spans[i-1].Name, spans[i-1].End)
+		}
+	}
+}
+
+// TestPreemptRecomputeLifecycle drives the squeeze with retransfer
+// priced out (1 B/s host link), so the victim recovers by full prefill
+// recompute, and checks the whole contract: everything completes, the
+// victim's replayed lifecycle is
+// queued→prefill→kv-transfer→decode→preempted→prefill→kv-transfer→decode
+// with every boundary abutting, and its recorded TTFT/TBT come from the
+// re-run (first token after the preemption, not before it).
+func TestPreemptRecomputeLifecycle(t *testing.T) {
+	cfg := squeezeConfig()
+	cfg.HostBandwidth = 1 // retransfer takes ~hours; cost model must pick recompute
+	res, b, events := runSqueeze(t, cfg)
+
+	if res.Summary.Requests != 3 || res.Shed != 0 {
+		t.Fatalf("completed %d, shed %d — want all 3 recovered", res.Summary.Requests, res.Shed)
+	}
+	p := b.Pressure()
+	if p.Preemptions == 0 || p.Recomputes == 0 {
+		t.Fatalf("squeeze did not exercise preempt+recompute: %+v", p)
+	}
+	if p.Retransfers != 0 {
+		t.Fatalf("retransfer chosen at 1 B/s host bandwidth: %+v", p)
+	}
+	if p.RecomputedTokens == 0 {
+		t.Fatalf("recompute accounted no tokens: %+v", p)
+	}
+
+	spans := lifecycleOf(events, "victim")
+	want := []string{"queued", "prefill", "kv-transfer", "decode", "preempted", "prefill", "kv-transfer", "decode"}
+	if got := spanNames(spans); len(got) != len(want) {
+		t.Fatalf("victim lifecycle = %v, want %v", got, want)
+	} else {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("victim lifecycle = %v, want %v", got, want)
+			}
+		}
+	}
+	checkAbuts(t, spans)
+
+	// The preempted span must cover real virtual time (the victim sat
+	// evicted while "big" ran), and the re-run's metrics must reflect it.
+	preempted := spans[4]
+	if preempted.End <= preempted.Start {
+		t.Fatalf("preempted span is empty: %+v", preempted)
+	}
+	for _, r := range res.Requests {
+		if r.ID != "victim" {
+			continue
+		}
+		if r.FirstToken <= preempted.Start {
+			t.Errorf("victim TTFT stamped before its preemption: first token %v, preempted at %v",
+				r.FirstToken, preempted.Start)
+		}
+		if r.PrefillStart != spans[5].Start || r.FirstToken != spans[5].End {
+			t.Errorf("victim prefill metrics [%v,%v] disagree with re-run span [%v,%v]",
+				r.PrefillStart, r.FirstToken, spans[5].Start, spans[5].End)
+		}
+		if r.DecodeStart != spans[7].Start || r.Finish != spans[7].End {
+			t.Errorf("victim decode metrics [%v,%v] disagree with re-run span [%v,%v]",
+				r.DecodeStart, r.Finish, spans[7].Start, spans[7].End)
+		}
+		if r.TTFT() <= 0 || r.TPOT() <= 0 {
+			t.Errorf("victim re-run TTFT %v / TPOT %v not positive", r.TTFT(), r.TPOT())
+		}
+	}
+
+	// Older work never yields to newer: the filler (oldest) and big
+	// (whose admission caused the preemption) must run unpreempted.
+	for _, id := range []string{"filler", "big"} {
+		for _, s := range lifecycleOf(events, id) {
+			if s.Name == "preempted" {
+				t.Errorf("%s was preempted; only strictly-newer arrivals are victims", id)
+			}
+		}
+	}
+}
+
+// TestPreemptRetransferLifecycle drives the same squeeze with a fast
+// host link and a deep retry budget: the cost model picks KV
+// retransfer, the victim's re-admission waits out the squeeze (bounded
+// retries with backoff, gated below the high watermark), and decode
+// resumes on the restored KV without re-running prefill:
+// queued→prefill→kv-transfer→decode→preempted→kv-retransfer→decode.
+func TestPreemptRetransferLifecycle(t *testing.T) {
+	cfg := squeezeConfig()
+	cfg.HostBandwidth = units.BytesPerSec(1e15)
+	cfg.MaxRecoveryRetries = 500 // outlast "big"'s run at the 256ms backoff cap
+	res, b, events := runSqueeze(t, cfg)
+
+	if res.Summary.Requests != 3 || res.Shed != 0 {
+		t.Fatalf("completed %d, shed %d — want all 3 recovered", res.Summary.Requests, res.Shed)
+	}
+	p := b.Pressure()
+	if p.Preemptions == 0 || p.Retransfers == 0 {
+		t.Fatalf("squeeze did not exercise preempt+retransfer: %+v", p)
+	}
+	if p.Recomputes != 0 {
+		t.Fatalf("recovery degraded to recompute despite the retry budget: %+v", p)
+	}
+	if p.RetransferredBytes <= 0 {
+		t.Fatalf("retransfer accounted no bytes: %+v", p)
+	}
+	if b.Buffer.KVRetransfers != p.Retransfers {
+		t.Fatalf("buffer carried %d retransfers, controller counted %d",
+			b.Buffer.KVRetransfers, p.Retransfers)
+	}
+
+	spans := lifecycleOf(events, "victim")
+	want := []string{"queued", "prefill", "kv-transfer", "decode", "preempted", "kv-retransfer", "decode"}
+	got := spanNames(spans)
+	if len(got) != len(want) {
+		t.Fatalf("victim lifecycle = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("victim lifecycle = %v, want %v", got, want)
+		}
+	}
+	checkAbuts(t, spans)
+
+	for _, r := range res.Requests {
+		if r.ID != "victim" {
+			continue
+		}
+		// Retransfer keeps the original prefill: TTFT is the first run's,
+		// decode restarts after the preemption.
+		if r.FirstToken != spans[1].End {
+			t.Errorf("victim first token %v moved off its original prefill end %v",
+				r.FirstToken, spans[1].End)
+		}
+		if r.DecodeStart != spans[6].Start || r.Finish != spans[6].End {
+			t.Errorf("victim resumed-decode metrics [%v,%v] disagree with span [%v,%v]",
+				r.DecodeStart, r.Finish, spans[6].Start, spans[6].End)
+		}
+	}
+}
+
+// TestPressureGateOnlyNeverPreempts: the DisablePreemption ablation must
+// defer and recover through ordinary completions — zero preemptions, no
+// trail spans — while still finishing the squeeze.
+func TestPressureGateOnlyNeverPreempts(t *testing.T) {
+	cfg := squeezeConfig()
+	cfg.DisablePreemption = true
+	res, b, events := runSqueeze(t, cfg)
+	if res.Summary.Requests+res.Shed != 3 {
+		t.Fatalf("completed %d + shed %d, want 3 accounted", res.Summary.Requests, res.Shed)
+	}
+	p := b.Pressure()
+	if p.Preemptions != 0 || p.Recomputes != 0 || p.Retransfers != 0 {
+		t.Fatalf("gate-only run preempted: %+v", p)
+	}
+	for _, e := range events {
+		if e.Kind == timeline.KindAsync && e.Lane == "requests" && e.Name == "preempted" {
+			t.Fatalf("gate-only run emitted a preempted span for %s", e.ID)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/units"
 )
 
 // Buffer is the shared CPU metadata buffer (§3.5.2). Engines publish
@@ -44,7 +45,21 @@ type Buffer struct {
 	Decisions int
 	// Handoffs counts prefill→decode request migrations.
 	Handoffs int
+
+	// HostBandwidth is the effective host<->device link used by KV
+	// retransfers (0 falls back to DefaultHostBandwidth). In the paper's
+	// architecture the shared pool makes a host round-trip the cheap
+	// alternative to recomputing an evicted sequence's prefill.
+	HostBandwidth units.BytesPerSec
+	// KVRetransfers / KVRetransferBytes count recovery retransfers routed
+	// through the buffer.
+	KVRetransfers     int
+	KVRetransferBytes units.Bytes
 }
+
+// DefaultHostBandwidth is the fallback host link speed (PCIe 4.0 x16
+// practical throughput).
+const DefaultHostBandwidth = units.BytesPerSec(25e9)
 
 // NewBuffer creates the shared buffer.
 func NewBuffer(s *sim.Simulation, latency sim.Time) *Buffer {
@@ -109,6 +124,25 @@ func (b *Buffer) Handoff(reqs []*Req, deliver func([]*Req)) {
 	}
 	b.Handoffs += len(reqs)
 	b.sim.After(b.Latency+b.extra, func() { deliver(reqs) })
+}
+
+// TransferKV moves a preempted sequence's saved KV bytes back to the
+// device through the metadata buffer's host link: the delivery callback
+// fires after the buffer latency (plus any fault-injected extra) and the
+// wire time of the payload. It returns the total transfer duration.
+func (b *Buffer) TransferKV(payload units.Bytes, deliver func()) sim.Time {
+	if payload < 0 {
+		panic(fmt.Sprintf("engine: negative KV retransfer payload %v", payload))
+	}
+	bw := b.HostBandwidth
+	if bw <= 0 {
+		bw = DefaultHostBandwidth
+	}
+	d := b.Latency + b.extra + payload.Div(bw)
+	b.KVRetransfers++
+	b.KVRetransferBytes += payload
+	b.sim.After(d, deliver)
+	return d
 }
 
 // OnPrefillProgress registers a one-shot callback fired at the next

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/gpusim"
 
@@ -129,6 +130,110 @@ func (d *DecodeEngine) Stall(dur sim.Time) {
 // Stalls returns how many hangs were injected.
 func (d *DecodeEngine) Stalls() int { return d.stalls }
 
+// Preempt evicts decode sequences until at least blocksNeeded KV blocks
+// have been freed, choosing victims latest-arrival-first (the request
+// that has waited least loses the least work; ID order breaks ties so
+// the choice is deterministic). Only sequences that arrived strictly
+// after `after` are candidates — older work never yields to newer, which
+// makes the preempt/readmit cycle livelock-free: a victim's re-admission
+// can never evict the request it was displaced for, it waits for it
+// instead. Victims are removed from the batch and
+// pending queues, their KV is released back to the pool, and their trail
+// records the phases completed so far; the caller owns recovery (re-run,
+// retransfer, or shed). Returns the victims, newest first (nil when the
+// engine holds nothing).
+func (d *DecodeEngine) Preempt(blocksNeeded int, after sim.Time) []*Req {
+	if blocksNeeded <= 0 {
+		return nil
+	}
+	cands := make([]*Req, 0, len(d.batch)+len(d.pending))
+	for _, r := range d.batch {
+		if r.W.Arrival > after {
+			cands = append(cands, r)
+		}
+	}
+	for _, r := range d.pending {
+		if r.W.Arrival > after {
+			cands = append(cands, r)
+		}
+	}
+	// All-or-nothing: if evicting every eligible sequence still cannot
+	// cover the deficit, the stuck admission is waiting on older work
+	// that preemption may not touch — evicting anything now would destroy
+	// in-flight decode progress without unblocking anyone.
+	evictable := 0
+	for _, r := range cands {
+		if r.Seq != nil {
+			evictable += r.Seq.Blocks()
+		}
+	}
+	if evictable < blocksNeeded {
+		return nil
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].W.Arrival > cands[j].W.Arrival {
+			return true
+		}
+		if cands[i].W.Arrival < cands[j].W.Arrival {
+			return false
+		}
+		return cands[i].W.ID > cands[j].W.ID
+	})
+	now := d.env.Sim.Now()
+	victims := make([]*Req, 0, 4)
+	freed := 0
+	for _, r := range cands {
+		if freed >= blocksNeeded {
+			break
+		}
+		if r.Seq == nil {
+			continue
+		}
+		blocks := r.Seq.Blocks()
+		if err := d.env.KV.Free(r.Seq); err != nil {
+			// Already released by a concurrent recovery path; skip.
+			continue
+		}
+		r.Seq = nil
+		freed += blocks
+		r.RecordPreemption(now)
+		if d.TL != nil {
+			d.TL.Instant("decode", "preempt", now,
+				timeline.S("req", r.W.ID),
+				timeline.I("blocks", blocks),
+				timeline.I("generated", r.Generated))
+		}
+		victims = append(victims, r)
+	}
+	if len(victims) == 0 {
+		return nil
+	}
+	evicted := func(r *Req) bool {
+		for _, v := range victims {
+			if v == r {
+				return true
+			}
+		}
+		return false
+	}
+	keepB := d.batch[:0]
+	for _, r := range d.batch {
+		if !evicted(r) {
+			keepB = append(keepB, r)
+		}
+	}
+	d.batch = keepB
+	keepP := d.pending[:0]
+	for _, r := range d.pending {
+		if !evicted(r) {
+			keepP = append(keepP, r)
+		}
+	}
+	d.pending = keepP
+	d.buf.PublishKVRelease()
+	return victims
+}
+
 // status is the buffer's decode state provider.
 func (d *DecodeEngine) status() sched.DecodeStatus {
 	now := d.env.Sim.Now()
@@ -243,7 +348,7 @@ func (d *DecodeEngine) cycle() {
 			if r.Generated >= r.W.OutputTokens {
 				r.Finish = now
 				r.ReleasePrefix()
-				d.env.KV.Free(r.Seq)
+				d.env.KV.MustFree(r.Seq)
 				r.EmitLifecycle(d.TL)
 				d.env.Complete(r.Record())
 				released = true

@@ -7,6 +7,7 @@ import (
 	"repro/internal/estimator"
 	"repro/internal/gpusim"
 	"repro/internal/prefixcache"
+	"repro/internal/pressure"
 	"repro/internal/resource"
 	"repro/internal/sched"
 	"repro/internal/serving"
@@ -88,6 +89,22 @@ type PrefillEngine struct {
 	OnDecision func(t sim.Time, d sched.Decision)
 	// OnBatchStart observes batch formation.
 	OnBatchStart func(t sim.Time, tokens, reqs, waiting int)
+
+	// Gate, when non-nil, is the memory-pressure admission controller:
+	// every KV reservation first asks it for an admit/defer/shed tier.
+	// Nil keeps the legacy behaviour (admission blocks only on physical
+	// exhaustion).
+	Gate *pressure.Controller
+	// OnPressure fires when the gate defers an admission, carrying the
+	// block deficit that must be relieved and the deferred request's
+	// arrival time; the core preempts decode sequences in response, but
+	// only ones that arrived strictly later — older work never yields to
+	// newer, so a preempted request's re-admission can never evict the
+	// request that displaced it (no preemption livelock).
+	OnPressure func(deficit int, requester sim.Time)
+	// OnGateShed observes requests the gate sheds at admission (the core
+	// routes them to Env.Shed and the pressure counters).
+	OnGateShed func(r *Req)
 
 	// TL, when non-nil, records batch spans, scheduling-decision instants
 	// and request lifecycle spans on the shared timeline.
@@ -180,7 +197,7 @@ func (p *PrefillEngine) AbortBatch() []*Req {
 	}
 	for _, r := range aborted {
 		r.ReleasePrefix()
-		p.env.KV.Free(r.Seq)
+		p.env.KV.MustFree(r.Seq)
 		r.Seq = nil
 		r.PrefillStart = 0
 		r.FirstToken = 0
@@ -297,9 +314,40 @@ func (p *PrefillEngine) tryStart() {
 		}
 		// Reserve KV for the whole lifetime (uncached input + output) so
 		// decode can never be preempted by cache exhaustion; admission
-		// blocks here instead.
+		// blocks here instead (or, with a pressure gate, defers/sheds).
 		need := r.NewTokens() + r.W.OutputTokens
-		if !p.env.KV.CanAllocate(need) {
+		if p.Gate != nil {
+			tier := p.Gate.Admit(now, r.W.ID, need, r.Deferrals)
+			if tier == pressure.TierShed {
+				p.waiting = p.waiting[1:]
+				r.ReleasePrefix()
+				if p.OnGateShed != nil {
+					p.OnGateShed(r)
+				} else {
+					p.env.Shed(r.W)
+				}
+				continue
+			}
+			if tier == pressure.TierDefer {
+				r.Deferrals++
+				// Arm the retry before raising pressure: the relief path
+				// frees KV synchronously and its release publication must
+				// find the waiter already registered.
+				if len(p.batch) == 0 {
+					p.armKVWait(r.Deferrals)
+				}
+				// Preempt decode only when waiting cannot help: the
+				// request cannot physically fit (shrink drain debt, or a
+				// giant allocation). Watermark deferrals above that line
+				// resolve through ordinary decode completions.
+				if p.OnPressure != nil {
+					if deficit := p.Gate.PhysicalDeficit(need); deficit > 0 {
+						p.OnPressure(deficit, r.W.Arrival)
+					}
+				}
+				break
+			}
+		} else if !p.env.KV.CanAllocate(need) {
 			if len(p.batch) == 0 && !p.waitingOnKV {
 				p.waitingOnKV = true
 				p.buf.OnKVRelease(func() {
@@ -315,6 +363,7 @@ func (p *PrefillEngine) tryStart() {
 		}
 		r.Seq = seq
 		r.PrefillStart = now
+		r.CloseTrail(now) // seal an open preempted span (recompute path)
 		p.batch = append(p.batch, r)
 		p.batchTokens += r.NewTokens()
 		p.waiting = p.waiting[1:]
@@ -335,6 +384,26 @@ func (p *PrefillEngine) tryStart() {
 			timeline.I("waiting", len(p.waiting)))
 	}
 	p.cycle()
+}
+
+// armKVWait arms the head-of-queue retry for a gate deferral with an
+// empty batch: once on the next KV release, and once on a backoff timer
+// so a deferral with no release in flight still re-evaluates (and, via
+// the deferral budget, eventually sheds instead of wedging).
+func (p *PrefillEngine) armKVWait(attempt int) {
+	if !p.waitingOnKV {
+		p.waitingOnKV = true
+		p.buf.OnKVRelease(func() {
+			p.waitingOnKV = false
+			p.tryStart()
+		})
+	}
+	ep := p.epoch
+	p.env.Sim.After(p.Gate.Backoff(attempt), func() {
+		if p.epoch == ep {
+			p.tryStart()
+		}
+	})
 }
 
 // decide runs one scheduling cycle and applies the ablation overrides.
@@ -445,7 +514,7 @@ func (p *PrefillEngine) finishBatch(stream *gpusim.Stream) {
 			if r.Generated >= r.W.OutputTokens {
 				r.Finish = now
 				r.ReleasePrefix()
-				p.env.KV.Free(r.Seq)
+				p.env.KV.MustFree(r.Seq)
 				r.EmitLifecycle(p.TL)
 				p.env.Complete(r.Record())
 				p.buf.PublishKVRelease()

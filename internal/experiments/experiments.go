@@ -20,6 +20,7 @@ import (
 	"repro/internal/gpusim"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/pressure"
 	"repro/internal/serving"
 	"repro/internal/workload"
 )
@@ -32,7 +33,9 @@ var SystemNames = []string{
 // NewSystem instantiates a serving system by name on an environment.
 // Bullet ablation and static variants are addressable as
 // "bullet-naive", "bullet-partition", "bullet-scheduler" and
-// "bullet-sm<N>".
+// "bullet-sm<N>"; "bullet-gate" and "bullet-pressure" arm the
+// memory-pressure subsystem (admission gate only, and gate plus decode
+// preemption with recompute/retransfer recovery).
 func NewSystem(name string, env *serving.Env) serving.System {
 	switch name {
 	case "bullet":
@@ -45,6 +48,11 @@ func NewSystem(name string, env *serving.Env) serving.System {
 		return core.New(env, core.Options{Mode: core.ModeSchedulerOnly})
 	case "bullet-prefix":
 		return core.New(env, core.Options{Mode: core.ModeFull, EnablePrefixCache: true})
+	case "bullet-gate":
+		return core.New(env, core.Options{Mode: core.ModeFull,
+			Pressure: &pressure.Config{DisablePreemption: true}})
+	case "bullet-pressure":
+		return core.New(env, core.Options{Mode: core.ModeFull, Pressure: &pressure.Config{}})
 	case "vllm-1024":
 		return chunked.New(env, chunked.VLLM1024())
 	case "sglang-1024":

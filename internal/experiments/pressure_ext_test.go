@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestExtPressureGoodputUnderOverload is the ext-pressure acceptance
+// check: at the highest overload point the full pressure subsystem
+// (gate + preemption + recovery) must sustain at least 2× the goodput
+// of the no-preemption baseline, with zero watchdog-wedged requests on
+// every row and real preemption/recovery activity somewhere in the
+// sweep.
+func TestExtPressureGoodputUnderOverload(t *testing.T) {
+	rates := []float64{4, 8, 12}
+	rows := ExtPressure(workload.AzureCode, rates, 200, 42, true)
+	if len(rows) != len(rates)*len(PressureSystems) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(rates)*len(PressureSystems))
+	}
+	byKey := map[string]PressureRow{}
+	var preempts, recoveries int
+	for _, r := range rows {
+		if r.Wedged != 0 {
+			t.Fatalf("%s at rate %.1f wedged %d requests", r.System, r.Rate, r.Wedged)
+		}
+		byKey[r.System+"@"+f1(r.Rate)] = r
+		preempts += r.Pressure.Preemptions
+		recoveries += r.Pressure.Recomputes + r.Pressure.Retransfers
+	}
+	top := f1(rates[len(rates)-1])
+	plain, full := byKey["bullet@"+top], byKey["bullet+pressure@"+top]
+	if full.Goodput < 2*plain.Goodput {
+		t.Errorf("at rate %s: pressure goodput %.2f < 2× no-preemption baseline %.2f",
+			top, full.Goodput, plain.Goodput)
+	}
+	if plain.Pressure.Preemptions != 0 || plain.Pressure.AdmissionsDeferred != 0 {
+		t.Errorf("plain baseline shows pressure activity: %+v", plain.Pressure)
+	}
+	if preempts == 0 || recoveries == 0 {
+		t.Errorf("sweep exercised no preemption/recovery: preempts=%d recoveries=%d",
+			preempts, recoveries)
+	}
+	out := RenderExtPressure(rows)
+	for _, want := range []string{"bullet+pressure", "Preempt", "Wedged", "PeakOcc"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPressureRunDeterminism: the whole pressure study — trace, shrink
+// schedule, admission decisions, preemption, recovery, accounting —
+// must replay bit-identically from the same seeds. (ci.sh runs this
+// under -race as the determinism smoke for the pressure path.)
+func TestPressureRunDeterminism(t *testing.T) {
+	a := ExtPressure(workload.AzureCode, []float64{4, 12}, 80, 7, true)
+	b := ExtPressure(workload.AzureCode, []float64{4, 12}, 80, 7, true)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("pressure study diverged:\n%+v\nvs\n%+v", a, b)
+	}
+	var shrinks int
+	for _, r := range a {
+		if r.System != "bullet" {
+			shrinks += r.Pressure.KVShrinks
+		}
+	}
+	if shrinks == 0 {
+		t.Fatalf("no KV-shrink faults landed in the determinism run")
+	}
+}
+
+// TestExtPressureNoShrinkKeepsBaselineClean: with the shrink schedule
+// off, the plain baseline must match a healthy un-instrumented run —
+// arming the watchdog and the (empty) injector is free.
+func TestExtPressureNoShrinkKeepsBaselineClean(t *testing.T) {
+	rows := ExtPressure(workload.AzureCode, []float64{4}, 60, 8, false)
+	var plain *PressureRow
+	for i := range rows {
+		if rows[i].System == "bullet" {
+			plain = &rows[i]
+		}
+		if rows[i].Pressure.KVShrinks != 0 {
+			t.Fatalf("%s saw shrinks with withShrink=false", rows[i].System)
+		}
+	}
+	healthy := RunOne("bullet", workload.AzureCode, 4, 60, 8).Summary
+	if plain == nil || plain.Goodput != healthy.Goodput || plain.Completed != healthy.Requests {
+		t.Fatalf("plain row %+v diverged from healthy run %+v", plain, healthy)
+	}
+}

@@ -2,7 +2,7 @@
 // simulator: a seeded schedule generator plus an injector that replays
 // the schedule as ordinary virtual-time events.
 //
-// Three fault kinds model the failure surface of a spatially-shared
+// Four fault kinds model the failure surface of a spatially-shared
 // serving GPU:
 //
 //   - SM degradation (KindSMDegrade): a contiguous, granularity-aligned
@@ -15,6 +15,10 @@
 //     bounded by a watchdog in internal/core.
 //   - Replica crash (KindReplicaCrash): a whole replica goes down and
 //     its in-flight requests must be re-routed (internal/cluster).
+//   - KV capacity shrink (KindKVShrink): a fraction of the KV pool is
+//     lost to fragmentation or a leak for a period; the pool drains the
+//     lost blocks live and the memory-pressure subsystem
+//     (internal/pressure) absorbs the squeeze.
 //
 // Everything is deterministic: Generate draws from one explicitly
 // seeded *rand.Rand, events fire through internal/sim, and the same
@@ -43,6 +47,9 @@ const (
 	KindEngineStall Kind = "engine-stall"
 	// KindReplicaCrash takes a whole replica down for a recovery period.
 	KindReplicaCrash Kind = "replica-crash"
+	// KindKVShrink retires a fraction of the KV pool's capacity
+	// (fragmentation or a leak) for a period, then restores it.
+	KindKVShrink Kind = "kv-shrink"
 )
 
 // Target selects which component an engine stall hits.
@@ -79,6 +86,10 @@ type Event struct {
 	// readmitted after Recovery.
 	Replica  int
 	Recovery sim.Time
+
+	// KindKVShrink: KVFraction of the pool's current capacity retires
+	// for Duration, then restores.
+	KVFraction float64
 }
 
 // Schedule is a generated fault timeline, sorted by At.
@@ -110,6 +121,9 @@ type Config struct {
 	DegradeRate float64
 	StallRate   float64
 	CrashRate   float64
+	// KVShrinkRate is the arrival rate of KV capacity-shrink faults
+	// (0 in DefaultConfig; enable it for memory-pressure runs).
+	KVShrinkRate float64
 
 	// MeanDegradeDuration is the mean transient-degradation length.
 	MeanDegradeDuration sim.Time
@@ -127,6 +141,13 @@ type Config struct {
 
 	// MeanRecovery is the mean replica restart delay.
 	MeanRecovery sim.Time
+
+	// MeanKVShrinkFraction is the mean fraction of KV capacity one
+	// shrink event retires (drawn values are capped at 0.9 so the pool
+	// never vanishes entirely).
+	MeanKVShrinkFraction float64
+	// MeanKVShrinkDuration is the mean time until the capacity restores.
+	MeanKVShrinkDuration sim.Time
 }
 
 // DefaultConfig returns a moderate single-replica fault mix for a device
@@ -147,6 +168,10 @@ func DefaultConfig(numSMs int, horizon sim.Time) Config {
 		MeanStall:           units.FromMs(80),
 		MeanBufferDelay:     units.FromMs(2),
 		MeanRecovery:        units.Seconds(2),
+
+		KVShrinkRate:         0,
+		MeanKVShrinkFraction: 0.3,
+		MeanKVShrinkDuration: units.Seconds(5),
 	}
 }
 
@@ -158,8 +183,11 @@ func Generate(cfg Config) Schedule {
 	if cfg.Horizon <= 0 || cfg.NumSMs <= 0 {
 		panic(fmt.Sprintf("faults: invalid config horizon=%v numSMs=%d", cfg.Horizon, cfg.NumSMs))
 	}
-	if cfg.DegradeRate < 0 || cfg.StallRate < 0 || cfg.CrashRate < 0 {
+	if cfg.DegradeRate < 0 || cfg.StallRate < 0 || cfg.CrashRate < 0 || cfg.KVShrinkRate < 0 {
 		panic(fmt.Sprintf("faults: negative fault rate in config %+v", cfg))
+	}
+	if cfg.MeanKVShrinkFraction < 0 || cfg.MeanKVShrinkFraction > 1 {
+		panic(fmt.Sprintf("faults: MeanKVShrinkFraction %v outside [0,1]", cfg.MeanKVShrinkFraction))
 	}
 	if cfg.MaxDegradeFraction < 0 || cfg.MaxDegradeFraction > 1 {
 		panic(fmt.Sprintf("faults: MaxDegradeFraction %v outside [0,1]", cfg.MaxDegradeFraction))
@@ -177,6 +205,11 @@ func Generate(cfg Config) Schedule {
 	}
 	for _, t := range arrivals(rng, cfg.CrashRate, cfg.Horizon) {
 		s.Events = append(s.Events, crashEvent(rng, cfg, t))
+	}
+	// Drawn last so schedules generated before this kind existed stay
+	// bit-identical (a zero rate consumes no randomness).
+	for _, t := range arrivals(rng, cfg.KVShrinkRate, cfg.Horizon) {
+		s.Events = append(s.Events, kvShrinkEvent(rng, cfg, t))
 	}
 	sort.SliceStable(s.Events, func(i, j int) bool {
 		return s.Events[i].At < s.Events[j].At
@@ -257,6 +290,26 @@ func crashEvent(rng *rand.Rand, cfg Config, t sim.Time) Event {
 		Kind:     KindReplicaCrash,
 		Replica:  rng.Intn(replicas),
 		Recovery: units.Scale(cfg.MeanRecovery, 0.5+rng.ExpFloat64()),
+	}
+}
+
+// kvShrinkEvent draws the retired-capacity fraction (capped below 1 so
+// the pool never vanishes) and the restore delay.
+func kvShrinkEvent(rng *rand.Rand, cfg Config, t sim.Time) Event {
+	frac := cfg.MeanKVShrinkFraction * (0.5 + rng.ExpFloat64())
+	if frac > 0.9 {
+		frac = 0.9
+	}
+	replicas := cfg.Replicas
+	if replicas <= 0 {
+		replicas = 1
+	}
+	return Event{
+		At:         t,
+		Kind:       KindKVShrink,
+		Replica:    rng.Intn(replicas),
+		KVFraction: frac,
+		Duration:   units.Scale(cfg.MeanKVShrinkDuration, 0.5+rng.ExpFloat64()),
 	}
 }
 

@@ -179,3 +179,39 @@ func TestHandleAfterArmPanics(t *testing.T) {
 	}()
 	in.Handle(KindSMDegrade, func(Event) {})
 }
+
+func TestGenerateKVShrinkEvents(t *testing.T) {
+	cfg := testConfig()
+	cfg.DegradeRate, cfg.StallRate, cfg.CrashRate = 0, 0, 0
+	cfg.KVShrinkRate = 0.5
+	s := Generate(cfg)
+	if len(s.Events) == 0 {
+		t.Fatal("no kv-shrink events over a 60s horizon at 0.5/s")
+	}
+	for i, ev := range s.Events {
+		if ev.Kind != KindKVShrink {
+			t.Fatalf("event %d: kind %q, want kv-shrink only", i, ev.Kind)
+		}
+		if ev.KVFraction <= 0 || ev.KVFraction > 0.9 {
+			t.Fatalf("event %d: fraction %v outside (0, 0.9]", i, ev.KVFraction)
+		}
+		if ev.Replica < 0 || ev.Replica >= cfg.Replicas {
+			t.Fatalf("event %d: replica %d outside fleet of %d", i, ev.Replica, cfg.Replicas)
+		}
+		if ev.Duration <= 0 {
+			t.Fatalf("event %d: non-transient shrink duration %v", i, ev.Duration)
+		}
+	}
+	// Downtime is the crude disrupted-time sum, so shrink durations count.
+	if s.Downtime() <= 0 {
+		t.Fatalf("kv-shrink-only schedule reports downtime %v", s.Downtime())
+	}
+}
+
+func TestInjectorScheduleAccessor(t *testing.T) {
+	sched := Schedule{Events: []Event{{At: units.Seconds(1), Kind: KindKVShrink, KVFraction: 0.5}}}
+	in := NewInjector(sim.New(), sched)
+	if !reflect.DeepEqual(in.Schedule(), sched) {
+		t.Fatalf("Schedule() = %+v, want %+v", in.Schedule(), sched)
+	}
+}

@@ -20,8 +20,15 @@ import (
 // ErrOutOfMemory is returned when the pool cannot satisfy an allocation.
 var ErrOutOfMemory = errors.New("kvcache: out of KV cache blocks")
 
-// Pool is a fixed-capacity block allocator. Not safe for concurrent use;
-// the simulation is single-threaded by design.
+// Pool is a block allocator of (normally) fixed capacity. Not safe for
+// concurrent use; the simulation is single-threaded by design.
+//
+// Capacity may be reduced live via Shrink (a fault-injected leak or
+// fragmentation event): free blocks retire immediately and any shortfall
+// drains — blocks retire as sequences release them — until the target is
+// met. Restore reverses a shrink. During a drain the pool can be
+// over-committed: UsedBlocks may exceed TotalBlocks until enough
+// sequences free their blocks.
 type Pool struct {
 	blockTokens int
 	totalBlocks int
@@ -29,6 +36,13 @@ type Pool struct {
 	owner       map[int32]*Sequence
 	seqs        map[string]*Sequence
 	peakUsed    int
+
+	// retired holds block ids removed by Shrink (LIFO, so Restore
+	// resurrects exactly the most recently retired ids); retirePending
+	// counts capacity already subtracted from totalBlocks whose physical
+	// blocks are still held by sequences — they retire on Free.
+	retired       []int32
+	retirePending int
 }
 
 // Sequence is the cache of one request: an ordered block table plus a
@@ -73,14 +87,34 @@ func PlanBlocks(hbmBytes, weightBytes, reserveBytes, kvBytesPerToken units.Bytes
 // BlockTokens returns the tokens per block.
 func (p *Pool) BlockTokens() int { return p.blockTokens }
 
-// TotalBlocks returns the pool capacity in blocks.
+// TotalBlocks returns the pool's current capacity in blocks (reduced by
+// live shrinks, restored by Restore).
 func (p *Pool) TotalBlocks() int { return p.totalBlocks }
 
 // FreeBlocks returns the number of unallocated blocks.
 func (p *Pool) FreeBlocks() int { return len(p.free) }
 
-// UsedBlocks returns the number of allocated blocks.
-func (p *Pool) UsedBlocks() int { return p.totalBlocks - len(p.free) }
+// UsedBlocks returns the number of allocated blocks. During a shrink
+// drain this can exceed TotalBlocks: sequences still hold capacity that
+// has already been subtracted.
+func (p *Pool) UsedBlocks() int { return p.totalBlocks + p.retirePending - len(p.free) }
+
+// RetirePending returns how many blocks of an in-progress shrink are
+// still waiting for their holders to free them (0 outside a drain).
+func (p *Pool) RetirePending() int { return p.retirePending }
+
+// RetiredBlocks returns how many blocks are currently retired and could
+// be resurrected by Restore.
+func (p *Pool) RetiredBlocks() int { return len(p.retired) }
+
+// Occupancy returns UsedBlocks over TotalBlocks — above 1.0 while a
+// shrink drain is over-committed.
+func (p *Pool) Occupancy() float64 {
+	if p.totalBlocks == 0 {
+		return 1
+	}
+	return float64(p.UsedBlocks()) / float64(p.totalBlocks)
+}
 
 // PeakUsedBlocks returns the high-water mark of allocation.
 func (p *Pool) PeakUsedBlocks() int { return p.peakUsed }
@@ -144,11 +178,17 @@ func (p *Pool) take(n int, s *Sequence) []int32 {
 	return out
 }
 
-// Free releases all blocks of a sequence. Double frees panic: they always
-// indicate an engine bug.
-func (p *Pool) Free(s *Sequence) {
+// Free releases all blocks of a sequence. A double free returns a
+// contextual error instead of panicking: recovery paths (preemption,
+// watchdog aborts) can legitimately race to release the same sequence
+// and need to detect the overlap rather than crash. Block-ownership
+// mismatches still panic — they indicate corrupted bookkeeping, and the
+// invariant walk (CheckInvariants) keeps its debug-mode panics too.
+// Blocks freed during a shrink drain retire instead of returning to the
+// free list until the drain target is met.
+func (p *Pool) Free(s *Sequence) error {
 	if s.freed {
-		panic(fmt.Sprintf("kvcache: double free of sequence %q", s.id))
+		return fmt.Errorf("kvcache: double free of sequence %q (owner %q)", s.id, s.owner)
 	}
 	s.freed = true
 	for _, b := range s.blocks {
@@ -156,10 +196,78 @@ func (p *Pool) Free(s *Sequence) {
 			panic(fmt.Sprintf("kvcache: block %d not owned by %q", b, s.id))
 		}
 		delete(p.owner, b)
-		p.free = append(p.free, b)
+		if p.retirePending > 0 {
+			p.retirePending--
+			p.retired = append(p.retired, b)
+		} else {
+			p.free = append(p.free, b)
+		}
 	}
 	s.blocks = nil
 	delete(p.seqs, s.id)
+	return nil
+}
+
+// MustFree frees a sequence and panics on a double free. Engines use it
+// on paths where releasing twice is always a bug; recovery code calls
+// Free directly and handles the error.
+func (p *Pool) MustFree(s *Sequence) {
+	if err := p.Free(s); err != nil {
+		panic(fmt.Sprintf("kvcache: unexpected %v", err))
+	}
+}
+
+// Shrink removes n blocks of capacity (a fault-injected leak or
+// fragmentation event). Free blocks retire immediately; the shortfall
+// drains, retiring blocks as sequences free them. It returns how many
+// blocks retired immediately. n is clamped to the current capacity.
+func (p *Pool) Shrink(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("kvcache: negative shrink %d", n))
+	}
+	if n > p.totalBlocks {
+		n = p.totalBlocks
+	}
+	immediate := n
+	if immediate > len(p.free) {
+		immediate = len(p.free)
+	}
+	for i := 0; i < immediate; i++ {
+		b := p.free[len(p.free)-1]
+		p.free = p.free[:len(p.free)-1]
+		p.retired = append(p.retired, b)
+	}
+	p.totalBlocks -= n
+	p.retirePending += n - immediate
+	return immediate
+}
+
+// Restore adds back up to n blocks of capacity removed by Shrink: it
+// first cancels pending retirement (capacity that never physically
+// drained), then resurrects retired block ids onto the free list.
+// Restoring more than was shrunk is a no-op for the excess — the pool
+// never grows past its construction size.
+func (p *Pool) Restore(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("kvcache: negative restore %d", n))
+	}
+	cancel := n
+	if cancel > p.retirePending {
+		cancel = p.retirePending
+	}
+	p.retirePending -= cancel
+	p.totalBlocks += cancel
+	n -= cancel
+	back := n
+	if back > len(p.retired) {
+		back = len(p.retired)
+	}
+	for i := 0; i < back; i++ {
+		b := p.retired[len(p.retired)-1]
+		p.retired = p.retired[:len(p.retired)-1]
+		p.free = append(p.free, b)
+	}
+	p.totalBlocks += back
 }
 
 // ID returns the sequence id.
@@ -237,10 +345,24 @@ func (p *Pool) CheckInvariants() {
 			}
 		}
 	}
-	if held+len(p.free) != p.totalBlocks {
-		panic(fmt.Sprintf("kvcache: %d held + %d free != %d total", held, len(p.free), p.totalBlocks))
+	if held+len(p.free) != p.totalBlocks+p.retirePending {
+		panic(fmt.Sprintf("kvcache: %d held + %d free != %d total + %d retire-pending",
+			held, len(p.free), p.totalBlocks, p.retirePending))
 	}
 	if len(p.owner) != held {
 		panic(fmt.Sprintf("kvcache: owner map has %d entries, %d blocks held", len(p.owner), held))
+	}
+	if p.retirePending > held {
+		panic(fmt.Sprintf("kvcache: %d blocks retire-pending but only %d held", p.retirePending, held))
+	}
+	for _, b := range p.retired {
+		if _, owned := p.owner[b]; owned {
+			panic(fmt.Sprintf("kvcache: retired block %d still owned", b))
+		}
+	}
+	for _, b := range p.free {
+		if _, owned := p.owner[b]; owned {
+			panic(fmt.Sprintf("kvcache: free block %d still owned", b))
+		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -111,16 +112,35 @@ func TestTransfer(t *testing.T) {
 	}
 }
 
-func TestDoubleFreePanics(t *testing.T) {
+func TestDoubleFreeError(t *testing.T) {
 	p := NewPool(4, 16)
 	s, _ := p.Allocate("r", 16, "p")
-	p.Free(s)
+	if err := p.Free(s); err != nil {
+		t.Fatalf("first free: %v", err)
+	}
+	err := p.Free(s)
+	if err == nil {
+		t.Fatal("double free did not return an error")
+	}
+	if !strings.Contains(err.Error(), `"r"`) {
+		t.Fatalf("double-free error lacks sequence id: %v", err)
+	}
+	p.CheckInvariants()
+	if p.FreeBlocks() != p.TotalBlocks() {
+		t.Fatalf("double free corrupted accounting: %d free of %d", p.FreeBlocks(), p.TotalBlocks())
+	}
+}
+
+func TestMustFreePanicsOnDoubleFree(t *testing.T) {
+	p := NewPool(4, 16)
+	s, _ := p.Allocate("r", 16, "p")
+	p.MustFree(s)
 	defer func() {
 		if recover() == nil {
-			t.Fatal("double free did not panic")
+			t.Fatal("MustFree double free did not panic")
 		}
 	}()
-	p.Free(s)
+	p.MustFree(s)
 }
 
 func TestUseAfterFreePanics(t *testing.T) {
@@ -239,6 +259,188 @@ func TestPropertyBlockExclusivity(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShrinkImmediateAndDrain(t *testing.T) {
+	p := NewPool(10, 16)
+	s, _ := p.Allocate("r", 8*16, "p") // 8 blocks held, 2 free
+	if got := p.Shrink(5); got != 2 {
+		t.Fatalf("immediate = %d, want 2 (only 2 free)", got)
+	}
+	if p.TotalBlocks() != 5 || p.RetirePending() != 3 || p.RetiredBlocks() != 2 {
+		t.Fatalf("total=%d pending=%d retired=%d", p.TotalBlocks(), p.RetirePending(), p.RetiredBlocks())
+	}
+	if p.UsedBlocks() != 8 {
+		t.Fatalf("used = %d, want 8 (over-committed during drain)", p.UsedBlocks())
+	}
+	if p.Occupancy() <= 1 {
+		t.Fatalf("occupancy = %v, want > 1 during drain", p.Occupancy())
+	}
+	p.CheckInvariants()
+	// Freeing the holder retires the pending 3 and frees the rest.
+	p.MustFree(s)
+	if p.RetirePending() != 0 || p.RetiredBlocks() != 5 || p.FreeBlocks() != 5 {
+		t.Fatalf("after drain: pending=%d retired=%d free=%d", p.RetirePending(), p.RetiredBlocks(), p.FreeBlocks())
+	}
+	p.CheckInvariants()
+}
+
+func TestRestore(t *testing.T) {
+	p := NewPool(10, 16)
+	s, _ := p.Allocate("r", 8*16, "p")
+	p.Shrink(5) // 2 immediate, 3 pending
+	// Restore 4: cancels the 3 pending first, then resurrects 1 retired.
+	p.Restore(4)
+	if p.TotalBlocks() != 9 || p.RetirePending() != 0 || p.RetiredBlocks() != 1 {
+		t.Fatalf("total=%d pending=%d retired=%d", p.TotalBlocks(), p.RetirePending(), p.RetiredBlocks())
+	}
+	// Excess restore is a no-op: pool never grows past construction size.
+	p.Restore(100)
+	if p.TotalBlocks() != 10 || p.RetiredBlocks() != 0 {
+		t.Fatalf("after excess restore: total=%d retired=%d", p.TotalBlocks(), p.RetiredBlocks())
+	}
+	p.CheckInvariants()
+	p.MustFree(s)
+	if p.FreeBlocks() != 10 {
+		t.Fatalf("free = %d, want 10", p.FreeBlocks())
+	}
+	p.CheckInvariants()
+}
+
+func TestShrinkClampsToCapacity(t *testing.T) {
+	p := NewPool(4, 16)
+	p.Shrink(100)
+	if p.TotalBlocks() != 0 || p.RetiredBlocks() != 4 {
+		t.Fatalf("total=%d retired=%d", p.TotalBlocks(), p.RetiredBlocks())
+	}
+	if p.Occupancy() != 1 {
+		t.Fatalf("occupancy of empty zero-capacity pool = %v, want 1", p.Occupancy())
+	}
+	if p.CanAllocate(1) {
+		t.Fatal("zero-capacity pool claims it can allocate")
+	}
+	p.Restore(4)
+	if p.TotalBlocks() != 4 || p.FreeBlocks() != 4 {
+		t.Fatalf("after restore: total=%d free=%d", p.TotalBlocks(), p.FreeBlocks())
+	}
+	p.CheckInvariants()
+}
+
+func TestShrinkNegativePanics(t *testing.T) {
+	p := NewPool(4, 16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative shrink did not panic")
+		}
+	}()
+	p.Shrink(-1)
+}
+
+func TestRestoreNegativePanics(t *testing.T) {
+	p := NewPool(4, 16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative restore did not panic")
+		}
+	}()
+	p.Restore(-1)
+}
+
+// Property (ISSUE 5 satellite): random interleavings of Allocate / Extend /
+// Free / Transfer / Shrink / Restore never violate block accounting —
+// held + free == total + retire-pending, no block owned twice — and a
+// full drain always returns the pool to a consistent empty state.
+func TestPropertyShrinkInterleaving(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		construction := rng.Intn(150) + 20
+		p := NewPool(construction, 16)
+		var ids []string // insertion-ordered so op choice is deterministic
+		live := map[string]*Sequence{}
+		shrunk := 0 // net outstanding shrink (bounded by construction)
+		next := 0
+		for op := 0; op < 400; op++ {
+			switch rng.Intn(6) {
+			case 0: // allocate
+				id := fmt.Sprintf("s%d", next)
+				next++
+				s, err := p.Allocate(id, rng.Intn(80), "prefill")
+				if err == nil {
+					live[id] = s
+					ids = append(ids, id)
+				} else if !errors.Is(err, ErrOutOfMemory) {
+					t.Logf("seed %d: allocate: %v", seed, err)
+					return false
+				}
+			case 1: // extend a random live sequence
+				if len(ids) > 0 {
+					s := live[ids[rng.Intn(len(ids))]]
+					if err := s.Extend(rng.Intn(40)); err != nil && !errors.Is(err, ErrOutOfMemory) {
+						return false
+					}
+				}
+			case 2: // free a random live sequence
+				if len(ids) > 0 {
+					i := rng.Intn(len(ids))
+					id := ids[i]
+					if err := p.Free(live[id]); err != nil {
+						return false
+					}
+					delete(live, id)
+					ids = append(ids[:i], ids[i+1:]...)
+				}
+			case 3: // transfer ownership (copy-free, no accounting change)
+				if len(ids) > 0 {
+					live[ids[rng.Intn(len(ids))]].Transfer("decode")
+				}
+			case 4: // shrink
+				n := rng.Intn(p.TotalBlocks() + 1)
+				p.Shrink(n)
+				shrunk += n
+			case 5: // restore
+				if shrunk > 0 {
+					n := rng.Intn(shrunk + 1)
+					p.Restore(n)
+					shrunk -= n
+				}
+			}
+			p.CheckInvariants()
+			// No block owned twice: rebuild the ownership set from the
+			// block tables and compare sizes.
+			seen := map[int32]bool{}
+			heldBlocks := 0
+			for _, id := range ids {
+				for _, b := range live[id].BlockTable() {
+					if seen[b] {
+						t.Logf("seed %d: block %d owned twice", seed, b)
+						return false
+					}
+					seen[b] = true
+					heldBlocks++
+				}
+			}
+			if heldBlocks+p.FreeBlocks() != p.TotalBlocks()+p.RetirePending() {
+				t.Logf("seed %d: %d held + %d free != %d total + %d pending",
+					seed, heldBlocks, p.FreeBlocks(), p.TotalBlocks(), p.RetirePending())
+				return false
+			}
+		}
+		// Drain: free everything, restore everything.
+		for _, id := range ids {
+			if err := p.Free(live[id]); err != nil {
+				return false
+			}
+		}
+		p.Restore(shrunk)
+		p.CheckInvariants()
+		return p.TotalBlocks() == construction &&
+			p.FreeBlocks() == construction &&
+			p.RetirePending() == 0 && p.RetiredBlocks() == 0 &&
+			p.UsedTokens() == 0 && p.Sequences() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -103,6 +103,7 @@ var corePackages = map[string]bool{
 	"internal/smmask":    true,
 	"internal/faults":    true,
 	"internal/timeline":  true,
+	"internal/pressure":  true,
 }
 
 // InCore reports whether the package is part of the deterministic

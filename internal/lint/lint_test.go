@@ -300,6 +300,8 @@ func TestLoaderScopes(t *testing.T) {
 		{"repro/internal/sched", true, true, false},
 		{"repro/internal/faults", true, true, false},
 		{"repro/internal/timeline", true, true, false},
+		{"repro/internal/pressure", true, true, false},
+		{"repro/internal/kvcache", true, true, false},
 		{"repro/internal/serving", true, false, false},
 		{"repro/internal/baselines/nanoflow", true, false, false},
 		{"repro/cmd/bulletlint", false, false, true},

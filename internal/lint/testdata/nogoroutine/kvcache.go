@@ -1,0 +1,19 @@
+//linttest:path repro/internal/kvcache
+
+// Pins that internal/kvcache is inside the nogoroutine core scope: the
+// pool's block accounting and the shrink drain protocol are exercised
+// from engines, recovery paths, and fault handlers on one simulator
+// thread — guarding them with locks or handing frees to a goroutine
+// would hide ordering bugs the determinism suite exists to catch.
+package fixture
+
+import "sync" // want nogoroutine
+
+type pool struct {
+	mu      sync.Mutex
+	retired chan int // want nogoroutine
+}
+
+func (p *pool) freeAsync(release func()) {
+	go release() // want nogoroutine
+}

@@ -1,0 +1,20 @@
+//linttest:path repro/internal/pressure
+
+// Pins that internal/pressure is inside the nogoroutine core scope: the
+// admission controller and recovery policy run on the single simulator
+// thread, so backoff timers and preemption relief must dispatch through
+// sim events — a goroutine or channel here would make same-seed overload
+// sweeps diverge.
+package fixture
+
+type controller struct {
+	relief chan int // want nogoroutine
+}
+
+func (c *controller) backoff(retry func()) {
+	go retry() // want nogoroutine
+}
+
+func (c *controller) drain(done chan struct{}) { // want nogoroutine
+	<-done // want nogoroutine
+}

@@ -1,0 +1,27 @@
+//linttest:path repro/internal/kvcache
+
+// Pins the unitsafe contract on the KV pool's capacity planning: HBM
+// budgets and per-token footprints are units.Bytes, so raw numeric
+// literals and bare-float laundering at call sites are findings, while
+// the sanctioned Scale/Ratio combinators are not.
+package fixture
+
+import "repro/internal/units"
+
+// plan mirrors PlanBlocks: unit-typed byte budgets in, block count out.
+func plan(hbm, weights, perToken units.Bytes, blockTokens int) int {
+	free := hbm - weights
+	perBlock := units.Scale(perToken, float64(blockTokens))
+	return int(units.Ratio(free, perBlock))
+}
+
+// rawBudget feeds an unlabelled magnitude to a unit-typed parameter.
+func rawBudget(perToken units.Bytes) int {
+	return plan(80e9, units.Bytes(14e9), perToken, 16) // want unitsafe
+}
+
+// launderedFootprint strips the dimension with a bare conversion instead
+// of Float().
+func launderedFootprint(perToken units.Bytes, blockTokens int) float64 {
+	return float64(perToken) * float64(blockTokens) // want unitsafe
+}

@@ -1,0 +1,33 @@
+//linttest:path repro/internal/pressure
+
+// Pins the unitsafe contract on the pressure controller's API surface:
+// backoff delays are units.Seconds and retransfer payloads units.Bytes,
+// so raw numeric literals and bare-float laundering at call sites are
+// findings, while the sanctioned Scale/Div combinators are not.
+package fixture
+
+import "repro/internal/units"
+
+type controller struct {
+	backoffBase units.Seconds
+	perToken    units.Bytes
+}
+
+// rawBackoff feeds an unlabelled magnitude to a unit-typed parameter.
+func schedule(after units.Seconds, fn func()) {}
+
+func rawBackoff() {
+	schedule(0.256, nil) // want unitsafe
+}
+
+// launderedDelay strips the dimension with a bare conversion instead of
+// Float().
+func launderedDelay(d units.Seconds) float64 {
+	return float64(d) * 2 // want unitsafe
+}
+
+// payload is the sanctioned shape: scaling a typed per-token footprint
+// keeps the dimension, and the wire time comes from Div.
+func (c *controller) payload(ctxTokens int, bw units.BytesPerSec) units.Seconds {
+	return units.Scale(c.perToken, float64(ctxTokens)).Div(bw)
+}

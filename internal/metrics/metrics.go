@@ -254,6 +254,50 @@ func (r Resilience) MTTR() units.Seconds {
 	return units.Over(r.Downtime, float64(r.Recoveries))
 }
 
+// Pressure aggregates the memory-pressure subsystem's accounting for one
+// serving run (or, summed, one cluster): admission-control outcomes,
+// decode preemptions, and the two recovery paths.
+type Pressure struct {
+	// AdmissionsDeferred counts prefill admissions pushed back by the
+	// high-watermark gate (one request may contribute several).
+	AdmissionsDeferred int
+	// Preemptions counts decode sequences evicted under high watermark.
+	Preemptions int
+	// Recomputes / RecomputedTokens count preempted requests restored by
+	// re-running their prefill, and the tokens recomputed doing so.
+	Recomputes       int
+	RecomputedTokens int
+	// Retransfers / RetransferredBytes count preempted requests restored
+	// by re-transferring their KV through the metadata buffer.
+	Retransfers        int
+	RetransferredBytes units.Bytes
+	// Shed counts requests given up on by the pressure subsystem: hopeless
+	// admissions and requests preempted past the retry budget.
+	Shed int
+	// KVShrinks counts live capacity-reduction faults applied to the pool.
+	KVShrinks int
+	// PeakOccupancy is the highest used/total block ratio observed at a
+	// pressure decision point (above 1.0 while a shrink drain was
+	// over-committed).
+	PeakOccupancy float64
+}
+
+// Add accumulates another run's counters into p (peak occupancy takes
+// the max).
+func (p *Pressure) Add(o Pressure) {
+	p.AdmissionsDeferred += o.AdmissionsDeferred
+	p.Preemptions += o.Preemptions
+	p.Recomputes += o.Recomputes
+	p.RecomputedTokens += o.RecomputedTokens
+	p.Retransfers += o.Retransfers
+	p.RetransferredBytes += o.RetransferredBytes
+	p.Shed += o.Shed
+	p.KVShrinks += o.KVShrinks
+	if o.PeakOccupancy > p.PeakOccupancy {
+		p.PeakOccupancy = o.PeakOccupancy
+	}
+}
+
 // Series is a time-ordered sampled signal for timeline figures (Fig. 12).
 type Series struct {
 	T []units.Seconds

@@ -281,3 +281,86 @@ func BenchmarkSummarize(b *testing.B) {
 		_ = Summarize(reqs, slo)
 	}
 }
+
+func TestKVTransferDelay(t *testing.T) {
+	r := req(0, 0.1, 0.5, 2.5, 1000, 21)
+	r.DecodeStart = 0.7
+	if got := r.KVTransferDelay(); units.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("KVTransferDelay = %v, want 0.2", got)
+	}
+	// Decode never ran (single-step request): no hand-off cost.
+	r.DecodeStart = 0
+	if got := r.KVTransferDelay(); got != 0 {
+		t.Fatalf("KVTransferDelay = %v, want 0 without decode", got)
+	}
+}
+
+func TestNormTTFTZeroInputTokens(t *testing.T) {
+	r := req(0, 0, 1, 2, 0, 5)
+	if got := r.NormTTFTMs(); got != 0 {
+		t.Fatalf("NormTTFTMs = %v, want 0 with no input tokens", got)
+	}
+}
+
+func TestValidatePanicCases(t *testing.T) {
+	valid := req(0, 0.1, 0.5, 2.5, 1000, 21)
+	valid.DecodeStart = 0.7
+	valid.Validate() // must not panic
+	for name, r := range map[string]Request{
+		"decode before first token": func() Request {
+			r := valid
+			r.DecodeStart = 0.3
+			return r
+		}(),
+		"decode after finish": func() Request {
+			r := valid
+			r.DecodeStart = 3.0
+			return r
+		}(),
+		"no tokens": req(0, 0.1, 0.5, 2.5, 0, 0),
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", name)
+				}
+			}()
+			r.Validate()
+		}()
+	}
+}
+
+func TestPressureAdd(t *testing.T) {
+	a := Pressure{
+		AdmissionsDeferred: 1, Preemptions: 2, Recomputes: 3, RecomputedTokens: 4,
+		Retransfers: 5, RetransferredBytes: 6, Shed: 7, KVShrinks: 8, PeakOccupancy: 0.5,
+	}
+	b := a
+	b.PeakOccupancy = 0.9
+	a.Add(b)
+	if a.AdmissionsDeferred != 2 || a.Preemptions != 4 || a.Recomputes != 6 ||
+		a.RecomputedTokens != 8 || a.Retransfers != 10 || a.RetransferredBytes != 12 ||
+		a.Shed != 14 || a.KVShrinks != 16 {
+		t.Fatalf("sum: %+v", a)
+	}
+	if a.PeakOccupancy != 0.9 {
+		t.Fatalf("peak = %v, want max 0.9", a.PeakOccupancy)
+	}
+	// Max must not regress when the accumulator already holds the peak.
+	a.Add(Pressure{PeakOccupancy: 0.1})
+	if a.PeakOccupancy != 0.9 {
+		t.Fatalf("peak regressed to %v", a.PeakOccupancy)
+	}
+}
+
+func TestSeriesLen(t *testing.T) {
+	var s Series
+	if s.Len() != 0 {
+		t.Fatalf("empty series Len = %d", s.Len())
+	}
+	s.Add(1, 10)
+	s.Add(2, 20)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+}

@@ -146,7 +146,7 @@ func (c *Cache) evictOne() bool {
 	if victim == nil {
 		return false
 	}
-	c.pool.Free(victim.seq)
+	c.pool.MustFree(victim.seq)
 	delete(c.entries, victim.group)
 	c.evictions++
 	return true

@@ -19,6 +19,11 @@ import (
 // state when planning the KV pool.
 const DefaultKVReserveBytes = 4e9
 
+// DefaultMaxShed bounds how many shed requests the environment stores for
+// inspection; excess sheds are counted but dropped (like the timeline's
+// event cap, an overload run must not grow memory without bound).
+const DefaultMaxShed = 4096
+
 // KVBlockTokens is the PagedAttention block size in tokens.
 const KVBlockTokens = 16
 
@@ -30,8 +35,15 @@ type Env struct {
 	KV    *kvcache.Pool
 	SLO   metrics.SLO
 
-	completed []metrics.Request
-	shed      []workload.Request
+	// MaxShed caps how many shed requests are retained (for reports and
+	// tests); 0 means DefaultMaxShed. Sheds past the cap still count —
+	// run completion and Result.Shed use the counter, not the slice.
+	MaxShed int
+
+	completed   []metrics.Request
+	shed        []workload.Request
+	shedCount   int
+	shedDropped int
 	// OnComplete, when set, observes every completion as it happens.
 	OnComplete func(metrics.Request)
 	// OnShed, when set, observes every shed request as it happens.
@@ -88,14 +100,31 @@ func (e *Env) Completed() []metrics.Request { return e.completed }
 // submitted request must end in exactly one of Complete or Shed — but
 // never toward the summary metrics.
 func (e *Env) Shed(r workload.Request) {
-	e.shed = append(e.shed, r)
+	e.shedCount++
+	limit := e.MaxShed
+	if limit <= 0 {
+		limit = DefaultMaxShed
+	}
+	if len(e.shed) < limit {
+		e.shed = append(e.shed, r)
+	} else {
+		e.shedDropped++
+	}
 	if e.OnShed != nil {
 		e.OnShed(r)
 	}
 }
 
-// ShedRequests returns the requests given up on so far.
+// ShedRequests returns the retained shed requests (at most MaxShed; see
+// ShedDropped for the overflow count).
 func (e *Env) ShedRequests() []workload.Request { return e.shed }
+
+// ShedCount returns how many requests were shed in total, including any
+// dropped past the retention cap.
+func (e *Env) ShedCount() int { return e.shedCount }
+
+// ShedDropped returns how many shed records were dropped by the cap.
+func (e *Env) ShedDropped() int { return e.shedDropped }
 
 // System is a serving engine under test. Submit is invoked from the
 // simulation event loop at each request's arrival time; the system must
@@ -132,14 +161,14 @@ func (e *Env) Run(sys System, trace *workload.Trace) Result {
 		e.Sim.At(r.Arrival, func() { sys.Submit(r) })
 	}
 	budget := uint64(len(trace.Requests)+1) * maxEventsPerRequest
-	for uint64(len(e.completed)+len(e.shed)) < uint64(len(trace.Requests)) {
+	for uint64(len(e.completed)+e.shedCount) < uint64(len(trace.Requests)) {
 		if !e.Sim.Step() {
 			panic(fmt.Sprintf("serving: %s deadlocked with %d/%d requests complete (%d shed) at t=%.3f",
-				sys.Name(), len(e.completed), len(trace.Requests), len(e.shed), e.Sim.Now()))
+				sys.Name(), len(e.completed), len(trace.Requests), e.shedCount, e.Sim.Now()))
 		}
 		if e.Sim.Processed() > budget {
 			panic(fmt.Sprintf("serving: %s exceeded event budget (%d events, %d/%d complete, %d shed)",
-				sys.Name(), e.Sim.Processed(), len(e.completed), len(trace.Requests), len(e.shed)))
+				sys.Name(), e.Sim.Processed(), len(e.completed), len(trace.Requests), e.shedCount))
 		}
 	}
 	if e.OnDrain != nil {
@@ -157,6 +186,6 @@ func (e *Env) Run(sys System, trace *workload.Trace) Result {
 		Requests: e.completed,
 		GPUStats: e.GPU.Stats(),
 		Makespan: e.Sim.Now(),
-		Shed:     len(e.shed),
+		Shed:     e.shedCount,
 	}
 }

@@ -48,6 +48,42 @@ func TestBitIdentity(t *testing.T) {
 	}
 }
 
+// TestInversesAndAccessors completes the bit-identity contract over the
+// remaining combinators: each rate/work pairing is the exact inverse of
+// its Div counterpart, and every Float accessor is the raw conversion.
+func TestInversesAndAccessors(t *testing.T) {
+	w, d := 3.7e12, 0.25
+	if got, want := FLOPs(w).Per(Seconds(d)).Float(), w/d; got != want {
+		t.Errorf("FLOPs.Per = %v, want %v", got, want)
+	}
+	b := 1.9e9
+	if got, want := Bytes(b).Per(Seconds(d)).Float(), b/d; got != want {
+		t.Errorf("Bytes.Per = %v, want %v", got, want)
+	}
+	if got, want := FLOPsPerSec(w).Times(Seconds(d)).Float(), w*d; got != want {
+		t.Errorf("FLOPsPerSec.Times = %v, want %v", got, want)
+	}
+	if got, want := BytesPerSec(b).Times(Seconds(d)).Float(), b*d; got != want {
+		t.Errorf("BytesPerSec.Times = %v, want %v", got, want)
+	}
+	if got, want := FLOPsPerSec(w).Progress(FLOPs(w/2)).Float(), w/(w/2); got != want {
+		t.Errorf("FLOPsPerSec.Progress = %v, want %v", got, want)
+	}
+	p := PerSec(4)
+	if got, want := p.Times(Seconds(d)), 4*d; got != want {
+		t.Errorf("PerSec.Times = %v, want %v", got, want)
+	}
+	if got, want := FLOPs(w).AtRate(p).Float(), 4*w; got != want {
+		t.Errorf("FLOPs.AtRate = %v, want %v", got, want)
+	}
+	if Seconds(2).Float() != 2 || FLOPs(2).Float() != 2 || Bytes(2).Float() != 2 ||
+		FLOPsPerSec(2).Float() != 2 || BytesPerSec(2).Float() != 2 ||
+		Tokens(2).Float() != 2 || SMs(2).Float() != 2 ||
+		SMSeconds(2).Float() != 2 || PerSec(2).Float() != 2 {
+		t.Error("Float accessor is not the identity conversion")
+	}
+}
+
 func TestPredicates(t *testing.T) {
 	if !IsInf(Inf[Seconds](1), 1) || IsInf(Seconds(1), 0) {
 		t.Error("Inf/IsInf mismatch")
