@@ -1,6 +1,6 @@
 # Convenience aliases; ci.sh is the authoritative gate.
 
-.PHONY: ci build test race lint fuzz bench
+.PHONY: ci build test race lint fuzz bench bench-cluster
 
 ci:
 	./ci.sh
@@ -23,3 +23,7 @@ fuzz:
 
 bench:
 	go test -bench=. -benchtime=1x -short
+
+# Serial vs forkjoin-parallel replica sweep (see BENCH_cluster_sweep.json).
+bench-cluster:
+	GOMAXPROCS=4 go test -run='^$$' -bench ClusterSweepParallelism -benchtime 5x -count 1 .

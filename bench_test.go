@@ -255,6 +255,32 @@ func BenchmarkExtensionCluster(b *testing.B) {
 	}
 }
 
+// BenchmarkClusterSweepParallelism pins the forkjoin speedup claim: the
+// replica sweep (cluster sizes 1/2/4) run serially (workers=1) versus
+// through the harness default (GOMAXPROCS-bounded workers). By the
+// concurrency contract the two produce byte-identical tables — the gate
+// in ci.sh diffs them — so the only thing allowed to differ is the
+// wall-clock this benchmark measures. Each sub-benchmark reports the
+// simulated-request completion rate; BENCH_cluster_sweep.json records a
+// measured run.
+func BenchmarkClusterSweepParallelism(b *testing.B) {
+	n := 150
+	if testing.Short() {
+		n = 60
+	}
+	const sweepSizes = 3 // cluster sizes 1, 2, 4
+	run := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				experiments.ExtClusterN(workload.AzureCode, 9, n, 42, workers)
+			}
+			b.ReportMetric(float64(sweepSizes*n*b.N)/b.Elapsed().Seconds(), "req/s")
+		}
+	}
+	b.Run("serial", run(1))
+	b.Run("parallel", run(0))
+}
+
 // BenchmarkExtensionTensorParallel studies Megatron tensor parallelism
 // under Bullet (sharded kernels + NVLink allreduces).
 func BenchmarkExtensionTensorParallel(b *testing.B) {

@@ -12,6 +12,12 @@
 //	go run ./cmd/bulletlint ./internal/...   # one subtree
 //	go run ./cmd/bulletlint -list            # show the rules and exit
 //	go run ./cmd/bulletlint -json ./...      # one JSON object per finding
+//	go run ./cmd/bulletlint -rules maporder,unitsafe ./...  # run a subset
+//
+// -rules selects a comma-separated subset of the suite. Retired rule
+// names (nogoroutine) are accepted as aliases for their successors
+// (harnessonly) with a deprecation notice on stderr; unknown names are a
+// usage error (exit 2).
 //
 // With -json each finding is one object per line — {"file", "line",
 // "rule", "message", "suppressed"} — and findings silenced by
@@ -31,6 +37,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/lint"
 )
@@ -53,8 +60,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the analyzer rules and exit")
 	jsonOut := fs.Bool("json", false, "print one JSON object per finding (suppressed findings included)")
+	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all; retired names are accepted as aliases)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: bulletlint [-list] [-json] [packages]\n")
+		fmt.Fprintf(stderr, "usage: bulletlint [-list] [-json] [-rules r1,r2] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -62,9 +70,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	analyzers := lint.DefaultAnalyzers()
+	if *rules != "" {
+		selected, err := selectRules(analyzers, *rules, stderr)
+		if err != nil {
+			return fatal(stderr, err)
+		}
+		analyzers = selected
+	}
 	if *list {
 		for _, a := range analyzers {
-			fmt.Fprintf(stdout, "%-12s %s\n", a.Name(), a.Doc())
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name(), a.Doc())
 		}
 		return 0
 	}
@@ -121,6 +136,42 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// selectRules resolves a comma-separated rule selection against the
+// suite, preserving suite order, deduplicating, and canonicalizing
+// retired aliases (with a deprecation notice on stderr). Unknown names
+// are an error.
+func selectRules(all []lint.Analyzer, spec string, stderr io.Writer) ([]lint.Analyzer, error) {
+	byName := map[string]lint.Analyzer{}
+	for _, a := range all {
+		byName[a.Name()] = a
+	}
+	want := map[string]bool{}
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if canon, ok := lint.RuleAliases[name]; ok {
+			fmt.Fprintf(stderr, "bulletlint: rule %q is deprecated; running its successor %q\n", name, canon)
+			name = canon
+		}
+		if _, ok := byName[name]; !ok {
+			return nil, fmt.Errorf("unknown rule %q (see -list)", name)
+		}
+		want[name] = true
+	}
+	if len(want) == 0 {
+		return nil, fmt.Errorf("empty -rules selection")
+	}
+	var out []lint.Analyzer
+	for _, a := range all {
+		if want[a.Name()] {
+			out = append(out, a)
+		}
+	}
+	return out, nil
 }
 
 func fatal(stderr io.Writer, err error) int {

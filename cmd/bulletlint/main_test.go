@@ -139,6 +139,52 @@ func TestRunUsageAndLoadErrorsExitTwo(t *testing.T) {
 	}
 }
 
+// TestRulesSelection covers the -rules flag: subset selection changes
+// which findings fire, the retired nogoroutine name is accepted as an
+// alias for harnessonly with a deprecation notice, and unknown names are
+// a usage error.
+func TestRulesSelection(t *testing.T) {
+	chdir(t, dirtyModule(t))
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-rules", "nodeterm"}, &out, &errb); code != 1 {
+		t.Fatalf("-rules nodeterm: exit %d, want 1\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "[nodeterm]") {
+		t.Errorf("-rules nodeterm printed no nodeterm finding:\n%s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-rules", "maporder"}, &out, &errb); code != 0 {
+		t.Fatalf("-rules maporder: exit %d, want 0 (nodeterm excluded)\nstderr: %s", code, errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("-rules maporder printed findings:\n%s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-rules", "nogoroutine", "-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-rules nogoroutine -list: exit %d, want 0\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "deprecated") {
+		t.Errorf("alias produced no deprecation notice on stderr: %q", errb.String())
+	}
+	if !strings.Contains(out.String(), "harnessonly") {
+		t.Errorf("alias did not resolve to harnessonly:\n%s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-rules", "nosuchrule"}, &out, &errb); code != 2 {
+		t.Fatalf("-rules nosuchrule: exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown rule") {
+		t.Errorf("stderr = %q, want unknown-rule error", errb.String())
+	}
+}
+
 // TestListMatchesREADME is the golden link between `bulletlint -list`
 // and the rules table in README.md: same rules, same order, no drift in
 // either direction.

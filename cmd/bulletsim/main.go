@@ -57,6 +57,8 @@ func main() {
 		faultRate  = flag.Float64("fault-rate", 0.1, "SM-degradation and engine-stall rates, events/s of virtual time")
 		faultSeed  = flag.Int64("fault-seed", 1, "fault schedule random seed")
 		pressSweep = flag.Bool("pressure", false, "run the memory-pressure overload sweep (rate, 2x, 3x) and print the ext-pressure table")
+		clSweep    = flag.Bool("cluster-sweep", false, "run the 1/2/4-replica scale-out sweep through the fork/join harness and print the ext-cluster table")
+		workers    = flag.Int("workers", 0, "fork/join width for -cluster-sweep (0 = GOMAXPROCS default, 1 = serial)")
 		list       = flag.Bool("list", false, "list systems and datasets, then exit")
 	)
 	flag.Parse()
@@ -86,6 +88,13 @@ func main() {
 
 	if *pressSweep {
 		if err := runPressure(*dataset, *rate, *n, *seed); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	if *clSweep {
+		if err := runClusterSweep(*dataset, *rate, *n, *seed, *workers); err != nil {
 			fail(err)
 		}
 		return
@@ -204,6 +213,20 @@ func runPressure(dataset string, rate float64, n int, seed int64) error {
 	rates := []float64{rate, 2 * rate, 3 * rate}
 	rows := experiments.ExtPressure(d, rates, n, seed, true)
 	fmt.Print(experiments.RenderExtPressure(rows))
+	return nil
+}
+
+// runClusterSweep runs the 1/2/4-replica scale-out study through the
+// forkjoin harness. By the concurrency contract the table is
+// byte-identical at every -workers value and every GOMAXPROCS — the
+// equivalence ci.sh pins by diffing a serial run against a parallel one.
+func runClusterSweep(dataset string, rate float64, n int, seed int64, workers int) error {
+	d, err := workload.ByName(dataset)
+	if err != nil {
+		return err
+	}
+	rows := experiments.ExtClusterN(d, rate, n, seed, workers)
+	fmt.Print(experiments.RenderExtCluster(rows))
 	return nil
 }
 

@@ -1,9 +1,33 @@
 // Package cluster scales a serving system horizontally: a router
-// dispatches requests across N single-GPU replicas sharing one simulated
-// clock. It exercises the deployment question the paper's related-work
-// section raises — whether to scale out with more whole-GPU instances or
-// to squeeze more out of each GPU with spatial-temporal orchestration —
-// and lets both answers compose (a cluster of Bullet instances).
+// dispatches requests across N single-GPU replicas. It exercises the
+// deployment question the paper's related-work section raises — whether
+// to scale out with more whole-GPU instances or to squeeze more out of
+// each GPU with spatial-temporal orchestration — and lets both answers
+// compose (a cluster of Bullet instances).
+//
+// # Parallel-deterministic replica advancement
+//
+// Each replica owns a private sim.Simulation; the router's outer clock
+// carries only the decision points (arrivals, fault events, recoveries,
+// and a drain pump). Replicas interact with each other exclusively
+// through the router, so between two consecutive decision points every
+// replica can advance independently — the Revati-style conservative
+// window. Advancement runs through the internal/forkjoin harness:
+//
+//   - each fork task advances exactly one replica (index-addressed, no
+//     shared writes — machine-checked by bulletlint's replicaisolation
+//     analyzer);
+//   - completions and sheds produced inside the window are buffered in
+//     the owning replica's outbox, never pushed to shared state;
+//   - at the join, outboxes merge in deterministic (time, replica slot,
+//     intra-replica order) order before touching router state.
+//
+// The output is therefore a pure function of (trace, seed, config):
+// byte-identical whether replicas advance serially or on GOMAXPROCS
+// workers, which ci.sh pins with a GOMAXPROCS=1-vs-4 byte-diff gate and
+// cluster_test.go pins per worker count under -race. Attaching a
+// timeline recorder forces serial advancement so the shared trace keeps
+// one deterministic event order.
 package cluster
 
 import (
@@ -12,9 +36,11 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/forkjoin"
 	"repro/internal/gpusim"
 	"repro/internal/metrics"
 	"repro/internal/serving"
+	"repro/internal/sim"
 	"repro/internal/timeline"
 	"repro/internal/workload"
 )
@@ -39,6 +65,11 @@ type Config struct {
 	Policy   Policy
 	// Options configure each replica's Bullet instance.
 	Options core.Options
+	// Workers bounds the fork/join parallelism of replica advancement:
+	// 0 uses the forkjoin default (GOMAXPROCS, capped), 1 forces the
+	// serial path. By the isolation contract the value never changes
+	// results, only wall-clock time.
+	Workers int
 }
 
 // DefaultConfig returns a two-replica least-loaded Bullet cluster.
@@ -46,7 +77,17 @@ func DefaultConfig() Config {
 	return Config{Replicas: 2, Policy: LeastLoaded, Options: core.Options{Mode: core.ModeFull}}
 }
 
-// replica is one Bullet instance on its own device.
+// outcome is one completion or shed buffered in a replica's outbox while
+// the replica advances inside a fork/join window.
+type outcome struct {
+	at     sim.Time // replica virtual time at delivery
+	done   metrics.Request
+	shed   workload.Request
+	isShed bool
+}
+
+// replica is one Bullet instance on its own device, advancing on its own
+// private simulation clock.
 type replica struct {
 	env      *serving.Env
 	sys      *core.Bullet
@@ -58,6 +99,20 @@ type replica struct {
 	// live tracks the requests currently owned by this replica, the set
 	// that fails over when it crashes.
 	live map[string]workload.Request
+	// outbox buffers completions and sheds produced while this replica
+	// advances inside a fork/join window; the router drains it at the
+	// join in deterministic merge order. Only this replica's own event
+	// loop appends to it — the isolation the replicaisolation analyzer
+	// enforces at fork sites.
+	outbox []outcome
+}
+
+// advance runs this replica's private simulation up to horizon t,
+// buffering every completion and shed into the outbox. It touches no
+// state outside the replica, so the cluster may advance all replicas
+// concurrently.
+func (r *replica) advance(t sim.Time) {
+	r.env.Sim.Run(t)
 }
 
 // Cluster implements serving.System over N replicas.
@@ -67,6 +122,11 @@ type Cluster struct {
 	replicas []*replica
 	next     int
 	routed   map[string]*replica
+
+	// pump is the outer-clock event that re-advances replicas between
+	// router decision points, scheduled at the earliest pending replica
+	// event so replica progress keeps flowing into the outer run loop.
+	pump *sim.Event
 
 	// wcfg is non-nil once AttachFaults armed resilience; restarted
 	// replicas inherit it.
@@ -81,16 +141,21 @@ type Cluster struct {
 	stale      int
 
 	// tl is the root recorder attached by AttachTimeline; each replica
-	// records through a per-replica scoped view of it.
+	// records through a per-replica scoped view of it. Non-nil forces
+	// serial advancement so the shared trace stays deterministically
+	// ordered.
 	tl *timeline.Recorder
 }
 
 // New builds the cluster on an outer environment. The outer env's own GPU
 // and KV pool are unused (replicas own their devices); it provides the
-// clock, SLO, and completion collection.
+// router clock, SLO, and completion collection.
 func New(outer *serving.Env, cfg Config) *Cluster {
 	if cfg.Replicas <= 0 {
 		panic(fmt.Sprintf("cluster: invalid replica count %d", cfg.Replicas))
+	}
+	if cfg.Workers < 0 {
+		panic(fmt.Sprintf("cluster: invalid worker count %d", cfg.Workers))
 	}
 	switch cfg.Policy {
 	case RoundRobin, LeastLoaded, JoinShortestQueue:
@@ -104,35 +169,20 @@ func New(outer *serving.Env, cfg Config) *Cluster {
 	return c
 }
 
-// newReplica builds one replica (fresh device, fresh KV pool) whose
-// completion and shed paths route through the cluster's ownership check:
-// a request completed by a replica that no longer owns it (it crashed
-// and the request failed over) is swallowed as stale instead of being
-// double-counted.
+// newReplica builds one replica: a fresh device and KV pool on a fresh
+// private clock fast-forwarded to the router's current time. Completions
+// and sheds are buffered into the replica-local outbox; ownership checks
+// and router accounting happen at the deterministic merge, not here.
 func (c *Cluster) newReplica(idx int) *replica {
-	env := serving.NewEnvWithSim(c.outer.Sim, c.outer.GPU.Spec, c.outer.Model, datasetOf(c.outer))
+	rsim := sim.New()
+	rsim.Run(c.outer.Sim.Now())
+	env := serving.NewEnvWithSim(rsim, c.outer.GPU.Spec, c.outer.Model, datasetOf(c.outer))
 	r := &replica{env: env, live: map[string]workload.Request{}}
 	env.OnComplete = func(m metrics.Request) {
-		if c.routed[m.ID] != r {
-			c.stale++
-			return
-		}
-		delete(c.routed, m.ID)
-		delete(r.live, m.ID)
-		r.inflight--
-		r.tokens -= m.InputTokens
-		c.outer.Complete(m)
+		r.outbox = append(r.outbox, outcome{at: env.Sim.Now(), done: m})
 	}
 	env.OnShed = func(w workload.Request) {
-		if c.routed[w.ID] != r {
-			c.stale++
-			return
-		}
-		delete(c.routed, w.ID)
-		delete(r.live, w.ID)
-		r.inflight--
-		r.tokens -= w.InputTokens
-		c.outer.Shed(w)
+		r.outbox = append(r.outbox, outcome{at: env.Sim.Now(), shed: w, isShed: true})
 	}
 	r.sys = core.New(env, c.cfg.Options)
 	if c.wcfg != nil {
@@ -146,7 +196,8 @@ func (c *Cluster) newReplica(idx int) *replica {
 // AttachTimeline threads a recorder through the cluster: each replica
 // (including ones restarted after a crash) records through a scoped view
 // tagged with its slot, and router-level crash/recovery instants land on
-// the root "cluster" lane.
+// the root "cluster" lane. A shared trace needs one deterministic event
+// order, so attaching a recorder forces serial replica advancement.
 func (c *Cluster) AttachTimeline(rec *timeline.Recorder) {
 	c.tl = rec
 	for i, r := range c.replicas {
@@ -170,12 +221,141 @@ func (c *Cluster) Name() string {
 	return fmt.Sprintf("cluster-%dx-%s", c.cfg.Replicas, c.cfg.Policy)
 }
 
-// Submit implements serving.System. Arrivals that find every replica
-// down are deferred and flushed at the next recovery.
+// advanceWorkers returns the fork/join width for replica advancement:
+// serial with a timeline attached (one trace needs one order), the
+// configured bound otherwise (0 = forkjoin default).
+func (c *Cluster) advanceWorkers() int {
+	if c.tl != nil {
+		return 1
+	}
+	return c.cfg.Workers
+}
+
+// advanceTo forks one task per replica to advance every private clock to
+// horizon t, then joins and merges the buffered outcomes in
+// deterministic order. This is the only place replica state crosses back
+// into router state.
+func (c *Cluster) advanceTo(t sim.Time) {
+	reps := c.replicas
+	forkjoin.Do(len(reps), c.advanceWorkers(), func(i int) {
+		reps[i].advance(t)
+	})
+	c.mergeOutboxes()
+}
+
+// mergeOutboxes drains every replica outbox into the outer environment
+// in (time, replica slot, intra-replica order) order — a total order
+// independent of fork/join scheduling, so serial and parallel
+// advancement produce byte-identical results.
+func (c *Cluster) mergeOutboxes() {
+	type item struct {
+		at   sim.Time
+		slot int
+		pos  int
+	}
+	var items []item
+	for si, r := range c.replicas {
+		for pi, o := range r.outbox {
+			items = append(items, item{at: o.at, slot: si, pos: pi})
+		}
+	}
+	if len(items) == 0 {
+		return
+	}
+	sort.Slice(items, func(i, j int) bool {
+		a, b := items[i], items[j]
+		if a.at < b.at {
+			return true
+		}
+		if b.at < a.at {
+			return false
+		}
+		if a.slot != b.slot {
+			return a.slot < b.slot
+		}
+		return a.pos < b.pos
+	})
+	for _, it := range items {
+		c.applyOutcome(c.replicas[it.slot], c.replicas[it.slot].outbox[it.pos])
+	}
+	for _, r := range c.replicas {
+		r.outbox = r.outbox[:0]
+	}
+}
+
+// applyOutcome settles one buffered completion or shed against router
+// state: stale deliveries from replicas that no longer own the request
+// (it failed over at a crash) are swallowed, live ones release the
+// routing accounting and flow to the outer environment.
+func (c *Cluster) applyOutcome(r *replica, o outcome) {
+	if o.isShed {
+		if c.routed[o.shed.ID] != r {
+			c.stale++
+			return
+		}
+		delete(c.routed, o.shed.ID)
+		delete(r.live, o.shed.ID)
+		r.inflight--
+		r.tokens -= o.shed.InputTokens
+		c.outer.Shed(o.shed)
+		return
+	}
+	if c.routed[o.done.ID] != r {
+		c.stale++
+		return
+	}
+	delete(c.routed, o.done.ID)
+	delete(r.live, o.done.ID)
+	r.inflight--
+	r.tokens -= o.done.InputTokens
+	c.outer.Complete(o.done)
+}
+
+// schedulePump keeps the outer clock tethered to replica progress: one
+// rescheduled event at the earliest pending replica event. When it fires
+// the replicas advance to that horizon (processing, in parallel, every
+// replica event at it) and the pump re-arms at the next one. Without
+// pending replica events the pump stands down — the outer run loop then
+// correctly treats an idle cluster with outstanding requests as a
+// deadlock.
+func (c *Cluster) schedulePump() {
+	var at sim.Time
+	found := false
+	for _, r := range c.replicas {
+		if t, ok := r.env.Sim.NextAt(); ok && (!found || t < at) {
+			at, found = t, true
+		}
+	}
+	if !found {
+		c.outer.Sim.Cancel(c.pump)
+		c.pump = nil
+		return
+	}
+	if c.pump != nil && c.outer.Sim.Reschedule(c.pump, at) {
+		return
+	}
+	c.pump = c.outer.Sim.At(at, c.onPump)
+}
+
+// onPump is a router decision point with no decision: advance replicas
+// to the outer clock and re-arm.
+func (c *Cluster) onPump() {
+	c.pump = nil
+	c.advanceTo(c.outer.Sim.Now())
+	c.schedulePump()
+}
+
+// Submit implements serving.System. Every submission is a router
+// decision point: replicas first catch up to the arrival instant (so
+// load accounting reflects everything that completed before it), then
+// the policy places the request. Arrivals that find every replica down
+// are deferred and flushed at the next recovery.
 func (c *Cluster) Submit(r workload.Request) {
+	c.advanceTo(c.outer.Sim.Now())
 	rep := c.pick(r)
 	if rep == nil {
 		c.deferred = append(c.deferred, r)
+		c.schedulePump()
 		return
 	}
 	rep.inflight++
@@ -183,6 +363,7 @@ func (c *Cluster) Submit(r workload.Request) {
 	rep.live[r.ID] = r
 	c.routed[r.ID] = rep
 	rep.sys.Submit(r)
+	c.schedulePump()
 }
 
 // pick returns the routing policy's choice among healthy replicas, nil
@@ -240,25 +421,31 @@ func (c *Cluster) AttachFaults(inj *faults.Injector, wcfg core.WatchdogConfig) {
 	inj.Handle(faults.KindKVShrink, c.routeFault)
 }
 
-// routeFault applies a single-device fault to the targeted replica.
-// Faults aimed at a crashed replica are dropped — the machine is gone.
+// routeFault applies a single-device fault to the targeted replica — a
+// router decision point, so the fleet first catches up to the fault
+// instant. Faults aimed at a crashed replica are dropped — the machine
+// is gone.
 func (c *Cluster) routeFault(ev faults.Event) {
+	c.advanceTo(c.outer.Sim.Now())
 	rep := c.replicas[ev.Replica%len(c.replicas)]
-	if rep.down {
-		return
+	if !rep.down {
+		rep.sys.ApplyFault(ev)
 	}
-	rep.sys.ApplyFault(ev)
+	c.schedulePump()
 }
 
 // onReplicaCrash fails a replica: health-aware routing stops picking it,
 // its in-flight requests are re-submitted elsewhere (deterministically,
 // in request-ID order), and after the recovery delay a fresh replica
-// (new device, new KV pool) takes its slot. The crashed instance keeps
-// draining whatever was on its GPU, but it no longer owns any request —
-// its late completions are swallowed by the ownership check.
+// (new device, new KV pool, new private clock) takes its slot. The
+// crashed instance keeps draining whatever was on its GPU until the
+// readmission replaces it, but it no longer owns any request — its late
+// completions are swallowed by the ownership check at the merge.
 func (c *Cluster) onReplicaCrash(ev faults.Event) {
+	c.advanceTo(c.outer.Sim.Now())
 	rep := c.replicas[ev.Replica%len(c.replicas)]
 	if rep.down {
+		c.schedulePump()
 		return // already down; the machine cannot crash twice
 	}
 	rep.down = true
@@ -281,6 +468,7 @@ func (c *Cluster) onReplicaCrash(ev faults.Event) {
 		c.Submit(w)
 	}
 	c.outer.Sim.After(ev.Recovery, func() {
+		c.advanceTo(c.outer.Sim.Now())
 		c.replicas[idx] = c.newReplica(idx)
 		c.recoveries++
 		if c.tl != nil {
@@ -293,7 +481,9 @@ func (c *Cluster) onReplicaCrash(ev faults.Event) {
 		for _, w := range flush {
 			c.Submit(w)
 		}
+		c.schedulePump()
 	})
+	c.schedulePump()
 }
 
 // Replicas returns the per-replica completed-request counts, for balance

@@ -1,12 +1,15 @@
 package cluster
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/estimator"
+	"repro/internal/faults"
 	"repro/internal/gpusim"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/serving"
 	"repro/internal/workload"
@@ -111,6 +114,61 @@ func DefaultConfigWith(o core.Options) Config {
 	c := DefaultConfig()
 	c.Options = o
 	return c
+}
+
+// TestSerialParallelByteIdentical pins the fork/join isolation contract
+// end to end: the full Result (every per-request record, GPU counters,
+// makespan) and the per-replica completion counts are byte-identical
+// whether replicas advance serially or on several workers. Run with
+// -race, this doubles as the data-race proof for the harness.
+func TestSerialParallelByteIdentical(t *testing.T) {
+	ref, refCounts := func() (serving.Result, []int) {
+		cfg := Config{Replicas: 4, Policy: RoundRobin, Options: opts(), Workers: 1}
+		c, res := run(t, cfg, 10, 80, 11)
+		return res, c.Replicas()
+	}()
+	for _, w := range []int{2, 4, 0} {
+		cfg := Config{Replicas: 4, Policy: RoundRobin, Options: opts(), Workers: w}
+		c, res := run(t, cfg, 10, 80, 11)
+		if !reflect.DeepEqual(ref, res) {
+			t.Fatalf("workers=%d diverged from serial: %+v vs %+v", w, res.Summary, ref.Summary)
+		}
+		if !reflect.DeepEqual(refCounts, c.Replicas()) {
+			t.Fatalf("workers=%d replica counts %v, serial %v", w, c.Replicas(), refCounts)
+		}
+	}
+}
+
+// TestSerialParallelByteIdenticalUnderFaults extends the equivalence to
+// the resilience path: crash, failover, recovery, and stale-completion
+// swallowing must all land identically at every worker count.
+func TestSerialParallelByteIdenticalUnderFaults(t *testing.T) {
+	mk := func(workers int) (serving.Result, metrics.Resilience, int) {
+		env := serving.NewEnv(gpusim.A100(), model.Llama31_8B(), "azure-code")
+		c := New(env, Config{Replicas: 3, Policy: LeastLoaded, Options: opts(), Workers: workers})
+		inj := faults.NewInjector(env.Sim, faults.Schedule{Events: []faults.Event{
+			{At: 1.2, Kind: faults.KindReplicaCrash, Replica: 1, Recovery: 3},
+			{At: 2.0, Kind: faults.KindSMDegrade, Replica: 0, FirstSM: 0, NumSMs: 40, Throttle: 0.5, Duration: 1},
+		}})
+		c.AttachFaults(inj, core.DefaultWatchdog())
+		inj.Arm()
+		res := env.Run(c, workload.Generate(workload.AzureCode, 8, 90, 13))
+		c.CheckDrained()
+		return res, c.Resilience(), c.StaleCompletions()
+	}
+	ref, refRl, refStale := mk(1)
+	if ref.Summary.Requests+ref.Shed != 90 {
+		t.Fatalf("faulty run lost requests: %d completed + %d shed", ref.Summary.Requests, ref.Shed)
+	}
+	for _, w := range []int{3, 0} {
+		res, rl, stale := mk(w)
+		if !reflect.DeepEqual(ref, res) {
+			t.Fatalf("workers=%d result diverged from serial", w)
+		}
+		if rl != refRl || stale != refStale {
+			t.Fatalf("workers=%d resilience %+v/%d, serial %+v/%d", w, rl, stale, refRl, refStale)
+		}
+	}
 }
 
 func TestInvalidConfigPanics(t *testing.T) {

@@ -11,10 +11,10 @@ package core
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/engine"
 	"repro/internal/estimator"
+	"repro/internal/forkjoin"
 	"repro/internal/gpusim"
 	"repro/internal/metrics"
 	"repro/internal/model"
@@ -131,24 +131,19 @@ type Bullet struct {
 	name string
 }
 
-// fittedParamsCache memoizes offline profiling per (model, device).
-var (
-	fittedMu     sync.Mutex
-	fittedParams = map[string]estimator.Params{}
-)
+// fittedParams memoizes offline profiling per (model, device). Profiling
+// is deterministic in the pair, so the memo satisfies the forkjoin purity
+// contract and concurrent fork tasks observe identical parameters.
+var fittedParams forkjoin.Memo[string, estimator.Params]
 
 // FittedParams returns profile-fitted estimator parameters for a pair,
 // running the offline profiling once per process.
 func FittedParams(cfg model.Config, spec gpusim.Spec) estimator.Params {
 	key := cfg.Name + "/" + spec.Name
-	fittedMu.Lock()
-	defer fittedMu.Unlock()
-	if p, ok := fittedParams[key]; ok {
-		return p
-	}
-	_, rep := estimator.Profile(cfg, spec, estimator.QuickProfileOptions(spec))
-	fittedParams[key] = rep.Params
-	return rep.Params
+	return fittedParams.Get(key, func() estimator.Params {
+		_, rep := estimator.Profile(cfg, spec, estimator.QuickProfileOptions(spec))
+		return rep.Params
+	})
 }
 
 // New assembles a Bullet system on an environment.

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/estimator"
 	"repro/internal/faults"
+	"repro/internal/forkjoin"
 	"repro/internal/metrics"
 	"repro/internal/serving"
 	"repro/internal/sim"
@@ -295,11 +296,26 @@ type ClusterRow struct {
 }
 
 // ExtCluster scales Bullet horizontally: 1, 2 and 4 replicas behind a
-// least-loaded router at a rate that saturates a single GPU.
+// least-loaded router at a rate that saturates a single GPU. Rows run
+// through the forkjoin harness at the default width.
 func ExtCluster(d workload.Dataset, rate float64, n int, seed int64) []ClusterRow {
+	return ExtClusterN(d, rate, n, seed, 0)
+}
+
+// ExtClusterN is ExtCluster with an explicit fork/join width: the outer
+// width bounds how many sweep rows run concurrently, and each row's
+// cluster advances its replicas serially (one nested level of
+// parallelism is enough; rows outnumber spare cores). workers == 1
+// reproduces the fully serial sweep byte for byte — the equivalence
+// ci.sh pins via the bulletsim -cluster-sweep gate.
+func ExtClusterN(d workload.Dataset, rate float64, n int, seed int64, workers int) []ClusterRow {
 	spec, cfg := Platform()
-	var rows []ClusterRow
-	for _, replicas := range []int{1, 2, 4} {
+	// Profile once before forking so the rows share the memoized fit
+	// instead of racing to compute it.
+	core.FittedParams(cfg, spec)
+	sizes := []int{1, 2, 4}
+	return forkjoin.Map(len(sizes), workers, func(i int) ClusterRow {
+		replicas := sizes[i]
 		env := serving.NewEnv(spec, cfg, d.Name)
 		var sys serving.System
 		if replicas == 1 {
@@ -307,7 +323,7 @@ func ExtCluster(d workload.Dataset, rate float64, n int, seed int64) []ClusterRo
 		} else {
 			sys = cluster.New(env, cluster.Config{
 				Replicas: replicas, Policy: cluster.LeastLoaded,
-				Options: core.Options{Mode: core.ModeFull},
+				Options: core.Options{Mode: core.ModeFull}, Workers: 1,
 			})
 		}
 		res := env.Run(sys, workload.Generate(d, rate, n, seed))
@@ -315,13 +331,12 @@ func ExtCluster(d workload.Dataset, rate float64, n int, seed int64) []ClusterRo
 			c.CheckDrained()
 		}
 		s := res.Summary
-		rows = append(rows, ClusterRow{
+		return ClusterRow{
 			Replicas: replicas, Policy: string(cluster.LeastLoaded), Rate: rate,
 			MeanTTFT: s.MeanTTFT.Float(), Throughput: s.Throughput,
 			PerGPUThru: s.Throughput / float64(replicas), SLOAttainment: s.SLOAttainment,
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // RenderExtCluster prints the scale-out study.

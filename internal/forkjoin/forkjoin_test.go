@@ -1,0 +1,163 @@
+package forkjoin
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMapSerialParallelIdentical is the package's core contract: for an
+// isolated task body, the result slice is byte-identical across worker
+// counts, including the inline serial path.
+func TestMapSerialParallelIdentical(t *testing.T) {
+	const n = 200
+	task := func(i int) float64 {
+		// Per-task seeded sub-state, as the contract requires.
+		r := rand.New(rand.NewSource(ForkSeed(42, i)))
+		sum := 0.0
+		for k := 0; k < 50; k++ {
+			sum += r.Float64() * float64(i+1)
+		}
+		return sum
+	}
+	serial := Map(n, 1, task)
+	for _, w := range []int{2, 4, 16, 0} {
+		got := Map(n, w, task)
+		if !reflect.DeepEqual(serial, got) {
+			t.Fatalf("workers=%d diverged from serial", w)
+		}
+	}
+}
+
+func TestDoRunsEveryTaskExactlyOnce(t *testing.T) {
+	for _, w := range []int{1, 3, 8} {
+		const n = 97
+		var counts [n]int64
+		Do(n, w, func(i int) { atomic.AddInt64(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", w, i, c)
+			}
+		}
+	}
+}
+
+func TestDoZeroAndNegativeN(t *testing.T) {
+	ran := false
+	Do(0, 4, func(int) { ran = true })
+	Do(-3, 4, func(int) { ran = true })
+	if ran {
+		t.Fatal("task body ran for n <= 0")
+	}
+}
+
+// TestPanicPropagation: the lowest-indexed panicking task wins
+// deterministically, the remaining tasks still run, and the TaskPanic
+// carries the task context — in serial and parallel mode alike.
+func TestPanicPropagation(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, w := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", w), func(t *testing.T) {
+			const n = 64
+			var ran [n]int64
+			defer func() {
+				v := recover()
+				tp, ok := v.(*TaskPanic)
+				if !ok {
+					t.Fatalf("recovered %T (%v), want *TaskPanic", v, v)
+				}
+				if tp.Task != 3 || tp.N != n {
+					t.Fatalf("TaskPanic task=%d n=%d, want lowest panicking task 3 of %d", tp.Task, tp.N, n)
+				}
+				if !errors.Is(tp, sentinel) {
+					t.Fatalf("TaskPanic does not unwrap to the original error: %v", tp)
+				}
+				if !strings.Contains(tp.Error(), "task 3 of 64") {
+					t.Fatalf("TaskPanic message lacks task context: %s", tp.Error())
+				}
+				for i := range ran {
+					if atomic.LoadInt64(&ran[i]) != 1 {
+						t.Fatalf("task %d did not run to the join (panic aborted the region)", i)
+					}
+				}
+			}()
+			Do(n, w, func(i int) {
+				atomic.AddInt64(&ran[i], 1)
+				if i == 3 || i == 40 {
+					panic(fmt.Errorf("task %d: %w", i, sentinel))
+				}
+			})
+			t.Fatal("Do returned instead of panicking")
+		})
+	}
+}
+
+func TestTaskPanicUnwrapNonError(t *testing.T) {
+	tp := &TaskPanic{Task: 1, N: 2, Value: "not an error"}
+	if tp.Unwrap() != nil {
+		t.Fatal("non-error panic value unwrapped to an error")
+	}
+}
+
+func TestForkSeedDeterministicAndSpread(t *testing.T) {
+	seen := map[int64]int{}
+	for i := 0; i < 1000; i++ {
+		s := ForkSeed(7, i)
+		if s != ForkSeed(7, i) {
+			t.Fatalf("ForkSeed(7, %d) not deterministic", i)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("ForkSeed collision: tasks %d and %d both map to %d", prev, i, s)
+		}
+		seen[s] = i
+	}
+	if ForkSeed(7, 0) == ForkSeed(8, 0) {
+		t.Fatal("different base seeds produced the same sub-seed")
+	}
+}
+
+func TestMemoComputesOncePerKey(t *testing.T) {
+	var m Memo[string, int]
+	var calls int64
+	compute := func() int { atomic.AddInt64(&calls, 1); return 11 }
+	Do(32, 8, func(i int) {
+		if got := m.Get("k", compute); got != 11 {
+			t.Errorf("Get = %d, want 11", got)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want exactly once", calls)
+	}
+	if got := m.Get("other", func() int { return 5 }); got != 5 {
+		t.Fatalf("second key = %d, want 5", got)
+	}
+}
+
+func TestWorkersBounded(t *testing.T) {
+	if w := Workers(); w < 1 || w > maxWorkers {
+		t.Fatalf("Workers() = %d, want within [1, %d]", w, maxWorkers)
+	}
+}
+
+// TestNestedRegions: a parallel region may fork inner regions; panics in
+// one task's inner region must not leak into sibling tasks.
+func TestNestedRegions(t *testing.T) {
+	got := Map(8, 4, func(i int) int {
+		inner := Map(4, 2, func(j int) int { return i*10 + j })
+		sum := 0
+		for _, v := range inner {
+			sum += v
+		}
+		return sum
+	})
+	for i, v := range got {
+		want := i*40 + 6
+		if v != want {
+			t.Fatalf("outer task %d = %d, want %d", i, v, want)
+		}
+	}
+}

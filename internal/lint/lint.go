@@ -9,10 +9,20 @@
 // this package machine-check the properties that argument depends on:
 //
 //   - nodeterm:    no wall-clock time, global math/rand, or environment
-//     reads inside internal packages (simulated time comes from sim.Clock)
+//     reads inside internal packages (simulated time comes from sim.Clock);
+//     inside forkjoin task bodies the checks apply everywhere and map
+//     iteration is banned outright
 //   - maporder:    no map iteration whose order can leak into results
-//   - nogoroutine: the deterministic core is a single-threaded actor
-//     model — no goroutines, channels, or sync primitives
+//   - harnessonly: goroutines, channels, select, and sync are permitted
+//     only inside the audited internal/forkjoin harness (supersedes the
+//     retired core-only "nogoroutine" rule, whose name survives as an
+//     alias in directives and rule selections)
+//   - replicaisolation: forkjoin task bodies own only state they created
+//     and their root[i] task-index slot; writes to captured or
+//     package-level state are findings
+//   - mergeorder:  fork/join results are consumed index-addressed, never
+//     in completion order (no appends to shared slices, no result
+//     channels, no channel drains at the join)
 //   - floateq:     no exact ==/!= between computed floats
 //   - panicmsg:    panics and log.Fatal exits must carry a formatted,
 //     contextual message
@@ -133,11 +143,22 @@ func DefaultAnalyzers() []Analyzer {
 	return []Analyzer{
 		NoDeterm{},
 		MapOrder{},
-		NoGoroutine{},
+		HarnessOnly{},
+		ReplicaIsolation{},
+		MergeOrder{},
 		FloatEq{},
 		PanicMsg{},
 		UnitSafe{},
 	}
+}
+
+// RuleAliases maps retired rule names to their successors. Directives
+// and rule selections written against the old name keep working: an
+// alias suppresses (or selects) its successor's findings.
+var RuleAliases = map[string]string{
+	// nogoroutine banned concurrency in the simulation core only; it was
+	// subsumed by the module-wide harnessonly contract.
+	"nogoroutine": "harnessonly",
 }
 
 // Run applies every analyzer to every package, drops findings suppressed
@@ -238,6 +259,9 @@ func collectIgnores(p *Package) (ignoreSet, []Finding) {
 				}
 				for _, r := range strings.Split(fields[0], ",") {
 					rules[r] = true
+					if canon, ok := RuleAliases[r]; ok {
+						rules[canon] = true
+					}
 				}
 			}
 		}

@@ -23,30 +23,41 @@ var (
 	fixtureImp  = &fixtureImporter{std: fixtureStd}
 )
 
-// fixtureImporter resolves the module's own units package (which the
-// stdlib source importer cannot see) by type-checking ../units once, and
-// defers everything else to the standard importer. Fixtures can then
-// `import "repro/internal/units"` like real tree code.
+// fixtureLocalDirs maps module-local import paths fixtures may use to
+// the sibling source directories they type-check from. The stdlib source
+// importer cannot see module-local packages, so the fixture importer
+// loads these itself; everything else falls through to the standard
+// importer. Fixtures can then `import "repro/internal/units"` or
+// `import "repro/internal/forkjoin"` like real tree code.
+var fixtureLocalDirs = map[string]string{
+	"repro/internal/units":    filepath.Join("..", "units"),
+	"repro/internal/forkjoin": filepath.Join("..", "forkjoin"),
+}
+
 type fixtureImporter struct {
-	std      types.Importer
-	units    *types.Package
-	unitsErr error
-	loaded   bool
+	std  types.Importer
+	pkgs map[string]*types.Package
+	errs map[string]error
 }
 
 func (im *fixtureImporter) Import(path string) (*types.Package, error) {
-	if path != "repro/internal/units" {
+	dir, local := fixtureLocalDirs[path]
+	if !local {
 		return im.std.Import(path)
 	}
-	if !im.loaded {
-		im.loaded = true
-		im.units, im.unitsErr = im.loadUnits()
+	if im.pkgs == nil {
+		im.pkgs = map[string]*types.Package{}
+		im.errs = map[string]error{}
 	}
-	return im.units, im.unitsErr
+	if pkg, done := im.pkgs[path]; done {
+		return pkg, im.errs[path]
+	}
+	pkg, err := im.loadLocal(path, dir)
+	im.pkgs[path], im.errs[path] = pkg, err
+	return pkg, err
 }
 
-func (im *fixtureImporter) loadUnits() (*types.Package, error) {
-	dir := filepath.Join("..", "units")
+func (im *fixtureImporter) loadLocal(path, dir string) (*types.Package, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -62,8 +73,8 @@ func (im *fixtureImporter) loadUnits() (*types.Package, error) {
 		}
 		files = append(files, f)
 	}
-	conf := types.Config{Importer: im.std}
-	return conf.Check("repro/internal/units", fixtureFset, files, nil)
+	conf := types.Config{Importer: im}
+	return conf.Check(path, fixtureFset, files, nil)
 }
 
 // loadFixture parses and type-checks one standalone fixture file. The
@@ -183,12 +194,14 @@ func runFixtureDir(t *testing.T, a Analyzer) {
 	}
 }
 
-func TestNoDetermFixtures(t *testing.T)    { runFixtureDir(t, NoDeterm{}) }
-func TestMapOrderFixtures(t *testing.T)    { runFixtureDir(t, MapOrder{}) }
-func TestNoGoroutineFixtures(t *testing.T) { runFixtureDir(t, NoGoroutine{}) }
-func TestFloatEqFixtures(t *testing.T)     { runFixtureDir(t, FloatEq{}) }
-func TestPanicMsgFixtures(t *testing.T)    { runFixtureDir(t, PanicMsg{}) }
-func TestUnitSafeFixtures(t *testing.T)    { runFixtureDir(t, UnitSafe{}) }
+func TestNoDetermFixtures(t *testing.T)         { runFixtureDir(t, NoDeterm{}) }
+func TestMapOrderFixtures(t *testing.T)         { runFixtureDir(t, MapOrder{}) }
+func TestHarnessOnlyFixtures(t *testing.T)      { runFixtureDir(t, HarnessOnly{}) }
+func TestReplicaIsolationFixtures(t *testing.T) { runFixtureDir(t, ReplicaIsolation{}) }
+func TestMergeOrderFixtures(t *testing.T)       { runFixtureDir(t, MergeOrder{}) }
+func TestFloatEqFixtures(t *testing.T)          { runFixtureDir(t, FloatEq{}) }
+func TestPanicMsgFixtures(t *testing.T)         { runFixtureDir(t, PanicMsg{}) }
+func TestUnitSafeFixtures(t *testing.T)         { runFixtureDir(t, UnitSafe{}) }
 
 // TestUnitSafeTable drives the unitsafe analyzer over synthesized
 // single-function packages, one rule shape per case. The first case is
@@ -244,6 +257,139 @@ func TestUnitSafeSkipsUnitsPackage(t *testing.T) {
 	p := loadFixtureSource(t, "unitsafe_selfscope.go", src)
 	if got := (UnitSafe{}).Check(p); len(got) != 0 {
 		t.Errorf("%d findings inside internal/units, want 0: %v", len(got), got)
+	}
+}
+
+// TestSuppressionPerRule drives every analyzer through one minimal
+// violation twice: bare (the rule must fire) and with a //lint:ignore
+// directive on the line above (the finding must come back Suppressed and
+// be dropped by Run). The last case pins the deprecated-alias contract:
+// an ignore written against the retired "nogoroutine" name suppresses
+// harnessonly findings.
+func TestSuppressionPerRule(t *testing.T) {
+	cases := []struct {
+		rule     string // rule expected to fire
+		ignoreAs string // rule name written in the directive
+		src      string
+	}{
+		{"nodeterm", "nodeterm", `package fixture
+
+import "time"
+
+func f() int64 {
+	return time.Now().UnixNano()
+}
+`},
+		{"maporder", "maporder", `package fixture
+
+func f(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+`},
+		{"harnessonly", "harnessonly", `package fixture
+
+func f(fn func()) {
+	go fn()
+}
+`},
+		{"replicaisolation", "replicaisolation", `package fixture
+
+import "repro/internal/forkjoin"
+
+var total int
+
+func f(n int) {
+	forkjoin.Do(n, 0, func(i int) {
+		total++
+	})
+}
+`},
+		{"mergeorder", "mergeorder", `package fixture
+
+import "repro/internal/forkjoin"
+
+func f(items []int) []int {
+	var results []int
+	forkjoin.Do(len(items), 0, func(i int) {
+		results = append(results, items[i])
+	})
+	return results
+}
+`},
+		{"floateq", "floateq", `package fixture
+
+func f(a, b float64) bool {
+	return a == b
+}
+`},
+		{"panicmsg", "panicmsg", `package fixture
+
+func f() {
+	panic("unreachable")
+}
+`},
+		{"unitsafe", "unitsafe", `package fixture
+
+import "repro/internal/units"
+
+func f(s units.Seconds, n units.Tokens) units.Seconds {
+	return s + units.Seconds(n)
+}
+`},
+		{"harnessonly", "nogoroutine", `package fixture
+
+func f(fn func()) {
+	go fn()
+}
+`},
+	}
+	countRule := func(fs []Finding, rule string, suppressed bool) int {
+		n := 0
+		for _, f := range fs {
+			if f.Rule == rule && f.Suppressed == suppressed {
+				n++
+			}
+		}
+		return n
+	}
+	for i, c := range cases {
+		t.Run(fmt.Sprintf("%s-as-%s", c.rule, c.ignoreAs), func(t *testing.T) {
+			bare := loadFixtureSource(t, fmt.Sprintf("suppress_bare_%d.go", i), c.src)
+			fired := countRule(Run([]*Package{bare}, DefaultAnalyzers()), c.rule, false)
+			if fired == 0 {
+				t.Fatalf("bare snippet produced no %s findings", c.rule)
+			}
+			// Insert the directive immediately above every line the rule
+			// fired on, then re-run: every finding must be suppressed.
+			all := RunAll([]*Package{bare}, DefaultAnalyzers())
+			lines := strings.Split(c.src, "\n")
+			marked := map[int]bool{}
+			for _, f := range all {
+				if f.Rule == c.rule {
+					marked[f.Pos.Line] = true
+				}
+			}
+			var out []string
+			for ln, text := range lines {
+				if marked[ln+1] {
+					indent := text[:len(text)-len(strings.TrimLeft(text, " \t"))]
+					out = append(out, indent+"//lint:ignore "+c.ignoreAs+" exercising suppression")
+				}
+				out = append(out, text)
+			}
+			supp := loadFixtureSource(t, fmt.Sprintf("suppress_dir_%d.go", i), strings.Join(out, "\n"))
+			after := RunAll([]*Package{supp}, DefaultAnalyzers())
+			if n := countRule(after, c.rule, false); n != 0 {
+				t.Fatalf("%d %s findings survived the //lint:ignore %s directive: %v", n, c.rule, c.ignoreAs, after)
+			}
+			if n := countRule(after, c.rule, true); n != fired {
+				t.Fatalf("RunAll reports %d suppressed %s findings, want %d", n, c.rule, fired)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MergeOrder machine-checks the join half of the fork/join determinism
+// contract: task results must be consumed index-addressed (task i fills
+// slot i of a preallocated slice), never in completion order. Three
+// shapes are findings:
+//
+//   - a task body appending to a captured slice — the append order is
+//     the scheduler-dependent completion order;
+//   - a task body sending results on a channel — ditto;
+//   - a function that forks work and then ranges over a channel to
+//     collect it — draining a results channel observes completion order
+//     even when the sends themselves look innocuous.
+//
+// Unlike harnessonly, the rule applies inside internal/forkjoin too:
+// the harness's own primitives must consume results index-addressed,
+// which is exactly what forkjoin.Map's out[i] = fn(i) shape does.
+type MergeOrder struct{}
+
+func (MergeOrder) Name() string { return "mergeorder" }
+
+func (MergeOrder) Doc() string {
+	return "require index-addressed fork/join result consumption; forbid completion-order merges"
+}
+
+func (MergeOrder) Check(p *Package) []Finding {
+	if p.Info == nil {
+		return nil
+	}
+	var out []Finding
+	flag := func(pos token.Pos, msg string) {
+		out = append(out, Finding{Pos: p.Fset.Position(pos), Rule: "mergeorder", Msg: msg})
+	}
+	for _, file := range p.Files {
+		// Inside task bodies: no completion-order result production.
+		for _, lit := range forkTaskLits(p, file) {
+			c := newIsoCtx(p, lit)
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SendStmt:
+					flag(n.Pos(), "forked task sends results on a channel; write to an index-addressed slot instead")
+				case *ast.CallExpr:
+					id, ok := n.Fun.(*ast.Ident)
+					if !ok || len(n.Args) == 0 {
+						return true
+					}
+					if _, builtin := p.Info.Uses[id].(*types.Builtin); !builtin || id.Name != "append" {
+						return true
+					}
+					if kind, _ := c.classify(n.Args[0]); kind != ownKind {
+						flag(n.Pos(), "forked task appends to a shared slice in completion order; write to an index-addressed slot instead")
+					}
+				}
+				return true
+			})
+		}
+		// In functions that fork: no draining results from a channel.
+		// Nested function literals are attributed to themselves, not to
+		// their enclosing function.
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			default:
+				return true
+			}
+			if body == nil || !forksWork(p, body) {
+				return true
+			}
+			walkSameFunc(body, func(m ast.Node) {
+				rng, ok := m.(*ast.RangeStmt)
+				if !ok {
+					return
+				}
+				if t := typeOf(p, rng.X); t != nil {
+					if _, chanT := t.Underlying().(*types.Chan); chanT {
+						flag(rng.Pos(), "fork/join results drained from a channel in completion order; use the index-addressed result slice")
+					}
+				}
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// walkSameFunc visits every node of body without descending into nested
+// function literals.
+func walkSameFunc(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// forksWork reports whether the function body itself contains a
+// forkjoin.Do/Map fork site (nested function literals excluded).
+func forksWork(p *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && forkTaskLit(p, call) != nil {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

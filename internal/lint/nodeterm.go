@@ -15,13 +15,20 @@ import (
 // rand.NewSource, rand.NewZipf, ...) are allowed; it is the implicitly
 // shared global state and the host clock/environment that are banned.
 // cmd/ mains and examples/ are out of scope — they talk to the real world
-// by design.
+// by design — EXCEPT inside forkjoin.Do/Map task bodies, which are
+// checked everywhere: a forked task drawing from the wall clock or the
+// global rand source reintroduces scheduler-dependent results that the
+// fork/join harness exists to rule out. Task bodies additionally may not
+// iterate maps at all — per-goroutine map iteration order differs even
+// between runs of the same schedule — so results must flow through
+// sorted keys or index-addressed slices (randomness through
+// forkjoin.ForkSeed).
 type NoDeterm struct{}
 
 func (NoDeterm) Name() string { return "nodeterm" }
 
 func (NoDeterm) Doc() string {
-	return "forbid wall-clock time, global math/rand, and os.Getenv in internal packages"
+	return "forbid wall-clock time, global math/rand, and os.Getenv in internal packages, plus map iteration in forked task bodies"
 }
 
 // forbiddenFuncs maps package path -> function name -> the reason shown in
@@ -54,14 +61,27 @@ var randConstructors = map[string]bool{
 }
 
 func (NoDeterm) Check(p *Package) []Finding {
-	if !p.InInternal() {
-		return nil
-	}
+	internal := p.InInternal()
 	var out []Finding
 	for _, file := range p.Files {
+		lits := forkTaskLits(p, file)
+		if !internal && len(lits) == 0 {
+			continue
+		}
 		ast.Inspect(file, func(n ast.Node) bool {
+			if rng, ok := n.(*ast.RangeStmt); ok && inAny(lits, rng.Pos()) && isMapType(p, rng.X) {
+				out = append(out, Finding{
+					Pos:  p.Fset.Position(rng.Pos()),
+					Rule: "nodeterm",
+					Msg:  "map iteration inside a forked task body: per-goroutine iteration order is nondeterministic; sort the keys or index a slice",
+				})
+				return true
+			}
 			sel, ok := n.(*ast.SelectorExpr)
 			if !ok {
+				return true
+			}
+			if !internal && !inAny(lits, sel.Pos()) {
 				return true
 			}
 			obj := useOf(p, sel)

@@ -1,0 +1,17 @@
+//linttest:path repro/internal/metrics
+
+// The retired "nogoroutine" rule name keeps working as a deprecated
+// alias in ignore directives: a directive written against the old name
+// suppresses the harnessonly finding on the same line. The unsuppressed
+// second site pins that the alias directive is line-scoped, not
+// file-wide.
+package fixture
+
+func spawnSuppressed(fn func()) {
+	//lint:ignore nogoroutine grandfathered pre-harness helper
+	go fn()
+}
+
+func spawnFlagged(fn func()) {
+	go fn() // want harnessonly
+}

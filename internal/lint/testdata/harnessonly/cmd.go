@@ -1,0 +1,16 @@
+//linttest:path repro/cmd/tool
+
+// cmd/ mains talk to the real world by design and stay out of
+// harnessonly's scope. Zero findings expected.
+package fixture
+
+func serve(requests chan string, handle func(string)) {
+	done := make(chan struct{})
+	go func() {
+		for r := range requests {
+			handle(r)
+		}
+		close(done)
+	}()
+	<-done
+}

@@ -1,7 +1,8 @@
-//linttest:path repro/internal/serving
+//linttest:path repro/internal/forkjoin
 
-// nogoroutine is scoped to the deterministic core; other internal
-// packages may use concurrency (e.g. a serving frontend).
+// internal/forkjoin is the whitelisted harness: the one package allowed
+// to own goroutines, channels, select, and sync primitives. Zero
+// findings expected.
 package fixture
 
 import "sync"

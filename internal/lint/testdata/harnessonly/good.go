@@ -1,0 +1,29 @@
+//linttest:path repro/internal/cluster
+
+// Known-good input for the harnessonly rule: single-threaded event-loop
+// code, and parallelism obtained by CALLING the forkjoin harness — the
+// one sanctioned route to concurrency.
+package fixture
+
+import "repro/internal/forkjoin"
+
+type replica struct {
+	clock float64
+	done  []int
+}
+
+func (r *replica) advance(t float64) {
+	r.clock = t
+}
+
+func advanceAll(reps []*replica, t float64, workers int) {
+	forkjoin.Do(len(reps), workers, func(i int) {
+		reps[i].advance(t)
+	})
+}
+
+func sweep(rows []int) []int {
+	return forkjoin.Map(len(rows), 0, func(i int) int {
+		return rows[i] * 2
+	})
+}

@@ -1,0 +1,28 @@
+//linttest:path repro/internal/fixture
+
+// Known-bad inputs for the mergeorder rule: fork/join results produced
+// or consumed in completion order instead of index-addressed slots.
+package fixture
+
+import "repro/internal/forkjoin"
+
+func collectAppend(items []int) []int {
+	var results []int
+	forkjoin.Do(len(items), 0, func(i int) {
+		results = append(results, items[i]*2) // want mergeorder
+	})
+	return results
+}
+
+func collectChannel(items []int) int {
+	ch := make(chan int, len(items))
+	forkjoin.Do(len(items), 0, func(i int) {
+		ch <- items[i] // want mergeorder
+	})
+	close(ch)
+	total := 0
+	for v := range ch { // want mergeorder
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,28 @@
+//linttest:path repro/internal/fixture
+
+// Known-good inputs for the mergeorder rule: index-addressed result
+// consumption, per-slot appends, and channel drains in functions that do
+// not fork (out of the rule's scope; harnessonly polices those).
+package fixture
+
+import "repro/internal/forkjoin"
+
+func collect(items []int) []int {
+	return forkjoin.Map(len(items), 0, func(i int) int {
+		return items[i] * 2
+	})
+}
+
+func perSlotAppend(rows [][]int, extra []int) {
+	forkjoin.Do(len(rows), 0, func(i int) {
+		rows[i] = append(rows[i], extra[i])
+	})
+}
+
+func drainWithoutFork(ch chan int) int {
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,33 @@
+//linttest:path repro/cmd/tool
+
+// nodeterm extends into forkjoin task bodies EVERYWHERE — even cmd/
+// packages, which are otherwise out of scope. A forked task drawing from
+// the wall clock or the global rand source, or iterating a map, makes
+// results depend on the goroutine schedule. The same constructs outside
+// the task body stay exempt in cmd/.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/forkjoin"
+)
+
+func sweep(rows []int, weights map[string]float64) []float64 {
+	start := time.Now() // exempt: outside any task body, cmd/ scope
+	out := forkjoin.Map(len(rows), 0, func(i int) float64 {
+		sum := float64(time.Since(start)) // want nodeterm
+		sum += rand.Float64()             // want nodeterm
+		for _, w := range weights {       // want nodeterm
+			sum += w
+		}
+		rng := rand.New(rand.NewSource(forkjoin.ForkSeed(1, i)))
+		return sum + rng.Float64()
+	})
+	return out
+}
+
+func cmdScopeStaysExempt() int64 {
+	return time.Now().UnixNano() + int64(rand.Intn(10))
+}

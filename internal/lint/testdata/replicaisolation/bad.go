@@ -1,0 +1,37 @@
+//linttest:path repro/internal/fixture
+
+// Known-bad inputs for the replicaisolation rule: forked task bodies
+// leaking writes into package-level state, captured state, and foreign
+// slots.
+package fixture
+
+import "repro/internal/forkjoin"
+
+type acc struct{ n int }
+
+func (a *acc) add(v int) { a.n += v }
+func (a acc) get() int   { return a.n }
+
+var total int
+
+func sweep(rows []int, shared *acc, out []int) {
+	forkjoin.Do(len(rows), 0, func(i int) {
+		total++          // want replicaisolation
+		shared.n++       // want replicaisolation
+		out[0] = rows[i] // want replicaisolation
+		shared.add(1)    // want replicaisolation
+		alias := shared
+		alias.n = 5 // want replicaisolation
+		_ = shared.get()
+		out[i] = rows[i]
+	})
+}
+
+func mapLeaks(buf []byte, counts map[string]int) [][]byte {
+	forkjoin.Do(2, 0, func(i int) {
+		delete(counts, "stale") // want replicaisolation
+	})
+	return forkjoin.Map(4, 0, func(i int) []byte {
+		return buf // want replicaisolation
+	})
+}

@@ -1,0 +1,49 @@
+//linttest:path repro/internal/fixture
+
+// Known-good inputs for the replicaisolation rule: task bodies that own
+// exactly their fresh state and their root[i] task-index slot, with
+// per-task randomness derived through forkjoin.ForkSeed.
+package fixture
+
+import (
+	"math/rand"
+
+	"repro/internal/forkjoin"
+)
+
+type replica struct {
+	clock float64
+	done  []int
+}
+
+func (r *replica) advance(t float64) { r.clock = t }
+
+func advanceAll(reps []*replica, t float64) {
+	forkjoin.Do(len(reps), 0, func(i int) {
+		reps[i].advance(t)
+		reps[i].done = append(reps[i].done, 1)
+	})
+}
+
+func sweep(rows []int, seed int64) []int {
+	out := make([]int, len(rows))
+	forkjoin.Do(len(rows), 0, func(i int) {
+		rng := rand.New(rand.NewSource(forkjoin.ForkSeed(seed, i)))
+		acc := 0
+		for k := 0; k < rows[i]; k++ {
+			acc += rng.Intn(10)
+		}
+		out[i] = acc
+	})
+	return out
+}
+
+func freshResults(rows []int) [][]int {
+	return forkjoin.Map(len(rows), 0, func(i int) []int {
+		local := make([]int, 0, rows[i])
+		for k := 0; k < rows[i]; k++ {
+			local = append(local, k)
+		}
+		return local
+	})
+}

@@ -95,6 +95,22 @@ func (s *Simulation) Processed() uint64 { return s.processed }
 // Pending returns the number of events currently scheduled.
 func (s *Simulation) Pending() int { return len(s.queue) }
 
+// NextAt returns the firing time of the earliest live pending event, or
+// false when none remain. Cancelled events encountered at the queue head
+// are discarded on the way. Conservative-window drivers (the cluster's
+// replica pump) use this to pick the next horizon every sub-simulation
+// can safely advance to.
+func (s *Simulation) NextAt() (Time, bool) {
+	for len(s.queue) > 0 {
+		if s.queue[0].dead {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return s.queue[0].at, true
+	}
+	return 0, false
+}
+
 // At schedules fn to run at absolute time t. Scheduling in the past (t <
 // Now) panics: that is always a logic error in a discrete-event model.
 func (s *Simulation) At(t Time, fn func()) *Event {

@@ -248,6 +248,28 @@ func TestPropertyCancelSubset(t *testing.T) {
 	}
 }
 
+// NextAt must report the earliest live event, skipping cancelled heads,
+// and report nothing on an empty queue.
+func TestNextAt(t *testing.T) {
+	s := New()
+	if _, ok := s.NextAt(); ok {
+		t.Fatal("empty queue reported a next event")
+	}
+	e1 := s.At(1, func() {})
+	s.At(3, func() {})
+	if at, ok := s.NextAt(); !ok || at != 1 {
+		t.Fatalf("NextAt = %v, %v; want 1, true", at, ok)
+	}
+	s.Cancel(e1)
+	if at, ok := s.NextAt(); !ok || at != 3 {
+		t.Fatalf("after cancelling head, NextAt = %v, %v; want 3, true", at, ok)
+	}
+	s.Step()
+	if _, ok := s.NextAt(); ok {
+		t.Fatal("drained queue reported a next event")
+	}
+}
+
 func BenchmarkScheduleAndFire(b *testing.B) {
 	s := New()
 	b.ReportAllocs()
