@@ -1,6 +1,6 @@
 # Convenience aliases; ci.sh is the authoritative gate.
 
-.PHONY: ci build test race lint fuzz bench bench-cluster
+.PHONY: ci build test race lint fuzz bench bench-cluster bench-hotpath prof
 
 ci:
 	./ci.sh
@@ -27,3 +27,16 @@ bench:
 # Serial vs forkjoin-parallel replica sweep (see BENCH_cluster_sweep.json).
 bench-cluster:
 	GOMAXPROCS=4 go test -run='^$$' -bench ClusterSweepParallelism -benchtime 5x -count 1 .
+
+# Steady-state hot-path microbenchmarks (see BENCH_hotpath.json).
+bench-hotpath:
+	go test -run='^$$' -bench BenchmarkHotPaths -benchtime 100000x -count 1 .
+
+# CPU+heap profile of a representative sweep (pprof files in ./prof/).
+prof:
+	mkdir -p prof
+	go run ./cmd/bulletsim -system bullet -dataset azure-code -rate 8 -n 200 -seed 42 \
+		-cpuprofile prof/bulletsim.cpu.pprof -memprofile prof/bulletsim.mem.pprof
+	go run ./cmd/bulletbench -exp fig4 -quick \
+		-cpuprofile prof/bulletbench.cpu.pprof -memprofile prof/bulletbench.mem.pprof
+	go tool pprof -top -nodecount=15 prof/bulletsim.cpu.pprof

@@ -1,0 +1,156 @@
+// Steady-state allocation assertions for the //bullet:hotpath contract
+// (DESIGN.md §13). BenchmarkHotPaths measures these paths; this file
+// *pins* them, so an allocation regression fails `go test` (and the ci.sh
+// alloc gate) rather than silently drifting a BENCH_hotpath.json number.
+//
+// Each assertion warms the path first so pools and scratch buffers reach
+// steady state; AllocsPerRun then reports the per-operation average.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/kvcache"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/timeline"
+	"repro/internal/units"
+)
+
+// pinAllocs asserts an exact steady-state allocation count.
+func pinAllocs(t *testing.T, name string, want float64, fn func()) {
+	t.Helper()
+	fn() // warm: pools, scratch buffers, lazy growth
+	if got := testing.AllocsPerRun(100, fn); got != want {
+		t.Errorf("%s: %v allocs/op, want %v", name, got, want)
+	}
+}
+
+// TestSimEventQueueZeroAlloc pins the event-loop steady state at zero:
+// a pooled Post/PostAfter plus the Step that fires it must reuse arena
+// storage, never touch the heap.
+func TestSimEventQueueZeroAlloc(t *testing.T) {
+	s := sim.New()
+	fn := func() {}
+	for i := 0; i < 256; i++ { // grow the arena and the heap slice once
+		s.PostAfter(1e-6, fn)
+	}
+	for s.Step() {
+	}
+	pinAllocs(t, "sim post+step", 0, func() {
+		s.PostAfter(1e-6, fn)
+		s.Step()
+	})
+}
+
+// TestSimHandleEventOneAlloc pins the handle-returning path at exactly
+// one allocation — the escaping *Event the caller retains (the
+// documented exception to the pooled path).
+func TestSimHandleEventOneAlloc(t *testing.T) {
+	s := sim.New()
+	fn := func() {}
+	pinAllocs(t, "sim at+cancel", 1, func() {
+		e := s.After(1e-6, fn)
+		s.Cancel(e)
+		s.Step()
+	})
+}
+
+// TestTimelineDisabledCallSiteZeroAlloc pins the cost of a fully
+// decorated recording call site when tracing is off — the price every
+// production hot loop pays — at zero: the variadic arg slice must stay
+// on the caller's stack.
+func TestTimelineDisabledCallSiteZeroAlloc(t *testing.T) {
+	var rec *timeline.Recorder
+	pinAllocs(t, "timeline disabled span", 0, func() {
+		rec.Span("prefill", "chunk", 0.001, 0.002,
+			timeline.I("tokens", 512), timeline.F("sms", 48), timeline.S("req", "r1"))
+	})
+	pinAllocs(t, "timeline disabled instant", 0, func() {
+		rec.Instant("sched", "re-rate", 0.001,
+			timeline.I("prefill_sms", 48), timeline.I("decode_sms", 60))
+	})
+	pinAllocs(t, "timeline disabled counter", 0, func() {
+		rec.Counter("kv", "occupancy", 0.001, timeline.F("frac", 0.7))
+	})
+	pinAllocs(t, "timeline disabled async", 0, func() {
+		rec.AsyncSpan("req", "decode", "id1", 0.001, 0.002, timeline.I("tokens", 1))
+	})
+}
+
+// TestTimelineEnabledSteadyState bounds the live-recorder append: args
+// are copied into the shared arena, so past occasional amortized buffer
+// growth a recorded span performs no per-event allocation.
+func TestTimelineEnabledSteadyState(t *testing.T) {
+	rec := timeline.New(1 << 20)
+	record := func() {
+		rec.Span("prefill", "chunk", 0.001, 0.002,
+			timeline.I("tokens", 512), timeline.F("sms", 48))
+	}
+	for i := 0; i < 4096; i++ { // push the event and arg buffers past small-cap growth
+		record()
+	}
+	if got := testing.AllocsPerRun(100, record); got >= 1 {
+		t.Errorf("timeline enabled span: %v allocs/op, want amortized < 1", got)
+	}
+}
+
+// TestSchedDecideZeroAlloc pins the full water-filling re-rate —
+// percentile predictions, level search, decision — at zero steady-state
+// allocations.
+func TestSchedDecideZeroAlloc(t *testing.T) {
+	s, st := benchScheduler()
+	pinAllocs(t, "sched decide", 0, func() { _ = s.Decide(st) })
+}
+
+// TestSchedSortWaitingZeroAlloc pins the deadline reorder at zero: the
+// insertion sort compares in place with no comparator closure.
+func TestSchedSortWaitingZeroAlloc(t *testing.T) {
+	s, st := benchScheduler()
+	reqs := make([]sched.WaitingReq, len(st.Waiting))
+	pinAllocs(t, "sched sort-waiting", 0, func() {
+		copy(reqs, st.Waiting)
+		s.SortWaiting(reqs)
+	})
+}
+
+// TestKVAllocFreeSteadyState pins sequence churn at exactly one
+// allocation per request — the Sequence header handed to the caller —
+// with block tables recycled through the pool.
+func TestKVAllocFreeSteadyState(t *testing.T) {
+	p := kvcache.NewPool(4096, 16)
+	pinAllocs(t, "kvcache alloc+free", 1, func() {
+		s, err := p.Allocate("r", 2048, "decode")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.MustFree(s)
+	})
+}
+
+// TestMetricsPercentileInPlaceZeroAlloc pins the scheduler's percentile
+// read (reused scratch + in-place select) at zero.
+func TestMetricsPercentileInPlaceZeroAlloc(t *testing.T) {
+	xs := make([]float64, 64)
+	for i := range xs {
+		xs[i] = float64((i * 37) % 64)
+	}
+	scratch := make([]float64, 0, len(xs))
+	pinAllocs(t, "metrics percentile", 0, func() {
+		scratch = append(scratch[:0], xs...)
+		_ = metrics.PercentileInPlace(scratch, 0.9)
+	})
+}
+
+// TestPressureAdmitZeroAlloc pins the admission gate (without a
+// timeline attached, its production default) at zero.
+func TestPressureAdmitZeroAlloc(t *testing.T) {
+	ctrl, _ := benchPressure()
+	now := 0.0
+	pinAllocs(t, "pressure admit+deficit", 0, func() {
+		now += 1e-6
+		_ = ctrl.Admit(units.Seconds(now), "r", 2048, 0)
+		_ = ctrl.Deficit(2048)
+	})
+}

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # ci.sh — the full verification gate, in dependency order: formatting,
 # vet, build, tests, race detector, the serial-vs-parallel concurrency
-# equivalence gate, a short fuzz pass over the SM-mask set algebra, and
+# equivalence gate, the hot-path allocation contract (AllocsPerRun pins
+# + hotalloc lint), a short fuzz pass over the SM-mask set algebra, and
 # the bulletlint determinism contract (see DESIGN.md, "Determinism
-# contract" and "Concurrency contract"). Every step must pass; the
-# script stops at the first failure.
+# contract", "Concurrency contract", and "Allocation contract"). Every
+# step must pass; the script stops at the first failure.
 #
 # Usage: ./ci.sh            (or: make ci)
 set -euo pipefail
@@ -107,6 +108,21 @@ go test -cover ./... | awk '
         exit fail
     }
 '
+
+step "allocation contract: steady-state AllocsPerRun pins"
+# The hot-path allocation contract (DESIGN.md, "Allocation contract"):
+# the sim event push/pop cycle, disabled-timeline call sites, the
+# water-filling re-rate, partition rebuilds, pressure gates, and
+# in-place percentiles must allocate nothing at steady state; the After
+# handle and per-request KV sequence header are pinned at exactly one.
+# Run the pins explicitly so an allocation regression fails CI by name
+# even if the broader test pass is trimmed.
+go test -count=1 -run 'ZeroAlloc|OneAlloc|SteadyState' .
+
+step "allocation contract: bulletlint -rules hotalloc smoke"
+# The analyzer must hold the whole module clean on its own (the full
+# bulletlint pass below also covers it; this names the rule directly).
+go run ./cmd/bulletlint -rules hotalloc ./...
 
 step "fuzz: smmask set algebra (5s)"
 go test -run='^$' -fuzz=Fuzz -fuzztime=5s ./internal/smmask

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/prof"
 	"repro/internal/workload"
 )
 
@@ -39,9 +40,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		quick    = fs.Bool("quick", false, "reduced request counts / sweeps")
 		list     = fs.Bool("list", false, "list experiment ids, then exit")
 		traceOut = fs.String("trace-out", "", "write a deterministic timeline trace of a representative run, then exit")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a post-GC heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *cpuProf != "" || *memProf != "" {
+		stop, err := prof.Start(*cpuProf, *memProf)
+		if err != nil {
+			fmt.Fprintln(stderr, "bulletbench:", err)
+			return 1
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(stderr, "bulletbench:", err)
+			}
+		}()
 	}
 
 	if *traceOut != "" {

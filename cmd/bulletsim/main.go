@@ -37,6 +37,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/metrics"
+	"repro/internal/prof"
 	"repro/internal/serving"
 	"repro/internal/trace"
 	"repro/internal/units"
@@ -60,8 +61,22 @@ func main() {
 		clSweep    = flag.Bool("cluster-sweep", false, "run the 1/2/4-replica scale-out sweep through the fork/join harness and print the ext-cluster table")
 		workers    = flag.Int("workers", 0, "fork/join width for -cluster-sweep (0 = GOMAXPROCS default, 1 = serial)")
 		list       = flag.Bool("list", false, "list systems and datasets, then exit")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a post-GC heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" || *memProf != "" {
+		stop, err := prof.Start(*cpuProf, *memProf)
+		if err != nil {
+			fail(err)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "bulletsim:", err)
+			}
+		}()
+	}
 
 	if *list {
 		fmt.Println("systems: ", strings.Join(bullet.Systems(), ", "))

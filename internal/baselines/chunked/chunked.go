@@ -241,7 +241,7 @@ func (e *Engine) cycle() {
 				e.decode = append(e.decode, r)
 			}
 		}
-		e.env.Sim.After(e.scheme.IterOverhead, e.cycle)
+		e.env.Sim.PostAfter(e.scheme.IterOverhead, e.cycle)
 	})
 }
 

@@ -126,7 +126,7 @@ func (e *Engine) Submit(r workload.Request) {
 	e.waiting = append(e.waiting, &req{w: r})
 	if !e.prefillRun {
 		e.prefillRun = true
-		e.env.Sim.After(0, e.prefillCycle)
+		e.env.Sim.PostAfter(0, e.prefillCycle)
 	}
 }
 
@@ -178,7 +178,7 @@ func (e *Engine) prefillCycle() {
 			r.generated = 1
 			e.startMigration(r)
 		}
-		e.env.Sim.After(e.cfg.CycleOverhead, e.prefillCycle)
+		e.env.Sim.PostAfter(e.cfg.CycleOverhead, e.prefillCycle)
 	})
 }
 
@@ -202,7 +202,7 @@ func (e *Engine) startMigration(r *req) {
 	finish := start + e.cfg.LinkLatency + kvBytes.Div(e.cfg.LinkBandwidth)
 	e.linkBusyTil = finish
 	e.migrations++
-	e.env.Sim.At(finish, func() {
+	e.env.Sim.Post(finish, func() {
 		e.prefillKV.MustFree(r.prefillSeq)
 		r.prefillSeq = nil
 		e.migrating = append(e.migrating, r)
@@ -215,7 +215,7 @@ func (e *Engine) startMigration(r *req) {
 func (e *Engine) kickPrefill() {
 	if !e.prefillRun && len(e.waiting) > 0 {
 		e.prefillRun = true
-		e.env.Sim.After(0, e.prefillCycle)
+		e.env.Sim.PostAfter(0, e.prefillCycle)
 	}
 }
 
@@ -236,7 +236,7 @@ func (e *Engine) admitMigrated() {
 	e.migrating = kept
 	if len(e.pending) > 0 && !e.decodeRun {
 		e.decodeRun = true
-		e.env.Sim.After(0, e.decodeCycle)
+		e.env.Sim.PostAfter(0, e.decodeCycle)
 	}
 }
 
@@ -276,7 +276,7 @@ func (e *Engine) decodeCycle() {
 		if freed {
 			e.admitMigrated()
 		}
-		e.env.Sim.After(e.cfg.CycleOverhead, e.decodeCycle)
+		e.env.Sim.PostAfter(e.cfg.CycleOverhead, e.decodeCycle)
 	})
 }
 

@@ -229,7 +229,7 @@ func (e *Engine) completeIteration(chunkReqs []*req, chunkLens []int) {
 			e.decode = append(e.decode, r)
 		}
 	}
-	e.env.Sim.After(e.cfg.IterOverhead, e.cycle)
+	e.env.Sim.PostAfter(e.cfg.IterOverhead, e.cycle)
 }
 
 func (e *Engine) dequeue(r *req) {

@@ -145,6 +145,10 @@ type Cluster struct {
 	// serial advancement so the shared trace stays deterministically
 	// ordered.
 	tl *timeline.Recorder
+
+	// merge is the outbox-merge scratch, resliced to zero length on every
+	// window so steady-state merges stay allocation-free.
+	merge []outboxKey
 }
 
 // New builds the cluster on an outer environment. The outer env's own GPU
@@ -243,38 +247,57 @@ func (c *Cluster) advanceTo(t sim.Time) {
 	c.mergeOutboxes()
 }
 
+// outboxKey orders one buffered outcome during a merge: (at, slot, pos)
+// is unique per outcome, so any comparison sort yields the same total
+// order.
+type outboxKey struct {
+	at   sim.Time
+	slot int
+	pos  int
+}
+
+// outboxKeyLess is the merge ordering: time, then replica slot, then
+// intra-replica buffer order. A top-level function rather than a closure
+// so sorting captures nothing.
+func outboxKeyLess(a, b outboxKey) bool {
+	if a.at < b.at {
+		return true
+	}
+	if b.at < a.at {
+		return false
+	}
+	if a.slot != b.slot {
+		return a.slot < b.slot
+	}
+	return a.pos < b.pos
+}
+
 // mergeOutboxes drains every replica outbox into the outer environment
 // in (time, replica slot, intra-replica order) order — a total order
 // independent of fork/join scheduling, so serial and parallel
-// advancement produce byte-identical results.
+// advancement produce byte-identical results. Keys are collected into a
+// cluster-held scratch slice and insertion-sorted in place: windows are
+// short, so outboxes hold at most a handful of outcomes and the merge
+// must not allocate per window.
+//
+//bullet:hotpath
 func (c *Cluster) mergeOutboxes() {
-	type item struct {
-		at   sim.Time
-		slot int
-		pos  int
-	}
-	var items []item
+	items := c.merge[:0]
 	for si, r := range c.replicas {
 		for pi, o := range r.outbox {
-			items = append(items, item{at: o.at, slot: si, pos: pi})
+			//lint:ignore hotalloc scratch growth is amortized; steady state reuses reserved capacity
+			items = append(items, outboxKey{at: o.at, slot: si, pos: pi})
 		}
 	}
+	c.merge = items
 	if len(items) == 0 {
 		return
 	}
-	sort.Slice(items, func(i, j int) bool {
-		a, b := items[i], items[j]
-		if a.at < b.at {
-			return true
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0 && outboxKeyLess(items[j], items[j-1]); j-- {
+			items[j], items[j-1] = items[j-1], items[j]
 		}
-		if b.at < a.at {
-			return false
-		}
-		if a.slot != b.slot {
-			return a.slot < b.slot
-		}
-		return a.pos < b.pos
-	})
+	}
 	for _, it := range items {
 		c.applyOutcome(c.replicas[it.slot], c.replicas[it.slot].outbox[it.pos])
 	}
@@ -467,7 +490,7 @@ func (c *Cluster) onReplicaCrash(ev faults.Event) {
 		c.retried++
 		c.Submit(w)
 	}
-	c.outer.Sim.After(ev.Recovery, func() {
+	c.outer.Sim.PostAfter(ev.Recovery, func() {
 		c.advanceTo(c.outer.Sim.Now())
 		c.replicas[idx] = c.newReplica(idx)
 		c.recoveries++

@@ -97,7 +97,7 @@ func (b *Bullet) onSMDegrade(ev faults.Event) {
 	b.env.GPU.SetSMHealth(ev.FirstSM, ev.NumSMs, ev.Throttle)
 	b.reprovision()
 	if ev.Duration > 0 {
-		b.env.Sim.After(ev.Duration, func() {
+		b.env.Sim.PostAfter(ev.Duration, func() {
 			b.env.GPU.SetSMHealth(ev.FirstSM, ev.NumSMs, 1)
 			b.reprovision()
 			b.faults.recoveries++
@@ -136,7 +136,7 @@ func (b *Bullet) onEngineStall(ev faults.Event) {
 		b.faults.bufferFaults++
 		token := b.faults.bufferFaults
 		b.Buffer.SetExtraLatency(ev.Stall)
-		b.env.Sim.After(ev.Stall, func() {
+		b.env.Sim.PostAfter(ev.Stall, func() {
 			if b.faults.bufferFaults == token {
 				b.Buffer.SetExtraLatency(0)
 			}
@@ -144,15 +144,15 @@ func (b *Bullet) onEngineStall(ev faults.Event) {
 		})
 	case faults.TargetDecode:
 		b.Decode.Stall(ev.Stall)
-		b.env.Sim.After(ev.Stall, func() { b.faults.recoveries++ })
+		b.env.Sim.PostAfter(ev.Stall, func() { b.faults.recoveries++ })
 	case faults.TargetPrefill:
 		b.Prefill.Stall(ev.Stall)
 		if ev.Stall > b.faults.wcfg.Timeout && b.Prefill.Running() {
 			ep := b.Prefill.Epoch()
-			b.env.Sim.After(b.faults.wcfg.Timeout, func() { b.watchdogFire(ep) })
+			b.env.Sim.PostAfter(b.faults.wcfg.Timeout, func() { b.watchdogFire(ep) })
 			return
 		}
-		b.env.Sim.After(ev.Stall, func() { b.faults.recoveries++ })
+		b.env.Sim.PostAfter(ev.Stall, func() { b.faults.recoveries++ })
 	default:
 		panic(fmt.Sprintf("core: unknown stall target %q", ev.Target))
 	}
@@ -189,7 +189,7 @@ func (b *Bullet) watchdogFire(ep int) {
 			timeline.I("shed", shed))
 	}
 	if len(keep) > 0 {
-		b.env.Sim.After(b.faults.wcfg.Backoff, func() { b.Prefill.Requeue(keep) })
+		b.env.Sim.PostAfter(b.faults.wcfg.Backoff, func() { b.Prefill.Requeue(keep) })
 	}
 }
 

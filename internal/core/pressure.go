@@ -71,7 +71,7 @@ func (b *Bullet) relievePressure(deficit int, requester sim.Time) {
 		}
 		// Backoff before recovering: the admission that raised pressure
 		// gets first claim on the freed blocks.
-		b.env.Sim.After(b.pressure.Backoff(v.Preemptions), func() {
+		b.env.Sim.PostAfter(b.pressure.Backoff(v.Preemptions), func() {
 			b.recoverVictim(v, 1)
 		})
 	}
@@ -93,14 +93,14 @@ func (b *Bullet) recoverVictim(v *engine.Req, attempt int) {
 	if choice == pressure.Retransfer {
 		need := v.NewTokens() + v.W.OutputTokens
 		if !b.pressure.CanReadmit(need) {
-			b.env.Sim.After(b.pressure.Backoff(attempt+1), func() {
+			b.env.Sim.PostAfter(b.pressure.Backoff(attempt+1), func() {
 				b.recoverVictim(v, attempt+1)
 			})
 			return
 		}
 		seq, err := b.env.KV.Allocate(v.W.ID, need, "decode")
 		if err != nil {
-			b.env.Sim.After(b.pressure.Backoff(attempt+1), func() {
+			b.env.Sim.PostAfter(b.pressure.Backoff(attempt+1), func() {
 				b.recoverVictim(v, attempt+1)
 			})
 			return
@@ -156,7 +156,7 @@ func (b *Bullet) onKVShrink(ev faults.Event) {
 		b.pressure.RecordKVShrink(now, n, false)
 	}
 	if ev.Duration > 0 {
-		b.env.Sim.After(ev.Duration, func() {
+		b.env.Sim.PostAfter(ev.Duration, func() {
 			b.env.KV.Restore(n)
 			b.Buffer.PublishKVRelease()
 			if b.pressure != nil {

@@ -123,7 +123,7 @@ func (b *Buffer) Handoff(reqs []*Req, deliver func([]*Req)) {
 		return
 	}
 	b.Handoffs += len(reqs)
-	b.sim.After(b.Latency+b.extra, func() { deliver(reqs) })
+	b.sim.PostAfter(b.Latency+b.extra, func() { deliver(reqs) })
 }
 
 // TransferKV moves a preempted sequence's saved KV bytes back to the
@@ -141,7 +141,7 @@ func (b *Buffer) TransferKV(payload units.Bytes, deliver func()) sim.Time {
 	d := b.Latency + b.extra + payload.Div(bw)
 	b.KVRetransfers++
 	b.KVRetransferBytes += payload
-	b.sim.After(d, deliver)
+	b.sim.PostAfter(d, deliver)
 	return d
 }
 
@@ -156,7 +156,7 @@ func (b *Buffer) PublishPrefillProgress() {
 	ws := b.progressWaiters
 	b.progressWaiters = nil
 	for _, w := range ws {
-		b.sim.After(0, w)
+		b.sim.PostAfter(0, w)
 	}
 }
 
@@ -171,6 +171,6 @@ func (b *Buffer) PublishKVRelease() {
 	ws := b.kvWaiters
 	b.kvWaiters = nil
 	for _, w := range ws {
-		b.sim.After(0, w)
+		b.sim.PostAfter(0, w)
 	}
 }

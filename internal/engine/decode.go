@@ -289,7 +289,7 @@ func (d *DecodeEngine) cycle() {
 	if wait := d.stalledUntil - d.env.Sim.Now(); wait > 0 {
 		// The chain stays active (exactly one pending continuation) and
 		// resumes when the stall expires.
-		d.env.Sim.After(wait, d.cycle)
+		d.env.Sim.PostAfter(wait, d.cycle)
 		return
 	}
 	for len(d.pending) > 0 && len(d.batch) < d.cfg.MaxBatch {
@@ -318,7 +318,7 @@ func (d *DecodeEngine) cycle() {
 		// Resume at the next prefill layer-group sync, or after the
 		// failsafe bound, whichever first.
 		d.buf.OnPrefillProgress(wake)
-		d.env.Sim.After(d.cfg.MaxPause, wake)
+		d.env.Sim.PostAfter(d.cfg.MaxPause, wake)
 		return
 	}
 
@@ -360,6 +360,6 @@ func (d *DecodeEngine) cycle() {
 		if released {
 			d.buf.PublishKVRelease()
 		}
-		d.env.Sim.After(d.cfg.CycleOverhead, d.cycle)
+		d.env.Sim.PostAfter(d.cfg.CycleOverhead, d.cycle)
 	})
 }

@@ -140,7 +140,7 @@ func (p *PrefillEngine) Submit(r workload.Request) {
 		return
 	}
 	p.startPending = true
-	p.env.Sim.After(0, func() {
+	p.env.Sim.PostAfter(0, func() {
 		p.startPending = false
 		p.tryStart()
 	})
@@ -225,7 +225,7 @@ func (p *PrefillEngine) Requeue(reqs []*Req) {
 		return
 	}
 	p.startPending = true
-	p.env.Sim.After(0, func() {
+	p.env.Sim.PostAfter(0, func() {
 		p.startPending = false
 		p.tryStart()
 	})
@@ -260,7 +260,7 @@ func (p *PrefillEngine) tryStart() {
 	}
 	if wait := p.stalledUntil - p.env.Sim.Now(); wait > 0 {
 		ep := p.epoch
-		p.env.Sim.After(wait, func() {
+		p.env.Sim.PostAfter(wait, func() {
 			if p.epoch == ep {
 				p.tryStart()
 			}
@@ -399,7 +399,7 @@ func (p *PrefillEngine) armKVWait(attempt int) {
 		})
 	}
 	ep := p.epoch
-	p.env.Sim.After(p.Gate.Backoff(attempt), func() {
+	p.env.Sim.PostAfter(p.Gate.Backoff(attempt), func() {
 		if p.epoch == ep {
 			p.tryStart()
 		}
@@ -435,7 +435,7 @@ func (p *PrefillEngine) cycle() {
 	}
 	if wait := p.stalledUntil - p.env.Sim.Now(); wait > 0 {
 		ep := p.epoch
-		p.env.Sim.After(wait, func() {
+		p.env.Sim.PostAfter(wait, func() {
 			if p.epoch == ep && p.running {
 				p.cycle()
 			}
@@ -477,7 +477,7 @@ func (p *PrefillEngine) cycle() {
 			p.finishBatch(stream)
 			return
 		}
-		p.env.Sim.After(p.cfg.CycleOverhead, func() {
+		p.env.Sim.PostAfter(p.cfg.CycleOverhead, func() {
 			if p.epoch == ep {
 				p.cycle()
 			}
@@ -530,6 +530,6 @@ func (p *PrefillEngine) finishBatch(stream *gpusim.Stream) {
 			panic("engine: no decode engine attached")
 		}
 		p.buf.Handoff(migrate, p.dec.Accept)
-		p.env.Sim.After(p.cfg.CycleOverhead, p.tryStart)
+		p.env.Sim.PostAfter(p.cfg.CycleOverhead, p.tryStart)
 	})
 }

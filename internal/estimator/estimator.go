@@ -56,6 +56,11 @@ type Estimator struct {
 
 	// feedbackOff freezes the online corrections (ablation switch).
 	feedbackOff bool
+
+	// ks is the kernel-list scratch buffer PrefillLayerTime rebuilds
+	// each call; predictions run many times per scheduling cycle and
+	// must not allocate per call.
+	ks []gpusim.Kernel
 }
 
 const (
@@ -111,9 +116,12 @@ func (e *Estimator) kernelTime(k gpusim.Kernel, m int, colocated bool) units.Sec
 
 // PrefillLayerTime predicts one decoder layer of prefill over newTokens
 // tokens (with histTokens of cached context) on sms SMs.
+//
+//bullet:hotpath
 func (e *Estimator) PrefillLayerTime(newTokens, histTokens, sms int, colocated bool) units.Seconds {
+	e.ks = e.cfg.AppendPrefillLayerKernels(e.ks[:0], newTokens, histTokens, "")
 	t := units.Seconds(0)
-	for _, k := range e.cfg.PrefillLayerKernels(newTokens, histTokens, "") {
+	for _, k := range e.ks {
 		t += e.kernelTime(k, sms, colocated)
 	}
 	return units.Scale(t, e.prefillCorr)
@@ -137,11 +145,14 @@ func (e *Estimator) PrefillTotalTime(newTokens, histTokens, sms int, colocated b
 
 // DecodeStepTime predicts one full decode iteration (all layers + LM head,
 // launched as a CUDA graph) for a batch with avgCtx average context.
+//
+//bullet:hotpath
 func (e *Estimator) DecodeStepTime(batch int, avgCtx units.Tokens, sms int, colocated bool) units.Seconds {
 	if batch <= 0 {
 		return 0
 	}
-	k := e.cfg.DecodeStepKernel(batch, avgCtx, "")
+	k, ks := e.cfg.DecodeStepKernelScratch(e.ks, batch, avgCtx, "")
+	e.ks = ks
 	k.Efficiency = 0 // the estimator does not know device efficiencies
 	return units.Scale(e.kernelTime(k, sms, colocated), e.decodeCorr)
 }

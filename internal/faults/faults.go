@@ -366,7 +366,7 @@ func (in *Injector) Arm() {
 		}
 		at := units.Max(ev.At, in.sim.Now())
 		ev := ev
-		in.sim.At(at, func() {
+		in.sim.Post(at, func() {
 			in.injected++
 			fn(ev)
 		})

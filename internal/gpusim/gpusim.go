@@ -282,7 +282,12 @@ func (g *GPU) maskHealth(m smmask.Mask) float64 {
 	return total
 }
 
-// NewStream creates a stream with the given mask.
+// NewStream creates a stream with the given mask. Stream creation is a
+// setup-time operation: steady-state rebuilds retarget existing streams
+// via SetMask, so the allocations here run at most once per
+// (phase, level) pair.
+//
+//bullet:hotpath-ignore stream creation is setup-time; rebuilds retarget existing streams in place
 func (g *GPU) NewStream(mask smmask.Mask) *Stream {
 	if mask.IsEmpty() {
 		panic("gpusim: empty SM mask")
@@ -311,7 +316,7 @@ func (g *GPU) Launch(st *Stream, k Kernel, done func(KernelRecord)) {
 // fresh event, never inline).
 func (g *GPU) Synchronize(st *Stream, fn func()) {
 	if !st.Busy() {
-		g.sim.After(0, fn)
+		g.sim.PostAfter(0, fn)
 		return
 	}
 	st.waiters = append(st.waiters, fn)
@@ -327,7 +332,7 @@ func (g *GPU) startHead(st *Stream) {
 	if l.overhead > 0 {
 		// CPU launch gap: the kernel becomes resident after the
 		// overhead elapses.
-		g.sim.After(l.overhead, func() { g.beginResident(l) })
+		g.sim.PostAfter(l.overhead, func() { g.beginResident(l) })
 		return
 	}
 	g.beginResident(l)
@@ -416,7 +421,7 @@ func (g *GPU) finish(l *launch) {
 		ws := st.waiters
 		st.waiters = nil
 		for _, w := range ws {
-			g.sim.After(0, w)
+			g.sim.PostAfter(0, w)
 		}
 	}
 	g.recompute()

@@ -33,9 +33,19 @@ type Pool struct {
 	blockTokens int
 	totalBlocks int
 	free        []int32 // free block ids (LIFO)
-	owner       map[int32]*Sequence
-	seqs        map[string]*Sequence
-	peakUsed    int
+	// owner maps block id -> holding sequence, indexed by block id:
+	// ids are dense in [0, construction size), so a slice replaces the
+	// map on the per-step allocate/free path. held counts non-nil
+	// entries.
+	owner    []*Sequence
+	held     int
+	seqs     map[string]*Sequence
+	peakUsed int
+
+	// tables recycles block-table backing arrays of freed sequences, so
+	// steady-state allocate/free churn reuses capacity instead of
+	// allocating a fresh table per request.
+	tables [][]int32
 
 	// retired holds block ids removed by Shrink (LIFO, so Restore
 	// resurrects exactly the most recently retired ids); retirePending
@@ -65,7 +75,7 @@ func NewPool(totalBlocks, blockTokens int) *Pool {
 		blockTokens: blockTokens,
 		totalBlocks: totalBlocks,
 		free:        make([]int32, totalBlocks),
-		owner:       make(map[int32]*Sequence),
+		owner:       make([]*Sequence, totalBlocks),
 		seqs:        make(map[string]*Sequence),
 	}
 	for i := range p.free {
@@ -147,19 +157,28 @@ func (p *Pool) CanAllocate(tokens int) bool {
 
 // Allocate reserves cache for a new sequence of tokens tokens, owned by
 // owner. IDs must be unique among live sequences.
+//
+//bullet:hotpath
 func (p *Pool) Allocate(id string, tokens int, owner string) (*Sequence, error) {
 	if tokens < 0 {
 		panic(fmt.Sprintf("kvcache: negative token count %d", tokens))
 	}
 	if _, dup := p.seqs[id]; dup {
+		//lint:ignore hotalloc error path: duplicate ids never occur in steady state
 		return nil, fmt.Errorf("kvcache: duplicate sequence id %q", id)
 	}
 	need := blocksFor(tokens, p.blockTokens)
 	if need > len(p.free) {
 		return nil, ErrOutOfMemory
 	}
+	//lint:ignore hotalloc one sequence header per request, not per step; the block table below is recycled
 	s := &Sequence{id: id, pool: p, tokens: tokens, owner: owner}
-	s.blocks = p.take(need, s)
+	if n := len(p.tables); n > 0 {
+		s.blocks = p.tables[n-1][:0]
+		p.tables[n-1] = nil
+		p.tables = p.tables[:n-1]
+	}
+	s.blocks = p.takeInto(s.blocks, need, s)
 	p.seqs[id] = s
 	if u := p.UsedBlocks(); u > p.peakUsed {
 		p.peakUsed = u
@@ -167,15 +186,20 @@ func (p *Pool) Allocate(id string, tokens int, owner string) (*Sequence, error) 
 	return s, nil
 }
 
-func (p *Pool) take(n int, s *Sequence) []int32 {
-	out := make([]int32, n)
+// takeInto pops n blocks off the free list, records s as their owner,
+// and appends their ids to dst (a recycled or in-place block table, per
+// the caller's capacity contract).
+//
+//bullet:hotpath
+func (p *Pool) takeInto(dst []int32, n int, s *Sequence) []int32 {
 	for i := 0; i < n; i++ {
 		b := p.free[len(p.free)-1]
 		p.free = p.free[:len(p.free)-1]
 		p.owner[b] = s
-		out[i] = b
+		p.held++
+		dst = append(dst, b)
 	}
-	return out
+	return dst
 }
 
 // Free releases all blocks of a sequence. A double free returns a
@@ -186,8 +210,11 @@ func (p *Pool) take(n int, s *Sequence) []int32 {
 // invariant walk (CheckInvariants) keeps its debug-mode panics too.
 // Blocks freed during a shrink drain retire instead of returning to the
 // free list until the drain target is met.
+//
+//bullet:hotpath
 func (p *Pool) Free(s *Sequence) error {
 	if s.freed {
+		//lint:ignore hotalloc error path: double frees only occur on racing recovery paths
 		return fmt.Errorf("kvcache: double free of sequence %q (owner %q)", s.id, s.owner)
 	}
 	s.freed = true
@@ -195,13 +222,20 @@ func (p *Pool) Free(s *Sequence) error {
 		if p.owner[b] != s {
 			panic(fmt.Sprintf("kvcache: block %d not owned by %q", b, s.id))
 		}
-		delete(p.owner, b)
+		p.owner[b] = nil
+		p.held--
 		if p.retirePending > 0 {
 			p.retirePending--
+			//lint:ignore hotalloc retired list is bounded by pool capacity
 			p.retired = append(p.retired, b)
 		} else {
+			//lint:ignore hotalloc free list never grows past its construction capacity
 			p.free = append(p.free, b)
 		}
+	}
+	if cap(s.blocks) > 0 {
+		//lint:ignore hotalloc table recycling list is bounded by peak live sequences
+		p.tables = append(p.tables, s.blocks[:0])
 	}
 	s.blocks = nil
 	delete(p.seqs, s.id)
@@ -300,6 +334,8 @@ func (s *Sequence) Transfer(newOwner string) {
 
 // Extend appends n tokens to the sequence, allocating blocks as needed.
 // On ErrOutOfMemory the sequence is unchanged.
+//
+//bullet:hotpath
 func (s *Sequence) Extend(n int) error {
 	if s.freed {
 		panic(fmt.Sprintf("kvcache: extend of freed sequence %q", s.id))
@@ -313,7 +349,7 @@ func (s *Sequence) Extend(n int) error {
 		return ErrOutOfMemory
 	}
 	if need > 0 {
-		s.blocks = append(s.blocks, p.take(need, s)...)
+		s.blocks = p.takeInto(s.blocks, need, s)
 		if u := p.UsedBlocks(); u > p.peakUsed {
 			p.peakUsed = u
 		}
@@ -349,19 +385,19 @@ func (p *Pool) CheckInvariants() {
 		panic(fmt.Sprintf("kvcache: %d held + %d free != %d total + %d retire-pending",
 			held, len(p.free), p.totalBlocks, p.retirePending))
 	}
-	if len(p.owner) != held {
-		panic(fmt.Sprintf("kvcache: owner map has %d entries, %d blocks held", len(p.owner), held))
+	if p.held != held {
+		panic(fmt.Sprintf("kvcache: owner table has %d entries, %d blocks held", p.held, held))
 	}
 	if p.retirePending > held {
 		panic(fmt.Sprintf("kvcache: %d blocks retire-pending but only %d held", p.retirePending, held))
 	}
 	for _, b := range p.retired {
-		if _, owned := p.owner[b]; owned {
+		if p.owner[b] != nil {
 			panic(fmt.Sprintf("kvcache: retired block %d still owned", b))
 		}
 	}
 	for _, b := range p.free {
-		if _, owned := p.owner[b]; owned {
+		if p.owner[b] != nil {
 			panic(fmt.Sprintf("kvcache: free block %d still owned", b))
 		}
 	}

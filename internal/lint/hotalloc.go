@@ -1,0 +1,671 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// HotAlloc enforces the allocation contract of the simulation inner loops
+// (DESIGN.md, "Allocation contract"). Functions annotated
+//
+//	//bullet:hotpath [depth=N]
+//
+// — and everything they statically call within the module, walked to N
+// levels deep (default 3) — may not contain allocation sites. Functions
+// annotated `//bullet:hotpath-ignore <reason>` are excluded from the walk
+// (the escape hatch for audited, deliberately-allocating callees).
+//
+// Diagnosed allocation classes:
+//
+//   - composite literals that escape (&T{...}) and slice/map literals
+//   - new(T) and make(...)
+//   - append with non-provable capacity (appends to buffers resliced to
+//     [:0] or made with an explicit capacity in the same function are
+//     accepted — the reuse idiom)
+//   - value-to-interface boxing: non-pointer-shaped values passed to
+//     interface parameters (including implicit boxing at fmt/error call
+//     sites), assigned to interface variables, or returned as interfaces
+//   - closure captures: function literals capturing enclosing variables
+//     allocate when they escape; method values allocate a closure per use
+//   - string concatenation and allocating string conversions
+//   - defer inside a loop
+//   - map iteration (per-iteration overhead on top of the maporder rule)
+//   - calls to known-allocating stdlib helpers (fmt.Sprintf, sort.Slice,
+//     sort.SearchInts, strconv.Itoa, ...)
+//
+// Arguments of panic calls are exempt: allocation on a failing path that
+// ends the process is free. Individual findings are suppressed the usual
+// way with `//lint:ignore hotalloc <why>`.
+//
+// HotAlloc is module-aware: when driven by Run/RunAll it sees every
+// loaded package at once, so the call-graph walk crosses package
+// boundaries and findings land in (and are suppressed from) the file
+// that owns the allocation.
+type HotAlloc struct {
+	mod  []*Package
+	all  []Finding
+	done bool
+}
+
+func (*HotAlloc) Name() string { return "hotalloc" }
+
+func (*HotAlloc) Doc() string {
+	return "flag allocation sites in //bullet:hotpath functions and their module-local callees"
+}
+
+// SetModule hands the analyzer the full package set before per-package
+// Check calls; RunAll invokes it via the ModuleAware hook.
+func (h *HotAlloc) SetModule(pkgs []*Package) {
+	h.mod = pkgs
+	h.all = nil
+	h.done = false
+}
+
+func (h *HotAlloc) Check(p *Package) []Finding {
+	inMod := false
+	for _, q := range h.mod {
+		if q == p {
+			inMod = true
+			break
+		}
+	}
+	if !inMod {
+		// Standalone use (fixture harnesses call Check directly): the
+		// walk is confined to this one package.
+		return filterToPackage(hotallocRun([]*Package{p}), p)
+	}
+	if !h.done {
+		h.all = hotallocRun(h.mod)
+		h.done = true
+	}
+	return filterToPackage(h.all, p)
+}
+
+// filterToPackage keeps findings positioned in one of p's files, so each
+// finding is reported (and suppressible) exactly once, by its home package.
+func filterToPackage(fs []Finding, p *Package) []Finding {
+	names := map[string]bool{}
+	for _, f := range p.Files {
+		names[p.Fset.Position(f.Pos()).Filename] = true
+	}
+	var out []Finding
+	for _, f := range fs {
+		if names[f.Pos.Filename] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+const (
+	hotpathDirective       = "//bullet:hotpath"
+	hotpathIgnoreDirective = "//bullet:hotpath-ignore"
+	hotpathDefaultDepth    = 3
+)
+
+// funcNode is one declared function in the module-wide registry.
+type funcNode struct {
+	p       *Package
+	decl    *ast.FuncDecl
+	obj     *types.Func
+	hot     bool // //bullet:hotpath root
+	depth   int  // walk depth for a root
+	ignored bool // //bullet:hotpath-ignore
+}
+
+// hotallocRun builds the function registry over pkgs, then walks the call
+// graph from every //bullet:hotpath root collecting allocation findings.
+func hotallocRun(pkgs []*Package) []Finding {
+	reg := map[string]*funcNode{}
+	var roots []*funcNode
+	var out []Finding
+	for _, p := range pkgs {
+		for _, file := range p.Files {
+			for _, d := range file.Decls {
+				fn, ok := d.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				obj, _ := p.Info.Defs[fn.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				node := &funcNode{p: p, decl: fn, obj: obj, depth: hotpathDefaultDepth}
+				out = append(out, parseHotpathDirectives(p, fn, node)...)
+				reg[obj.FullName()] = node
+				if node.hot {
+					roots = append(roots, node)
+				}
+			}
+		}
+	}
+	seen := map[string]bool{}   // finding dedupe across roots
+	checked := map[string]int{} // func key -> deepest remaining budget already walked
+	for _, root := range roots {
+		walkHot(reg, root, root.displayName(), root.depth, checked, seen, &out)
+	}
+	return out
+}
+
+// displayName is the function's qualified name with the module prefix
+// trimmed, e.g. "(internal/sim.*Simulation).Step".
+func (n *funcNode) displayName() string {
+	name := n.obj.FullName()
+	return strings.ReplaceAll(name, n.p.Module+"/", "")
+}
+
+// parseHotpathDirectives reads //bullet:hotpath[-ignore] directives off a
+// function's doc comment into node, reporting malformed ones.
+func parseHotpathDirectives(p *Package, fn *ast.FuncDecl, node *funcNode) []Finding {
+	if fn.Doc == nil {
+		return nil
+	}
+	var out []Finding
+	for _, c := range fn.Doc.List {
+		switch {
+		case strings.HasPrefix(c.Text, hotpathIgnoreDirective):
+			node.ignored = true
+			if strings.TrimSpace(strings.TrimPrefix(c.Text, hotpathIgnoreDirective)) == "" {
+				out = append(out, Finding{
+					Pos:  p.Fset.Position(c.Pos()),
+					Rule: "hotalloc",
+					Msg:  "//bullet:hotpath-ignore requires a reason: \"//bullet:hotpath-ignore <why>\"",
+				})
+			}
+		case strings.HasPrefix(c.Text, hotpathDirective):
+			node.hot = true
+			for _, opt := range strings.Fields(strings.TrimPrefix(c.Text, hotpathDirective)) {
+				if v, ok := strings.CutPrefix(opt, "depth="); ok {
+					d, err := strconv.Atoi(v)
+					if err == nil && d >= 0 {
+						node.depth = d
+						continue
+					}
+				}
+				out = append(out, Finding{
+					Pos:  p.Fset.Position(c.Pos()),
+					Rule: "hotalloc",
+					Msg:  fmt.Sprintf("malformed //bullet:hotpath option %q: want depth=<n>", opt),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// walkHot checks one function and recurses into its module-local callees
+// while budget allows. checked memoizes the deepest budget each function
+// was already walked with so diamond call graphs stay linear.
+func walkHot(reg map[string]*funcNode, n *funcNode, root string, budget int, checked map[string]int, seen map[string]bool, out *[]Finding) {
+	key := n.obj.FullName()
+	if prev, ok := checked[key]; ok && prev >= budget {
+		return
+	}
+	checked[key] = budget
+	callees := checkHotFunc(n.p, n.decl, root, seen, out)
+	if budget == 0 {
+		return
+	}
+	for _, ck := range callees {
+		c := reg[ck]
+		if c == nil || c.ignored {
+			continue
+		}
+		walkHot(reg, c, root, budget-1, checked, seen, out)
+	}
+}
+
+// posRange is a half-open source span.
+type posRange struct{ lo, hi token.Pos }
+
+func (r posRange) contains(p token.Pos) bool { return p >= r.lo && p < r.hi }
+
+func inRanges(rs []posRange, p token.Pos) bool {
+	for _, r := range rs {
+		if r.contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHotFunc reports allocation sites in one function body and returns
+// the FullName keys of its statically-resolved module-local callees.
+func checkHotFunc(p *Package, fn *ast.FuncDecl, root string, seen map[string]bool, out *[]Finding) []string {
+	var callees []string
+	body := fn.Body
+
+	// Pass A: call positions (for method-value detection), panic-argument
+	// spans (exempt — allocation on a dying path is free), loop body spans
+	// (for defer-in-loop), and capacity-provable append targets.
+	callFuns := map[ast.Expr]bool{}
+	var panicArgs, loops []posRange
+	type litSig struct {
+		span posRange
+		sig  *types.Signature
+	}
+	var litSigs []litSig
+	safeCaps := map[types.Object]bool{}
+	// Slice-typed parameters carry the caller's capacity contract: the
+	// append-into-scratch builder pattern (`dst = append(dst, ...)` with
+	// the caller passing `buf[:0]`) is how hot paths avoid allocating,
+	// so the growth risk is attributed to the call site, not the builder.
+	if fn.Type.Params != nil {
+		for _, field := range fn.Type.Params.List {
+			for _, name := range field.Names {
+				obj := p.Info.ObjectOf(name)
+				if obj == nil {
+					continue
+				}
+				if _, ok := obj.Type().Underlying().(*types.Slice); ok {
+					safeCaps[obj] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch n := node.(type) {
+		case *ast.FuncLit:
+			if s, ok := typeOf(p, n).(*types.Signature); ok {
+				litSigs = append(litSigs, litSig{posRange{n.Pos(), n.End()}, s})
+			}
+		case *ast.CallExpr:
+			callFuns[n.Fun] = true
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				if _, isB := p.Info.Uses[id].(*types.Builtin); isB {
+					for _, a := range n.Args {
+						panicArgs = append(panicArgs, posRange{a.Pos(), a.End()})
+					}
+				}
+			}
+		case *ast.ForStmt:
+			loops = append(loops, posRange{n.Body.Pos(), n.Body.End()})
+		case *ast.RangeStmt:
+			loops = append(loops, posRange{n.Body.Pos(), n.Body.End()})
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				if obj := assignTarget(p, lhs); obj != nil && capacityProvable(p, n.Rhs[i]) {
+					safeCaps[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	report := func(pos token.Pos, desc string) {
+		position := p.Fset.Position(pos)
+		key := fmt.Sprintf("%s:%d:%d:%s", position.Filename, position.Line, position.Column, desc)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		*out = append(*out, Finding{
+			Pos:  position,
+			Rule: "hotalloc",
+			Msg:  fmt.Sprintf("%s (in hot path rooted at %s)", desc, root),
+		})
+	}
+
+	// Pass B: the allocation checks.
+	handledLits := map[*ast.CompositeLit]bool{}
+	sig, _ := typeOf(p, fn.Name).(*types.Signature)
+	ast.Inspect(body, func(node ast.Node) bool {
+		if node == nil {
+			return false
+		}
+		if inRanges(panicArgs, node.Pos()) {
+			return false
+		}
+		switch n := node.(type) {
+		case *ast.UnaryExpr:
+			if lit, ok := n.X.(*ast.CompositeLit); ok && n.Op == token.AND {
+				handledLits[lit] = true
+				report(n.Pos(), "escaping composite literal &"+typeDesc(p, lit)+"{...} allocates; pool or reuse the struct")
+			}
+		case *ast.CompositeLit:
+			if handledLits[n] {
+				return true
+			}
+			switch typeOf(p, n).Underlying().(type) {
+			case *types.Slice:
+				report(n.Pos(), "slice literal allocates its backing array; preallocate or reuse a buffer")
+			case *types.Map:
+				report(n.Pos(), "map literal allocates; preallocate or reuse the map")
+			}
+		case *ast.CallExpr:
+			callees = append(callees, checkHotCall(p, n, safeCaps, report)...)
+		case *ast.FuncLit:
+			if !callFuns[node.(ast.Expr)] {
+				if capture := capturedVar(p, fn, n); capture != "" {
+					report(n.Pos(), "closure captures "+capture+" by reference and allocates when it escapes; hoist it to a cached field or pass state explicitly")
+				}
+			}
+		case *ast.SelectorExpr:
+			if sel, ok := p.Info.Selections[n]; ok && sel.Kind() == types.MethodVal && !callFuns[node.(ast.Expr)] {
+				report(n.Pos(), "method value "+n.Sel.Name+" allocates a closure per use; cache it once at construction")
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(p, n) && !isConstExpr(p, n) {
+				report(n.Pos(), "string concatenation allocates; use a preallocated []byte or strings.Builder outside the hot path")
+			}
+		case *ast.DeferStmt:
+			if inRanges(loops, n.Pos()) {
+				report(n.Pos(), "defer inside a loop heap-allocates its frame each iteration; restructure the loop body")
+			}
+		case *ast.RangeStmt:
+			if isMapType(p, n.X) {
+				report(n.Pos(), "map iteration in a hot path: per-iteration overhead and randomized order; iterate a sorted slice instead")
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) || len(n.Lhs) != len(n.Rhs) {
+					break
+				}
+				if boxes(p, typeOf(p, lhs), n.Rhs[i]) {
+					report(n.Rhs[i].Pos(), boxDesc(p, n.Rhs[i], "assigned to interface"))
+				}
+			}
+		case *ast.ReturnStmt:
+			// Resolve against the innermost enclosing function literal's
+			// signature; a return inside a closure is not the outer return.
+			rsig := sig
+			for _, ls := range litSigs {
+				if ls.span.contains(n.Pos()) {
+					rsig = ls.sig
+				}
+			}
+			if rsig != nil && rsig.Results().Len() == len(n.Results) {
+				for i, res := range n.Results {
+					if boxes(p, rsig.Results().At(i).Type(), res) {
+						report(res.Pos(), boxDesc(p, res, "returned as interface"))
+					}
+				}
+			}
+		}
+		return true
+	})
+	return callees
+}
+
+// checkHotCall handles one call expression: builtin allocators, allocating
+// conversions, interface boxing at the call boundary, known-allocating
+// stdlib helpers — and returns module-local callees for the walk.
+func checkHotCall(p *Package, call *ast.CallExpr, safeCaps map[types.Object]bool, report func(token.Pos, string)) []string {
+	// Builtins.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isB := p.Info.Uses[id].(*types.Builtin); isB {
+			switch id.Name {
+			case "new":
+				report(call.Pos(), "new(T) allocates; pool or reuse the value")
+			case "make":
+				report(call.Pos(), "make allocates; hoist the buffer out of the hot path and reslice it")
+			case "append":
+				if len(call.Args) > 0 && !appendCapacityOK(p, call.Args[0], safeCaps) {
+					report(call.Pos(), "append with non-provable capacity may grow; reslice a reused buffer to [:0] or make it with explicit capacity")
+				}
+			}
+			return nil
+		}
+	}
+	// Conversions.
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if boxes(p, tv.Type, call.Args[0]) {
+			report(call.Args[0].Pos(), boxDesc(p, call.Args[0], "converted to interface"))
+		} else if convAllocates(p, tv.Type, call.Args[0]) {
+			report(call.Pos(), "conversion "+types.TypeString(tv.Type, types.RelativeTo(p.Types))+"(...) copies and allocates")
+		}
+		return nil
+	}
+	// Interface boxing against the callee signature.
+	if csig, ok := typeOf(p, call.Fun).(*types.Signature); ok {
+		params := csig.Params()
+		for i, arg := range call.Args {
+			var pt types.Type
+			switch {
+			case csig.Variadic() && i >= params.Len()-1:
+				if call.Ellipsis.IsValid() {
+					continue
+				}
+				pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			case i < params.Len():
+				pt = params.At(i).Type()
+			}
+			if boxes(p, pt, arg) {
+				report(arg.Pos(), boxDesc(p, arg, "boxed into interface argument"))
+			}
+		}
+	}
+	obj, _ := useOf(p, call.Fun).(*types.Func)
+	if obj == nil || obj.Pkg() == nil {
+		return nil
+	}
+	qname := obj.Pkg().Path() + "." + obj.Name()
+	if why, known := hotAllocators[qname]; known {
+		report(call.Pos(), qname+" "+why)
+		return nil
+	}
+	if path := obj.Pkg().Path(); path == p.Module || strings.HasPrefix(path, p.Module+"/") {
+		return []string{obj.FullName()}
+	}
+	return nil
+}
+
+// hotAllocators maps known-allocating stdlib helpers to the reason they
+// are banned from hot paths.
+var hotAllocators = map[string]string{
+	"fmt.Sprintf":  "allocates its result string and boxes every operand",
+	"fmt.Sprint":   "allocates its result string and boxes every operand",
+	"fmt.Sprintln": "allocates its result string and boxes every operand",
+	"fmt.Errorf":   "allocates the error and boxes every operand",
+	"errors.New":   "allocates the error value",
+
+	"strconv.Itoa":        "allocates its result string; use strconv.AppendInt into a reused buffer",
+	"strconv.FormatInt":   "allocates its result string; use strconv.AppendInt into a reused buffer",
+	"strconv.FormatUint":  "allocates its result string; use strconv.AppendUint into a reused buffer",
+	"strconv.FormatFloat": "allocates its result string; use strconv.AppendFloat into a reused buffer",
+	"strconv.Quote":       "allocates its result string; use strconv.AppendQuote into a reused buffer",
+
+	"strings.Join":       "allocates a new string",
+	"strings.Repeat":     "allocates a new string",
+	"strings.Split":      "allocates the result slice and strings",
+	"strings.Fields":     "allocates the result slice and strings",
+	"strings.Replace":    "allocates a new string",
+	"strings.ReplaceAll": "allocates a new string",
+	"strings.ToUpper":    "allocates a new string",
+	"strings.ToLower":    "allocates a new string",
+
+	"sort.Slice":       "allocates a reflect-based swapper and boxes the slice; use a typed sort or slices.SortFunc with a top-level comparator",
+	"sort.SliceStable": "allocates a reflect-based swapper and boxes the slice; use a typed stable sort",
+	"sort.Sort":        "boxes its argument into sort.Interface; use a typed sort",
+	"sort.Stable":      "boxes its argument into sort.Interface; use a typed stable sort",
+
+	"sort.Search":         "takes a closure; hand-roll the binary search in the hot path",
+	"sort.SearchInts":     "allocates a closure per call; hand-roll the binary search",
+	"sort.SearchFloat64s": "allocates a closure per call; hand-roll the binary search",
+	"sort.SearchStrings":  "allocates a closure per call; hand-roll the binary search",
+}
+
+// assignTarget resolves an assignment LHS (identifier or field selector)
+// to its object, for capacity tracking.
+func assignTarget(p *Package, lhs ast.Expr) types.Object {
+	switch e := lhs.(type) {
+	case *ast.Ident:
+		return p.Info.ObjectOf(e)
+	case *ast.SelectorExpr:
+		return p.Info.ObjectOf(e.Sel)
+	}
+	return nil
+}
+
+// capacityProvable reports whether rhs yields a slice whose capacity the
+// author demonstrably manages: a reslice to [:0] (buffer reuse) or a make
+// with an explicit capacity argument.
+func capacityProvable(p *Package, rhs ast.Expr) bool {
+	switch e := rhs.(type) {
+	case *ast.SliceExpr:
+		return isZeroLit(e.High) && e.Low == nil
+	case *ast.CallExpr:
+		if isBuiltin(p, e.Fun, "make") {
+			return len(e.Args) >= 3
+		}
+		if isBuiltin(p, e.Fun, "append") && len(e.Args) > 0 {
+			if se, ok := e.Args[0].(*ast.SliceExpr); ok {
+				return isZeroLit(se.High) && se.Low == nil
+			}
+		}
+	}
+	return false
+}
+
+func isZeroLit(e ast.Expr) bool {
+	lit, ok := e.(*ast.BasicLit)
+	return ok && lit.Value == "0"
+}
+
+// appendCapacityOK reports whether an append's base slice has provable
+// capacity: an inline x[:0] reslice, or a variable/field the function
+// resliced to [:0] (or made with explicit capacity) somewhere.
+func appendCapacityOK(p *Package, base ast.Expr, safeCaps map[types.Object]bool) bool {
+	if se, ok := base.(*ast.SliceExpr); ok {
+		return isZeroLit(se.High) && se.Low == nil
+	}
+	if obj := assignTarget(p, base); obj != nil {
+		return safeCaps[obj]
+	}
+	return false
+}
+
+// convAllocates reports whether the conversion T(arg) allocates: string
+// <-> []byte/[]rune and numeric -> string conversions do.
+func convAllocates(p *Package, dst types.Type, arg ast.Expr) bool {
+	if isConstExpr(p, arg) {
+		return false
+	}
+	src := typeOf(p, arg)
+	if src == nil {
+		return false
+	}
+	dstU, srcU := dst.Underlying(), src.Underlying()
+	dstStr := isBasicString(dstU)
+	srcStr := isBasicString(srcU)
+	switch {
+	case dstStr && srcStr:
+		return false
+	case dstStr:
+		// []byte/[]rune/int -> string
+		if _, ok := srcU.(*types.Slice); ok {
+			return true
+		}
+		if b, ok := srcU.(*types.Basic); ok && b.Info()&(types.IsInteger|types.IsUnsigned) != 0 {
+			return true
+		}
+	case srcStr:
+		// string -> []byte/[]rune
+		if _, ok := dstU.(*types.Slice); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func isBasicString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isString(p *Package, e ast.Expr) bool {
+	t := typeOf(p, e)
+	return t != nil && isBasicString(t.Underlying())
+}
+
+func isConstExpr(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// boxes reports whether assigning src to a destination of type dst
+// converts a non-pointer-shaped value into an interface — a heap
+// allocation at runtime. Pointer-shaped values (pointers, maps, chans,
+// funcs, existing interfaces, nil) convert allocation-free.
+func boxes(p *Package, dst types.Type, src ast.Expr) bool {
+	if dst == nil {
+		return false
+	}
+	// A type parameter's underlying type is its constraint interface,
+	// but converting to one instantiates a concrete type — no boxing.
+	if _, ok := dst.(*types.TypeParam); ok {
+		return false
+	}
+	if _, ok := dst.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	// Constants convert to interfaces via compile-time static data.
+	if isConstExpr(p, src) {
+		return false
+	}
+	t := typeOf(p, src)
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Signature, *types.Chan, *types.Map:
+		return false
+	case *types.Basic:
+		if u.Kind() == types.UntypedNil || u.Kind() == types.UnsafePointer || u.Kind() == types.Invalid {
+			return false
+		}
+	}
+	return true
+}
+
+func boxDesc(p *Package, e ast.Expr, how string) string {
+	t := typeOf(p, e)
+	name := "value"
+	if t != nil {
+		name = types.TypeString(t, types.RelativeTo(p.Types))
+	}
+	return "value of type " + name + " " + how + "; interface boxing heap-allocates — pass a pointer or devirtualize the call"
+}
+
+// typeDesc names a composite literal's type compactly.
+func typeDesc(p *Package, lit *ast.CompositeLit) string {
+	t := typeOf(p, lit)
+	if t == nil {
+		return "T"
+	}
+	return types.TypeString(t, types.RelativeTo(p.Types))
+}
+
+// capturedVar returns the name of one variable the literal captures from
+// its enclosing function, or "" when it captures nothing (a capture-free
+// literal is a static closure the compiler does not allocate per use).
+func capturedVar(p *Package, enclosing *ast.FuncDecl, lit *ast.FuncLit) string {
+	span := posRange{enclosing.Pos(), enclosing.End()}
+	inner := posRange{lit.Pos(), lit.End()}
+	name := ""
+	ast.Inspect(lit.Body, func(node ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := node.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if span.contains(v.Pos()) && !inner.contains(v.Pos()) {
+			name = v.Name()
+		}
+		return true
+	})
+	return name
+}

@@ -30,6 +30,11 @@
 //     types — no unit-mixing conversions, no laundering through bare
 //     float64, no raw literals fed to unit-typed parameters, no
 //     dimensionally unsound unit*unit arithmetic
+//   - hotalloc:    functions annotated //bullet:hotpath (and their
+//     module-local static callees, to an annotation-controlled depth)
+//     contain no allocation sites: escaping composite literals, new/make,
+//     unprovable appends, interface boxing, closure captures, string
+//     building, defer-in-loop, map iteration
 //
 // Findings can be suppressed per line with a directive comment:
 //
@@ -149,7 +154,15 @@ func DefaultAnalyzers() []Analyzer {
 		FloatEq{},
 		PanicMsg{},
 		UnitSafe{},
+		&HotAlloc{},
 	}
+}
+
+// ModuleAware analyzers receive the full package set before per-package
+// Check calls — the hook cross-package analyses (hotalloc's call-graph
+// walk) use to see callee bodies in other packages.
+type ModuleAware interface {
+	SetModule(pkgs []*Package)
 }
 
 // RuleAliases maps retired rule names to their successors. Directives
@@ -179,6 +192,11 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
 // dropped, still sorted by position.
 func RunAll(pkgs []*Package, analyzers []Analyzer) []Finding {
 	var all []Finding
+	for _, a := range analyzers {
+		if ma, ok := a.(ModuleAware); ok {
+			ma.SetModule(pkgs)
+		}
+	}
 	for _, p := range pkgs {
 		ignores, bad := collectIgnores(p)
 		all = append(all, bad...)

@@ -202,6 +202,7 @@ func TestMergeOrderFixtures(t *testing.T)       { runFixtureDir(t, MergeOrder{})
 func TestFloatEqFixtures(t *testing.T)          { runFixtureDir(t, FloatEq{}) }
 func TestPanicMsgFixtures(t *testing.T)         { runFixtureDir(t, PanicMsg{}) }
 func TestUnitSafeFixtures(t *testing.T)         { runFixtureDir(t, UnitSafe{}) }
+func TestHotAllocFixtures(t *testing.T)         { runFixtureDir(t, &HotAlloc{}) }
 
 // TestUnitSafeTable drives the unitsafe analyzer over synthesized
 // single-function packages, one rule shape per case. The first case is
@@ -338,6 +339,17 @@ import "repro/internal/units"
 
 func f(s units.Seconds, n units.Tokens) units.Seconds {
 	return s + units.Seconds(n)
+}
+`},
+		{"hotalloc", "hotalloc", `package fixture
+
+//bullet:hotpath
+func f(n int) []int {
+	out := []int{}
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
 }
 `},
 		{"harnessonly", "nogoroutine", `package fixture

@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule materializes a throwaway module under a temp dir: files
+// maps module-relative paths to contents.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestLoadModuleMissingGoMod(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"a/a.go": "package a\n",
+	})
+	if _, err := LoadModule(root, nil); err == nil || !strings.Contains(err.Error(), "go.mod") {
+		t.Fatalf("want go.mod read error, got %v", err)
+	}
+}
+
+func TestLoadModuleMalformedGoMod(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "// no module directive here\ngo 1.24\n",
+		"a/a.go": "package a\n",
+	})
+	if _, err := LoadModule(root, nil); err == nil || !strings.Contains(err.Error(), "no module directive") {
+		t.Fatalf("want missing-module-directive error, got %v", err)
+	}
+}
+
+func TestLoadModuleMissingImportedPackage(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.com/m\n\ngo 1.24\n",
+		"a/a.go": "package a\n\nimport \"example.com/m/gone\"\n\nvar _ = gone.X\n",
+	})
+	_, err := LoadModule(root, nil)
+	if err == nil || !strings.Contains(err.Error(), `"example.com/m/gone"`) {
+		t.Fatalf("want missing-package error naming the import path, got %v", err)
+	}
+}
+
+func TestLoadModuleTypeError(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.com/m\n\ngo 1.24\n",
+		"a/a.go": "package a\n\nvar x int = \"not an int\"\n",
+	})
+	if _, err := LoadModule(root, nil); err == nil || !strings.Contains(err.Error(), "type-checking") {
+		t.Fatalf("want type-check error, got %v", err)
+	}
+}
+
+func TestLoadModuleImportCycle(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.com/m\n\ngo 1.24\n",
+		"a/a.go": "package a\n\nimport \"example.com/m/b\"\n\nvar _ = b.X\n",
+		"b/b.go": "package b\n\nimport \"example.com/m/a\"\n\nvar X = 1\nvar _ = a.Y\n",
+	})
+	if _, err := LoadModule(root, nil); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("want import-cycle error, got %v", err)
+	}
+}
+
+func TestLoadModuleSkipsTestOnlyAndHiddenDirs(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":                "module example.com/m\n\ngo 1.24\n",
+		"a/a.go":                "package a\n",
+		"onlytests/x_test.go":   "package onlytests\n",
+		".hidden/h.go":          "package hidden\n",
+		"_skip/s.go":            "package skip\n",
+		"a/testdata/fixture.go": "package broken because testdata is never parsed\n",
+	})
+	pkgs, err := LoadModule(root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "example.com/m/a" {
+		t.Fatalf("want exactly package a, got %v", pkgPaths(pkgs))
+	}
+}
+
+func TestLoadModulePatterns(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":     "module example.com/m\n\ngo 1.24\n",
+		"a/a.go":     "package a\n",
+		"a/sub/s.go": "package sub\n",
+		"b/b.go":     "package b\n",
+	})
+	cases := []struct {
+		patterns []string
+		want     []string
+	}{
+		{nil, []string{"example.com/m/a", "example.com/m/a/sub", "example.com/m/b"}},
+		{[]string{"./..."}, []string{"example.com/m/a", "example.com/m/a/sub", "example.com/m/b"}},
+		{[]string{"a/..."}, []string{"example.com/m/a", "example.com/m/a/sub"}},
+		{[]string{"./b"}, []string{"example.com/m/b"}},
+		{[]string{"nosuchdir"}, nil},
+	}
+	for _, c := range cases {
+		pkgs, err := LoadModule(root, c.patterns)
+		if err != nil {
+			t.Fatalf("%v: %v", c.patterns, err)
+		}
+		got := pkgPaths(pkgs)
+		if strings.Join(got, ",") != strings.Join(c.want, ",") {
+			t.Errorf("patterns %v: got %v, want %v", c.patterns, got, c.want)
+		}
+	}
+}
+
+func pkgPaths(pkgs []*Package) []string {
+	var out []string
+	for _, p := range pkgs {
+		out = append(out, p.Path)
+	}
+	return out
+}
+
+// TestIgnoreDirectiveEdgeCases pins the //lint:ignore grammar corner
+// cases: a wrong rule name suppresses nothing, a multi-word reason
+// (trailing text) is well-formed, a missing reason is reported as a
+// malformed-directive finding, and "all" plus comma-lists fan out.
+func TestIgnoreDirectiveEdgeCases(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.com/m\n\ngo 1.24\n",
+		"a/a.go": `package a
+
+var a = 1 //lint:ignore floateq wrong rule for this line
+var b = 2 //lint:ignore maporder a long multi-word reason with trailing text is fine
+var c = 3 //lint:ignore hotalloc
+var e = 5 //lint:ignore hotalloc,floateq comma list reason
+var d = 4 //lint:ignore all blanket suppression
+`,
+	})
+	pkgs, err := LoadModule(root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("want one package, got %v", pkgPaths(pkgs))
+	}
+	set, bad := collectIgnores(pkgs[0])
+
+	if len(bad) != 1 {
+		t.Fatalf("want exactly one malformed-directive finding, got %d: %v", len(bad), bad)
+	}
+	if bad[0].Rule != "ignore" || bad[0].Pos.Line != 5 {
+		t.Errorf("malformed finding: got rule %q line %d, want ignore line 5", bad[0].Rule, bad[0].Pos.Line)
+	}
+
+	pos := bad[0].Pos // reuse the filename; only Line and Rule vary below
+	suppressed := func(line int, rule string) bool {
+		f := Finding{Pos: pos, Rule: rule}
+		f.Pos.Line = line
+		return set.suppresses(f)
+	}
+	if suppressed(3, "floateq") != true {
+		t.Error("line 3: floateq should be suppressed by its own (wrong-for-the-code but named) rule")
+	}
+	if suppressed(3, "hotalloc") {
+		t.Error("line 3: a directive naming floateq must not suppress hotalloc")
+	}
+	if !suppressed(4, "maporder") {
+		t.Error("line 4: multi-word reason should still suppress maporder")
+	}
+	if suppressed(5, "hotalloc") {
+		t.Error("line 5: malformed directive (no reason) must suppress nothing")
+	}
+	if !suppressed(6, "hotalloc") || !suppressed(6, "floateq") {
+		t.Error("line 6: comma list should suppress both named rules")
+	}
+	if suppressed(6, "maporder") {
+		t.Error("line 6: comma list must not suppress unnamed rules")
+	}
+	if !suppressed(7, "hotalloc") || !suppressed(7, "nodeterm") {
+		t.Error("line 7: all should suppress every rule")
+	}
+}

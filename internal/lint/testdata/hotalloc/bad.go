@@ -1,0 +1,71 @@
+//linttest:path repro/internal/fixture
+package fixture
+
+import "fmt"
+
+type item struct{ v int }
+
+type state struct {
+	items []*item
+	sink  any
+}
+
+func (s *state) reset()              {}
+func (s *state) hook(func())         {}
+func (s *state) run(f func() int)    { s.sink = nil; _ = f }
+func (s *state) label(name string)   { _ = name }
+func (s *state) use(b []byte) []byte { return b }
+
+// Every diagnostic class fires once in this hot root.
+//
+//bullet:hotpath
+func (s *state) badStep(n int, m map[string]int, name string) any {
+	it := &item{v: n}             // want hotalloc
+	s.items = append(s.items, it) // want hotalloc
+	xs := []int{1, 2, n}          // want hotalloc
+	lut := map[int]int{n: n}      // want hotalloc
+	q := new(item)                // want hotalloc
+	tmp := make([]int, n)         // want hotalloc
+	msg := fmt.Sprintf("%d", n)   // want hotalloc hotalloc
+	s.sink = n                    // want hotalloc
+	s.hook(s.reset)               // want hotalloc
+	cb := func() int { return n } // want hotalloc
+	s.run(cb)
+	tag := "r:" + name // want hotalloc
+	s.label(tag)
+	raw := []byte(msg) // want hotalloc
+	_ = s.use(raw)
+	for i := 0; i < n; i++ {
+		defer s.reset() // want hotalloc
+	}
+	total := 0
+	for _, v := range m { // want hotalloc
+		total += v
+	}
+	_, _, _, _ = xs, lut, q, tmp
+	if total > 0 {
+		return it
+	}
+	return n // want hotalloc
+}
+
+// The walk follows static calls into unannotated module-local callees.
+//
+//bullet:hotpath
+func (s *state) hotCaller(n int) {
+	s.helper(n)
+}
+
+func (s *state) helper(n int) {
+	for i := 0; i < n; i++ {
+		s.items = append(s.items, nil) // want hotalloc
+	}
+}
+
+// want hotalloc@1
+//bullet:hotpath depth=banana
+func misconfigured() {}
+
+// want hotalloc@1
+//bullet:hotpath-ignore
+func ignoreNeedsReason() []int { return make([]int, 4) }

@@ -1,0 +1,80 @@
+//linttest:path repro/internal/fixture
+package fixture
+
+import "fmt"
+
+type ring struct {
+	buf   []int
+	total int
+}
+
+func (r *ring) apply(f func(int) int) { r.total = f(r.total) }
+
+// Clean hot path: buffer reuse via [:0], arithmetic, slice ranges.
+//
+//bullet:hotpath
+func (r *ring) step(xs []int) int {
+	r.buf = r.buf[:0]
+	for _, x := range xs {
+		r.buf = append(r.buf, x*2)
+	}
+	sum := 0
+	for _, v := range r.buf {
+		sum += v
+	}
+	r.total += sum
+	return sum
+}
+
+// Allocation inside panic arguments is exempt: the process is dying.
+//
+//bullet:hotpath
+func (r *ring) guarded(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("ring: negative step %d", n))
+	}
+	return r.total + n
+}
+
+// coldSetup allocates deliberately; hotpath-ignore keeps the walk out.
+//
+//bullet:hotpath-ignore warm-up path, runs once per simulation
+func (r *ring) coldSetup(n int) {
+	r.buf = make([]int, 0, n)
+}
+
+// A hot root may call an ignored callee without findings.
+//
+//bullet:hotpath
+func (r *ring) reset(n int) {
+	if cap(r.buf) < n {
+		r.coldSetup(n)
+	}
+	r.buf = r.buf[:0]
+}
+
+// depth=0 confines the check to the root body itself.
+//
+//bullet:hotpath depth=0
+func (r *ring) shallow(xs []int) int {
+	return r.expand(xs)
+}
+
+// expand allocates, but sits beyond its only hot caller's depth budget.
+func (r *ring) expand(xs []int) int {
+	grown := append([]int(nil), xs...)
+	return len(grown)
+}
+
+// Capture-free literals and immediately-invoked closures do not allocate
+// per use; pointer-shaped values cross interface boundaries for free.
+//
+//bullet:hotpath
+func (r *ring) closures(n int) int {
+	r.apply(func(x int) int { return x * 3 })
+	m := func() int { return 2 }()
+	var sink any
+	sink = r
+	_ = sink
+	return n + m
+}

@@ -1,0 +1,44 @@
+//linttest:path repro/internal/fixture
+package fixture
+
+type node struct{ v int }
+
+type pool struct {
+	free  []*node
+	chunk []node
+}
+
+// The miss path allocates a fresh arena chunk on purpose; the
+// suppression carries the justification.
+//
+//bullet:hotpath
+func (p *pool) get() *node {
+	if n := len(p.free); n > 0 {
+		out := p.free[n-1]
+		p.free = p.free[:n-1]
+		return out
+	}
+	if len(p.chunk) == 0 {
+		//lint:ignore hotalloc pool miss grows the arena once; steady state reuses
+		p.chunk = make([]node, 64)
+	}
+	out := &p.chunk[0]
+	p.chunk = p.chunk[1:]
+	return out
+}
+
+// put recycles a node; the free-list append is bounded by the arena size
+// but not provably so, hence the justified suppression.
+//
+//bullet:hotpath
+func (p *pool) put(n *node) {
+	//lint:ignore hotalloc free list is bounded by arena size; grows at most once
+	p.free = append(p.free, n)
+}
+
+// leak is the control: an unsuppressed finding must still fire.
+//
+//bullet:hotpath
+func (p *pool) leak() *node {
+	return new(node) // want hotalloc
+}

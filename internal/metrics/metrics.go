@@ -110,12 +110,22 @@ func (r Request) Validate() {
 
 // Percentile returns the p-quantile (p in [0,1]) of xs using linear
 // interpolation, preserving the element type (plain float64 or any
-// float64-backed unit type). An empty slice yields NaN.
+// float64-backed unit type). An empty slice yields NaN. The input is
+// copied; hot paths that own a scratch buffer should use
+// PercentileInPlace instead.
 func Percentile[F ~float64](xs []F, p float64) F {
-	if len(xs) == 0 {
+	s := append([]F(nil), xs...)
+	return PercentileInPlace(s, p)
+}
+
+// PercentileInPlace is Percentile without the defensive copy: it sorts
+// xs and therefore reorders the caller's slice. It exists for per-cycle
+// callers (the scheduler's SLO predictions) that reuse a scratch buffer
+// and cannot afford an allocation per call.
+func PercentileInPlace[F ~float64](s []F, p float64) F {
+	if len(s) == 0 {
 		return F(math.NaN())
 	}
-	s := append([]F(nil), xs...)
 	slices.Sort(s)
 	if p <= 0 {
 		return s[0]

@@ -255,6 +255,13 @@ var OperatorNames = []string{"norm1", "qkv", "attn", "oproj", "norm2", "gateup",
 //
 // The tag is attached to every kernel for utilization accounting.
 func (c Config) PrefillLayerKernels(newTokens, histTokens int, tag string) []gpusim.Kernel {
+	return c.AppendPrefillLayerKernels(nil, newTokens, histTokens, tag)
+}
+
+// AppendPrefillLayerKernels is PrefillLayerKernels appending into dst,
+// for per-cycle callers (the estimator's prediction loop) that reuse a
+// scratch buffer instead of allocating a kernel list per call.
+func (c Config) AppendPrefillLayerKernels(dst []gpusim.Kernel, newTokens, histTokens int, tag string) []gpusim.Kernel {
 	if newTokens <= 0 {
 		panic(fmt.Sprintf("model: PrefillLayerKernels with %d tokens", newTokens))
 	}
@@ -279,67 +286,62 @@ func (c Config) PrefillLayerKernels(newTokens, histTokens int, tag string) []gpu
 	attnBytes := units.Bytes((2*(hist+s)*kvDim/n + // K and V read (per-rank shard)
 		2*s*h/n) * bpp) // Q in, O out
 
-	ks := []gpusim.Kernel{
-		{
+	dst = append(dst,
+		gpusim.Kernel{
 			Name: "norm1", Tag: tag,
 			FLOPs: units.FLOPs(10 * s * h),
 			Bytes: units.Bytes(elementwiseBWFactor * s * h * bpp),
 		},
-		{
+		gpusim.Kernel{
 			Name: "qkv", Tag: tag,
 			FLOPs:      units.FLOPs(2 * s * h * qkvOut / n),
 			Bytes:      units.Bytes((h*qkvOut/n + s*h + s*qkvOut/n) * bpp),
 			Grid:       gemmGrid(newTokens, c.QKVOutDim()/nInt, wideTileN),
 			Efficiency: gemmEfficiency,
 		},
-		{
+		gpusim.Kernel{
 			Name: "attn", Tag: tag,
 			FLOPs:      attnFLOPs,
 			Bytes:      attnBytes,
 			Grid:       c.NumHeads / nInt * ceilDiv(newTokens, flashRowBlock),
 			Efficiency: prefillAttnEfficiency,
 		},
-		{
+		gpusim.Kernel{
 			Name: "oproj", Tag: tag,
 			FLOPs:      units.FLOPs(2 * s * h * h / n),
 			Bytes:      units.Bytes((h*h/n + s*h/n + s*h) * bpp),
 			Grid:       gemmGrid(newTokens, c.HiddenSize, wideTileN),
 			Efficiency: gemmEfficiency,
-		},
-		{
+		})
+	if nInt > 1 {
+		// Row-parallel outputs need allreducing: after OProj (insert
+		// before norm2) and after down.
+		dst = append(dst, c.allReduceKernel(newTokens, tag))
+	}
+	dst = append(dst,
+		gpusim.Kernel{
 			Name: "norm2", Tag: tag,
 			FLOPs: units.FLOPs(10 * s * h),
 			Bytes: units.Bytes(elementwiseBWFactor * s * h * bpp),
 		},
-		{
+		gpusim.Kernel{
 			Name: "gateup", Tag: tag,
 			FLOPs:      units.FLOPs(2 * s * h * 2 * inter / n),
 			Bytes:      units.Bytes((2*h*inter/n + s*h + 2*s*inter/n) * bpp),
 			Grid:       gemmGrid(newTokens, 2*c.IntermediateSize/nInt, wideTileN),
 			Efficiency: gemmEfficiency,
 		},
-		{
+		gpusim.Kernel{
 			Name: "down", Tag: tag,
 			FLOPs:      units.FLOPs(2 * s * inter * h / n),
 			Bytes:      units.Bytes((h*inter/n + s*inter/n + s*h) * bpp),
 			Grid:       gemmGrid(newTokens, c.HiddenSize, downTileN),
 			Efficiency: gemmEfficiency,
-		},
-	}
+		})
 	if nInt > 1 {
-		// Row-parallel outputs need allreducing: after OProj (insert
-		// before norm2) and after down.
-		out := make([]gpusim.Kernel, 0, len(ks)+2)
-		for _, k := range ks {
-			if k.Name == "norm2" {
-				out = append(out, c.allReduceKernel(newTokens, tag))
-			}
-			out = append(out, k)
-		}
-		out = append(out, c.allReduceKernel(newTokens, tag))
-		ks = out
+		dst = append(dst, c.allReduceKernel(newTokens, tag))
 	}
-	return ks
+	return dst
 }
 
 // PrefillBatchLayerKernels returns one decoder layer for a batch of
@@ -385,6 +387,17 @@ func (c Config) PrefillBatchLayerKernels(seqLens, histLens []int, tag string) []
 // whole KV cache through the page table (traffic inflated by
 // pagedTrafficInflation).
 func (c Config) DecodeLayerKernels(batch int, avgCtx units.Tokens, tag string) []gpusim.Kernel {
+	return c.AppendDecodeLayerKernels(nil, batch, avgCtx, tag)
+}
+
+// decodeGrid sizes a decode GEMV grid: one block row per 16 batch rows,
+// tiled over the output width. Memory-bound, so the grid mostly matters
+// for SM occupancy accounting rather than wave stalls.
+func decodeGrid(batch, n int) int { return ceilDiv(batch, 16) * ceilDiv(n, downTileN) }
+
+// AppendDecodeLayerKernels is DecodeLayerKernels appending into dst, for
+// per-cycle callers that reuse a scratch buffer.
+func (c Config) AppendDecodeLayerKernels(dst []gpusim.Kernel, batch int, avgCtx units.Tokens, tag string) []gpusim.Kernel {
 	if batch <= 0 {
 		panic(fmt.Sprintf("model: DecodeLayerKernels with batch %d", batch))
 	}
@@ -399,58 +412,52 @@ func (c Config) DecodeLayerKernels(batch int, avgCtx units.Tokens, tag string) [
 	attnFLOPs := units.FLOPs(4 * h * b * ctx)
 	attnBytes := units.Bytes((2*b*ctx*kvDim*pagedTrafficInflation + 2*b*h) * bpp)
 
-	// Decode GEMV grids: one block row per 16 batch rows, tiled over the
-	// output width. Memory-bound, so the grid mostly matters for SM
-	// occupancy accounting rather than wave stalls.
-	dgrid := func(n int) int { return ceilDiv(batch, 16) * ceilDiv(n, downTileN) }
-
-	return []gpusim.Kernel{
-		{
+	return append(dst,
+		gpusim.Kernel{
 			Name: "norm1", Tag: tag,
 			FLOPs: units.FLOPs(10 * b * h),
 			Bytes: units.Bytes(elementwiseBWFactor * b * h * bpp),
 		},
-		{
+		gpusim.Kernel{
 			Name: "qkv", Tag: tag,
 			FLOPs:      units.FLOPs(2 * b * h * qkvOut),
 			Bytes:      units.Bytes((h*qkvOut + b*h + b*qkvOut) * bpp),
-			Grid:       dgrid(c.QKVOutDim()),
+			Grid:       decodeGrid(batch, c.QKVOutDim()),
 			Efficiency: gemmEfficiency,
 		},
-		{
+		gpusim.Kernel{
 			Name: "attn", Tag: tag,
 			FLOPs:      attnFLOPs,
 			Bytes:      attnBytes,
 			Grid:       batch * c.NumKVHeads,
 			Efficiency: decodeAttnEfficiency,
 		},
-		{
+		gpusim.Kernel{
 			Name: "oproj", Tag: tag,
 			FLOPs:      units.FLOPs(2 * b * h * h),
 			Bytes:      units.Bytes((h*h + 2*b*h) * bpp),
-			Grid:       dgrid(c.HiddenSize),
+			Grid:       decodeGrid(batch, c.HiddenSize),
 			Efficiency: gemmEfficiency,
 		},
-		{
+		gpusim.Kernel{
 			Name: "norm2", Tag: tag,
 			FLOPs: units.FLOPs(10 * b * h),
 			Bytes: units.Bytes(elementwiseBWFactor * b * h * bpp),
 		},
-		{
+		gpusim.Kernel{
 			Name: "gateup", Tag: tag,
 			FLOPs:      units.FLOPs(2 * b * h * 2 * inter),
 			Bytes:      units.Bytes((2*h*inter + b*h + 2*b*inter) * bpp),
-			Grid:       dgrid(2 * c.IntermediateSize),
+			Grid:       decodeGrid(batch, 2*c.IntermediateSize),
 			Efficiency: gemmEfficiency,
 		},
-		{
+		gpusim.Kernel{
 			Name: "down", Tag: tag,
 			FLOPs:      units.FLOPs(2 * b * inter * h),
 			Bytes:      units.Bytes((h*inter + b*inter + b*h) * bpp),
-			Grid:       dgrid(c.HiddenSize),
+			Grid:       decodeGrid(batch, c.HiddenSize),
 			Efficiency: gemmEfficiency,
-		},
-	}
+		})
 }
 
 // HybridLayerKernels returns one decoder layer for a chunked-prefill
@@ -549,7 +556,16 @@ func Aggregate(ks []gpusim.Kernel) Work {
 // Graph"). Aggregation is accurate here because every decode kernel is
 // memory-bound, so the step time is dominated by total bytes.
 func (c Config) DecodeStepKernel(batch int, avgCtx units.Tokens, tag string) gpusim.Kernel {
-	layer := Aggregate(c.DecodeLayerKernels(batch, avgCtx, tag))
+	k, _ := c.DecodeStepKernelScratch(nil, batch, avgCtx, tag)
+	return k
+}
+
+// DecodeStepKernelScratch is DecodeStepKernel using (and returning) a
+// caller-owned scratch buffer for the intermediate layer kernel list, so
+// per-cycle callers avoid allocating one per prediction.
+func (c Config) DecodeStepKernelScratch(scratch []gpusim.Kernel, batch int, avgCtx units.Tokens, tag string) (gpusim.Kernel, []gpusim.Kernel) {
+	scratch = c.AppendDecodeLayerKernels(scratch[:0], batch, avgCtx, tag)
+	layer := Aggregate(scratch)
 	head := c.LMHeadKernel(batch, tag)
 	return gpusim.Kernel{
 		Name:       "decode-step",
@@ -560,7 +576,7 @@ func (c Config) DecodeStepKernel(batch int, avgCtx units.Tokens, tag string) gpu
 		Efficiency: decodeAttnEfficiency, // conservative: graph mixes ops
 		Graph:      true,
 		GraphHead:  true,
-	}
+	}, scratch
 }
 
 // PrefillWork returns the aggregate work of prefilling newTokens tokens

@@ -226,6 +226,8 @@ func (c *Controller) blocksFor(tokens int) int {
 // has already been deferred deferrals times. It updates the hysteresis
 // latch, counters, and peak occupancy, and emits one timeline instant per
 // decision.
+//
+//bullet:hotpath
 func (c *Controller) Admit(now units.Seconds, id string, needTokens, deferrals int) Tier {
 	cur := c.observeOccupancy()
 	if c.pressured && cur < c.cfg.LowWatermark {
@@ -252,6 +254,7 @@ func (c *Controller) Admit(now units.Seconds, id string, needTokens, deferrals i
 	return tier
 }
 
+//bullet:hotpath
 func (c *Controller) decide(cur float64, needTokens, deferrals int) Tier {
 	need := c.blocksFor(needTokens)
 	total := c.pool.TotalBlocks()
@@ -283,6 +286,8 @@ func (c *Controller) decide(cur float64, needTokens, deferrals int) Tier {
 // needTokens to both fit physically and land the pool at the low
 // watermark (0 if no relief is needed). Call with needTokens == 0 for the
 // drain deficit of a capacity shrink.
+//
+//bullet:hotpath
 func (c *Controller) Deficit(needTokens int) int {
 	need := c.blocksFor(needTokens)
 	total := c.pool.TotalBlocks()
@@ -309,6 +314,8 @@ func (c *Controller) Deficit(needTokens int) int {
 // Preemption engages only when waiting cannot help: the pool has
 // settled (no drain debt) and the free list still cannot cover the
 // head request.
+//
+//bullet:hotpath
 func (c *Controller) PhysicalDeficit(needTokens int) int {
 	if c.pool.RetirePending() > 0 {
 		return 0
@@ -326,6 +333,8 @@ func (c *Controller) PhysicalDeficit(needTokens int) int {
 // watermark while pressured) but must not push the pool back into the
 // pressured band — that would re-trigger the very deferrals whose
 // relief evicted them.
+//
+//bullet:hotpath
 func (c *Controller) CanReadmit(needTokens int) bool {
 	if !c.pool.CanAllocate(needTokens) {
 		return false
@@ -336,12 +345,16 @@ func (c *Controller) CanReadmit(needTokens int) bool {
 
 // ShouldShedVictim reports whether a preemption victim that has already
 // been preempted preemptions times should be shed instead of recovered.
+//
+//bullet:hotpath
 func (c *Controller) ShouldShedVictim(preemptions int) bool {
 	return preemptions > c.cfg.MaxPreemptions
 }
 
 // Backoff returns the delay before recovery/readmission attempt n
 // (1-based): BackoffBase·2^(n-1), capped at BackoffCap.
+//
+//bullet:hotpath
 func (c *Controller) Backoff(attempt int) units.Seconds {
 	if attempt < 1 {
 		attempt = 1

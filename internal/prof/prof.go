@@ -1,0 +1,52 @@
+// Package prof wires the standard runtime/pprof profilers behind the
+// -cpuprofile/-memprofile flags the binaries share (`make prof` runs a
+// representative profiled sweep). Profiling is strictly observational:
+// it changes wall-clock cost only, never simulation output, so profiled
+// and unprofiled runs of the same flags remain byte-identical.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuFile (if non-empty) and returns a
+// stop function that finalizes both profiles. The heap profile is
+// written to memFile (if non-empty) at stop time, after a GC, so it
+// reflects live steady-state memory rather than transient garbage.
+// Either path may be empty; Start("", "") returns a no-op stop.
+func Start(cpuFile, memFile string) (stop func() error, err error) {
+	var cpu *os.File
+	if cpuFile != "" {
+		cpu, err = os.Create(cpuFile)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, fmt.Errorf("prof: start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			if err := cpu.Close(); err != nil {
+				return fmt.Errorf("prof: close cpu profile: %w", err)
+			}
+		}
+		if memFile != "" {
+			f, err := os.Create(memFile)
+			if err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // surface live objects, not unreclaimed garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("prof: write heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

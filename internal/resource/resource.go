@@ -17,7 +17,6 @@ package resource
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/gpusim"
 	"repro/internal/smmask"
@@ -55,6 +54,11 @@ type Manager struct {
 	rebuilds  int
 	current   map[Phase]int
 
+	// idx is build's healthy-index scratch, resliced to [:0] per
+	// rebuild: fault/recovery transitions re-derive the table on the hot
+	// resilience path and must not allocate.
+	idx []int
+
 	// TL, when non-nil, records repartition/rebuild instants on the
 	// "resource" lane.
 	TL *timeline.Recorder
@@ -87,6 +91,8 @@ func NewManager(gpu *gpusim.GPU, step int) *Manager {
 // (libsmctrl semantics). The paper's pre-configured masked-stream table
 // (§3.4) is exactly the mechanism that makes routing around dead SMs an
 // O(levels) re-derivation instead of a serving pause.
+//
+//bullet:hotpath
 func (m *Manager) Rebuild(healthy smmask.Mask) {
 	m.build(healthy)
 	m.rebuilds++
@@ -96,40 +102,46 @@ func (m *Manager) Rebuild(healthy smmask.Mask) {
 	}
 }
 
-// build derives levels, masks and streams from a healthy-SM set.
+// build derives levels, masks and streams from a healthy-SM set. The
+// stream table is mutated in place: levels and the index scratch reuse
+// their buffers, and existing stream objects are retargeted via SetMask.
+// Entries for levels dropped by a shrink stay in the map (their streams
+// stay registered on the GPU so in-flight kernels finish) but are
+// unreachable through Stream, whose lookups go through Quantize and the
+// current level list.
+//
+//bullet:hotpath
 func (m *Manager) build(healthy smmask.Mask) {
 	avail := healthy.Count()
 	if avail <= 0 {
 		panic("resource: rebuild with no healthy SMs")
 	}
-	idx := healthy.Indices()
-	var levels []int
+	m.idx = healthy.AppendIndices(m.idx[:0])
+	levels := m.levels[:0]
 	for n := m.step; n < avail; n += m.step {
 		levels = append(levels, n)
 	}
 	levels = append(levels, avail)
 
-	old := m.streams
-	m.streams = map[Phase]map[int]*gpusim.Stream{Prefill: {}, Decode: {}}
 	for _, n := range levels {
-		m.setStream(old, Prefill, n, maskOf(idx[:n]))
-		m.setStream(old, Decode, n, maskOf(idx[avail-n:]))
+		m.setStream(Prefill, n, maskOf(m.idx[:n]))
+		m.setStream(Decode, n, maskOf(m.idx[avail-n:]))
 	}
 	m.healthy = healthy
 	m.avail = avail
 	m.levels = levels
 }
 
-// setStream reuses the old stream object for a (phase, level) pair when
-// one exists (retargeting its mask) and creates it otherwise. Streams of
-// dropped levels stay registered on the GPU so their in-flight kernels
-// finish, but are never handed out again.
-func (m *Manager) setStream(old map[Phase]map[int]*gpusim.Stream, p Phase, n int, mask smmask.Mask) {
-	if st, ok := old[p][n]; ok {
+// setStream reuses the stream object for a (phase, level) pair when one
+// exists (retargeting its mask) and creates it otherwise.
+//
+//bullet:hotpath
+func (m *Manager) setStream(p Phase, n int, mask smmask.Mask) {
+	if st, ok := m.streams[p][n]; ok {
 		st.SetMask(mask)
-		m.streams[p][n] = st
 		return
 	}
+	//lint:ignore hotalloc the stream set is bounded by the level table; steady-state rebuilds retarget in place
 	m.streams[p][n] = m.gpu.NewStream(mask)
 }
 
@@ -171,7 +183,18 @@ func (m *Manager) Quantize(sms int) int {
 	if top := m.levels[len(m.levels)-1]; sms >= top {
 		return top
 	}
-	i := sort.SearchInts(m.levels, sms)
+	// Open-coded sort.SearchInts: the closure it takes would allocate on
+	// every per-cycle stream lookup.
+	lo, hi0 := 0, len(m.levels)
+	for lo < hi0 {
+		mid := int(uint(lo+hi0) >> 1)
+		if m.levels[mid] < sms {
+			lo = mid + 1
+		} else {
+			hi0 = mid
+		}
+	}
+	i := lo
 	// m.levels[i] >= sms; pick the closer of levels[i-1] and levels[i].
 	if i == 0 {
 		return m.levels[0]
@@ -186,6 +209,8 @@ func (m *Manager) Quantize(sms int) int {
 // Stream returns the pre-configured stream for a phase at a quantized SM
 // count, recording the switch when the allocation changed. This is the
 // "instant re-configuration" path: no masks are rebuilt.
+//
+//bullet:hotpath
 func (m *Manager) Stream(p Phase, sms int) *gpusim.Stream {
 	q := m.Quantize(sms)
 	st, ok := m.streams[p][q]

@@ -89,6 +89,12 @@ type Scheduler struct {
 	est *estimator.Estimator
 	slo metrics.SLO
 	cfg Config
+
+	// Prediction scratch buffers, resliced to [:0] each call: Decide
+	// evaluates the predictors once per candidate SM level, so they must
+	// not allocate per call.
+	norms []float64
+	tpots []float64
 }
 
 // New creates a scheduler. The config must list at least one SM level.
@@ -140,25 +146,38 @@ func (s *Scheduler) SetCapacity(numSMs int, levels []int) {
 func (s *Scheduler) Capacity() int { return s.cfg.NumSMs }
 
 // SortWaiting reorders the pending queue by SLO deadline (earliest first),
-// the reordering step of Algorithm 1 line 7.
+// the reordering step of Algorithm 1 line 7. The sort is a hand-rolled
+// stable insertion sort: queues are short (admission-bounded), and
+// sort.SliceStable's closure would allocate on every scheduling cycle.
+//
+//bullet:hotpath
 func (s *Scheduler) SortWaiting(reqs []WaitingReq) {
-	sort.SliceStable(reqs, func(i, j int) bool {
-		return reqs[i].Deadline(s.slo) < reqs[j].Deadline(s.slo)
-	})
+	for i := 1; i < len(reqs); i++ {
+		r := reqs[i]
+		d := r.Deadline(s.slo)
+		j := i - 1
+		for j >= 0 && d < reqs[j].Deadline(s.slo) {
+			reqs[j+1] = reqs[j]
+			j--
+		}
+		reqs[j+1] = r
+	}
 }
 
 // predictNormTTFT returns the P90 predicted normalized TTFT (ms/token)
 // across the running batch and the waiting queue, if prefill runs on pm
 // SMs from now on.
+//
+//bullet:hotpath
 func (s *Scheduler) predictNormTTFT(st State, pm int, coloc bool) float64 {
-	var norms []float64
+	s.norms = s.norms[:0]
 	rem := units.Seconds(0)
 	if st.Prefill.Active {
 		layersLeft := s.cfg.TotalLayers - st.Prefill.LayersDone
 		rem = s.est.PrefillRemainingTime(st.Prefill.Tokens, 0, layersLeft, pm, coloc)
 		for i, arr := range st.Prefill.Arrivals {
 			ttft := (st.Now - arr) + rem
-			norms = append(norms, 1000*ttft.Float()/float64(st.Prefill.InputTokens[i]))
+			s.norms = append(s.norms, 1000*ttft.Float()/float64(st.Prefill.InputTokens[i]))
 		}
 	}
 	// Queued requests wait for the running prefill plus everything ahead
@@ -168,36 +187,56 @@ func (s *Scheduler) predictNormTTFT(st State, pm int, coloc bool) float64 {
 		own := s.est.PrefillTotalTime(w.InputTokens, 0, pm, coloc)
 		ahead += own
 		ttft := (st.Now - w.Arrival) + ahead
-		norms = append(norms, 1000*ttft.Float()/float64(w.InputTokens))
+		s.norms = append(s.norms, 1000*ttft.Float()/float64(w.InputTokens))
 	}
-	if len(norms) == 0 {
+	if len(s.norms) == 0 {
 		return 0
 	}
-	return metrics.Percentile(norms, 0.9)
+	return metrics.PercentileInPlace(s.norms, 0.9)
 }
 
 // predictTPOTMs returns the P90 predicted TPOT (ms) if decode runs its
 // next step on dm SMs, optionally after an extra stall of pause seconds.
+//
+//bullet:hotpath
 func (s *Scheduler) predictTPOTMs(st State, dm int, coloc bool, pause units.Seconds) float64 {
 	d := st.Decode
 	if d.Batch == 0 {
 		return 0
 	}
 	step := s.est.DecodeStepTime(d.Batch, d.AvgCtx, dm, coloc)
-	var tpots []float64
+	s.tpots = s.tpots[:0]
 	for i := range d.Elapsed {
 		gen := d.Generated[i]
-		tpots = append(tpots, 1000*(d.Elapsed[i]+step+pause).Float()/float64(gen+1))
+		s.tpots = append(s.tpots, 1000*(d.Elapsed[i]+step+pause).Float()/float64(gen+1))
 	}
-	return metrics.Percentile(tpots, 0.9)
+	return metrics.PercentileInPlace(s.tpots, 0.9)
+}
+
+// searchLevels returns the index of the first level not below n — an
+// open-coded sort.SearchInts, which would otherwise allocate a closure
+// per probe.
+func searchLevels(lv []int, n int) int {
+	lo, hi := 0, len(lv)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if lv[mid] < n {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // complement returns the largest level not exceeding NumSMs-n, clamped to
 // the smallest level.
+//
+//bullet:hotpath
 func (s *Scheduler) complement(n int) int {
 	rest := s.cfg.NumSMs - n
 	lv := s.cfg.Levels
-	i := sort.SearchInts(lv, rest+1) - 1
+	i := searchLevels(lv, rest+1) - 1
 	if i < 0 {
 		return lv[0]
 	}
@@ -205,16 +244,23 @@ func (s *Scheduler) complement(n int) int {
 }
 
 // levelAtLeast returns the smallest level ≥ n (or the largest level).
+//
+//bullet:hotpath
 func (s *Scheduler) levelAtLeast(n int) int {
 	lv := s.cfg.Levels
-	i := sort.SearchInts(lv, n)
+	i := searchLevels(lv, n)
 	if i >= len(lv) {
 		return lv[len(lv)-1]
 	}
 	return lv[i]
 }
 
-// Decide evaluates Algorithm 1 on a snapshot.
+// Decide evaluates Algorithm 1 on a snapshot. The deep depth budget
+// carries the allocation check through the predictors into the
+// estimator and the model's kernel builders — the full water-filling
+// re-rate must not allocate.
+//
+//bullet:hotpath depth=6
 func (s *Scheduler) Decide(st State) Decision {
 	M := s.cfg.NumSMs
 	// Before the first allocation is published the snapshot carries

@@ -86,6 +86,7 @@ func NewEnvWithSim(s *sim.Simulation, spec gpusim.Spec, cfg model.Config, datase
 // per submitted request.
 func (e *Env) Complete(r metrics.Request) {
 	r.Validate()
+	//lint:ignore hotalloc one append per completed request lifetime, not per step; growth is amortized
 	e.completed = append(e.completed, r)
 	if e.OnComplete != nil {
 		e.OnComplete(r)
@@ -106,6 +107,7 @@ func (e *Env) Shed(r workload.Request) {
 		limit = DefaultMaxShed
 	}
 	if len(e.shed) < limit {
+		//lint:ignore hotalloc one append per shed request lifetime, bounded by MaxShed
 		e.shed = append(e.shed, r)
 	} else {
 		e.shedDropped++
@@ -158,7 +160,7 @@ const maxEventsPerRequest = 200000
 func (e *Env) Run(sys System, trace *workload.Trace) Result {
 	for _, r := range trace.Requests {
 		r := r
-		e.Sim.At(r.Arrival, func() { sys.Submit(r) })
+		e.Sim.Post(r.Arrival, func() { sys.Submit(r) })
 	}
 	budget := uint64(len(trace.Requests)+1) * maxEventsPerRequest
 	for uint64(len(e.completed)+e.shedCount) < uint64(len(trace.Requests)) {

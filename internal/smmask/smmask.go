@@ -118,9 +118,24 @@ func (m Mask) ForEach(fn func(i int)) {
 
 // Indices returns the sorted SM indices in the mask.
 func (m Mask) Indices() []int {
-	out := make([]int, 0, m.Count())
-	m.ForEach(func(i int) { out = append(out, i) })
-	return out
+	return m.AppendIndices(make([]int, 0, m.Count()))
+}
+
+// AppendIndices appends the sorted SM indices to dst, for callers that
+// reuse a scratch buffer. The loop is open-coded rather than going
+// through ForEach so no closure is allocated.
+//
+//bullet:hotpath
+func (m Mask) AppendIndices(dst []int) []int {
+	for w := 0; w < 4; w++ {
+		word := m[w]
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			dst = append(dst, w*64+b)
+			word &= word - 1
+		}
+	}
+	return dst
 }
 
 // String renders the mask as compact index ranges, e.g. "0-53,60-61".

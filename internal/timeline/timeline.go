@@ -108,6 +108,12 @@ type Event struct {
 	// for simultaneous events, mirroring the sim event queue.
 	Seq  uint64
 	Args []Arg
+	// argOff/argN locate this event's args inside the recorder's shared
+	// arena while the event sits in internal storage; Events()
+	// materializes them into Args. Zero-valued on externally constructed
+	// events, whose Args field is used directly.
+	argOff int
+	argN   int
 }
 
 // Duration returns End - Start (zero for instants and counters).
@@ -125,6 +131,11 @@ type state struct {
 	seq     uint64
 	dropped int
 	events  []Event
+	// argbuf is the shared argument arena: add copies the caller's
+	// variadic args element-wise into it, so the variadic array never
+	// escapes and every recording call site — enabled or disabled —
+	// builds its args on the stack.
+	argbuf []Arg
 }
 
 // Recorder collects events. The zero *Recorder (nil) is the disabled
@@ -165,8 +176,13 @@ func (r *Recorder) Proc() string {
 	return r.proc
 }
 
-// add appends one event, assigning its sequence number.
-func (r *Recorder) add(e Event) {
+// add appends one event, assigning its sequence number. args is copied
+// element-wise into the arena rather than retained, which keeps this
+// function's parameters non-escaping — the property the hot-path
+// allocation contract (DESIGN.md §13) depends on.
+//
+//bullet:hotpath
+func (r *Recorder) add(e Event, args []Arg) {
 	if r == nil {
 		return
 	}
@@ -178,6 +194,13 @@ func (r *Recorder) add(e Event) {
 	e.Proc = r.proc
 	e.Seq = st.seq
 	st.seq++
+	e.argOff = len(st.argbuf)
+	e.argN = len(args)
+	for i := range args {
+		//lint:ignore hotalloc arena growth is amortized; steady state appends into reserved capacity
+		st.argbuf = append(st.argbuf, args[i])
+	}
+	//lint:ignore hotalloc event buffer growth is amortized and bounded by max
 	st.events = append(st.events, e)
 }
 
@@ -192,7 +215,7 @@ func (r *Recorder) Span(lane, name string, start, end units.Seconds, args ...Arg
 	if end < start {
 		panic(fmt.Sprintf("timeline: span %s/%s ends at %v before start %v", lane, name, end, start))
 	}
-	r.add(Event{Kind: KindSpan, Lane: lane, Name: name, Start: start, End: end, Args: args})
+	r.add(Event{Kind: KindSpan, Lane: lane, Name: name, Start: start, End: end}, args)
 }
 
 // Instant records a point event on a lane.
@@ -200,7 +223,7 @@ func (r *Recorder) Instant(lane, name string, t units.Seconds, args ...Arg) {
 	if r == nil {
 		return
 	}
-	r.add(Event{Kind: KindInstant, Lane: lane, Name: name, Start: t, End: t, Args: args})
+	r.add(Event{Kind: KindInstant, Lane: lane, Name: name, Start: t, End: t}, args)
 }
 
 // Counter records sampled series values at a point; every arg must be
@@ -209,7 +232,7 @@ func (r *Recorder) Counter(lane, name string, t units.Seconds, args ...Arg) {
 	if r == nil {
 		return
 	}
-	r.add(Event{Kind: KindCounter, Lane: lane, Name: name, Start: t, End: t, Args: args})
+	r.add(Event{Kind: KindCounter, Lane: lane, Name: name, Start: t, End: t}, args)
 }
 
 // AsyncSpan records an ID-correlated interval: the phases of one request
@@ -222,7 +245,7 @@ func (r *Recorder) AsyncSpan(lane, name, id string, start, end units.Seconds, ar
 	if end < start {
 		panic(fmt.Sprintf("timeline: async span %s/%s[%s] ends at %v before start %v", lane, name, id, end, start))
 	}
-	r.add(Event{Kind: KindAsync, Lane: lane, Name: name, ID: id, Start: start, End: end, Args: args})
+	r.add(Event{Kind: KindAsync, Lane: lane, Name: name, ID: id, Start: start, End: end}, args)
 }
 
 // Len returns the number of recorded events (across all scoped views).
@@ -251,6 +274,11 @@ func (r *Recorder) Events() []Event {
 		return nil
 	}
 	out := append([]Event(nil), r.st.events...)
+	for i := range out {
+		if out[i].argN > 0 {
+			out[i].Args = r.st.argbuf[out[i].argOff : out[i].argOff+out[i].argN]
+		}
+	}
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Start < out[j].Start {
 			return true
