@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/kvcache"
 	"repro/internal/metrics"
+	"repro/internal/qos"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/timeline"
@@ -152,5 +153,28 @@ func TestPressureAdmitZeroAlloc(t *testing.T) {
 		now += 1e-6
 		_ = ctrl.Admit(units.Seconds(now), "r", 2048, 0)
 		_ = ctrl.Deficit(2048)
+	})
+}
+
+// TestQoSControllerZeroAlloc pins the whole SLO-feedback loop (without a
+// timeline attached, its production default) at zero: the per-step
+// observation, the window-boundary AIMD decision, the per-completion
+// observation, and the cap/weight reads the engines issue every cycle.
+func TestQoSControllerZeroAlloc(t *testing.T) {
+	c := benchQoS()
+	now := 0.0
+	done := metrics.Request{
+		ID: "r", Tenant: "premium", InputTokens: 1024, OutputTokens: 64,
+		Arrival: 0, PrefillStart: 0, FirstToken: 0.02, Finish: 0.5,
+	}
+	pinAllocs(t, "qos observe+decide", 0, func() {
+		now += 0.05 // five observations per 250ms window: decisions fire too
+		c.ObserveStep(units.Seconds(now), 64, units.FromMs(25), 0.5)
+		c.ObserveCompletion(units.Seconds(now), done, 0.5)
+		c.AddPrefill(qos.Premium, 512)
+		c.AddDecode(qos.Premium)
+		_ = c.DecodeCap()
+		_ = c.PrefillTokenBudget()
+		_ = c.WeightOf(qos.Standard)
 	})
 }

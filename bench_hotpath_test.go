@@ -16,6 +16,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/pressure"
+	"repro/internal/qos"
 	"repro/internal/resource"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -40,6 +41,7 @@ func BenchmarkHotPaths(b *testing.B) {
 	b.Run("kvcache/extend", benchKVExtend)
 	b.Run("pressure/admit", benchPressureAdmit)
 	b.Run("metrics/percentile", benchMetricsPercentile)
+	b.Run("qos/observe-decide", benchQoSObserve)
 }
 
 // benchSimPostStep measures the pooled schedule+fire cycle: one event
@@ -262,5 +264,28 @@ func benchMetricsPercentile(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		scratch = append(scratch[:0], xs...)
 		_ = metrics.PercentileInPlace(scratch, 0.9)
+	}
+}
+
+// benchQoS builds a controller in its production default shape: no
+// timeline, engine-scale caps, default AIMD constants.
+func benchQoS() *qos.Controller {
+	return qos.New(metrics.SLOFor("azure-code"), qos.DefaultConfig(), 256, 16384)
+}
+
+// benchQoSObserve measures the per-decode-step feedback call — the
+// controller's hottest entry point: one observation folded into the
+// window accumulator, the boundary check, and (every ~250 simulated ms)
+// one AIMD decision, plus the cap reads the engines issue per cycle.
+func benchQoSObserve(b *testing.B) {
+	c := benchQoS()
+	now := 0.0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 1e-4
+		c.ObserveStep(units.Seconds(now), 64, units.FromMs(25), 0.5)
+		_ = c.DecodeCap()
+		_ = c.PrefillTokenBudget()
 	}
 }

@@ -41,7 +41,7 @@ step "determinism smoke (-race, double run): faults + pressure + timeline traces
 # and pressure tests diff full sweep tables; the golden test diffs the
 # quickstart scenario's Chrome JSON byte for byte.
 go test -race -count=1 \
-    -run 'TestFaultRunDeterminism|TestFaultyRunBitIdentical|TestClusterFaultDeterminism|TestTimelineGoldenDeterminism|TestPressureRunDeterminism' \
+    -run 'TestFaultRunDeterminism|TestFaultyRunBitIdentical|TestClusterFaultDeterminism|TestTimelineGoldenDeterminism|TestPressureRunDeterminism|TestQoSRunDeterminism' \
     ./internal/experiments ./internal/core ./internal/cluster
 
 step "determinism smoke: bulletsim -pressure double run, byte diff"
@@ -54,6 +54,18 @@ press_b=$(go run ./cmd/bulletsim -pressure -dataset azure-code -rate 4 -n 60 -se
 if [[ "$press_a" != "$press_b" ]]; then
     echo "bulletsim -pressure: two same-seed runs diverged" >&2
     diff <(echo "$press_a") <(echo "$press_b") >&2 || true
+    exit 1
+fi
+
+step "determinism smoke: bulletsim -qos double run, byte diff"
+# The multi-tenant QoS sweep (per-tenant tables + the controller's cluster
+# arm) is the acceptance surface for the SLO-feedback subsystem: two
+# same-seed processes must render byte-identical output.
+qos_a=$(go run ./cmd/bulletsim -qos -dataset azure-code -rate 10 -n 120 -seed 11 -workers 1)
+qos_b=$(go run ./cmd/bulletsim -qos -dataset azure-code -rate 10 -n 120 -seed 11 -workers 1)
+if [[ "$qos_a" != "$qos_b" ]]; then
+    echo "bulletsim -qos: two same-seed runs diverged" >&2
+    diff <(echo "$qos_a") <(echo "$qos_b") >&2 || true
     exit 1
 fi
 
@@ -77,7 +89,20 @@ if [[ "$sweep_a" != "$sweep_b" ]]; then
     exit 1
 fi
 
-step "coverage gate (internal/timeline >= 90%, internal/pressure >= 90%, module mean >= 86%)"
+step "concurrency contract: serial vs parallel qos cluster arm, byte diff"
+# Same gate for the QoS stack: per-replica controllers decide at
+# virtual-time window boundaries, so the 2-replica qos cluster arm must
+# be byte-identical with one worker on one core and four workers on four
+# cores under -race.
+qos_ser=$(GOMAXPROCS=1 go run ./cmd/bulletsim -qos -workers 1 -dataset azure-code -rate 10 -n 120 -seed 11)
+qos_par=$(GOMAXPROCS=4 go run -race ./cmd/bulletsim -qos -workers 4 -dataset azure-code -rate 10 -n 120 -seed 11)
+if [[ "$qos_ser" != "$qos_par" ]]; then
+    echo "bulletsim -qos: serial and parallel runs diverged" >&2
+    diff <(echo "$qos_ser") <(echo "$qos_par") >&2 || true
+    exit 1
+fi
+
+step "coverage gate (internal/timeline >= 90%, internal/pressure >= 90%, internal/qos >= 90%, module mean >= 86%)"
 # Per-package statement coverage; packages without tests or statements
 # are excluded from the mean. The floors were recorded at the merge that
 # introduced the gate — raise them when coverage rises, never lower them
@@ -94,6 +119,10 @@ go test -cover ./... | awk '
         }
         if ($2 == "repro/internal/pressure" && pct + 0 < 90) {
             printf "coverage gate: internal/pressure at %.1f%%, floor is 90%%\n", pct > "/dev/stderr"
+            fail = 1
+        }
+        if ($2 == "repro/internal/qos" && pct + 0 < 90) {
+            printf "coverage gate: internal/qos at %.1f%%, floor is 90%%\n", pct > "/dev/stderr"
             fail = 1
         }
     }

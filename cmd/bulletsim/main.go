@@ -9,6 +9,7 @@
 //	bulletsim -system bullet -trace-out out.json     # deterministic timeline trace
 //	bulletsim -system bullet -faults -fault-rate 0.1 -fault-seed 7
 //	bulletsim -pressure -dataset azure-code -rate 4 -n 200
+//	bulletsim -qos -dataset azure-code -rate 4 -n 200
 //	bulletsim -list
 //
 // With -faults a deterministic fault schedule (SM degradations and
@@ -22,6 +23,13 @@
 // the admission-gate ablation, and the full pressure subsystem
 // (admission control + decode preemption + recompute/retransfer
 // recovery). Output is byte-identical across runs of the same flags.
+//
+// With -qos the multi-tenant QoS overload sweep runs: a mixed
+// premium/standard/best-effort trace at -rate, 2×, and 3×, comparing
+// static-batch Bullet against the SLO-feedback QoS controller
+// (internal/qos), plus a 2-replica cluster arm at the top rate whose
+// table is byte-identical serial vs parallel. Output is byte-identical
+// across runs of the same flags.
 package main
 
 import (
@@ -58,6 +66,7 @@ func main() {
 		faultRate  = flag.Float64("fault-rate", 0.1, "SM-degradation and engine-stall rates, events/s of virtual time")
 		faultSeed  = flag.Int64("fault-seed", 1, "fault schedule random seed")
 		pressSweep = flag.Bool("pressure", false, "run the memory-pressure overload sweep (rate, 2x, 3x) and print the ext-pressure table")
+		qosSweep   = flag.Bool("qos", false, "run the multi-tenant QoS overload sweep (rate, 2x, 3x) and print the ext-qos tables")
 		clSweep    = flag.Bool("cluster-sweep", false, "run the 1/2/4-replica scale-out sweep through the fork/join harness and print the ext-cluster table")
 		workers    = flag.Int("workers", 0, "fork/join width for -cluster-sweep (0 = GOMAXPROCS default, 1 = serial)")
 		list       = flag.Bool("list", false, "list systems and datasets, then exit")
@@ -103,6 +112,13 @@ func main() {
 
 	if *pressSweep {
 		if err := runPressure(*dataset, *rate, *n, *seed); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	if *qosSweep {
+		if err := runQoS(*dataset, *rate, *n, *seed, *workers); err != nil {
 			fail(err)
 		}
 		return
@@ -228,6 +244,24 @@ func runPressure(dataset string, rate float64, n int, seed int64) error {
 	rates := []float64{rate, 2 * rate, 3 * rate}
 	rows := experiments.ExtPressure(d, rates, n, seed, true)
 	fmt.Print(experiments.RenderExtPressure(rows))
+	return nil
+}
+
+// runQoS sweeps a mixed-tenant workload from -rate to 3× past it with
+// the ext-qos study (static batching vs the SLO-feedback controller,
+// per-tenant rows), then runs the 2-replica cluster arm at the top rate.
+// The output is deterministic: the same flags always print byte-identical
+// tables, and the cluster arm is byte-identical at every -workers value.
+func runQoS(dataset string, rate float64, n int, seed int64, workers int) error {
+	d, err := workload.ByName(dataset)
+	if err != nil {
+		return err
+	}
+	rates := []float64{rate, 2 * rate, 3 * rate}
+	rows := experiments.ExtQoS(d, rates, n, seed, workload.DefaultTenantMix())
+	fmt.Print(experiments.RenderExtQoS(rows))
+	cl := experiments.ExtQoSCluster(d, 3*rate, n, seed, workers)
+	fmt.Print(experiments.RenderExtQoSCluster(cl))
 	return nil
 }
 

@@ -39,6 +39,7 @@ import (
 	"repro/internal/forkjoin"
 	"repro/internal/gpusim"
 	"repro/internal/metrics"
+	"repro/internal/qos"
 	"repro/internal/serving"
 	"repro/internal/sim"
 	"repro/internal/timeline"
@@ -559,6 +560,19 @@ func (c *Cluster) Pressure() metrics.Pressure {
 	var out metrics.Pressure
 	for _, r := range c.replicas {
 		out.Add(r.sys.Pressure())
+	}
+	return out
+}
+
+// QoS aggregates the QoS controllers' per-class token accounting across
+// every current replica (zero when Options.QoS is off). The scalar
+// decision counters and final caps are per-replica control state and are
+// summed/zeroed respectively — only the accounting is meaningful
+// cluster-wide.
+func (c *Cluster) QoS() qos.Accounting {
+	var out qos.Accounting
+	for _, r := range c.replicas {
+		out.Add(r.sys.QoS().Accounting)
 	}
 	return out
 }

@@ -20,6 +20,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/prefixcache"
 	"repro/internal/pressure"
+	"repro/internal/qos"
 	"repro/internal/resource"
 	"repro/internal/sched"
 	"repro/internal/serving"
@@ -78,6 +79,9 @@ type Options struct {
 	// (watermark admission, decode preemption, recompute/retransfer
 	// recovery — see internal/pressure and EnablePressure).
 	Pressure *pressure.Config
+	// QoS, when non-nil, arms the SLO-feedback dynamic-batching and
+	// multi-tenant QoS subsystem (see internal/qos and EnableQoS).
+	QoS *qos.Config
 }
 
 // DefaultOptions returns the full system's defaults.
@@ -125,6 +129,9 @@ type Bullet struct {
 	// pressure is non-nil once EnablePressure armed the memory-pressure
 	// subsystem (see pressure.go).
 	pressure *pressure.Controller
+	// qos is non-nil once EnableQoS armed the SLO-feedback QoS subsystem
+	// (see qos.go).
+	qos *qos.Controller
 	// tl is the observability recorder attached by AttachTimeline; nil
 	// (the default) keeps every emission site on its no-op fast path.
 	tl   *timeline.Recorder
@@ -246,6 +253,9 @@ func New(env *serving.Env, opts Options) *Bullet {
 	if opts.Pressure != nil {
 		b.EnablePressure(*opts.Pressure)
 	}
+	if opts.QoS != nil {
+		b.EnableQoS(*opts.QoS)
+	}
 
 	if opts.RecordTimeline {
 		b.Timeline = &Timeline{Branches: map[string]int{}}
@@ -278,6 +288,9 @@ func (b *Bullet) AttachTimeline(rec *timeline.Recorder) {
 	b.Decode.TL = rec
 	if b.pressure != nil {
 		b.pressure.SetTimeline(rec)
+	}
+	if b.qos != nil {
+		b.qos.SetTimeline(rec)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/gpusim"
 
 	"repro/internal/estimator"
+	"repro/internal/qos"
 	"repro/internal/resource"
 	"repro/internal/sched"
 	"repro/internal/serving"
@@ -70,6 +71,13 @@ type DecodeEngine struct {
 	OnDecision func(t sim.Time, d sched.Decision)
 	// OnStep observes each completed iteration.
 	OnStep func(t sim.Time, batch int, stepDur units.Seconds)
+
+	// QoS, when non-nil, is the SLO-feedback controller: it supplies the
+	// live decode batch cap (never above MaxBatch), prioritizes batch
+	// admission and preemption-victim choice by tenant class, and
+	// receives the per-step latency observations that drive the AIMD
+	// loop. Nil keeps the legacy behaviour byte for byte.
+	QoS *qos.Controller
 
 	// TL, when non-nil, records step spans, pause/decision instants and
 	// request lifecycle spans on the shared timeline.
@@ -171,6 +179,11 @@ func (d *DecodeEngine) Preempt(blocksNeeded int, after sim.Time) []*Req {
 		return nil
 	}
 	sort.SliceStable(cands, func(i, j int) bool {
+		if d.QoS != nil && cands[i].Class != cands[j].Class {
+			// Tenant-aware victim order: evict best-effort before
+			// standard before premium, regardless of arrival.
+			return cands[i].Class < cands[j].Class
+		}
 		if cands[i].W.Arrival > cands[j].W.Arrival {
 			return true
 		}
@@ -292,7 +305,25 @@ func (d *DecodeEngine) cycle() {
 		d.env.Sim.PostAfter(wait, d.cycle)
 		return
 	}
-	for len(d.pending) > 0 && len(d.batch) < d.cfg.MaxBatch {
+	maxBatch := d.cfg.MaxBatch
+	if d.QoS != nil {
+		if c := d.QoS.DecodeCap(); c < maxBatch {
+			maxBatch = c
+		}
+		// Admit premium classes first when the controller's cap forces a
+		// choice (stable insertion sort: arrival order within a class is
+		// preserved, and queues are admission-bounded and short).
+		for i := 1; i < len(d.pending); i++ {
+			r := d.pending[i]
+			j := i - 1
+			for j >= 0 && d.pending[j].Class < r.Class {
+				d.pending[j+1] = d.pending[j]
+				j--
+			}
+			d.pending[j+1] = r
+		}
+	}
+	for len(d.pending) > 0 && len(d.batch) < maxBatch {
 		d.batch = append(d.batch, d.pending[0])
 		d.pending = d.pending[1:]
 	}
@@ -336,6 +367,11 @@ func (d *DecodeEngine) cycle() {
 		if d.OnStep != nil {
 			d.OnStep(now, bs, rec.Duration())
 		}
+		if d.QoS != nil {
+			// Feed the live TPOT signal: this step is the latency every
+			// batched request just paid per token.
+			d.QoS.ObserveStep(now, bs, rec.Duration(), d.env.KV.Occupancy())
+		}
 		if d.TL != nil {
 			d.TL.Span("decode", "step", rec.Start, rec.End,
 				timeline.I("batch", bs),
@@ -345,6 +381,9 @@ func (d *DecodeEngine) cycle() {
 		released := false
 		for _, r := range d.batch {
 			r.Generated++
+			if d.QoS != nil {
+				d.QoS.AddDecode(r.Class)
+			}
 			if r.Generated >= r.W.OutputTokens {
 				r.Finish = now
 				r.ReleasePrefix()

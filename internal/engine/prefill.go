@@ -8,6 +8,7 @@ import (
 	"repro/internal/gpusim"
 	"repro/internal/prefixcache"
 	"repro/internal/pressure"
+	"repro/internal/qos"
 	"repro/internal/resource"
 	"repro/internal/sched"
 	"repro/internal/serving"
@@ -106,6 +107,13 @@ type PrefillEngine struct {
 	// routes them to Env.Shed and the pressure counters).
 	OnGateShed func(r *Req)
 
+	// QoS, when non-nil, is the SLO-feedback controller: it supplies the
+	// live prefill chunk-token budget (never above MaxBatchTokens), the
+	// per-class fairness weights for reordering and SM-split prediction,
+	// the gate's admission priorities, and receives per-class token
+	// accounting. Nil keeps the legacy behaviour byte for byte.
+	QoS *qos.Controller
+
 	// TL, when non-nil, records batch spans, scheduling-decision instants
 	// and request lifecycle spans on the shared timeline.
 	TL *timeline.Recorder
@@ -135,7 +143,7 @@ func (p *PrefillEngine) SetPrefixCache(c *prefixcache.Cache) { p.prefix = c }
 // (zero-delay) event so that requests arriving at the same instant can
 // join the same prefill batch.
 func (p *PrefillEngine) Submit(r workload.Request) {
-	p.waiting = append(p.waiting, &Req{W: r})
+	p.waiting = append(p.waiting, &Req{W: r, Class: qos.ClassOf(r.Tenant)})
 	if p.startPending {
 		return
 	}
@@ -241,6 +249,9 @@ func (p *PrefillEngine) status() (sched.PrefillStatus, []sched.WaitingReq) {
 		for _, r := range p.batch {
 			ps.Arrivals = append(ps.Arrivals, r.W.Arrival)
 			ps.InputTokens = append(ps.InputTokens, r.W.InputTokens)
+			if p.QoS != nil {
+				ps.Weights = append(ps.Weights, p.QoS.WeightOf(r.Class))
+			}
 			if r.PrefillStart > ps.StartTime {
 				ps.StartTime = r.PrefillStart
 			}
@@ -249,6 +260,9 @@ func (p *PrefillEngine) status() (sched.PrefillStatus, []sched.WaitingReq) {
 	ws := make([]sched.WaitingReq, len(p.waiting))
 	for i, r := range p.waiting {
 		ws[i] = sched.WaitingReq{Arrival: r.W.Arrival, InputTokens: r.W.InputTokens}
+		if p.QoS != nil {
+			ws[i].Weight = p.QoS.WeightOf(r.Class)
+		}
 	}
 	return ps, ws
 }
@@ -269,19 +283,33 @@ func (p *PrefillEngine) tryStart() {
 	}
 	if p.cfg.Reorder {
 		// Reorder pending requests by SLO deadline, the same key the
-		// scheduler uses (Algorithm 1 line 7).
+		// scheduler uses (Algorithm 1 line 7). With QoS the deadline is
+		// weighted: lower classes get their budget stretched, so under
+		// contention premium requests sort ahead.
 		slo := p.schd.SLO()
 		sort.SliceStable(p.waiting, func(i, j int) bool {
 			a := sched.WaitingReq{Arrival: p.waiting[i].W.Arrival, InputTokens: p.waiting[i].W.InputTokens}
 			b := sched.WaitingReq{Arrival: p.waiting[j].W.Arrival, InputTokens: p.waiting[j].W.InputTokens}
+			if p.QoS != nil {
+				a.Weight = p.QoS.WeightOf(p.waiting[i].Class)
+				b.Weight = p.QoS.WeightOf(p.waiting[j].Class)
+			}
 			return a.Deadline(slo) < b.Deadline(slo)
 		})
 	}
 	now := p.env.Sim.Now()
 	slo := p.schd.SLO()
+	// The controller's live chunk budget caps the batch below the static
+	// maximum while the feedback loop is backing off.
+	maxBatchTokens := p.cfg.MaxBatchTokens
+	if p.QoS != nil {
+		if b := p.QoS.PrefillTokenBudget(); b < maxBatchTokens {
+			maxBatchTokens = b
+		}
+	}
 	for len(p.waiting) > 0 && len(p.batch) < p.cfg.MaxBatchReqs {
 		r := p.waiting[0]
-		if len(p.batch) > 0 && p.batchTokens+r.W.InputTokens > p.cfg.MaxBatchTokens {
+		if len(p.batch) > 0 && p.batchTokens+r.W.InputTokens > maxBatchTokens {
 			break
 		}
 		if p.cfg.SLOAdmission && len(p.batch) > 0 {
@@ -292,6 +320,9 @@ func (p *PrefillEngine) tryStart() {
 			violates := false
 			for _, member := range append(p.batch, r) {
 				budget := units.FromMs(slo.NormTTFTMs * float64(member.W.InputTokens))
+				if p.QoS != nil {
+					budget = units.Over(budget, p.QoS.WeightOf(member.Class))
+				}
 				if (now-member.W.Arrival)+grown > budget {
 					violates = true
 					break
@@ -317,7 +348,11 @@ func (p *PrefillEngine) tryStart() {
 		// blocks here instead (or, with a pressure gate, defers/sheds).
 		need := r.NewTokens() + r.W.OutputTokens
 		if p.Gate != nil {
-			tier := p.Gate.Admit(now, r.W.ID, need, r.Deferrals)
+			prio := pressure.PrioPremium
+			if p.QoS != nil {
+				prio = r.Class.Prio()
+			}
+			tier := p.Gate.AdmitPrio(now, r.W.ID, need, r.Deferrals, prio)
 			if tier == pressure.TierShed {
 				p.waiting = p.waiting[1:]
 				r.ReleasePrefix()
@@ -330,6 +365,13 @@ func (p *PrefillEngine) tryStart() {
 			}
 			if tier == pressure.TierDefer {
 				r.Deferrals++
+				// Every queued request behind the head is blocked by the
+				// same pressure: charge them the deferral round too, so
+				// the halved class budgets burn at one cadence and shed
+				// best-effort strictly first regardless of queue position.
+				if p.QoS != nil {
+					p.chargeWaiting(now)
+				}
 				// Arm the retry before raising pressure: the relief path
 				// frees KV synchronously and its release publication must
 				// find the waiter already registered.
@@ -384,6 +426,29 @@ func (p *PrefillEngine) tryStart() {
 			timeline.I("waiting", len(p.waiting)))
 	}
 	p.cycle()
+}
+
+// chargeWaiting charges one deferral round to every queued request
+// behind the deferred head and retires those whose class budget is
+// exhausted. Only runs with QoS enabled — the priority-unaware gate
+// charges (and sheds) the head alone, as it always did.
+func (p *PrefillEngine) chargeWaiting(now units.Seconds) {
+	kept := p.waiting[:1]
+	for _, r := range p.waiting[1:] {
+		r.Deferrals++
+		if r.Deferrals >= p.Gate.DeferBudget(r.Class.Prio()) {
+			p.Gate.RecordShed(now, r.W.ID, "defer-budget")
+			r.ReleasePrefix()
+			if p.OnGateShed != nil {
+				p.OnGateShed(r)
+			} else {
+				p.env.Shed(r.W)
+			}
+			continue
+		}
+		kept = append(kept, r)
+	}
+	p.waiting = kept
 }
 
 // armKVWait arms the head-of-queue retry for a gate deferral with an
@@ -506,6 +571,11 @@ func (p *PrefillEngine) finishBatch(stream *gpusim.Stream) {
 		for _, r := range p.batch {
 			r.FirstToken = now
 			r.Generated = 1
+			if p.QoS != nil {
+				// Per-class token conservation: every computed prefill
+				// token lands in exactly one class bucket.
+				p.QoS.AddPrefill(r.Class, r.NewTokens())
+			}
 			// A freshly computed shared prefix becomes reusable for
 			// later requests of the same group.
 			if p.prefix != nil && r.W.PrefixGroup != "" && r.PrefixHit == 0 {

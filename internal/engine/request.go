@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/kvcache"
 	"repro/internal/metrics"
+	"repro/internal/qos"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/timeline"
@@ -15,6 +16,11 @@ import (
 type Req struct {
 	W   workload.Request
 	Seq *kvcache.Sequence
+
+	// Class is the QoS tenant class derived from W.Tenant at submission
+	// (Standard for untagged requests), cached so hot paths never
+	// re-parse the tag.
+	Class qos.Class
 
 	PrefillStart sim.Time
 	FirstToken   sim.Time
@@ -128,6 +134,7 @@ func (r *Req) Record() metrics.Request {
 		Finish:       r.Finish,
 		InputTokens:  r.W.InputTokens,
 		OutputTokens: r.W.OutputTokens,
+		Tenant:       r.W.Tenant,
 	}
 }
 
@@ -142,9 +149,18 @@ func (r *Req) EmitLifecycle(tl *timeline.Recorder) {
 	}
 	id := r.W.ID
 	if len(r.Trail) == 0 {
-		tl.AsyncSpan("requests", "queued", id, r.W.Arrival, r.PrefillStart,
-			timeline.S("dataset", r.W.Dataset),
-			timeline.I("inputTokens", r.W.InputTokens))
+		// The tenant tag rides on the queued span only when present, so
+		// single-tenant traces keep their golden timelines byte for byte.
+		if r.W.Tenant != "" {
+			tl.AsyncSpan("requests", "queued", id, r.W.Arrival, r.PrefillStart,
+				timeline.S("dataset", r.W.Dataset),
+				timeline.I("inputTokens", r.W.InputTokens),
+				timeline.S("tenant", r.W.Tenant))
+		} else {
+			tl.AsyncSpan("requests", "queued", id, r.W.Arrival, r.PrefillStart,
+				timeline.S("dataset", r.W.Dataset),
+				timeline.I("inputTokens", r.W.InputTokens))
+		}
 		tl.AsyncSpan("requests", "prefill", id, r.PrefillStart, r.FirstToken,
 			timeline.I("prefixHit", r.PrefixHit),
 			timeline.I("retries", r.Retries))
@@ -160,9 +176,16 @@ func (r *Req) EmitLifecycle(tl *timeline.Recorder) {
 	// CloseTrail seal guarantee the chain abuts span to span.
 	for i, s := range r.Trail {
 		if i == 0 && s.Name == "queued" {
-			tl.AsyncSpan("requests", s.Name, id, s.Start, s.End,
-				timeline.S("dataset", r.W.Dataset),
-				timeline.I("inputTokens", r.W.InputTokens))
+			if r.W.Tenant != "" {
+				tl.AsyncSpan("requests", s.Name, id, s.Start, s.End,
+					timeline.S("dataset", r.W.Dataset),
+					timeline.I("inputTokens", r.W.InputTokens),
+					timeline.S("tenant", r.W.Tenant))
+			} else {
+				tl.AsyncSpan("requests", s.Name, id, s.Start, s.End,
+					timeline.S("dataset", r.W.Dataset),
+					timeline.I("inputTokens", r.W.InputTokens))
+			}
 			continue
 		}
 		if s.Name == "preempted" {

@@ -21,6 +21,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/pressure"
+	"repro/internal/qos"
 	"repro/internal/serving"
 	"repro/internal/workload"
 )
@@ -35,7 +36,8 @@ var SystemNames = []string{
 // "bullet-naive", "bullet-partition", "bullet-scheduler" and
 // "bullet-sm<N>"; "bullet-gate" and "bullet-pressure" arm the
 // memory-pressure subsystem (admission gate only, and gate plus decode
-// preemption with recompute/retransfer recovery).
+// preemption with recompute/retransfer recovery); "bullet-qos" stacks
+// the SLO-feedback QoS controller on top of the pressure subsystem.
 func NewSystem(name string, env *serving.Env) serving.System {
 	switch name {
 	case "bullet":
@@ -53,6 +55,9 @@ func NewSystem(name string, env *serving.Env) serving.System {
 			Pressure: &pressure.Config{DisablePreemption: true}})
 	case "bullet-pressure":
 		return core.New(env, core.Options{Mode: core.ModeFull, Pressure: &pressure.Config{}})
+	case "bullet-qos":
+		return core.New(env, core.Options{Mode: core.ModeFull,
+			Pressure: &pressure.Config{}, QoS: &qos.Config{}})
 	case "vllm-1024":
 		return chunked.New(env, chunked.VLLM1024())
 	case "sglang-1024":

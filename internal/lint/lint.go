@@ -119,6 +119,7 @@ var corePackages = map[string]bool{
 	"internal/faults":    true,
 	"internal/timeline":  true,
 	"internal/pressure":  true,
+	"internal/qos":       true,
 }
 
 // InCore reports whether the package is part of the deterministic

@@ -1,0 +1,37 @@
+//linttest:path repro/internal/qos
+
+// Known-bad inputs for the harnessonly rule in the qos package: the
+// controller is pure policy on the single simulator thread, so guarding
+// it with locks or feeding observations through channels is a finding —
+// determinism comes from the event loop, not from synchronization.
+package fixture
+
+import "sync" // want harnessonly
+
+type lockedController struct {
+	mu        sync.Mutex
+	decodeCap int
+}
+
+func (c *lockedController) cap() int {
+	c.mu.Lock() // harnessonly flags the import and constructs, not calls
+	defer c.mu.Unlock()
+	return c.decodeCap
+}
+
+type observation struct {
+	violation float64
+}
+
+func feed(obs chan observation) { // want harnessonly
+	obs <- observation{violation: 1.0} // want harnessonly
+}
+
+func worker(obs chan observation, done chan struct{}) { // want harnessonly harnessonly
+	go func() { // want harnessonly
+		for o := range obs { // want harnessonly
+			_ = o
+		}
+		done <- struct{}{} // want harnessonly
+	}()
+}

@@ -1,0 +1,55 @@
+//linttest:path repro/internal/qos
+
+// Pins the maporder contract on per-tenant bookkeeping: emitting or
+// accumulating per-tenant state by ranging a map is a finding (the order
+// is randomized), while the collect-sort-range idiom and fixed-size
+// class arrays are the sanctioned shapes.
+package fixture
+
+import "sort"
+
+type tenantRow struct {
+	tenant string
+	tokens int
+}
+
+// emitRows publishes per-tenant rows straight out of map range order.
+func emitRows(byTenant map[string]int) []tenantRow {
+	var rows []tenantRow
+	for tenant, tokens := range byTenant { // want maporder
+		rows = append(rows, tenantRow{tenant: tenant, tokens: tokens})
+	}
+	return rows // never sorted: emitted order is random
+}
+
+// worstTenant ties a float comparison to map iteration order: ties
+// break differently run to run.
+func worstTenant(violation map[string]float64) string {
+	worst, arg := 0.0, ""
+	for tenant, v := range violation { // want maporder
+		if v > worst {
+			worst, arg = v, tenant
+		}
+	}
+	return arg
+}
+
+// sortedRows is the sanctioned idiom: collect, sort, then emit.
+func sortedRows(byTenant map[string]int) []tenantRow {
+	keys := make([]string, 0, len(byTenant))
+	for k := range byTenant {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	rows := make([]tenantRow, 0, len(keys))
+	for _, k := range keys {
+		rows = append(rows, tenantRow{tenant: k, tokens: byTenant[k]})
+	}
+	return rows
+}
+
+// classTotals is the other sanctioned shape: per-class arrays indexed by
+// a dense enum need no map at all.
+func classTotals(byClass [3]int) int {
+	return byClass[0] + byClass[1] + byClass[2]
+}

@@ -1,0 +1,37 @@
+//linttest:path repro/internal/qos
+
+// Pins the unitsafe contract on the QoS controller's API surface: the
+// control window is units.Seconds and step durations arrive typed, so
+// raw numeric literals at unit-typed call sites and bare-float
+// laundering are findings, while FromMs/Ms round-trips are not.
+package fixture
+
+import "repro/internal/units"
+
+type controller struct {
+	window units.Seconds
+}
+
+func schedule(at units.Seconds, fn func()) {}
+
+// rawWindow feeds an unlabelled magnitude where a duration belongs.
+func rawWindow() {
+	schedule(0.25, nil) // want unitsafe
+}
+
+// launderedViolation strips the dimension with a bare conversion
+// instead of the sanctioned Ms()/Float() accessors.
+func launderedViolation(stepDur units.Seconds, targetMs float64) float64 {
+	return float64(stepDur) * 1000 / targetMs // want unitsafe
+}
+
+// nextBoundary is the sanctioned shape: typed arithmetic end to end.
+func (c *controller) nextBoundary(now units.Seconds) units.Seconds {
+	return now + c.window
+}
+
+// violationRatio is the sanctioned read: Ms() names the unit at the
+// boundary where the dimension is deliberately dropped.
+func violationRatio(stepDur units.Seconds, targetMs float64) float64 {
+	return stepDur.Ms() / targetMs
+}

@@ -49,6 +49,9 @@ type Request struct {
 	Finish       units.Seconds // last output token
 	InputTokens  int
 	OutputTokens int
+	// Tenant is the service-class tag carried from the workload request
+	// (empty for single-tenant traces).
+	Tenant string
 }
 
 // TTFT is time-to-first-token, measured from arrival (queueing included).
@@ -223,6 +226,35 @@ func Summarize(reqs []Request, slo SLO) Summary {
 		s.Goodput = float64(met) / dur.Float()
 	}
 	return s
+}
+
+// TenantSummary is one tenant's slice of a run, evaluated against that
+// tenant's own (possibly relaxed) SLO.
+type TenantSummary struct {
+	Tenant string
+	SLO    SLO
+	Summary
+}
+
+// SummarizeByTenant groups completed requests by tenant tag and
+// summarizes each group against the SLO sloFor returns for that tag.
+// Results are sorted by tenant tag so rendering is deterministic.
+func SummarizeByTenant(reqs []Request, sloFor func(tenant string) SLO) []TenantSummary {
+	byTenant := make(map[string][]Request)
+	for _, r := range reqs {
+		byTenant[r.Tenant] = append(byTenant[r.Tenant], r)
+	}
+	tenants := make([]string, 0, len(byTenant))
+	for t := range byTenant {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	out := make([]TenantSummary, len(tenants))
+	for i, t := range tenants {
+		slo := sloFor(t)
+		out[i] = TenantSummary{Tenant: t, SLO: slo, Summary: Summarize(byTenant[t], slo)}
+	}
+	return out
 }
 
 // Resilience aggregates fault-injection and recovery accounting for one

@@ -54,6 +54,25 @@ func (t Tier) String() string {
 	return "unknown"
 }
 
+// Prio is the admission priority of a request, ordered low to high:
+// lower priorities meet tighter watermarks and smaller deferral budgets,
+// so under sustained pressure the gate sheds strictly lowest-first. The
+// qos package maps tenant classes onto these levels; priority-unaware
+// callers use Admit, which runs at PrioPremium and therefore behaves
+// exactly as the gate did before priorities existed.
+type Prio int
+
+const (
+	// PrioBestEffort is shed first: quarter deferral budget, tightest
+	// effective watermark.
+	PrioBestEffort Prio = iota
+	// PrioStandard sits between: half budget, one margin step tighter.
+	PrioStandard
+	// PrioPremium is the legacy (and strictest-SLO) level: full budget,
+	// the configured watermarks unmodified.
+	PrioPremium
+)
+
 // Recovery is the path chosen to restore a preempted decode sequence.
 type Recovery int
 
@@ -109,6 +128,13 @@ type Config struct {
 	// retransfer cost and transfer latency (PCIe 4.0 x16 practical
 	// throughput). Default 25 GB/s.
 	HostBandwidth units.BytesPerSec
+	// PriorityMargin tightens the effective admission watermark per
+	// priority level below PrioPremium: a PrioStandard request admits
+	// against limit−margin, PrioBestEffort against limit−2·margin. With
+	// the halving deferral budgets this yields the strict shed order
+	// best-effort → standard → premium under sustained pressure.
+	// Default 0.04.
+	PriorityMargin float64
 	// DisablePreemption keeps the admission gate but never preempts
 	// decode sequences — the no-preemption ablation baseline ext-pressure
 	// compares against. Default false (preemption on).
@@ -128,6 +154,7 @@ func DefaultConfig() Config {
 		BackoffCap:         units.FromMs(256),
 		RecomputePenalty:   1.25,
 		HostBandwidth:      units.BytesPerSec(25e9),
+		PriorityMargin:     0.04,
 	}
 }
 
@@ -163,6 +190,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HostBandwidth <= 0 {
 		c.HostBandwidth = d.HostBandwidth
+	}
+	if c.PriorityMargin <= 0 {
+		c.PriorityMargin = d.PriorityMargin
 	}
 	return c
 }
@@ -229,12 +259,23 @@ func (c *Controller) blocksFor(tokens int) int {
 //
 //bullet:hotpath
 func (c *Controller) Admit(now units.Seconds, id string, needTokens, deferrals int) Tier {
+	return c.AdmitPrio(now, id, needTokens, deferrals, PrioPremium)
+}
+
+// AdmitPrio is Admit with an explicit admission priority: levels below
+// PrioPremium face a watermark tightened by PriorityMargin per step and
+// a deferral budget halved per step, so the gate defers and sheds
+// best-effort traffic strictly before standard, and standard strictly
+// before premium. AdmitPrio(..., PrioPremium) ≡ Admit.
+//
+//bullet:hotpath
+func (c *Controller) AdmitPrio(now units.Seconds, id string, needTokens, deferrals int, prio Prio) Tier {
 	cur := c.observeOccupancy()
 	if c.pressured && cur < c.cfg.LowWatermark {
 		c.pressured = false
 	}
 
-	tier := c.decide(cur, needTokens, deferrals)
+	tier := c.decide(cur, needTokens, deferrals, prio)
 	switch tier {
 	case TierDefer:
 		c.m.AdmissionsDeferred++
@@ -255,23 +296,27 @@ func (c *Controller) Admit(now units.Seconds, id string, needTokens, deferrals i
 }
 
 //bullet:hotpath
-func (c *Controller) decide(cur float64, needTokens, deferrals int) Tier {
+func (c *Controller) decide(cur float64, needTokens, deferrals int, prio Prio) Tier {
 	need := c.blocksFor(needTokens)
 	total := c.pool.TotalBlocks()
 	if total == 0 || need > total {
 		return TierShed // can never fit, even in an empty pool
 	}
-	budget := c.cfg.MaxDeferrals
-	if cur > c.cfg.CriticalWatermark {
-		budget /= 2
-	}
-	if deferrals >= budget {
+	if deferrals >= c.deferBudgetAt(cur, prio) {
 		return TierShed
+	}
+	// steps is the distance below premium: 0 for premium, 1 standard,
+	// 2 best-effort. Premium therefore reproduces the priority-unaware
+	// gate bit for bit.
+	steps := int(PrioPremium - prio)
+	if steps < 0 {
+		steps = 0
 	}
 	limit := c.cfg.HighWatermark
 	if c.pressured {
 		limit = c.cfg.LowWatermark
 	}
+	limit -= c.cfg.PriorityMargin * float64(steps)
 	projected := float64(c.pool.UsedBlocks()+need) / float64(total)
 	if projected > limit || !c.pool.CanAllocate(needTokens) {
 		if projected > c.cfg.HighWatermark {
@@ -280,6 +325,31 @@ func (c *Controller) decide(cur float64, needTokens, deferrals int) Tier {
 		return TierDefer
 	}
 	return TierAdmit
+}
+
+// DeferBudget returns the deferral budget AdmitPrio sheds at for prio,
+// at the pool's current occupancy: MaxDeferrals halved once per priority
+// level below premium, and halved again above the critical watermark.
+// Engines use it to retire queued requests whose budget a head-of-queue
+// deferral round has exhausted, so budgets burn at the same cadence for
+// every blocked request regardless of queue position.
+//
+//bullet:hotpath
+func (c *Controller) DeferBudget(prio Prio) int {
+	return c.deferBudgetAt(c.pool.Occupancy(), prio)
+}
+
+//bullet:hotpath
+func (c *Controller) deferBudgetAt(cur float64, prio Prio) int {
+	steps := int(PrioPremium - prio)
+	if steps < 0 {
+		steps = 0
+	}
+	budget := c.cfg.MaxDeferrals >> steps
+	if cur > c.cfg.CriticalWatermark {
+		budget /= 2
+	}
+	return budget
 }
 
 // Deficit returns how many blocks must be freed for an allocation of

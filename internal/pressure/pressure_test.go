@@ -410,3 +410,98 @@ func TestDecideUnknownTierUnreachable(t *testing.T) {
 		t.Fatal("defensive tier name missing")
 	}
 }
+
+// --- priority admission (AdmitPrio) ------------------------------------
+
+func TestAdmitPrioPremiumEqualsAdmit(t *testing.T) {
+	// The legacy entry point must reproduce AdmitPrio at PrioPremium bit
+	// for bit across tiers and latch states.
+	mk := func() (*Controller, *Controller, *kvcache.Pool, *kvcache.Pool) {
+		a, pa := newController(100, Config{MaxDeferrals: 3})
+		b, pb := newController(100, Config{MaxDeferrals: 3})
+		return a, b, pa, pb
+	}
+	a, b, pa, pb := mk()
+	for _, held := range []int{0, 85, 98} {
+		if held > 0 {
+			if _, err := pa.Allocate("h", held*16, "decode"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := pb.Allocate("h", held*16, "decode"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for def := 0; def <= 4; def++ {
+			got := a.Admit(0, "r", 10*16, def)
+			want := b.AdmitPrio(0, "r", 10*16, def, PrioPremium)
+			if got != want {
+				t.Fatalf("held=%d def=%d: Admit=%v AdmitPrio(premium)=%v", held, def, got, want)
+			}
+		}
+		a, b, pa, pb = mk()
+	}
+}
+
+func TestPriorityMarginTightensWatermark(t *testing.T) {
+	// Default high watermark 0.90, margin 0.04: effective limits are
+	// 0.90 / 0.86 / 0.82 for premium / standard / best-effort. A
+	// projection landing between two limits admits the higher class and
+	// defers the lower.
+	cases := []struct {
+		projected int // blocks, out of 100
+		admits    []Prio
+		defers    []Prio
+	}{
+		{88, []Prio{PrioPremium}, []Prio{PrioStandard, PrioBestEffort}},
+		{84, []Prio{PrioPremium, PrioStandard}, []Prio{PrioBestEffort}},
+		{80, []Prio{PrioPremium, PrioStandard, PrioBestEffort}, nil},
+	}
+	for _, tc := range cases {
+		for _, prio := range tc.admits {
+			c, _ := newController(100, Config{})
+			if tier := c.AdmitPrio(0, "r", tc.projected*16, 0, prio); tier != TierAdmit {
+				t.Errorf("projected %d%%: prio %d = %v, want admit", tc.projected, prio, tier)
+			}
+		}
+		for _, prio := range tc.defers {
+			c, _ := newController(100, Config{})
+			if tier := c.AdmitPrio(0, "r", tc.projected*16, 0, prio); tier != TierDefer {
+				t.Errorf("projected %d%%: prio %d = %v, want defer", tc.projected, prio, tier)
+			}
+		}
+	}
+}
+
+func TestPriorityHalvesDeferralBudget(t *testing.T) {
+	// MaxDeferrals 8: budgets are 8 / 4 / 2 for premium / standard /
+	// best-effort. At each class's budget the gate sheds; one under, it
+	// still admits (pool is empty, so the watermark is no obstacle).
+	budgets := map[Prio]int{PrioPremium: 8, PrioStandard: 4, PrioBestEffort: 2}
+	for prio, budget := range budgets {
+		c, _ := newController(100, Config{MaxDeferrals: 8})
+		if tier := c.AdmitPrio(0, "r", 16, budget-1, prio); tier != TierAdmit {
+			t.Errorf("prio %d one under budget: %v, want admit", prio, tier)
+		}
+		if tier := c.AdmitPrio(0, "r", 16, budget, prio); tier != TierShed {
+			t.Errorf("prio %d at budget %d: %v, want shed", prio, budget, tier)
+		}
+	}
+}
+
+func TestDeferBudget(t *testing.T) {
+	c, p := newController(100, Config{MaxDeferrals: 8})
+	for prio, want := range map[Prio]int{PrioPremium: 8, PrioStandard: 4, PrioBestEffort: 2} {
+		if got := c.DeferBudget(prio); got != want {
+			t.Errorf("DeferBudget(%d) = %d, want %d", prio, got, want)
+		}
+	}
+	// Above the critical watermark every budget halves again.
+	if _, err := p.Allocate("h", 98*16, "decode"); err != nil {
+		t.Fatal(err)
+	}
+	for prio, want := range map[Prio]int{PrioPremium: 4, PrioStandard: 2, PrioBestEffort: 1} {
+		if got := c.DeferBudget(prio); got != want {
+			t.Errorf("critical DeferBudget(%d) = %d, want %d", prio, got, want)
+		}
+	}
+}

@@ -23,11 +23,30 @@ import (
 type WaitingReq struct {
 	Arrival     sim.Time
 	InputTokens int
+	// Weight is the QoS fairness weight in (0, 1]: 1 for premium (and
+	// for every request when QoS is off — the zero value reads as 1), a
+	// class's reciprocal SLO scale otherwise. A lower weight stretches
+	// the deadline and discounts the request's predicted-TTFT
+	// contribution by exactly the slack its class's SLO grants.
+	Weight float64
 }
 
-// Deadline returns the latest acceptable first-token time under the SLO.
+// weight returns the effective fairness weight (zero value reads as 1,
+// so QoS-off paths are bit-identical: dividing or scaling by 1.0 is
+// exact in IEEE arithmetic).
+func (w WaitingReq) weight() float64 {
+	if w.Weight == 0 {
+		return 1
+	}
+	return w.Weight
+}
+
+// Deadline returns the latest acceptable first-token time under the SLO,
+// with the TTFT budget stretched by the reciprocal fairness weight —
+// Algorithm 1's deadline ordering becomes weighted fairness across
+// tenant classes.
 func (w WaitingReq) Deadline(slo metrics.SLO) sim.Time {
-	return w.Arrival + units.FromMs(slo.NormTTFTMs*float64(w.InputTokens))
+	return w.Arrival + units.Over(units.FromMs(slo.NormTTFTMs*float64(w.InputTokens)), w.weight())
 }
 
 // PrefillStatus is the running prefill batch's progress (P_k).
@@ -38,6 +57,9 @@ type PrefillStatus struct {
 	StartTime   sim.Time
 	Arrivals    []sim.Time // per batched request
 	InputTokens []int      // per batched request
+	// Weights are the per-request QoS fairness weights (nil, or a zero
+	// entry, reads as 1 — see WaitingReq.Weight).
+	Weights []float64
 }
 
 // DecodeStatus is the decode batch's progress (D_k).
@@ -177,17 +199,23 @@ func (s *Scheduler) predictNormTTFT(st State, pm int, coloc bool) float64 {
 		rem = s.est.PrefillRemainingTime(st.Prefill.Tokens, 0, layersLeft, pm, coloc)
 		for i, arr := range st.Prefill.Arrivals {
 			ttft := (st.Now - arr) + rem
-			s.norms = append(s.norms, 1000*ttft.Float()/float64(st.Prefill.InputTokens[i]))
+			wt := 1.0
+			if i < len(st.Prefill.Weights) && st.Prefill.Weights[i] != 0 {
+				wt = st.Prefill.Weights[i]
+			}
+			s.norms = append(s.norms, wt*1000*ttft.Float()/float64(st.Prefill.InputTokens[i]))
 		}
 	}
 	// Queued requests wait for the running prefill plus everything ahead
-	// of them (Algorithm 1 lines 4-6).
+	// of them (Algorithm 1 lines 4-6). Each contribution is scaled by the
+	// request's fairness weight, so the P90 the SM split optimizes is the
+	// weighted violation Algorithm 1 should balance across classes.
 	ahead := rem
 	for _, w := range st.Waiting {
 		own := s.est.PrefillTotalTime(w.InputTokens, 0, pm, coloc)
 		ahead += own
 		ttft := (st.Now - w.Arrival) + ahead
-		s.norms = append(s.norms, 1000*ttft.Float()/float64(w.InputTokens))
+		s.norms = append(s.norms, w.weight()*1000*ttft.Float()/float64(w.InputTokens))
 	}
 	if len(s.norms) == 0 {
 		return 0

@@ -32,6 +32,10 @@ type Request struct {
 	// radix/prefix caches exploit.
 	PrefixGroup  string
 	PrefixTokens int
+	// Tenant, when non-empty, is the service-class tag of the issuing
+	// tenant ("premium", "standard", "best-effort"); the qos subsystem
+	// maps it to a class, untagged requests default to standard.
+	Tenant string
 }
 
 // Trace is a time-ordered request sequence.
@@ -208,6 +212,51 @@ func GenerateShared(d Dataset, rate float64, n int, seed int64, groups, prefixTo
 		r.PrefixTokens = prefixTokens
 		if r.InputTokens < prefixTokens+1 {
 			r.InputTokens = prefixTokens + 1 + rng.Intn(64)
+		}
+	}
+	return tr
+}
+
+// TenantMix is the tenant composition of a mixed-class trace: the
+// fraction of requests tagged with each class. Fractions must be
+// nonnegative and sum to 1 (within rounding).
+type TenantMix struct {
+	Premium    float64
+	Standard   float64
+	BestEffort float64
+}
+
+// DefaultTenantMix is the ext-qos evaluation mix: a small premium
+// population behind a large best-effort background.
+func DefaultTenantMix() TenantMix {
+	return TenantMix{Premium: 0.2, Standard: 0.3, BestEffort: 0.5}
+}
+
+// GenerateTenantMix produces a Poisson trace whose requests are tagged
+// with tenant classes drawn from mix. The base trace is Generate(d,
+// rate, n, seed) exactly — arrivals and lengths are untouched — and the
+// class assignment uses an independent stream (seed+2), mirroring how
+// GenerateShared layers prefix families, so tagging never perturbs the
+// traffic the engines see.
+func GenerateTenantMix(d Dataset, rate float64, n int, seed int64, mix TenantMix) *Trace {
+	if mix.Premium < 0 || mix.Standard < 0 || mix.BestEffort < 0 {
+		panic(fmt.Sprintf("workload: negative tenant mix %+v", mix))
+	}
+	total := mix.Premium + mix.Standard + mix.BestEffort
+	if math.Abs(total-1) > 1e-9 {
+		panic(fmt.Sprintf("workload: tenant mix sums to %v, want 1: %+v", total, mix))
+	}
+	tr := Generate(d, rate, n, seed)
+	rng := rand.New(rand.NewSource(seed + 2))
+	for i := range tr.Requests {
+		u := rng.Float64()
+		switch {
+		case u < mix.Premium:
+			tr.Requests[i].Tenant = "premium"
+		case u < mix.Premium+mix.Standard:
+			tr.Requests[i].Tenant = "standard"
+		default:
+			tr.Requests[i].Tenant = "best-effort"
 		}
 	}
 	return tr
