@@ -10,6 +10,7 @@ package repro
 import (
 	"testing"
 
+	"repro/internal/gpusim"
 	"repro/internal/kvcache"
 	"repro/internal/metrics"
 	"repro/internal/qos"
@@ -127,6 +128,35 @@ func TestKVAllocFreeSteadyState(t *testing.T) {
 			t.Fatal(err)
 		}
 		p.MustFree(s)
+	})
+}
+
+// TestSampledLookupZeroAlloc pins the sampled backend's per-launch
+// latency lookup — token-support binary search plus two inverse-CDF
+// interpolations — at zero: it runs once per kernel launch on the
+// simulator's event path (the manual search exists because a sort.Search
+// closure would allocate).
+func TestSampledLookupZeroAlloc(t *testing.T) {
+	table := &gpusim.LatencyTable{
+		RefSMs: 108,
+		Ops: map[string][]gpusim.OpSupport{
+			"gemm": {
+				{Tokens: 64, Q: []units.Seconds{1e-4, 2e-4, 3e-4}},
+				{Tokens: 256, Q: []units.Seconds{2e-4, 4e-4, 6e-4}},
+				{Tokens: 1024, Q: []units.Seconds{8e-4, 1.6e-3, 2.4e-3}},
+			},
+		},
+	}
+	tokens, u := 60, 0.0
+	pinAllocs(t, "sampled latency lookup", 0, func() {
+		tokens = (tokens + 97) % 1500
+		u += 0.013
+		if u > 1 {
+			u -= 1
+		}
+		if _, ok := table.Sample("gemm", tokens, u); !ok {
+			t.Fatal("gemm missing from table")
+		}
 	})
 }
 

@@ -309,6 +309,22 @@ func BenchmarkExtensionFaults(b *testing.B) {
 	}
 }
 
+// BenchmarkExtensionFidelity studies the latency-model sensitivity of
+// Algorithm 1: the analytic, sampled, and L2-hierarchy backends serve
+// one shared trace and the divergence of orchestration decisions and
+// estimator error are measured against the analytic reference.
+func BenchmarkExtensionFidelity(b *testing.B) {
+	n := 240
+	if testing.Short() {
+		n = 120
+	}
+	for i := 0; i < b.N; i++ {
+		rows := experiments.ExtFidelity(workload.AzureCode, 5, n, 42)
+		crows := experiments.ExtFidelityCluster(workload.AzureCode, 8, n, 42, 0)
+		printOnce(b, i, func() string { return experiments.RenderExtFidelity(rows, crows) })
+	}
+}
+
 // BenchmarkExtensionPressure studies graceful degradation under KV
 // memory pressure: the admission gate and decode preemption subsystem
 // vs the no-preemption baseline across an overload sweep with injected

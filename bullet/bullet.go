@@ -67,6 +67,16 @@ type Config struct {
 	// tensor parallelism (0/1 = single GPU). Ranks are symmetric, so
 	// the simulation models rank 0.
 	TPDegree int
+	// Backend selects the per-kernel latency model for Bullet variants:
+	// "" or "analytic" (default), "sampled" (profile-driven draws from a
+	// self-calibrated table), or "hierarchy" (analytic plus L2
+	// cache-reuse interference). See DESIGN.md §15. Baselines have no
+	// pluggable latency model, so a non-default Backend on a baseline
+	// system is a configuration error.
+	Backend string
+	// BackendSeed seeds the sampled backend's deterministic draw stream
+	// (0 means 1).
+	BackendSeed int64
 }
 
 // Request is one serving request.
@@ -136,22 +146,41 @@ func New(cfg Config) (*Server, error) {
 	if _, err := workload.ByName(cfg.Dataset); err != nil {
 		return nil, fmt.Errorf("bullet: unknown dataset %q (have %v)", cfg.Dataset, Datasets())
 	}
+	switch cfg.Backend {
+	case "", gpusim.BackendAnalytic, gpusim.BackendSampled, gpusim.BackendHierarchy:
+	default:
+		return nil, fmt.Errorf("bullet: unknown backend %q (have analytic, sampled, hierarchy)", cfg.Backend)
+	}
 	// Validate the system name eagerly by building a throwaway instance.
-	if err := validateSystem(cfg.System, mc, cfg.Dataset); err != nil {
+	if err := validateSystem(cfg, mc, cfg.Dataset); err != nil {
 		return nil, err
 	}
 	return &Server{cfg: cfg, modelC: mc, dataset: cfg.Dataset}, nil
 }
 
-func validateSystem(name string, mc model.Config, dataset string) (err error) {
+func validateSystem(cfg Config, mc model.Config, dataset string) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("bullet: %v", r)
 		}
 	}()
 	env := serving.NewEnv(gpusim.A100(), mc, dataset)
-	_ = experiments.NewSystem(name, env)
-	return nil
+	_, err = newSystem(cfg, env)
+	return err
+}
+
+// newSystem builds the configured system on an environment, routing
+// through the backend-aware constructor when a latency backend override
+// is set.
+func newSystem(cfg Config, env *serving.Env) (serving.System, error) {
+	if cfg.Backend == "" || cfg.Backend == gpusim.BackendAnalytic {
+		return experiments.NewSystem(cfg.System, env), nil
+	}
+	sys, err := experiments.NewSystemWithBackend(cfg.System, env, cfg.Backend, cfg.BackendSeed)
+	if err != nil {
+		return nil, fmt.Errorf("bullet: %w", err)
+	}
+	return sys, nil
 }
 
 // GenerateTrace produces a Poisson trace from a built-in dataset.
@@ -218,7 +247,10 @@ func (s *Server) Run(reqs []Request) (Result, error) {
 		wl.Rate = float64(n) / (reqs[n-1].Arrival + 1e-9)
 	}
 	env := serving.NewEnv(gpusim.A100(), s.modelC, s.dataset)
-	sys := experiments.NewSystem(s.cfg.System, env)
+	sys, err := newSystem(s.cfg, env)
+	if err != nil {
+		return Result{}, err
+	}
 	res := env.Run(sys, wl)
 	return convert(res, env.SLO), nil
 }

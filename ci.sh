@@ -41,8 +41,8 @@ step "determinism smoke (-race, double run): faults + pressure + timeline traces
 # and pressure tests diff full sweep tables; the golden test diffs the
 # quickstart scenario's Chrome JSON byte for byte.
 go test -race -count=1 \
-    -run 'TestFaultRunDeterminism|TestFaultyRunBitIdentical|TestClusterFaultDeterminism|TestTimelineGoldenDeterminism|TestPressureRunDeterminism|TestQoSRunDeterminism' \
-    ./internal/experiments ./internal/core ./internal/cluster
+    -run 'TestFaultRunDeterminism|TestFaultyRunBitIdentical|TestClusterFaultDeterminism|TestTimelineGoldenDeterminism|TestPressureRunDeterminism|TestQoSRunDeterminism|TestExtFidelityDeterminism|TestFidelityClusterSerialParallel|TestSampledBackendReplay' \
+    ./internal/experiments ./internal/core ./internal/cluster ./internal/gpusim
 
 step "determinism smoke: bulletsim -pressure double run, byte diff"
 # The user-facing overload sweep must render byte-identically across two
@@ -66,6 +66,18 @@ qos_b=$(go run ./cmd/bulletsim -qos -dataset azure-code -rate 10 -n 120 -seed 11
 if [[ "$qos_a" != "$qos_b" ]]; then
     echo "bulletsim -qos: two same-seed runs diverged" >&2
     diff <(echo "$qos_a") <(echo "$qos_b") >&2 || true
+    exit 1
+fi
+
+step "determinism smoke: bulletsim -backend sampled double run, byte diff"
+# The sampled latency backend draws from a seeded splitmix stream: two
+# same-seed processes must render byte-identical output, or the backend
+# is leaking nondeterminism into the schedule (DESIGN.md §15).
+samp_a=$(go run ./cmd/bulletsim -backend sampled -dataset azure-code -rate 4 -n 60 -seed 11)
+samp_b=$(go run ./cmd/bulletsim -backend sampled -dataset azure-code -rate 4 -n 60 -seed 11)
+if [[ "$samp_a" != "$samp_b" ]]; then
+    echo "bulletsim -backend sampled: two same-seed runs diverged" >&2
+    diff <(echo "$samp_a") <(echo "$samp_b") >&2 || true
     exit 1
 fi
 
@@ -102,7 +114,7 @@ if [[ "$qos_ser" != "$qos_par" ]]; then
     exit 1
 fi
 
-step "coverage gate (internal/timeline >= 90%, internal/pressure >= 90%, internal/qos >= 90%, module mean >= 86%)"
+step "coverage gate (internal/timeline >= 90%, internal/pressure >= 90%, internal/qos >= 90%, internal/calib >= 90%, module mean >= 86%)"
 # Per-package statement coverage; packages without tests or statements
 # are excluded from the mean. The floors were recorded at the merge that
 # introduced the gate — raise them when coverage rises, never lower them
@@ -125,6 +137,10 @@ go test -cover ./... | awk '
             printf "coverage gate: internal/qos at %.1f%%, floor is 90%%\n", pct > "/dev/stderr"
             fail = 1
         }
+        if ($2 == "repro/internal/calib" && pct + 0 < 90) {
+            printf "coverage gate: internal/calib at %.1f%%, floor is 90%%\n", pct > "/dev/stderr"
+            fail = 1
+        }
     }
     END {
         if (n == 0) { print "coverage gate: no coverage lines parsed" > "/dev/stderr"; exit 1 }
@@ -137,6 +153,36 @@ go test -cover ./... | awk '
         exit fail
     }
 '
+
+step "coverage gate: latency-backend files >= 90%"
+# The pluggable backend seam (DESIGN.md §15) is finer-grained than one
+# package, so gate the three backend files from the statement-level
+# profile directly.
+backend_cover=$(mktemp)
+go test -coverprofile="$backend_cover" ./internal/gpusim > /dev/null
+awk -F: '
+    /backend\.go|sampled\.go|hierarchy\.go/ {
+        split($2, a, " ")
+        f = $1; sub(/.*\//, "", f)
+        tot[f] += a[2]; if (a[3] > 0) cov[f] += a[2]
+    }
+    END {
+        if (length(tot) != 3) {
+            print "coverage gate: expected 3 backend files in profile" > "/dev/stderr"
+            exit 1
+        }
+        for (f in tot) {
+            pct = 100 * cov[f] / tot[f]
+            printf "coverage gate: %s %.1f%%\n", f, pct
+            if (pct < 90) {
+                printf "coverage gate: %s below the 90%% floor\n", f > "/dev/stderr"
+                fail = 1
+            }
+        }
+        exit fail
+    }
+' "$backend_cover"
+rm -f "$backend_cover"
 
 step "allocation contract: steady-state AllocsPerRun pins"
 # The hot-path allocation contract (DESIGN.md, "Allocation contract"):
@@ -155,6 +201,9 @@ go run ./cmd/bulletlint -rules hotalloc ./...
 
 step "fuzz: smmask set algebra (5s)"
 go test -run='^$' -fuzz=Fuzz -fuzztime=5s ./internal/smmask
+
+step "fuzz: calibration trace parser (5s)"
+go test -run='^$' -fuzz=FuzzCalibParse -fuzztime=5s ./internal/calib
 
 step "bulletlint ./..."
 go run ./cmd/bulletlint ./...

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// quickGoldenExps is every experiment the quick-suite golden covers: the
+// full -quick sweep minus table3 (wall-clock microbenchmarks, inherently
+// nondeterministic) and minus ext-fidelity (added after the golden was
+// captured; its determinism is pinned by TestExtFidelityDeterminism).
+const quickGoldenExps = "table1,fig2,fig4,fig7,fig10,fig11,fig12,fig13,fig14,fig15," +
+	"ext-knobs,ext-disagg,ext-device,ext-prefix,ext-cluster,ext-knee,ext-tp,ext-faults,ext-pressure"
+
+// TestGoldenQuickSuite pins the deterministic portion of the -quick
+// suite byte for byte against a capture recorded before the
+// latency-backend refactor (DESIGN.md §15): the analytic backend
+// extraction must not move a single byte of any table. Skipped under
+// the race detector — the suite is pure rendering of already-raced
+// experiment code and costs minutes there.
+func TestGoldenQuickSuite(t *testing.T) {
+	if raceEnabled {
+		t.Skip("quick-suite golden skipped under -race (covered by the plain test pass)")
+	}
+	if testing.Short() {
+		t.Skip("quick-suite golden skipped in -short mode")
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "quick.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-quick", "-exp", quickGoldenExps}, &out, &errb); code != 0 {
+		t.Fatalf("quick suite exit %d\nstderr: %s", code, errb.String())
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("quick suite diverged from testdata/quick.golden (%d vs %d bytes)",
+			out.Len(), len(want))
+		gotLines := strings.Split(out.String(), "\n")
+		wantLines := strings.Split(string(want), "\n")
+		n := len(gotLines)
+		if len(wantLines) < n {
+			n = len(wantLines)
+		}
+		for i := 0; i < n; i++ {
+			if gotLines[i] != wantLines[i] {
+				t.Errorf("first divergence at line %d:\ngot:  %s\nwant: %s", i+1, gotLines[i], wantLines[i])
+				break
+			}
+		}
+	}
+}

@@ -25,7 +25,7 @@ import (
 
 var order = []string{
 	"table1", "fig2", "fig4", "fig7", "fig10", "fig11", "fig12", "table3",
-	"fig13", "fig14", "fig15", "ext-knobs", "ext-disagg", "ext-device", "ext-prefix", "ext-cluster", "ext-knee", "ext-tp", "ext-faults", "ext-pressure",
+	"fig13", "fig14", "fig15", "ext-knobs", "ext-disagg", "ext-device", "ext-prefix", "ext-cluster", "ext-knee", "ext-tp", "ext-faults", "ext-pressure", "ext-fidelity",
 }
 
 func main() {
@@ -206,6 +206,14 @@ func render(id string, quick bool) string {
 		}
 		return experiments.RenderExtPressure(experiments.ExtPressure(
 			workload.AzureCode, []float64{4, 8, 12}, pn, 42, true))
+	case "ext-fidelity":
+		fn := n
+		if quick {
+			fn = 120
+		}
+		return experiments.RenderExtFidelity(
+			experiments.ExtFidelity(workload.AzureCode, 5, fn, 42),
+			experiments.ExtFidelityCluster(workload.AzureCode, 8, fn, 42, 0))
 	}
 	panic(fmt.Sprintf("bulletbench: experiment %q listed in order but not dispatched", id))
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package main
+
+// raceEnabled reports whether this test binary was built with -race;
+// the expensive byte-identity golden skips there.
+const raceEnabled = true

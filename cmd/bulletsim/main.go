@@ -5,12 +5,20 @@
 //
 //	bulletsim -system bullet -dataset azure-code -rate 5 -n 300 -seed 42
 //	bulletsim -system sglang-1024 -dataset sharegpt -rate 16 -json
+//	bulletsim -system bullet -backend sampled       # pluggable latency model
 //	bulletsim -system bullet -trace out.trace.json   # chrome://tracing file
 //	bulletsim -system bullet -trace-out out.json     # deterministic timeline trace
 //	bulletsim -system bullet -faults -fault-rate 0.1 -fault-seed 7
 //	bulletsim -pressure -dataset azure-code -rate 4 -n 200
 //	bulletsim -qos -dataset azure-code -rate 4 -n 200
 //	bulletsim -list
+//
+// With -backend the Bullet variant runs on a non-default per-kernel
+// latency model (DESIGN.md §15): "analytic" is the fluid roofline model,
+// "sampled" draws deterministically from a self-calibrated per-operator
+// latency table, "hierarchy" adds L2 cache-reuse interference between
+// co-located kernels. Output is byte-identical across runs of the same
+// flags for every backend.
 //
 // With -faults a deterministic fault schedule (SM degradations and
 // engine stalls at -fault-rate events/s each, seeded by -fault-seed) is
@@ -36,6 +44,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -53,129 +62,150 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: golden byte-identity tests drive it
+// in-process with a captured stdout.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bulletsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		system     = flag.String("system", "bullet", "serving system (see -list)")
-		dataset    = flag.String("dataset", "sharegpt", "workload dataset")
-		rate       = flag.Float64("rate", 8, "offered load in requests/second")
-		n          = flag.Int("n", 300, "number of requests")
-		seed       = flag.Int64("seed", 42, "trace random seed")
-		asJSON     = flag.Bool("json", false, "emit the full result as JSON")
-		traceFile  = flag.String("trace", "", "write a Chrome trace-event file (Bullet systems only)")
-		traceOut   = flag.String("trace-out", "", "write a deterministic timeline trace (Perfetto-loadable Chrome JSON)")
-		withFault  = flag.Bool("faults", false, "inject a deterministic fault schedule (Bullet systems only)")
-		faultRate  = flag.Float64("fault-rate", 0.1, "SM-degradation and engine-stall rates, events/s of virtual time")
-		faultSeed  = flag.Int64("fault-seed", 1, "fault schedule random seed")
-		pressSweep = flag.Bool("pressure", false, "run the memory-pressure overload sweep (rate, 2x, 3x) and print the ext-pressure table")
-		qosSweep   = flag.Bool("qos", false, "run the multi-tenant QoS overload sweep (rate, 2x, 3x) and print the ext-qos tables")
-		clSweep    = flag.Bool("cluster-sweep", false, "run the 1/2/4-replica scale-out sweep through the fork/join harness and print the ext-cluster table")
-		workers    = flag.Int("workers", 0, "fork/join width for -cluster-sweep (0 = GOMAXPROCS default, 1 = serial)")
-		list       = flag.Bool("list", false, "list systems and datasets, then exit")
-		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf    = flag.String("memprofile", "", "write a post-GC heap profile to this file on exit")
+		system     = fs.String("system", "bullet", "serving system (see -list)")
+		dataset    = fs.String("dataset", "sharegpt", "workload dataset")
+		rate       = fs.Float64("rate", 8, "offered load in requests/second")
+		n          = fs.Int("n", 300, "number of requests")
+		seed       = fs.Int64("seed", 42, "trace random seed")
+		backend    = fs.String("backend", "", "per-kernel latency backend: analytic, sampled or hierarchy (Bullet systems only)")
+		bkSeed     = fs.Int64("backend-seed", 1, "sampled-backend draw seed")
+		asJSON     = fs.Bool("json", false, "emit the full result as JSON")
+		traceFile  = fs.String("trace", "", "write a Chrome trace-event file (Bullet systems only)")
+		traceOut   = fs.String("trace-out", "", "write a deterministic timeline trace (Perfetto-loadable Chrome JSON)")
+		withFault  = fs.Bool("faults", false, "inject a deterministic fault schedule (Bullet systems only)")
+		faultRate  = fs.Float64("fault-rate", 0.1, "SM-degradation and engine-stall rates, events/s of virtual time")
+		faultSeed  = fs.Int64("fault-seed", 1, "fault schedule random seed")
+		pressSweep = fs.Bool("pressure", false, "run the memory-pressure overload sweep (rate, 2x, 3x) and print the ext-pressure table")
+		qosSweep   = fs.Bool("qos", false, "run the multi-tenant QoS overload sweep (rate, 2x, 3x) and print the ext-qos tables")
+		clSweep    = fs.Bool("cluster-sweep", false, "run the 1/2/4-replica scale-out sweep through the fork/join harness and print the ext-cluster table")
+		workers    = fs.Int("workers", 0, "fork/join width for -cluster-sweep (0 = GOMAXPROCS default, 1 = serial)")
+		list       = fs.Bool("list", false, "list systems and datasets, then exit")
+		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = fs.String("memprofile", "", "write a post-GC heap profile to this file on exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "bulletsim:", err)
+		return 1
+	}
 
 	if *cpuProf != "" || *memProf != "" {
 		stop, err := prof.Start(*cpuProf, *memProf)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		defer func() {
 			if err := stop(); err != nil {
-				fmt.Fprintln(os.Stderr, "bulletsim:", err)
+				fmt.Fprintln(stderr, "bulletsim:", err)
 			}
 		}()
 	}
 
 	if *list {
-		fmt.Println("systems: ", strings.Join(bullet.Systems(), ", "))
-		fmt.Println("         plus ablations bullet-naive, bullet-partition, bullet-scheduler, bullet-sm<N>,")
-		fmt.Println("         disaggregation disagg-nvlink, disagg-pcie")
-		fmt.Println("datasets:", strings.Join(bullet.Datasets(), ", "))
-		fmt.Println("models:  ", strings.Join(bullet.Models(), ", "))
-		return
+		fmt.Fprintln(stdout, "systems: ", strings.Join(bullet.Systems(), ", "))
+		fmt.Fprintln(stdout, "         plus ablations bullet-naive, bullet-partition, bullet-scheduler, bullet-sm<N>,")
+		fmt.Fprintln(stdout, "         disaggregation disagg-nvlink, disagg-pcie")
+		fmt.Fprintln(stdout, "datasets:", strings.Join(bullet.Datasets(), ", "))
+		fmt.Fprintln(stdout, "models:  ", strings.Join(bullet.Models(), ", "))
+		fmt.Fprintln(stdout, "backends: analytic, sampled, hierarchy (Bullet systems only)")
+		return 0
 	}
 
 	if *traceOut != "" {
-		if err := runTimeline(*system, *dataset, *rate, *n, *seed, *traceOut); err != nil {
-			fail(err)
+		if err := runTimeline(*system, *dataset, *rate, *n, *seed, *traceOut, stdout); err != nil {
+			return fail(err)
 		}
-		return
+		return 0
 	}
 
 	if *traceFile != "" {
-		if err := runTraced(*system, *dataset, *rate, *n, *seed, *traceFile); err != nil {
-			fail(err)
+		if err := runTraced(*system, *dataset, *rate, *n, *seed, *traceFile, stdout); err != nil {
+			return fail(err)
 		}
-		return
+		return 0
 	}
 
 	if *pressSweep {
-		if err := runPressure(*dataset, *rate, *n, *seed); err != nil {
-			fail(err)
+		if err := runPressure(*dataset, *rate, *n, *seed, stdout); err != nil {
+			return fail(err)
 		}
-		return
+		return 0
 	}
 
 	if *qosSweep {
-		if err := runQoS(*dataset, *rate, *n, *seed, *workers); err != nil {
-			fail(err)
+		if err := runQoS(*dataset, *rate, *n, *seed, *workers, stdout); err != nil {
+			return fail(err)
 		}
-		return
+		return 0
 	}
 
 	if *clSweep {
-		if err := runClusterSweep(*dataset, *rate, *n, *seed, *workers); err != nil {
-			fail(err)
+		if err := runClusterSweep(*dataset, *rate, *n, *seed, *workers, stdout); err != nil {
+			return fail(err)
 		}
-		return
+		return 0
 	}
 
 	if *withFault {
-		if err := runFaulty(*system, *dataset, *rate, *n, *seed, *faultRate, *faultSeed, *asJSON); err != nil {
-			fail(err)
+		if err := runFaulty(*system, *dataset, *rate, *n, *seed, *faultRate, *faultSeed, *asJSON, stdout); err != nil {
+			return fail(err)
 		}
-		return
+		return 0
 	}
 
-	srv, err := bullet.New(bullet.Config{System: *system, Dataset: *dataset})
+	srv, err := bullet.New(bullet.Config{
+		System: *system, Dataset: *dataset, Backend: *backend, BackendSeed: *bkSeed,
+	})
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	tr, err := bullet.GenerateTrace(*dataset, *rate, *n, *seed)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	res, err := srv.Run(tr)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(res); err != nil {
-			fail(err)
+			return fail(err)
 		}
-		return
+		return 0
 	}
-	printSummary(*dataset, *rate, *n, *seed, res)
+	printSummary(stdout, *dataset, *rate, *n, *seed, res)
+	return 0
 }
 
-func printSummary(dataset string, rate float64, n int, seed int64, res bullet.Result) {
-	fmt.Printf("system          %s\n", res.System)
-	fmt.Printf("dataset         %s @ %.2f req/s (%d requests, seed %d)\n", dataset, rate, n, seed)
-	fmt.Printf("mean TTFT       %.3f s (P90 %.3f s)\n", res.MeanTTFT, res.P90TTFT)
-	fmt.Printf("P90 norm TTFT   %.2f ms/token\n", res.P90NormTTFT)
-	fmt.Printf("mean TPOT       %.1f ms (P90 %.1f ms)\n", res.MeanTPOTMs, res.P90TPOTMs)
-	fmt.Printf("throughput      %.2f req/s, %.0f tok/s\n", res.Throughput, res.TokenThru)
-	fmt.Printf("SLO attainment  %.1f%%\n", 100*res.SLOAttainment)
-	fmt.Printf("makespan        %.1f s\n", res.Makespan)
+func printSummary(w io.Writer, dataset string, rate float64, n int, seed int64, res bullet.Result) {
+	fmt.Fprintf(w, "system          %s\n", res.System)
+	fmt.Fprintf(w, "dataset         %s @ %.2f req/s (%d requests, seed %d)\n", dataset, rate, n, seed)
+	fmt.Fprintf(w, "mean TTFT       %.3f s (P90 %.3f s)\n", res.MeanTTFT, res.P90TTFT)
+	fmt.Fprintf(w, "P90 norm TTFT   %.2f ms/token\n", res.P90NormTTFT)
+	fmt.Fprintf(w, "mean TPOT       %.1f ms (P90 %.1f ms)\n", res.MeanTPOTMs, res.P90TPOTMs)
+	fmt.Fprintf(w, "throughput      %.2f req/s, %.0f tok/s\n", res.Throughput, res.TokenThru)
+	fmt.Fprintf(w, "SLO attainment  %.1f%%\n", 100*res.SLOAttainment)
+	fmt.Fprintf(w, "makespan        %.1f s\n", res.Makespan)
 }
 
 // runFaulty executes the run with a generated fault schedule injected
 // and prints the resilience accounting alongside the usual summary.
-func runFaulty(system, dataset string, rate float64, n int, seed int64, faultRate float64, faultSeed int64, asJSON bool) error {
+func runFaulty(system, dataset string, rate float64, n int, seed int64, faultRate float64, faultSeed int64, asJSON bool, stdout io.Writer) error {
 	spec, cfg := experiments.Platform()
 	d, err := workload.ByName(dataset)
 	if err != nil {
@@ -210,23 +240,23 @@ func runFaulty(system, dataset string, rate float64, n int, seed int64, faultRat
 			Summary    metrics.Summary
 			Resilience metrics.Resilience
 		}{res.System, dataset, rate, res.Shed, res.Summary, rl}
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(out)
 	}
 
 	s := res.Summary
-	fmt.Printf("system          %s (faulty: degrade+stall @ %.2f/s, fault seed %d)\n", res.System, faultRate, faultSeed)
-	fmt.Printf("dataset         %s @ %.2f req/s (%d requests, seed %d)\n", dataset, rate, n, seed)
-	fmt.Printf("completed       %d (%d shed)\n", s.Requests, res.Shed)
-	fmt.Printf("mean TTFT       %.3f s (P90 %.3f s)\n", s.MeanTTFT.Float(), s.P90TTFT.Float())
-	fmt.Printf("mean TPOT       %.1f ms (P90 %.1f ms)\n", s.MeanTPOTMs, s.P90TPOTMs)
-	fmt.Printf("throughput      %.2f req/s (goodput %.2f req/s)\n", s.Throughput, s.Goodput)
-	fmt.Printf("SLO attainment  %.1f%%\n", 100*s.SLOAttainment)
-	fmt.Printf("faults injected %d (scheduled downtime %.1f s)\n", rl.FaultsInjected, rl.Downtime.Float())
-	fmt.Printf("batch aborts    %d (retried %d, shed %d)\n", rl.BatchAborts, rl.Retried, rl.Shed)
-	fmt.Printf("recoveries      %d (MTTR %.2f s)\n", rl.Recoveries, rl.MTTR().Float())
-	fmt.Printf("makespan        %.1f s\n", res.Makespan.Float())
+	fmt.Fprintf(stdout, "system          %s (faulty: degrade+stall @ %.2f/s, fault seed %d)\n", res.System, faultRate, faultSeed)
+	fmt.Fprintf(stdout, "dataset         %s @ %.2f req/s (%d requests, seed %d)\n", dataset, rate, n, seed)
+	fmt.Fprintf(stdout, "completed       %d (%d shed)\n", s.Requests, res.Shed)
+	fmt.Fprintf(stdout, "mean TTFT       %.3f s (P90 %.3f s)\n", s.MeanTTFT.Float(), s.P90TTFT.Float())
+	fmt.Fprintf(stdout, "mean TPOT       %.1f ms (P90 %.1f ms)\n", s.MeanTPOTMs, s.P90TPOTMs)
+	fmt.Fprintf(stdout, "throughput      %.2f req/s (goodput %.2f req/s)\n", s.Throughput, s.Goodput)
+	fmt.Fprintf(stdout, "SLO attainment  %.1f%%\n", 100*s.SLOAttainment)
+	fmt.Fprintf(stdout, "faults injected %d (scheduled downtime %.1f s)\n", rl.FaultsInjected, rl.Downtime.Float())
+	fmt.Fprintf(stdout, "batch aborts    %d (retried %d, shed %d)\n", rl.BatchAborts, rl.Retried, rl.Shed)
+	fmt.Fprintf(stdout, "recoveries      %d (MTTR %.2f s)\n", rl.Recoveries, rl.MTTR().Float())
+	fmt.Fprintf(stdout, "makespan        %.1f s\n", res.Makespan.Float())
 	return nil
 }
 
@@ -236,14 +266,14 @@ func runFaulty(system, dataset string, rate float64, n int, seed int64, faultRat
 // the admission-gate-only ablation, and the full memory-pressure
 // subsystem. The output is deterministic: the same flags always print
 // byte-identical tables.
-func runPressure(dataset string, rate float64, n int, seed int64) error {
+func runPressure(dataset string, rate float64, n int, seed int64, stdout io.Writer) error {
 	d, err := workload.ByName(dataset)
 	if err != nil {
 		return err
 	}
 	rates := []float64{rate, 2 * rate, 3 * rate}
 	rows := experiments.ExtPressure(d, rates, n, seed, true)
-	fmt.Print(experiments.RenderExtPressure(rows))
+	fmt.Fprint(stdout, experiments.RenderExtPressure(rows))
 	return nil
 }
 
@@ -252,16 +282,16 @@ func runPressure(dataset string, rate float64, n int, seed int64) error {
 // per-tenant rows), then runs the 2-replica cluster arm at the top rate.
 // The output is deterministic: the same flags always print byte-identical
 // tables, and the cluster arm is byte-identical at every -workers value.
-func runQoS(dataset string, rate float64, n int, seed int64, workers int) error {
+func runQoS(dataset string, rate float64, n int, seed int64, workers int, stdout io.Writer) error {
 	d, err := workload.ByName(dataset)
 	if err != nil {
 		return err
 	}
 	rates := []float64{rate, 2 * rate, 3 * rate}
 	rows := experiments.ExtQoS(d, rates, n, seed, workload.DefaultTenantMix())
-	fmt.Print(experiments.RenderExtQoS(rows))
+	fmt.Fprint(stdout, experiments.RenderExtQoS(rows))
 	cl := experiments.ExtQoSCluster(d, 3*rate, n, seed, workers)
-	fmt.Print(experiments.RenderExtQoSCluster(cl))
+	fmt.Fprint(stdout, experiments.RenderExtQoSCluster(cl))
 	return nil
 }
 
@@ -269,13 +299,13 @@ func runQoS(dataset string, rate float64, n int, seed int64, workers int) error 
 // forkjoin harness. By the concurrency contract the table is
 // byte-identical at every -workers value and every GOMAXPROCS — the
 // equivalence ci.sh pins by diffing a serial run against a parallel one.
-func runClusterSweep(dataset string, rate float64, n int, seed int64, workers int) error {
+func runClusterSweep(dataset string, rate float64, n int, seed int64, workers int, stdout io.Writer) error {
 	d, err := workload.ByName(dataset)
 	if err != nil {
 		return err
 	}
 	rows := experiments.ExtClusterN(d, rate, n, seed, workers)
-	fmt.Print(experiments.RenderExtCluster(rows))
+	fmt.Fprint(stdout, experiments.RenderExtCluster(rows))
 	return nil
 }
 
@@ -284,7 +314,7 @@ func runClusterSweep(dataset string, rate float64, n int, seed int64, workers in
 // lifecycles) and writes a deterministic Chrome trace-event file: the
 // same flags always produce a byte-identical trace, loadable at
 // ui.perfetto.dev or chrome://tracing.
-func runTimeline(system, dataset string, rate float64, n int, seed int64, path string) error {
+func runTimeline(system, dataset string, rate float64, n int, seed int64, path string, stdout io.Writer) error {
 	d, err := workload.ByName(dataset)
 	if err != nil {
 		return err
@@ -298,16 +328,16 @@ func runTimeline(system, dataset string, rate float64, n int, seed int64, path s
 	if err := rec.WriteChrome(f); err != nil {
 		return err
 	}
-	fmt.Printf("system %s: %d requests, %.1fs makespan\n",
+	fmt.Fprintf(stdout, "system %s: %d requests, %.1fs makespan\n",
 		res.System, res.Summary.Requests, res.Makespan.Float())
-	fmt.Print(rec.Summary())
-	fmt.Printf("wrote %s (open at ui.perfetto.dev)\n", path)
+	fmt.Fprint(stdout, rec.Summary())
+	fmt.Fprintf(stdout, "wrote %s (open at ui.perfetto.dev)\n", path)
 	return nil
 }
 
 // runTraced executes the run with full kernel/decision tracing and writes
 // a Chrome trace-event file viewable at chrome://tracing or Perfetto.
-func runTraced(system, dataset string, rate float64, n int, seed int64, path string) error {
+func runTraced(system, dataset string, rate float64, n int, seed int64, path string, stdout io.Writer) error {
 	spec, cfg := experiments.Platform()
 	d, err := workload.ByName(dataset)
 	if err != nil {
@@ -338,7 +368,7 @@ func runTraced(system, dataset string, rate float64, n int, seed int64, path str
 	if err := rec.WriteChromeTrace(f); err != nil {
 		return err
 	}
-	fmt.Printf("system %s: %d requests, %.1fs makespan\n", res.System, res.Summary.Requests, res.Makespan)
+	fmt.Fprintf(stdout, "system %s: %d requests, %.1fs makespan\n", res.System, res.Summary.Requests, res.Makespan)
 	sum := rec.Summary()
 	lanes := make([]string, 0, len(sum))
 	for lane := range sum {
@@ -346,16 +376,11 @@ func runTraced(system, dataset string, rate float64, n int, seed int64, path str
 	}
 	sort.Strings(lanes)
 	for _, lane := range lanes {
-		fmt.Printf("  lane %-10s %s\n", lane, sum[lane])
+		fmt.Fprintf(stdout, "  lane %-10s %s\n", lane, sum[lane])
 	}
 	if rec.Dropped > 0 {
-		fmt.Printf("  (%d events dropped past the %d-event cap)\n", rec.Dropped, rec.MaxEvents)
+		fmt.Fprintf(stdout, "  (%d events dropped past the %d-event cap)\n", rec.Dropped, rec.MaxEvents)
 	}
-	fmt.Printf("wrote %s (open at chrome://tracing)\n", path)
+	fmt.Fprintf(stdout, "wrote %s (open at chrome://tracing)\n", path)
 	return nil
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "bulletsim:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,49 @@
+package calib
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzCalibParse hammers the trace parser with arbitrary input. The
+// contract: never panic; reject every malformed line with a contextual
+// "calib: line N" error; and on success return only well-formed rows
+// whose re-rendered trace parses back to the same shape.
+func FuzzCalibParse(f *testing.F) {
+	f.Add("op qkv\n128 0.000213\n256 0.000391\n")
+	f.Add("# comment only\n")
+	f.Add("op qkv\nop qkv\n")              // duplicate operator key
+	f.Add("128 0.0002\n")                  // sample before any header
+	f.Add("op qkv\n128 NaN\n")             // non-finite latency
+	f.Add("op qkv\n128 -Inf\n")            // non-finite latency
+	f.Add("op qkv\n128 -0.5\n")            // negative latency
+	f.Add("op qkv\n0 0.5\n")               // non-positive tokens
+	f.Add("op qkv\n9999999999999999 0.1a") // malformed row tails
+	f.Add("op\n")
+	f.Add("op a b c\n\x00\xff")
+	f.Add(strings.Repeat("op x", 1000))
+	f.Fuzz(func(t *testing.T, in string) {
+		rows, err := ParseTrace(strings.NewReader(in))
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), "calib: line ") {
+				t.Fatalf("error without line context: %q", err)
+			}
+			return
+		}
+		for i, r := range rows {
+			if r.Op == "" || r.Tokens <= 0 || r.Latency <= 0 {
+				t.Fatalf("row %d malformed after successful parse: %+v", i, r)
+			}
+		}
+		if len(rows) == 0 {
+			return
+		}
+		back, err := ParseTrace(strings.NewReader(FormatTrace(rows)))
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v", err)
+		}
+		if len(back) != len(rows) {
+			t.Fatalf("round trip kept %d of %d rows", len(back), len(rows))
+		}
+	})
+}

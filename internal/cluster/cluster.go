@@ -189,7 +189,18 @@ func (c *Cluster) newReplica(idx int) *replica {
 	env.OnShed = func(w workload.Request) {
 		r.outbox = append(r.outbox, outcome{at: env.Sim.Now(), shed: w, isShed: true})
 	}
-	r.sys = core.New(env, c.cfg.Options)
+	opts := c.cfg.Options
+	if opts.Backend == gpusim.BackendSampled {
+		// Decorrelate the replicas' sampled-latency draw streams the
+		// forkjoin way: a per-replica splitmix fork of the base seed,
+		// identical whether replicas advance serially or in parallel.
+		seed := opts.BackendSeed
+		if seed == 0 {
+			seed = 1
+		}
+		opts.BackendSeed = forkjoin.ForkSeed(seed, idx)
+	}
+	r.sys = core.New(env, opts)
 	if c.wcfg != nil {
 		r.sys.EnableResilience(*c.wcfg)
 	}

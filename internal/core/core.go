@@ -12,6 +12,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/calib"
 	"repro/internal/engine"
 	"repro/internal/estimator"
 	"repro/internal/forkjoin"
@@ -82,6 +83,15 @@ type Options struct {
 	// QoS, when non-nil, arms the SLO-feedback dynamic-batching and
 	// multi-tenant QoS subsystem (see internal/qos and EnableQoS).
 	QoS *qos.Config
+	// Backend selects the gpusim per-kernel latency model: "" or
+	// "analytic" (the default fluid model), "sampled" (profile-driven
+	// draws from a self-calibrated latency table) or "hierarchy"
+	// (analytic plus L2 cache-reuse interference). See DESIGN.md §15.
+	Backend string
+	// BackendSeed seeds the sampled backend's deterministic draw stream
+	// (0 means 1). Cluster replicas derive per-replica seeds so serial
+	// and parallel harnesses observe identical draws.
+	BackendSeed int64
 }
 
 // DefaultOptions returns the full system's defaults.
@@ -153,6 +163,47 @@ func FittedParams(cfg model.Config, spec gpusim.Spec) estimator.Params {
 	})
 }
 
+// fittedTables memoizes self-calibration per (model, device) pair, the
+// same purity argument as fittedParams: calibration is deterministic in
+// the pair, so concurrent fork tasks observe identical tables.
+var fittedTables forkjoin.Memo[string, *gpusim.LatencyTable]
+
+// FittedLatencyTable returns the self-calibrated sampled-backend latency
+// table for a (model, device) pair, running calibration once per process.
+func FittedLatencyTable(cfg model.Config, spec gpusim.Spec) *gpusim.LatencyTable {
+	key := cfg.Name + "/" + spec.Name
+	return fittedTables.Get(key, func() *gpusim.LatencyTable {
+		t, err := calib.SelfCalibrate(cfg, spec, calib.SelfCalOptions{})
+		if err != nil {
+			panic(fmt.Sprintf("core: self-calibration for %s: %v", key, err))
+		}
+		return t
+	})
+}
+
+// applyBackend installs the configured latency backend on the
+// environment's GPU and returns the name suffix identifying non-default
+// backends in results.
+func applyBackend(env *serving.Env, opts Options) string {
+	switch opts.Backend {
+	case "", gpusim.BackendAnalytic:
+		return ""
+	case gpusim.BackendSampled:
+		seed := opts.BackendSeed
+		if seed == 0 {
+			seed = 1
+		}
+		table := FittedLatencyTable(env.Model, env.GPU.Spec)
+		env.GPU.SetBackend(gpusim.NewSampledBackend(table, seed))
+		return "+sampled"
+	case gpusim.BackendHierarchy:
+		env.GPU.SetBackend(gpusim.HierarchyBackend{})
+		return "+hierarchy"
+	default:
+		panic(fmt.Sprintf("core: unknown latency backend %q", opts.Backend))
+	}
+}
+
 // New assembles a Bullet system on an environment.
 func New(env *serving.Env, opts Options) *Bullet {
 	def := DefaultOptions()
@@ -180,6 +231,7 @@ func New(env *serving.Env, opts Options) *Bullet {
 	if opts.Params == (estimator.Params{}) {
 		opts.Params = FittedParams(env.Model, env.GPU.Spec)
 	}
+	backendSuffix := applyBackend(env, opts)
 
 	numSMs := env.GPU.Spec.NumSMs
 	est := estimator.New(env.Model, env.GPU.Spec, opts.Params)
@@ -239,7 +291,7 @@ func New(env *serving.Env, opts Options) *Bullet {
 
 	b := &Bullet{
 		env: env, opts: opts, Estimator: est, Scheduler: schd,
-		Resources: res, Buffer: buf, name: name,
+		Resources: res, Buffer: buf, name: name + backendSuffix,
 	}
 	b.Prefill = engine.NewPrefillEngine(env, res, schd, est, buf, pcfg)
 	b.Decode = engine.NewDecodeEngine(env, res, schd, est, buf, dcfg)

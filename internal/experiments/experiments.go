@@ -39,25 +39,10 @@ var SystemNames = []string{
 // preemption with recompute/retransfer recovery); "bullet-qos" stacks
 // the SLO-feedback QoS controller on top of the pressure subsystem.
 func NewSystem(name string, env *serving.Env) serving.System {
+	if opts, ok := bulletOptions(name); ok {
+		return core.New(env, opts)
+	}
 	switch name {
-	case "bullet":
-		return core.New(env, core.Options{Mode: core.ModeFull})
-	case "bullet-naive":
-		return core.New(env, core.Options{Mode: core.ModeNaive})
-	case "bullet-partition":
-		return core.New(env, core.Options{Mode: core.ModePartitionOnly})
-	case "bullet-scheduler":
-		return core.New(env, core.Options{Mode: core.ModeSchedulerOnly})
-	case "bullet-prefix":
-		return core.New(env, core.Options{Mode: core.ModeFull, EnablePrefixCache: true})
-	case "bullet-gate":
-		return core.New(env, core.Options{Mode: core.ModeFull,
-			Pressure: &pressure.Config{DisablePreemption: true}})
-	case "bullet-pressure":
-		return core.New(env, core.Options{Mode: core.ModeFull, Pressure: &pressure.Config{}})
-	case "bullet-qos":
-		return core.New(env, core.Options{Mode: core.ModeFull,
-			Pressure: &pressure.Config{}, QoS: &qos.Config{}})
 	case "vllm-1024":
 		return chunked.New(env, chunked.VLLM1024())
 	case "sglang-1024":
@@ -71,11 +56,51 @@ func NewSystem(name string, env *serving.Env) serving.System {
 	case "disagg-pcie":
 		return disagg.New(env, disagg.PCIeConfig())
 	}
+	panic(fmt.Sprintf("experiments: unknown system %q", name))
+}
+
+// bulletOptions resolves a Bullet variant name to its core options;
+// false means the name is not a Bullet variant (a baseline or unknown).
+func bulletOptions(name string) (core.Options, bool) {
+	switch name {
+	case "bullet":
+		return core.Options{Mode: core.ModeFull}, true
+	case "bullet-naive":
+		return core.Options{Mode: core.ModeNaive}, true
+	case "bullet-partition":
+		return core.Options{Mode: core.ModePartitionOnly}, true
+	case "bullet-scheduler":
+		return core.Options{Mode: core.ModeSchedulerOnly}, true
+	case "bullet-prefix":
+		return core.Options{Mode: core.ModeFull, EnablePrefixCache: true}, true
+	case "bullet-gate":
+		return core.Options{Mode: core.ModeFull,
+			Pressure: &pressure.Config{DisablePreemption: true}}, true
+	case "bullet-pressure":
+		return core.Options{Mode: core.ModeFull, Pressure: &pressure.Config{}}, true
+	case "bullet-qos":
+		return core.Options{Mode: core.ModeFull,
+			Pressure: &pressure.Config{}, QoS: &qos.Config{}}, true
+	}
 	var sms int
 	if n, err := fmt.Sscanf(name, "bullet-sm%d", &sms); err == nil && n == 1 {
-		return core.New(env, core.Options{Mode: core.ModeStatic, FixedPrefillSMs: sms})
+		return core.Options{Mode: core.ModeStatic, FixedPrefillSMs: sms}, true
 	}
-	panic(fmt.Sprintf("experiments: unknown system %q", name))
+	return core.Options{}, false
+}
+
+// NewSystemWithBackend instantiates a Bullet variant with a latency
+// backend override (DESIGN.md §15). Baselines have no pluggable latency
+// model, so non-Bullet names are an error rather than a silent analytic
+// fallback.
+func NewSystemWithBackend(name string, env *serving.Env, backend string, seed int64) (serving.System, error) {
+	opts, ok := bulletOptions(name)
+	if !ok {
+		return nil, fmt.Errorf("experiments: backend %q requires a Bullet variant, got %q", backend, name)
+	}
+	opts.Backend = backend
+	opts.BackendSeed = seed
+	return core.New(env, opts), nil
 }
 
 // Platform returns the evaluation device and model (§4.1).

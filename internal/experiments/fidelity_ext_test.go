@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestExtFidelityDeterminism: the whole fidelity study — all three
+// backends, decision sequences, estimator pairs — replays identically.
+// ci.sh runs this under -race as part of the determinism smoke.
+func TestExtFidelityDeterminism(t *testing.T) {
+	a := ExtFidelity(workload.AzureCode, 5, 40, 42)
+	b := ExtFidelity(workload.AzureCode, 5, 40, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("ExtFidelity replay diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestExtFidelityAnalyticReference: the analytic arm is the reference —
+// zero divergence by construction — and its serving metrics are exactly
+// those of a default bullet run on the same trace (the backend seam adds
+// nothing on the default path; the goldens pin the same property at the
+// CLI surface).
+func TestExtFidelityAnalyticReference(t *testing.T) {
+	rows := ExtFidelity(workload.AzureCode, 5, 40, 42)
+	if len(rows) != len(FidelityBackends) {
+		t.Fatalf("%d rows, want %d", len(rows), len(FidelityBackends))
+	}
+	ref := rows[0]
+	if ref.Backend != "analytic" || ref.Diverged != 0 {
+		t.Fatalf("reference row = %+v, want analytic with 0 divergence", ref)
+	}
+	plain := RunOne("bullet", workload.AzureCode, 5, 40, 42)
+	if ref.MeanTTFT != plain.Summary.MeanTTFT.Float() ||
+		ref.Throughput != plain.Summary.Throughput ||
+		ref.SLOAttainment != plain.Summary.SLOAttainment {
+		t.Errorf("analytic arm %+v diverged from plain bullet run %+v", ref, plain.Summary)
+	}
+	for _, r := range rows {
+		if r.Decisions <= 0 {
+			t.Errorf("backend %s observed no Algorithm 1 decisions", r.Backend)
+		}
+		if r.EstPairs <= 0 {
+			t.Errorf("backend %s observed no estimator pairs", r.Backend)
+		}
+	}
+	// The sampled substrate must actually perturb the schedule: identical
+	// decision sequences would mean the draws never reach Algorithm 1.
+	if rows[1].Backend != "sampled" || rows[1].Diverged == 0 {
+		t.Errorf("sampled arm %+v shows no scheduler divergence", rows[1])
+	}
+}
+
+// TestFidelityClusterSerialParallel: the sampled-backend cluster arm is
+// byte-identical serial (workers=1) and parallel (workers=4) — the
+// concurrency contract extended to per-replica draw streams, which fork
+// from the run seed rather than sharing mutable backend state.
+func TestFidelityClusterSerialParallel(t *testing.T) {
+	ser := ExtFidelityCluster(workload.AzureCode, 8, 40, 42, 1)
+	par := ExtFidelityCluster(workload.AzureCode, 8, 40, 42, 4)
+	if !reflect.DeepEqual(ser, par) {
+		t.Errorf("cluster arm diverged serial vs parallel:\n%+v\n%+v", ser, par)
+	}
+}

@@ -50,6 +50,11 @@ type Kernel struct {
 	// Tag groups kernels for utilization accounting ("prefill",
 	// "decode", ...).
 	Tag string
+	// Tokens is the operator's size coordinate for profile-driven latency
+	// tables (the sampled backend): new tokens for prefill operators,
+	// attended context for prefill attention, batch rows for decode.
+	// Zero means unindexed; the analytic backend ignores it entirely.
+	Tokens int
 	// CommBytes is interconnect traffic (tensor-parallel allreduce):
 	// it adds a LinkBW-limited term to the kernel's roofline.
 	CommBytes units.Bytes
@@ -81,6 +86,10 @@ type launch struct {
 	// compute-bound kernels, which is what makes spatial prefill/decode
 	// sharing profitable in the first place (§2.2.2).
 	weight float64
+	// scale is a backend-owned rate multiplier fixed at Begin time (1 for
+	// the analytic model; the ratio of modelled to sampled latency for the
+	// sampled backend).
+	scale float64
 }
 
 // minComputeWeight keeps even pure-copy kernels consuming some issue
@@ -145,6 +154,10 @@ type GPU struct {
 	streams []*Stream
 	running []*launch
 
+	// backend is the per-kernel latency model (never nil; analytic by
+	// default). See backend.go for the contract.
+	backend LatencyBackend
+
 	// health is the per-SM speed factor in [0,1]: 1 healthy, 0 dead,
 	// between the two throttled (thermal/ECC degradation). nil means the
 	// whole device is healthy — the common case keeps its fast paths.
@@ -194,10 +207,27 @@ func New(s *sim.Simulation, spec Spec) *GPU {
 	return &GPU{
 		Spec:     spec,
 		sim:      s,
+		backend:  AnalyticBackend{},
 		tagFlops: make(map[string]units.FLOPs),
 		tagBytes: make(map[string]units.Bytes),
 		tagTime:  make(map[string]units.SMSeconds),
 	}
+}
+
+// Backend returns the active latency backend.
+func (g *GPU) Backend() LatencyBackend { return g.backend }
+
+// SetBackend swaps the latency backend. This is a setup-time operation:
+// swapping while kernels are resident would re-rate in-flight work under
+// a different model, so it panics instead.
+func (g *GPU) SetBackend(b LatencyBackend) {
+	if b == nil {
+		b = AnalyticBackend{}
+	}
+	if len(g.running) > 0 {
+		panic(fmt.Sprintf("gpusim: SetBackend(%s) with %d resident kernels", b.Name(), len(g.running)))
+	}
+	g.backend = b
 }
 
 // Sim returns the owning simulation.
@@ -354,6 +384,8 @@ func (g *GPU) beginResident(l *launch) {
 	l.running = true
 	l.startTime = g.sim.Now()
 	l.weight = g.computeIntensity(l.k)
+	l.scale = 1
+	g.backend.Begin(g, l)
 	g.running = append(g.running, l)
 	g.recompute()
 }
@@ -597,12 +629,12 @@ func (g *GPU) recompute() {
 		l       *launch
 		nominal units.PerSec
 		bytes   units.BytesPerSec // bytes/s at nominal rate
+		volume  units.Bytes       // effective DRAM bytes per execution
 	}
 	demands := make([]demand, 0, len(g.running))
 	for _, l := range g.running {
-		meff := g.effectiveSMs(l)
-		nominal, _ := g.soloRate(l, meff, g.overlapFraction(l))
-		demands = append(demands, demand{l, nominal, l.k.Bytes.AtRate(nominal)})
+		d := g.backend.Demand(g, l)
+		demands = append(demands, demand{l, d.Rate, d.BW, d.Volume})
 	}
 
 	// Max–min fair bandwidth allocation with per-kernel caps: kernels
@@ -617,8 +649,8 @@ func (g *GPU) recompute() {
 		remaining -= alloc
 		left--
 		rate := d.nominal
-		if d.l.k.Bytes > 0 && alloc < d.bytes {
-			rate = alloc.Progress(d.l.k.Bytes)
+		if d.volume > 0 && alloc < d.bytes {
+			rate = alloc.Progress(d.volume)
 		}
 		demands[idx].l.rate = rate
 	}

@@ -37,6 +37,14 @@ type Spec struct {
 	// LinkBW is the per-GPU interconnect bandwidth (NVLink-class) used
 	// by kernels carrying CommBytes (tensor-parallel allreduces).
 	LinkBW units.BytesPerSec
+	// L2Bytes is the last-level cache capacity, consumed only by the
+	// memory-hierarchy latency backend (zero disables the model; the
+	// analytic backend ignores it entirely).
+	L2Bytes units.Bytes
+	// L2ReuseFrac is the fraction of a kernel's DRAM accesses that are
+	// re-references L2 could serve when the working set fits. Only the
+	// hierarchy backend reads it.
+	L2ReuseFrac float64
 }
 
 // A100 returns the specification of the paper's evaluation platform:
@@ -59,6 +67,8 @@ func A100() Spec {
 		CoRunComputePenalty: 0.85,
 		CoRunBWPenalty:      0.82,
 		LinkBW:              300e9, // NVLink 3
+		L2Bytes:             40e6,
+		L2ReuseFrac:         0.35,
 	}
 }
 
@@ -79,6 +89,8 @@ func H100() Spec {
 		CoRunComputePenalty: 0.85,
 		CoRunBWPenalty:      0.82,
 		LinkBW:              450e9, // NVLink 4
+		L2Bytes:             50e6,
+		L2ReuseFrac:         0.35,
 	}
 }
 
@@ -97,6 +109,8 @@ func TestGPU() Spec {
 		CoRunComputePenalty: 1,
 		CoRunBWPenalty:      1,
 		LinkBW:              1e10,
+		L2Bytes:             4e6,
+		L2ReuseFrac:         0.5,
 	}
 }
 

@@ -120,6 +120,7 @@ var corePackages = map[string]bool{
 	"internal/timeline":  true,
 	"internal/pressure":  true,
 	"internal/qos":       true,
+	"internal/calib":     true,
 }
 
 // InCore reports whether the package is part of the deterministic

@@ -1,0 +1,58 @@
+//linttest:path repro/internal/fixture
+package fixture
+
+import "sort"
+
+// Pins the hotalloc contract on the sampled backend's per-launch latency
+// lookup (gpusim.LatencyTable.Sample): the manual binary search plus
+// in-place interpolation is the sanctioned zero-alloc shape, while the
+// tempting sort.Search closure allocates on every lookup.
+
+type support struct {
+	tokens int
+	q      []float64
+}
+
+type latTable struct {
+	sup []support
+}
+
+// Clean per-launch lookup: manual bracketing search, grid interpolation,
+// no heap traffic.
+//
+//bullet:hotpath
+func (t *latTable) sample(tokens int, u float64) float64 {
+	lo, hi := 0, len(t.sup)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.sup[mid].tokens < tokens {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(t.sup) {
+		lo = len(t.sup) - 1
+	}
+	q := t.sup[lo].q
+	pos := u * float64(len(q)-1)
+	i := int(pos)
+	if i >= len(q)-1 {
+		return q[len(q)-1]
+	}
+	return q[i] + (q[i+1]-q[i])*(pos-float64(i))
+}
+
+// The tempting shape: sort.Search's predicate closure captures the
+// receiver and the key, allocating per lookup.
+//
+//bullet:hotpath
+func (t *latTable) sampleSearch(tokens int) float64 {
+	lo := sort.Search(len(t.sup), func(i int) bool { // want hotalloc hotalloc
+		return t.sup[i].tokens >= tokens
+	})
+	if lo >= len(t.sup) {
+		lo = len(t.sup) - 1
+	}
+	return t.sup[lo].q[0]
+}

@@ -85,6 +85,7 @@ func (c Config) allReduceKernel(rows int, tag string) gpusim.Kernel {
 	return gpusim.Kernel{
 		Name:      "allreduce",
 		Tag:       tag,
+		Tokens:    rows,
 		Bytes:     units.Bytes(2 * payload),
 		CommBytes: units.Bytes(2 * (n - 1) / n * payload),
 	}
@@ -288,26 +289,26 @@ func (c Config) AppendPrefillLayerKernels(dst []gpusim.Kernel, newTokens, histTo
 
 	dst = append(dst,
 		gpusim.Kernel{
-			Name: "norm1", Tag: tag,
+			Name: "norm1", Tag: tag, Tokens: newTokens,
 			FLOPs: units.FLOPs(10 * s * h),
 			Bytes: units.Bytes(elementwiseBWFactor * s * h * bpp),
 		},
 		gpusim.Kernel{
-			Name: "qkv", Tag: tag,
+			Name: "qkv", Tag: tag, Tokens: newTokens,
 			FLOPs:      units.FLOPs(2 * s * h * qkvOut / n),
 			Bytes:      units.Bytes((h*qkvOut/n + s*h + s*qkvOut/n) * bpp),
 			Grid:       gemmGrid(newTokens, c.QKVOutDim()/nInt, wideTileN),
 			Efficiency: gemmEfficiency,
 		},
 		gpusim.Kernel{
-			Name: "attn", Tag: tag,
+			Name: "attn", Tag: tag, Tokens: newTokens + histTokens,
 			FLOPs:      attnFLOPs,
 			Bytes:      attnBytes,
 			Grid:       c.NumHeads / nInt * ceilDiv(newTokens, flashRowBlock),
 			Efficiency: prefillAttnEfficiency,
 		},
 		gpusim.Kernel{
-			Name: "oproj", Tag: tag,
+			Name: "oproj", Tag: tag, Tokens: newTokens,
 			FLOPs:      units.FLOPs(2 * s * h * h / n),
 			Bytes:      units.Bytes((h*h/n + s*h/n + s*h) * bpp),
 			Grid:       gemmGrid(newTokens, c.HiddenSize, wideTileN),
@@ -320,19 +321,19 @@ func (c Config) AppendPrefillLayerKernels(dst []gpusim.Kernel, newTokens, histTo
 	}
 	dst = append(dst,
 		gpusim.Kernel{
-			Name: "norm2", Tag: tag,
+			Name: "norm2", Tag: tag, Tokens: newTokens,
 			FLOPs: units.FLOPs(10 * s * h),
 			Bytes: units.Bytes(elementwiseBWFactor * s * h * bpp),
 		},
 		gpusim.Kernel{
-			Name: "gateup", Tag: tag,
+			Name: "gateup", Tag: tag, Tokens: newTokens,
 			FLOPs:      units.FLOPs(2 * s * h * 2 * inter / n),
 			Bytes:      units.Bytes((2*h*inter/n + s*h + 2*s*inter/n) * bpp),
 			Grid:       gemmGrid(newTokens, 2*c.IntermediateSize/nInt, wideTileN),
 			Efficiency: gemmEfficiency,
 		},
 		gpusim.Kernel{
-			Name: "down", Tag: tag,
+			Name: "down", Tag: tag, Tokens: newTokens,
 			FLOPs:      units.FLOPs(2 * s * inter * h / n),
 			Bytes:      units.Bytes((h*inter/n + s*inter/n + s*h) * bpp),
 			Grid:       gemmGrid(newTokens, c.HiddenSize, downTileN),
@@ -414,45 +415,45 @@ func (c Config) AppendDecodeLayerKernels(dst []gpusim.Kernel, batch int, avgCtx 
 
 	return append(dst,
 		gpusim.Kernel{
-			Name: "norm1", Tag: tag,
+			Name: "norm1", Tag: tag, Tokens: batch,
 			FLOPs: units.FLOPs(10 * b * h),
 			Bytes: units.Bytes(elementwiseBWFactor * b * h * bpp),
 		},
 		gpusim.Kernel{
-			Name: "qkv", Tag: tag,
+			Name: "qkv", Tag: tag, Tokens: batch,
 			FLOPs:      units.FLOPs(2 * b * h * qkvOut),
 			Bytes:      units.Bytes((h*qkvOut + b*h + b*qkvOut) * bpp),
 			Grid:       decodeGrid(batch, c.QKVOutDim()),
 			Efficiency: gemmEfficiency,
 		},
 		gpusim.Kernel{
-			Name: "attn", Tag: tag,
+			Name: "attn", Tag: tag, Tokens: batch,
 			FLOPs:      attnFLOPs,
 			Bytes:      attnBytes,
 			Grid:       batch * c.NumKVHeads,
 			Efficiency: decodeAttnEfficiency,
 		},
 		gpusim.Kernel{
-			Name: "oproj", Tag: tag,
+			Name: "oproj", Tag: tag, Tokens: batch,
 			FLOPs:      units.FLOPs(2 * b * h * h),
 			Bytes:      units.Bytes((h*h + 2*b*h) * bpp),
 			Grid:       decodeGrid(batch, c.HiddenSize),
 			Efficiency: gemmEfficiency,
 		},
 		gpusim.Kernel{
-			Name: "norm2", Tag: tag,
+			Name: "norm2", Tag: tag, Tokens: batch,
 			FLOPs: units.FLOPs(10 * b * h),
 			Bytes: units.Bytes(elementwiseBWFactor * b * h * bpp),
 		},
 		gpusim.Kernel{
-			Name: "gateup", Tag: tag,
+			Name: "gateup", Tag: tag, Tokens: batch,
 			FLOPs:      units.FLOPs(2 * b * h * 2 * inter),
 			Bytes:      units.Bytes((2*h*inter + b*h + 2*b*inter) * bpp),
 			Grid:       decodeGrid(batch, 2*c.IntermediateSize),
 			Efficiency: gemmEfficiency,
 		},
 		gpusim.Kernel{
-			Name: "down", Tag: tag,
+			Name: "down", Tag: tag, Tokens: batch,
 			FLOPs:      units.FLOPs(2 * b * inter * h),
 			Bytes:      units.Bytes((h*inter + b*inter + b*h) * bpp),
 			Grid:       decodeGrid(batch, c.HiddenSize),
@@ -519,7 +520,7 @@ func (c Config) LMHeadKernel(rows int, tag string) gpusim.Kernel {
 	bpp := float64(c.BytesPerParam)
 	n := c.tp()
 	k := gpusim.Kernel{
-		Name: "lmhead", Tag: tag,
+		Name: "lmhead", Tag: tag, Tokens: rows,
 		FLOPs:      units.FLOPs(2 * r * h * v / n),
 		Bytes:      units.Bytes((h*v/n + r*h + r*v/n) * bpp),
 		Grid:       gemmGrid(rows, c.VocabSize/int(n), wideTileN),
@@ -570,6 +571,7 @@ func (c Config) DecodeStepKernelScratch(scratch []gpusim.Kernel, batch int, avgC
 	return gpusim.Kernel{
 		Name:       "decode-step",
 		Tag:        tag,
+		Tokens:     batch,
 		FLOPs:      units.Scale(layer.FLOPs, float64(c.NumLayers)) + head.FLOPs,
 		Bytes:      units.Scale(layer.Bytes, float64(c.NumLayers)) + head.Bytes,
 		CommBytes:  units.Scale(layer.CommBytes, float64(c.NumLayers)) + head.CommBytes,
