@@ -14,6 +14,7 @@ import (
 	"repro/internal/kvcache"
 	"repro/internal/metrics"
 	"repro/internal/qos"
+	"repro/internal/resilience"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/timeline"
@@ -206,5 +207,28 @@ func TestQoSControllerZeroAlloc(t *testing.T) {
 		_ = c.DecodeCap()
 		_ = c.PrefillTokenBudget()
 		_ = c.WeightOf(qos.Standard)
+	})
+}
+
+// TestResilienceHotPathZeroAlloc pins the router's per-dispatch fast
+// path (DESIGN.md §16) at zero: the bucket admission check, the pure
+// breaker readiness read, the mutating breaker gate, and the hedge
+// budget check all run once per dispatch under storm load.
+func TestResilienceHotPathZeroAlloc(t *testing.T) {
+	cfg := resilience.DefaultConfig()
+	// A bucket that never rejects: exercise the admit path.
+	bucket := resilience.NewBucket(resilience.BucketConfig{Rate: 1e9, Burst: 1e9})
+	breaker := resilience.NewBreaker(cfg.Breaker)
+	hedger := resilience.NewHedger(cfg.Hedge)
+	now := units.Seconds(0)
+	pinAllocs(t, "resilience bucket+breaker+hedge", 0, func() {
+		now += 1e-4
+		_ = bucket.Allow(now, 512)
+		_ = breaker.Ready(now)
+		if breaker.Allow(now) {
+			breaker.ReportSuccess()
+		}
+		hedger.NoteDispatch()
+		_ = hedger.CanHedge()
 	})
 }

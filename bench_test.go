@@ -339,3 +339,18 @@ func BenchmarkExtensionPressure(b *testing.B) {
 		printOnce(b, i, func() string { return experiments.RenderExtPressure(rows) })
 	}
 }
+
+// BenchmarkExtensionChaos studies router-tier resilience under a
+// correlated link-failure storm: circuit breakers, dispatch timeouts,
+// hedged re-dispatch, and per-class token buckets vs the naive router
+// over the same bit-identical chaos schedule.
+func BenchmarkExtensionChaos(b *testing.B) {
+	n := 240
+	if testing.Short() {
+		n = 120
+	}
+	for i := 0; i < b.N; i++ {
+		rows := experiments.ExtChaos(workload.AzureCode, 10, n, 7, 0)
+		printOnce(b, i, func() string { return experiments.RenderExtChaos(rows) })
+	}
+}

@@ -33,16 +33,17 @@ go test -shuffle=on ./...
 step "go test -race -shuffle=on ./..."
 go test -race -shuffle=on ./...
 
-step "determinism smoke (-race, double run): faults + pressure + timeline traces"
+step "determinism smoke (-race, double run): faults + pressure + chaos + timeline traces"
 # Same seed + same fault schedule must replay bit-identically — the
 # resilience paths (SM degradation, watchdog aborts, replica failover,
-# memory-pressure preemption/recovery) and the exported timeline traces
-# are the newest determinism surface, so pin them explicitly. The fault
-# and pressure tests diff full sweep tables; the golden test diffs the
-# quickstart scenario's Chrome JSON byte for byte.
+# memory-pressure preemption/recovery, the router-tier chaos storm) and
+# the exported timeline traces are the newest determinism surface, so
+# pin them explicitly. The fault, pressure, and chaos tests diff full
+# sweep tables; the golden test diffs the quickstart scenario's Chrome
+# JSON byte for byte.
 go test -race -count=1 \
-    -run 'TestFaultRunDeterminism|TestFaultyRunBitIdentical|TestClusterFaultDeterminism|TestTimelineGoldenDeterminism|TestPressureRunDeterminism|TestQoSRunDeterminism|TestExtFidelityDeterminism|TestFidelityClusterSerialParallel|TestSampledBackendReplay' \
-    ./internal/experiments ./internal/core ./internal/cluster ./internal/gpusim
+    -run 'TestFaultRunDeterminism|TestFaultyRunBitIdentical|TestClusterFaultDeterminism|TestTimelineGoldenDeterminism|TestPressureRunDeterminism|TestQoSRunDeterminism|TestExtFidelityDeterminism|TestFidelityClusterSerialParallel|TestSampledBackendReplay|TestExtChaosDeterminism|TestChaosSerialParallelIdentical|TestGenerateChaosReplay' \
+    ./internal/experiments ./internal/core ./internal/cluster ./internal/gpusim ./internal/faults
 
 step "determinism smoke: bulletsim -pressure double run, byte diff"
 # The user-facing overload sweep must render byte-identically across two
@@ -66,6 +67,19 @@ qos_b=$(go run ./cmd/bulletsim -qos -dataset azure-code -rate 10 -n 120 -seed 11
 if [[ "$qos_a" != "$qos_b" ]]; then
     echo "bulletsim -qos: two same-seed runs diverged" >&2
     diff <(echo "$qos_a") <(echo "$qos_b") >&2 || true
+    exit 1
+fi
+
+step "determinism smoke: bulletsim -chaos double run, byte diff"
+# The router-resilience storm study is the acceptance surface for the
+# chaos subsystem: the seeded Markov storm, the breaker state walks,
+# hedged re-dispatch, and the goodput accounting must render
+# byte-identical tables across two same-seed processes.
+chaos_a=$(go run ./cmd/bulletsim -chaos -dataset azure-code -rate 10 -n 120 -seed 7 -workers 1)
+chaos_b=$(go run ./cmd/bulletsim -chaos -dataset azure-code -rate 10 -n 120 -seed 7 -workers 1)
+if [[ "$chaos_a" != "$chaos_b" ]]; then
+    echo "bulletsim -chaos: two same-seed runs diverged" >&2
+    diff <(echo "$chaos_a") <(echo "$chaos_b") >&2 || true
     exit 1
 fi
 
@@ -114,7 +128,20 @@ if [[ "$qos_ser" != "$qos_par" ]]; then
     exit 1
 fi
 
-step "coverage gate (internal/timeline >= 90%, internal/pressure >= 90%, internal/qos >= 90%, internal/calib >= 90%, module mean >= 86%)"
+step "concurrency contract: serial vs parallel chaos storm, byte diff"
+# The router-resilience layer mutates breaker/bucket/hedge state only in
+# outer-sim handlers, so the storm study must be byte-identical with one
+# worker on one core and four workers on four cores under -race
+# (DESIGN.md §16).
+chaos_ser=$(GOMAXPROCS=1 go run ./cmd/bulletsim -chaos -workers 1 -dataset azure-code -rate 10 -n 120 -seed 7)
+chaos_par=$(GOMAXPROCS=4 go run -race ./cmd/bulletsim -chaos -workers 4 -dataset azure-code -rate 10 -n 120 -seed 7)
+if [[ "$chaos_ser" != "$chaos_par" ]]; then
+    echo "bulletsim -chaos: serial and parallel runs diverged" >&2
+    diff <(echo "$chaos_ser") <(echo "$chaos_par") >&2 || true
+    exit 1
+fi
+
+step "coverage gate (internal/timeline >= 90%, internal/pressure >= 90%, internal/qos >= 90%, internal/calib >= 90%, internal/resilience >= 90%, module mean >= 86%)"
 # Per-package statement coverage; packages without tests or statements
 # are excluded from the mean. The floors were recorded at the merge that
 # introduced the gate — raise them when coverage rises, never lower them
@@ -139,6 +166,10 @@ go test -cover ./... | awk '
         }
         if ($2 == "repro/internal/calib" && pct + 0 < 90) {
             printf "coverage gate: internal/calib at %.1f%%, floor is 90%%\n", pct > "/dev/stderr"
+            fail = 1
+        }
+        if ($2 == "repro/internal/resilience" && pct + 0 < 90) {
+            printf "coverage gate: internal/resilience at %.1f%%, floor is 90%%\n", pct > "/dev/stderr"
             fail = 1
         }
     }
@@ -183,6 +214,31 @@ awk -F: '
     }
 ' "$backend_cover"
 rm -f "$backend_cover"
+
+step "coverage gate: cluster router-resilience file >= 90%"
+# The router-resilience layer (DESIGN.md §16) lives in one file of the
+# cluster package, so gate it from the statement-level profile directly.
+res_cover=$(mktemp)
+go test -coverprofile="$res_cover" ./internal/cluster > /dev/null
+awk -F: '
+    /cluster\/resilience\.go/ {
+        split($2, a, " ")
+        tot += a[2]; if (a[3] > 0) cov += a[2]
+    }
+    END {
+        if (tot == 0) {
+            print "coverage gate: cluster/resilience.go missing from profile" > "/dev/stderr"
+            exit 1
+        }
+        pct = 100 * cov / tot
+        printf "coverage gate: cluster/resilience.go %.1f%%\n", pct
+        if (pct < 90) {
+            printf "coverage gate: cluster/resilience.go below the 90%% floor\n" > "/dev/stderr"
+            exit 1
+        }
+    }
+' "$res_cover"
+rm -f "$res_cover"
 
 step "allocation contract: steady-state AllocsPerRun pins"
 # The hot-path allocation contract (DESIGN.md, "Allocation contract"):

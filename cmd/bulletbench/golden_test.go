@@ -10,8 +10,10 @@ import (
 
 // quickGoldenExps is every experiment the quick-suite golden covers: the
 // full -quick sweep minus table3 (wall-clock microbenchmarks, inherently
-// nondeterministic) and minus ext-fidelity (added after the golden was
-// captured; its determinism is pinned by TestExtFidelityDeterminism).
+// nondeterministic) and minus ext-fidelity and ext-chaos (added after
+// the golden was captured; their determinism is pinned by
+// TestExtFidelityDeterminism and TestExtChaosDeterminism, and ext-chaos
+// additionally by cmd/bulletsim's TestGoldenChaos).
 const quickGoldenExps = "table1,fig2,fig4,fig7,fig10,fig11,fig12,fig13,fig14,fig15," +
 	"ext-knobs,ext-disagg,ext-device,ext-prefix,ext-cluster,ext-knee,ext-tp,ext-faults,ext-pressure"
 

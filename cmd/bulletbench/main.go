@@ -25,7 +25,7 @@ import (
 
 var order = []string{
 	"table1", "fig2", "fig4", "fig7", "fig10", "fig11", "fig12", "table3",
-	"fig13", "fig14", "fig15", "ext-knobs", "ext-disagg", "ext-device", "ext-prefix", "ext-cluster", "ext-knee", "ext-tp", "ext-faults", "ext-pressure", "ext-fidelity",
+	"fig13", "fig14", "fig15", "ext-knobs", "ext-disagg", "ext-device", "ext-prefix", "ext-cluster", "ext-knee", "ext-tp", "ext-faults", "ext-pressure", "ext-fidelity", "ext-chaos",
 }
 
 func main() {
@@ -214,6 +214,12 @@ func render(id string, quick bool) string {
 		return experiments.RenderExtFidelity(
 			experiments.ExtFidelity(workload.AzureCode, 5, fn, 42),
 			experiments.ExtFidelityCluster(workload.AzureCode, 8, fn, 42, 0))
+	case "ext-chaos":
+		cn := n
+		if quick {
+			cn = 120
+		}
+		return experiments.RenderExtChaos(experiments.ExtChaos(workload.AzureCode, 10, cn, 7, 0))
 	}
 	panic(fmt.Sprintf("bulletbench: experiment %q listed in order but not dispatched", id))
 }

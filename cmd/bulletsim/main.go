@@ -11,6 +11,7 @@
 //	bulletsim -system bullet -faults -fault-rate 0.1 -fault-seed 7
 //	bulletsim -pressure -dataset azure-code -rate 4 -n 200
 //	bulletsim -qos -dataset azure-code -rate 4 -n 200
+//	bulletsim -chaos -dataset azure-code -rate 10 -n 120
 //	bulletsim -list
 //
 // With -backend the Bullet variant runs on a non-default per-kernel
@@ -38,6 +39,16 @@
 // (internal/qos), plus a 2-replica cluster arm at the top rate whose
 // table is byte-identical serial vs parallel. Output is byte-identical
 // across runs of the same flags.
+//
+// With -chaos the router-resilience storm study runs: a seeded Markov
+// calm/storm process generates a correlated link-failure schedule
+// (black-holed and degraded replica links, router blips, graceful
+// drains, rack-style cascades) over a 4-replica cluster, and the same
+// storm replays twice — once with the naive router and once with the
+// resilience layer (circuit breakers, dispatch timeouts, hedged
+// re-dispatch, per-class token buckets; DESIGN.md §16). Output is
+// byte-identical across runs of the same flags and at every -workers
+// value.
 package main
 
 import (
@@ -86,6 +97,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		faultSeed  = fs.Int64("fault-seed", 1, "fault schedule random seed")
 		pressSweep = fs.Bool("pressure", false, "run the memory-pressure overload sweep (rate, 2x, 3x) and print the ext-pressure table")
 		qosSweep   = fs.Bool("qos", false, "run the multi-tenant QoS overload sweep (rate, 2x, 3x) and print the ext-qos tables")
+		chaosRun   = fs.Bool("chaos", false, "run the router-resilience storm study (naive vs resilient router) and print the ext-chaos table")
 		clSweep    = fs.Bool("cluster-sweep", false, "run the 1/2/4-replica scale-out sweep through the fork/join harness and print the ext-cluster table")
 		workers    = fs.Int("workers", 0, "fork/join width for -cluster-sweep (0 = GOMAXPROCS default, 1 = serial)")
 		list       = fs.Bool("list", false, "list systems and datasets, then exit")
@@ -146,6 +158,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *qosSweep {
 		if err := runQoS(*dataset, *rate, *n, *seed, *workers, stdout); err != nil {
+			return fail(err)
+		}
+		return 0
+	}
+
+	if *chaosRun {
+		if err := runChaos(*dataset, *rate, *n, *seed, *workers, stdout); err != nil {
 			return fail(err)
 		}
 		return 0
@@ -292,6 +311,20 @@ func runQoS(dataset string, rate float64, n int, seed int64, workers int, stdout
 	fmt.Fprint(stdout, experiments.RenderExtQoS(rows))
 	cl := experiments.ExtQoSCluster(d, 3*rate, n, seed, workers)
 	fmt.Fprint(stdout, experiments.RenderExtQoSCluster(cl))
+	return nil
+}
+
+// runChaos replays the same correlated link-failure storm over a
+// 4-replica cluster twice — naive router vs the router-resilience
+// layer — and prints the ext-chaos table. Deterministic: the same
+// flags print byte-identical tables at every -workers value.
+func runChaos(dataset string, rate float64, n int, seed int64, workers int, stdout io.Writer) error {
+	d, err := workload.ByName(dataset)
+	if err != nil {
+		return err
+	}
+	rows := experiments.ExtChaos(d, rate, n, seed, workers)
+	fmt.Fprint(stdout, experiments.RenderExtChaos(rows))
 	return nil
 }
 

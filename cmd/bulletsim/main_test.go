@@ -44,6 +44,11 @@ func TestGoldenQoS(t *testing.T) {
 		"qos.golden")
 }
 
+func TestGoldenChaos(t *testing.T) {
+	goldenRun(t, []string{"-chaos", "-dataset", "azure-code", "-rate", "10", "-n", "120", "-seed", "7", "-workers", "1"},
+		"chaos.golden")
+}
+
 func TestGoldenClusterSweep(t *testing.T) {
 	goldenRun(t, []string{"-cluster-sweep", "-workers", "1", "-dataset", "azure-code", "-rate", "8", "-n", "80", "-seed", "7"},
 		"cluster.golden")

@@ -1,0 +1,92 @@
+package calib
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/units"
+)
+
+// nsysRangePrefix marks the NVTX ranges the calibration harness owns.
+// A profiling run that wants its kernels calibrated wraps each launch
+// in an NVTX range named "bullet:<op>:<tokens>"; everything else in
+// the trace (framework kernels, memcpys, other tenants) is skipped.
+const nsysRangePrefix = "bullet:"
+
+// ParseNsysCSV reads calibration rows from an nsys-style GPU-trace CSV
+// export (`nsys stats --report cuda_gpu_trace --format csv`, or any
+// conforming profiler dump). The header row names the columns; the
+// parser needs a duration column whose header contains "Duration" with
+// an "(ns)" unit, and an NVTX range column (header containing "NVTX"
+// or named "Range") carrying the harness annotation
+// "bullet:<op>:<tokens>". Rows whose range does not start with
+// "bullet:" are foreign kernels and are skipped; rows that carry the
+// prefix but are malformed are errors, reported with their 1-based
+// line number — a half-annotated trace is a profiling bug, not noise.
+func ParseNsysCSV(r io.Reader) ([]Row, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validated per row against the header below
+	header, err := cr.Read()
+	if err == io.EOF {
+		return nil, fmt.Errorf("calib: nsys csv: empty input")
+	}
+	if err != nil {
+		return nil, fmt.Errorf("calib: nsys csv: header: %v", err)
+	}
+	durCol, rangeCol := -1, -1
+	for i, h := range header {
+		h = strings.TrimSpace(h)
+		switch {
+		case strings.Contains(h, "Duration") && strings.Contains(h, "(ns)"):
+			durCol = i
+		case strings.Contains(h, "NVTX") || h == "Range":
+			rangeCol = i
+		}
+	}
+	if durCol < 0 {
+		return nil, fmt.Errorf("calib: nsys csv: no \"Duration (ns)\" column in header %q", strings.Join(header, ","))
+	}
+	if rangeCol < 0 {
+		return nil, fmt.Errorf("calib: nsys csv: no NVTX range column in header %q", strings.Join(header, ","))
+	}
+	var rows []Row
+	for lineNo := 2; ; lineNo++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("calib: nsys csv: line %d: %v", lineNo, err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("calib: nsys csv: line %d: %d fields, header has %d", lineNo, len(rec), len(header))
+		}
+		rng := strings.TrimSpace(rec[rangeCol])
+		if !strings.HasPrefix(rng, nsysRangePrefix) {
+			continue
+		}
+		parts := strings.Split(rng, ":")
+		if len(parts) != 3 || parts[1] == "" {
+			return nil, fmt.Errorf("calib: nsys csv: line %d: want \"bullet:<op>:<tokens>\", got %q", lineNo, rng)
+		}
+		tokens, err := strconv.Atoi(parts[2])
+		if err != nil || tokens <= 0 {
+			return nil, fmt.Errorf("calib: nsys csv: line %d: bad token count %q in range %q", lineNo, parts[2], rng)
+		}
+		ns, err := strconv.ParseFloat(strings.TrimSpace(rec[durCol]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("calib: nsys csv: line %d: bad duration %q: %v", lineNo, rec[durCol], err)
+		}
+		if ns <= 0 {
+			return nil, fmt.Errorf("calib: nsys csv: line %d: non-positive duration %v ns", lineNo, ns)
+		}
+		rows = append(rows, Row{Op: parts[1], Tokens: tokens, Latency: units.Seconds(ns * 1e-9)})
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("calib: nsys csv: no %q-annotated kernels in trace", nsysRangePrefix)
+	}
+	return rows, nil
+}

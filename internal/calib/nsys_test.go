@@ -1,0 +1,75 @@
+package calib
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// TestParseNsysCSVSample parses the checked-in nsys-style GPU-trace
+// export: every "bullet:"-annotated launch becomes a calibration row,
+// foreign kernels (rms_norm, rope, memcpys) are skipped, and the rows
+// fit into a valid sampled-backend latency table end to end.
+func TestParseNsysCSVSample(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "nsys_gputrace.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := ParseNsysCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 18 {
+		t.Fatalf("parsed %d rows, want 18 annotated launches", len(rows))
+	}
+	byOp := map[string]int{}
+	for _, r := range rows {
+		byOp[r.Op]++
+		if r.Tokens <= 0 || r.Latency <= 0 {
+			t.Fatalf("bad row %+v", r)
+		}
+	}
+	for _, op := range []string{"qkv", "attn", "oproj", "gateup", "down", "lmhead"} {
+		if byOp[op] == 0 {
+			t.Errorf("no rows parsed for operator %q (got %v)", op, byOp)
+		}
+	}
+	// Durations are ns in the export, seconds in Row: the first qkv
+	// launch is 211300 ns.
+	if got, want := rows[0], (Row{Op: "qkv", Tokens: 1024, Latency: units.Seconds(211300e-9)}); got != want {
+		t.Errorf("first row = %+v, want %+v", got, want)
+	}
+	table, err := Fit(rows, FitOptions{RefSMs: 108})
+	if err != nil {
+		t.Fatalf("Fit over nsys rows: %v", err)
+	}
+	if _, ok := table.Sample("attn", 2048, 0.5); !ok {
+		t.Error("fitted table cannot sample attn@2048")
+	}
+}
+
+// TestParseNsysCSVErrors: hostile or half-annotated inputs are errors
+// carrying the offending line, never panics or silent drops.
+func TestParseNsysCSVErrors(t *testing.T) {
+	const hdr = "Start (ns),Duration (ns),NVTX Range,Name\n"
+	for name, tc := range map[string]struct{ in, want string }{
+		"empty":             {"", "empty input"},
+		"no duration":       {"Start (ns),NVTX Range,Name\n", "no \"Duration (ns)\" column"},
+		"no range":          {"Start (ns),Duration (ns),Name\n", "no NVTX range column"},
+		"short row":         {hdr + "1,2\n", "line 2"},
+		"malformed range":   {hdr + "1,200,bullet:qkv,k\n", "want \"bullet:<op>:<tokens>\""},
+		"bad tokens":        {hdr + "1,200,bullet:qkv:zero,k\n", "bad token count"},
+		"negative tokens":   {hdr + "1,200,bullet:qkv:-4,k\n", "bad token count"},
+		"bad duration":      {hdr + "1,fast,bullet:qkv:128,k\n", "bad duration"},
+		"zero duration":     {hdr + "1,0,bullet:qkv:128,k\n", "non-positive duration"},
+		"nothing annotated": {hdr + "1,200,,k\n", "no \"bullet:\"-annotated kernels"},
+	} {
+		if _, err := ParseNsysCSV(strings.NewReader(tc.in)); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", name, err, tc.want)
+		}
+	}
+}

@@ -40,9 +40,11 @@ import (
 	"repro/internal/gpusim"
 	"repro/internal/metrics"
 	"repro/internal/qos"
+	"repro/internal/resilience"
 	"repro/internal/serving"
 	"repro/internal/sim"
 	"repro/internal/timeline"
+	"repro/internal/units"
 	"repro/internal/workload"
 )
 
@@ -71,6 +73,12 @@ type Config struct {
 	// serial path. By the isolation contract the value never changes
 	// results, only wall-clock time.
 	Workers int
+	// Resilience arms the router-tier protections of DESIGN.md §16
+	// (circuit breakers, dispatch timeouts, hedged re-dispatch, token
+	// buckets, graceful drains) when AttachFaults is called. Nil leaves
+	// the router naive: link faults, blips, and drains still apply, but
+	// nothing mitigates them — the control arm of ext-chaos.
+	Resilience *resilience.Config
 }
 
 // DefaultConfig returns a two-replica least-loaded Bullet cluster.
@@ -92,11 +100,27 @@ type outcome struct {
 type replica struct {
 	env      *serving.Env
 	sys      *core.Bullet
+	slot     int // index in Cluster.replicas, stable across restarts
 	inflight int // live requests routed here
 	tokens   int // live input tokens routed here
 	// down marks a crashed replica: the router stops picking it and its
 	// late completions are swallowed as stale.
 	down bool
+	// draining marks a replica mid graceful drain (DESIGN.md §16): it
+	// stops admitting, finishes in-flight work, and readmits at the end
+	// of the drain window.
+	draining bool
+	// linkLost / linkDelay model the router→replica link state under
+	// KindLinkDegrade: lost links black-hole dispatches into held,
+	// degraded links deliver them linkDelay late. linkGen fences
+	// restore callbacks against overlapping link faults and crashes.
+	linkLost  bool
+	linkDelay sim.Time
+	linkGen   int
+	// held buffers dispatches parked on a faulty link, keyed off by
+	// request ID; delivery, dispatch timeout, and link restoration race
+	// deterministically through removeHeld.
+	held []workload.Request
 	// live tracks the requests currently owned by this replica, the set
 	// that fails over when it crashes.
 	live map[string]workload.Request
@@ -136,10 +160,19 @@ type Cluster struct {
 	// at the next recovery.
 	deferred []workload.Request
 
+	// rs holds the router-tier resilience state (resilience.go); non-nil
+	// once AttachFaults ran. Its cfg stays nil unless Config.Resilience
+	// armed the mitigations.
+	rs *routerState
+
 	crashes    int
 	retried    int
 	recoveries int
 	stale      int
+	// recoveryTime attributes actual elapsed repair time per completed
+	// router-tier recovery (restarts, link restorations, drain
+	// readmissions) for metrics.Resilience.RecoveryTime.
+	recoveryTime units.Seconds
 
 	// tl is the root recorder attached by AttachTimeline; each replica
 	// records through a per-replica scoped view of it. Non-nil forces
@@ -182,7 +215,7 @@ func (c *Cluster) newReplica(idx int) *replica {
 	rsim := sim.New()
 	rsim.Run(c.outer.Sim.Now())
 	env := serving.NewEnvWithSim(rsim, c.outer.GPU.Spec, c.outer.Model, datasetOf(c.outer))
-	r := &replica{env: env, live: map[string]workload.Request{}}
+	r := &replica{env: env, slot: idx, live: map[string]workload.Request{}}
 	env.OnComplete = func(m metrics.Request) {
 		r.outbox = append(r.outbox, outcome{at: env.Sim.Now(), done: m})
 	}
@@ -323,6 +356,16 @@ func (c *Cluster) mergeOutboxes() {
 // (it failed over at a crash) are swallowed, live ones release the
 // routing accounting and flow to the outer environment.
 func (c *Cluster) applyOutcome(r *replica, o outcome) {
+	if c.rs != nil {
+		id := o.done.ID
+		if o.isShed {
+			id = o.shed.ID
+		}
+		if fl, ok := c.rs.flights[id]; ok {
+			c.settleFlight(r, fl, o, id)
+			return
+		}
+	}
 	if o.isShed {
 		if c.routed[o.shed.ID] != r {
 			c.stale++
@@ -387,29 +430,47 @@ func (c *Cluster) onPump() {
 // are deferred and flushed at the next recovery.
 func (c *Cluster) Submit(r workload.Request) {
 	c.advanceTo(c.outer.Sim.Now())
+	if c.rs != nil {
+		c.submitResilient(r, true)
+		c.schedulePump()
+		return
+	}
 	rep := c.pick(r)
 	if rep == nil {
 		c.deferred = append(c.deferred, r)
 		c.schedulePump()
 		return
 	}
+	c.place(rep, r)
+	rep.sys.Submit(r)
+	c.schedulePump()
+}
+
+// place records the routing accounting for a request on its chosen
+// replica: load counters, the failover set, and the ownership map.
+func (c *Cluster) place(rep *replica, r workload.Request) {
 	rep.inflight++
 	rep.tokens += r.InputTokens
 	rep.live[r.ID] = r
 	c.routed[r.ID] = rep
-	rep.sys.Submit(r)
-	c.schedulePump()
 }
 
 // pick returns the routing policy's choice among healthy replicas, nil
 // when all are down.
 func (c *Cluster) pick(r workload.Request) *replica {
+	return c.pickWhere(func(rep *replica) bool { return !rep.down })
+}
+
+// pickWhere runs the routing policy over the replicas that satisfy ok,
+// nil when none do. RoundRobin advances the cursor past rejected
+// candidates, matching the health-aware legacy behavior.
+func (c *Cluster) pickWhere(ok func(*replica) bool) *replica {
 	switch c.cfg.Policy {
 	case RoundRobin:
 		for i := 0; i < len(c.replicas); i++ {
 			rep := c.replicas[c.next%len(c.replicas)]
 			c.next++
-			if !rep.down {
+			if ok(rep) {
 				return rep
 			}
 		}
@@ -417,7 +478,7 @@ func (c *Cluster) pick(r workload.Request) *replica {
 	case JoinShortestQueue:
 		var best *replica
 		for _, rep := range c.replicas {
-			if rep.down {
+			if !ok(rep) {
 				continue
 			}
 			if best == nil || rep.sys.Prefill.QueueDepth() < best.sys.Prefill.QueueDepth() {
@@ -428,7 +489,7 @@ func (c *Cluster) pick(r workload.Request) *replica {
 	default: // LeastLoaded
 		var best *replica
 		for _, rep := range c.replicas {
-			if rep.down {
+			if !ok(rep) {
 				continue
 			}
 			if best == nil || rep.tokens < best.tokens {
@@ -450,10 +511,14 @@ func (c *Cluster) AttachFaults(inj *faults.Injector, wcfg core.WatchdogConfig) {
 	for _, r := range c.replicas {
 		r.sys.EnableResilience(wcfg)
 	}
+	c.rs = newRouterState(c.cfg)
 	inj.Handle(faults.KindReplicaCrash, c.onReplicaCrash)
 	inj.Handle(faults.KindSMDegrade, c.routeFault)
 	inj.Handle(faults.KindEngineStall, c.routeFault)
 	inj.Handle(faults.KindKVShrink, c.routeFault)
+	inj.Handle(faults.KindLinkDegrade, c.onLinkFault)
+	inj.Handle(faults.KindRouterBlip, c.onRouterBlip)
+	inj.Handle(faults.KindReplicaDrain, c.onReplicaDrain)
 }
 
 // routeFault applies a single-device fault to the targeted replica — a
@@ -497,8 +562,23 @@ func (c *Cluster) onReplicaCrash(ev faults.Event) {
 			timeline.I("lost", len(lost)))
 	}
 	rep.live = map[string]workload.Request{}
+	if c.rs != nil {
+		// Dispatches parked on the dead link fail over via the lost set;
+		// the generation bump no-ops their pending delivery, timeout, and
+		// link-restore callbacks.
+		rep.held = nil
+		rep.linkGen++
+	}
 	for _, w := range lost {
 		delete(c.routed, w.ID)
+		if c.rs != nil {
+			if c.detachFlight(rep, w) {
+				continue // a hedge copy survives elsewhere
+			}
+			c.retried++
+			c.submitResilient(w, false)
+			continue
+		}
 		c.retried++
 		c.Submit(w)
 	}
@@ -506,19 +586,32 @@ func (c *Cluster) onReplicaCrash(ev faults.Event) {
 		c.advanceTo(c.outer.Sim.Now())
 		c.replicas[idx] = c.newReplica(idx)
 		c.recoveries++
+		c.recoveryTime += ev.Recovery
 		if c.tl != nil {
 			c.tl.Instant("cluster", "recovery", c.outer.Sim.Now(),
 				timeline.I("replica", idx),
 				timeline.I("deferred", len(c.deferred)))
 		}
-		flush := c.deferred
-		c.deferred = nil
-		for _, w := range flush {
-			c.Submit(w)
-		}
+		c.flushDeferred()
 		c.schedulePump()
 	})
 	c.schedulePump()
+}
+
+// flushDeferred re-submits the arrivals that found every replica
+// unavailable. Resilient flushes skip the admission bucket — the
+// requests were already admitted (or arrived before rate limiting was
+// armed) and must not be charged twice.
+func (c *Cluster) flushDeferred() {
+	flush := c.deferred
+	c.deferred = nil
+	for _, w := range flush {
+		if c.rs != nil {
+			c.submitResilient(w, false)
+			continue
+		}
+		c.Submit(w)
+	}
 }
 
 // Replicas returns the per-replica completed-request counts, for balance
@@ -558,7 +651,28 @@ func (c *Cluster) StaleCompletions() int { return c.stale }
 // watchdog counters. The caller owns injector-level counters
 // (FaultsInjected, Downtime).
 func (c *Cluster) Resilience() metrics.Resilience {
-	out := metrics.Resilience{Retried: c.retried, Recoveries: c.recoveries}
+	out := metrics.Resilience{
+		Retried:      c.retried,
+		Recoveries:   c.recoveries,
+		RecoveryTime: c.recoveryTime,
+	}
+	if rs := c.rs; rs != nil {
+		out.LinkFaults = rs.linkFaults
+		out.Drains = rs.drains
+		out.Handoffs = rs.handoffs
+		for cl, n := range rs.rateLimited {
+			out.RateLimited += n
+			out.RateLimitedByClass[cl] = n
+		}
+		for _, b := range rs.breakers {
+			out.BreakerOpens += b.Opens()
+			out.BreakerCloses += b.Closes()
+		}
+		if rs.hedger != nil {
+			out.Hedges = rs.hedger.Hedges()
+			out.HedgeWins = rs.hedger.Wins()
+		}
+	}
 	for _, r := range c.replicas {
 		out.Add(r.sys.Resilience())
 	}

@@ -356,6 +356,11 @@ func (b *Bullet) Name() string { return b.name }
 // Submit implements serving.System.
 func (b *Bullet) Submit(r workload.Request) { b.Prefill.Submit(r) }
 
+// ExtractWaiting drains the prefill waiting queue and returns the
+// requests, which hold no KV yet; the cluster drain protocol hands
+// them to a healthy replica.
+func (b *Bullet) ExtractWaiting() []workload.Request { return b.Prefill.ExtractWaiting() }
+
 // RunTrace is a convenience wrapper over the serving harness.
 func (b *Bullet) RunTrace(trace *workload.Trace) serving.Result {
 	return b.env.Run(b, trace)

@@ -40,6 +40,16 @@ type faultState struct {
 	retried    int
 	shed       int
 	recoveries int
+	// recoveryTime attributes actual elapsed repair time per completed
+	// recovery event (metrics.Resilience.RecoveryTime).
+	recoveryTime units.Seconds
+}
+
+// recover records one completed recovery and attributes its elapsed
+// repair time, so MTTR stays correct when fault windows overlap.
+func (f *faultState) recover(took units.Seconds) {
+	f.recoveries++
+	f.recoveryTime += took
 }
 
 // EnableResilience arms the watchdog and fault bookkeeping. It must be
@@ -100,7 +110,7 @@ func (b *Bullet) onSMDegrade(ev faults.Event) {
 		b.env.Sim.PostAfter(ev.Duration, func() {
 			b.env.GPU.SetSMHealth(ev.FirstSM, ev.NumSMs, 1)
 			b.reprovision()
-			b.faults.recoveries++
+			b.faults.recover(ev.Duration)
 		})
 	}
 }
@@ -140,11 +150,11 @@ func (b *Bullet) onEngineStall(ev faults.Event) {
 			if b.faults.bufferFaults == token {
 				b.Buffer.SetExtraLatency(0)
 			}
-			b.faults.recoveries++
+			b.faults.recover(ev.Stall)
 		})
 	case faults.TargetDecode:
 		b.Decode.Stall(ev.Stall)
-		b.env.Sim.PostAfter(ev.Stall, func() { b.faults.recoveries++ })
+		b.env.Sim.PostAfter(ev.Stall, func() { b.faults.recover(ev.Stall) })
 	case faults.TargetPrefill:
 		b.Prefill.Stall(ev.Stall)
 		if ev.Stall > b.faults.wcfg.Timeout && b.Prefill.Running() {
@@ -152,7 +162,7 @@ func (b *Bullet) onEngineStall(ev faults.Event) {
 			b.env.Sim.PostAfter(b.faults.wcfg.Timeout, func() { b.watchdogFire(ep) })
 			return
 		}
-		b.env.Sim.PostAfter(ev.Stall, func() { b.faults.recoveries++ })
+		b.env.Sim.PostAfter(ev.Stall, func() { b.faults.recover(ev.Stall) })
 	default:
 		panic(fmt.Sprintf("core: unknown stall target %q", ev.Target))
 	}
@@ -164,7 +174,7 @@ func (b *Bullet) onEngineStall(ev faults.Event) {
 func (b *Bullet) watchdogFire(ep int) {
 	if b.Prefill.Epoch() != ep || !b.Prefill.Running() || !b.Prefill.Stalled() {
 		// The batch finished, cleared, or another watchdog already acted.
-		b.faults.recoveries++
+		b.faults.recover(b.faults.wcfg.Timeout)
 		return
 	}
 	aborted := b.Prefill.AbortBatch()
@@ -181,7 +191,7 @@ func (b *Bullet) watchdogFire(ep int) {
 		b.faults.retried++
 		keep = append(keep, r)
 	}
-	b.faults.recoveries++
+	b.faults.recover(b.faults.wcfg.Timeout)
 	if b.tl != nil {
 		b.tl.Instant("watchdog", "abort", b.env.Sim.Now(),
 			timeline.I("aborted", len(aborted)),
@@ -202,9 +212,10 @@ func (b *Bullet) Resilience() metrics.Resilience {
 		return metrics.Resilience{}
 	}
 	return metrics.Resilience{
-		BatchAborts: b.faults.aborts,
-		Retried:     b.faults.retried,
-		Shed:        b.faults.shed,
-		Recoveries:  b.faults.recoveries,
+		BatchAborts:  b.faults.aborts,
+		Retried:      b.faults.retried,
+		Shed:         b.faults.shed,
+		Recoveries:   b.faults.recoveries,
+		RecoveryTime: b.faults.recoveryTime,
 	}
 }

@@ -222,6 +222,22 @@ func (p *PrefillEngine) AbortBatch() []*Req {
 	return aborted
 }
 
+// ExtractWaiting drains and returns the waiting queue in order. Waiting
+// requests hold no KV and have not started prefill, so they can be
+// handed to another instance verbatim — the graceful-drain path
+// (DESIGN.md §16) uses this to evacuate a replica without losing work.
+func (p *PrefillEngine) ExtractWaiting() []workload.Request {
+	if len(p.waiting) == 0 {
+		return nil
+	}
+	out := make([]workload.Request, len(p.waiting))
+	for i, r := range p.waiting {
+		out[i] = r.W
+	}
+	p.waiting = p.waiting[:0]
+	return out
+}
+
 // Requeue returns aborted requests to the head of the waiting queue
 // (they already spent their deadline budget) and schedules a restart.
 func (p *PrefillEngine) Requeue(reqs []*Req) {

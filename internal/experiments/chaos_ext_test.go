@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestExtChaosResilienceWins is the ext-chaos acceptance check: under
+// the correlated link-failure storm the resilient router must sustain
+// at least 2× the goodput of the naive router, keep premium SLO
+// attainment no worse, and actually exercise its machinery (dispatch
+// timeouts, breaker opens) against a non-trivial schedule.
+func TestExtChaosResilienceWins(t *testing.T) {
+	rows := ExtChaos(workload.AzureCode, 10, 120, 7, 1)
+	if len(rows) != len(ChaosArms) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(ChaosArms))
+	}
+	off, on := rows[0], rows[1]
+	if off.Arm != "resilience-off" || on.Arm != "resilience-on" {
+		t.Fatalf("arm order %q, %q", off.Arm, on.Arm)
+	}
+	if on.Goodput < 2*off.Goodput {
+		t.Errorf("resilient goodput %.2f < 2× naive %.2f", on.Goodput, off.Goodput)
+	}
+	if on.PremiumSLO < off.PremiumSLO {
+		t.Errorf("premium SLO regressed: on %.2f < off %.2f", on.PremiumSLO, off.PremiumSLO)
+	}
+	if off.LinkFaults == 0 || on.LinkFaults != off.LinkFaults {
+		t.Errorf("arms saw different storms: off %d links, on %d", off.LinkFaults, on.LinkFaults)
+	}
+	if off.FaultsApplied != on.FaultsApplied || off.FaultsApplied == 0 {
+		t.Errorf("injected fault counts diverged: off %d, on %d", off.FaultsApplied, on.FaultsApplied)
+	}
+	// The naive arm has none of the machinery; the resilient arm must
+	// have actually used its.
+	if off.Timeouts != 0 || off.BreakerOpens != 0 || off.Retried != 0 || off.RateLimited != 0 {
+		t.Errorf("naive arm shows resilience activity: %+v", off)
+	}
+	if on.Timeouts == 0 || on.BreakerOpens == 0 || on.Retried == 0 {
+		t.Errorf("resilient arm idle under the storm: %+v", on)
+	}
+	out := RenderExtChaos(rows)
+	for _, want := range []string{"resilience-on", "BrkOpen", "PremSLO", "MTTR(s)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestExtChaosDeterminism: the whole storm study — chaos schedule,
+// breaker state walks, hedges, timeouts, goodput accounting — must
+// replay bit-identically from the same seed, and must not depend on
+// how many workers advance the replicas. (ci.sh runs this under -race
+// as the chaos determinism smoke.)
+func TestExtChaosDeterminism(t *testing.T) {
+	a := ExtChaos(workload.AzureCode, 10, 60, 11, 1)
+	b := ExtChaos(workload.AzureCode, 10, 60, 11, 1)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("chaos study diverged across same-seed runs:\n%+v\nvs\n%+v", a, b)
+	}
+	par := ExtChaos(workload.AzureCode, 10, 60, 11, 4)
+	if !reflect.DeepEqual(a, par) {
+		t.Fatalf("chaos study diverged serial vs parallel:\n%+v\nvs\n%+v", a, par)
+	}
+}

@@ -50,6 +50,18 @@ const (
 	// KindKVShrink retires a fraction of the KV pool's capacity
 	// (fragmentation or a leak) for a period, then restores it.
 	KindKVShrink Kind = "kv-shrink"
+	// KindLinkDegrade degrades (added per-dispatch delay) or severs
+	// (full loss) the router↔replica KV-transfer link for a period —
+	// the network fault domain of internal/cluster.
+	KindLinkDegrade Kind = "link-degrade"
+	// KindRouterBlip freezes router dispatch for a period; arrivals
+	// queue at the router and flush when it comes back.
+	KindRouterBlip Kind = "router-blip"
+	// KindReplicaDrain asks a replica to restart: with resilience on the
+	// cluster drains it gracefully (stop admitting, hand off waiting
+	// work, finish in-flight decode, readmit after Recovery); without,
+	// the restart is abrupt and reuses the crash failover path.
+	KindReplicaDrain Kind = "replica-drain"
 )
 
 // Target selects which component an engine stall hits.
@@ -90,6 +102,14 @@ type Event struct {
 	// KindKVShrink: KVFraction of the pool's current capacity retires
 	// for Duration, then restores.
 	KVFraction float64
+
+	// KindLinkDegrade: the link to Replica adds LinkDelay to every
+	// dispatch — or black-holes dispatches entirely when LinkLoss — for
+	// Duration, then restores. KindRouterBlip freezes dispatch for
+	// Duration; KindReplicaDrain restarts Replica with readmission
+	// after Recovery.
+	LinkDelay sim.Time
+	LinkLoss  bool
 }
 
 // Schedule is a generated fault timeline, sorted by At.

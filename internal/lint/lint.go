@@ -108,19 +108,20 @@ func (p *Package) InInternal() bool {
 // these as a single-threaded actor model driven solely by sim events, so
 // the nogoroutine rule bans all concurrency constructs inside them.
 var corePackages = map[string]bool{
-	"internal/sim":       true,
-	"internal/gpusim":    true,
-	"internal/sched":     true,
-	"internal/engine":    true,
-	"internal/resource":  true,
-	"internal/estimator": true,
-	"internal/kvcache":   true,
-	"internal/smmask":    true,
-	"internal/faults":    true,
-	"internal/timeline":  true,
-	"internal/pressure":  true,
-	"internal/qos":       true,
-	"internal/calib":     true,
+	"internal/sim":        true,
+	"internal/gpusim":     true,
+	"internal/sched":      true,
+	"internal/engine":     true,
+	"internal/resource":   true,
+	"internal/estimator":  true,
+	"internal/kvcache":    true,
+	"internal/smmask":     true,
+	"internal/faults":     true,
+	"internal/timeline":   true,
+	"internal/pressure":   true,
+	"internal/qos":        true,
+	"internal/calib":      true,
+	"internal/resilience": true,
 }
 
 // InCore reports whether the package is part of the deterministic

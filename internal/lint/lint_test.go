@@ -461,6 +461,7 @@ func TestLoaderScopes(t *testing.T) {
 		{"repro/internal/pressure", true, true, false},
 		{"repro/internal/kvcache", true, true, false},
 		{"repro/internal/qos", true, true, false},
+		{"repro/internal/resilience", true, true, false},
 		{"repro/internal/serving", true, false, false},
 		{"repro/internal/baselines/nanoflow", true, false, false},
 		{"repro/cmd/bulletlint", false, false, true},

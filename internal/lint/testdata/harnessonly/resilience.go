@@ -1,0 +1,39 @@
+//linttest:path repro/internal/resilience
+
+// Known-bad inputs for the harnessonly rule in the resilience package:
+// breakers, buckets, and hedgers are pure state machines driven from
+// the router's event handlers on the outer simulator thread, so
+// guarding them with locks or reporting outcomes through channels is a
+// finding — serial ≡ parallel comes from the fork/join contract, not
+// from synchronization.
+package fixture
+
+import "sync" // want harnessonly
+
+type lockedBreaker struct {
+	mu       sync.Mutex
+	failures int
+}
+
+func (b *lockedBreaker) fail() {
+	b.mu.Lock() // harnessonly flags the import and constructs, not calls
+	defer b.mu.Unlock()
+	b.failures++
+}
+
+type outcome struct {
+	ok bool
+}
+
+func report(out chan outcome) { // want harnessonly
+	out <- outcome{ok: true} // want harnessonly
+}
+
+func probeWorker(out chan outcome, done chan struct{}) { // want harnessonly harnessonly
+	go func() { // want harnessonly
+		for o := range out { // want harnessonly
+			_ = o
+		}
+		done <- struct{}{} // want harnessonly
+	}()
+}

@@ -1,0 +1,80 @@
+//linttest:path repro/internal/fixture
+package fixture
+
+import "fmt"
+
+// Pins the hotalloc contract on the router's admission fast path: the
+// per-dispatch bucket check and breaker decision are pure arithmetic
+// on receiver state (the sanctioned shape), while the tempting
+// audit-trail variants — formatting a rejection reason or appending a
+// decision log entry per dispatch — allocate on every request.
+
+type tokenBucket struct {
+	level    float64
+	rate     float64
+	burst    float64
+	lastAt   float64
+	rejected int
+}
+
+// Clean per-dispatch admission check: lazy refill and a compare, no
+// heap traffic.
+//
+//bullet:hotpath
+func (b *tokenBucket) allow(now, cost float64) bool {
+	if elapsed := now - b.lastAt; elapsed > 0 {
+		b.level += elapsed * b.rate
+		if b.level > b.burst {
+			b.level = b.burst
+		}
+	}
+	b.lastAt = now
+	if cost > b.level {
+		b.rejected++
+		return false
+	}
+	b.level -= cost
+	return true
+}
+
+type decision struct {
+	at   float64
+	slot int
+}
+
+type auditedBucket struct {
+	tokenBucket
+	log     []decision
+	lastWhy string
+}
+
+// Audit-trail variant: the per-dispatch log append and the formatted
+// rejection reason both allocate on the admission fast path.
+//
+//bullet:hotpath
+func (b *auditedBucket) allowAudited(now, cost float64, slot int) bool {
+	ok := b.allow(now, cost)
+	b.log = append(b.log, decision{at: now, slot: slot}) // want hotalloc
+	if !ok {
+		b.lastWhy = fmt.Sprintf("bucket reject at %.3f", now) // want hotalloc hotalloc
+	}
+	return ok
+}
+
+type probeState struct {
+	state   int
+	probeAt float64
+}
+
+// Clean breaker decision: pure reads of receiver state.
+//
+//bullet:hotpath
+func (s *probeState) ready(now float64) bool {
+	switch s.state {
+	case 0: // closed
+		return true
+	case 1: // open
+		return now >= s.probeAt
+	}
+	return s.state == 2 // half-open: one probe outstanding
+}

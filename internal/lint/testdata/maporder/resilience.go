@@ -1,0 +1,56 @@
+//linttest:path repro/internal/resilience
+
+// Pins the maporder contract on the router's in-flight bookkeeping:
+// the flights table is a map keyed by request ID, so draining or
+// accounting it in range order is a finding — the real router only
+// ever looks flights up by key, and per-class counters live in
+// fixed-size arrays indexed by QoS class.
+package fixture
+
+import "sort"
+
+type flight struct {
+	id   string
+	reps []int
+}
+
+// drainFlights settles in-flight requests straight out of map range
+// order: the settlement order leaks into completion timestamps.
+func drainFlights(flights map[string]*flight) []string {
+	var settled []string
+	for id := range flights { // want maporder
+		settled = append(settled, id)
+	}
+	return settled
+}
+
+// sumHeld folds per-replica held-dispatch delay in range order: float
+// addition is order-sensitive in the low bits.
+func sumHeld(held map[int]float64) float64 {
+	total := 0.0
+	for _, d := range held { // want maporder
+		total += d
+	}
+	return total
+}
+
+// settleSorted is the sanctioned drain shape: collect IDs, sort, then
+// settle in key order.
+func settleSorted(flights map[string]*flight) []string {
+	ids := make([]string, 0, len(flights))
+	for id := range flights {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// classCounters is the sanctioned accounting shape: a fixed-size array
+// indexed by class, no map in sight.
+func classCounters(rejects [3]int) int {
+	total := 0
+	for _, n := range rejects {
+		total += n
+	}
+	return total
+}

@@ -1,0 +1,43 @@
+//linttest:path repro/internal/resilience
+
+// Pins the unitsafe contract on the breaker's probe cadence and the
+// bucket's refill arithmetic: probe delays and refill windows are
+// units.Seconds, so raw literals at unit-typed call sites and
+// bare-float laundering of elapsed time are findings, while typed
+// backoff arithmetic and the sanctioned Float() boundary are not.
+package fixture
+
+import "repro/internal/units"
+
+type probeBreaker struct {
+	probeAfter units.Seconds
+	probeAt    units.Seconds
+}
+
+func scheduleProbe(at units.Seconds) {}
+
+// rawProbeDelay feeds an unlabelled magnitude where a duration belongs.
+func rawProbeDelay() {
+	scheduleProbe(0.5) // want unitsafe
+}
+
+// launderedRefill strips the dimension from the elapsed window with a
+// bare conversion instead of the sanctioned Float() accessor.
+func launderedRefill(elapsed units.Seconds, ratePerSec float64) float64 {
+	return float64(elapsed) * ratePerSec // want unitsafe
+}
+
+// open is the sanctioned shape: typed backoff arithmetic end to end.
+func (b *probeBreaker) open(now units.Seconds, streak int) {
+	delay := b.probeAfter
+	for i := 0; i < streak; i++ {
+		delay = units.Scale(delay, 2)
+	}
+	b.probeAt = now + delay
+}
+
+// refill is the sanctioned read: Float() names the boundary where the
+// elapsed window deliberately becomes a dimensionless token count.
+func refill(elapsed units.Seconds, ratePerSec float64) float64 {
+	return elapsed.Float() * ratePerSec
+}

@@ -269,12 +269,43 @@ type Resilience struct {
 	Retried int
 	// Shed counts requests given up on after exhausting retries.
 	Shed int
-	// Recoveries counts completed repairs (SM health restorations and
-	// replica restarts).
+	// Recoveries counts completed repairs (SM health restorations,
+	// link restorations, and replica restarts/readmissions).
 	Recoveries int
 	// Downtime is the injected outage volume (degrade durations, stall
-	// lengths, recovery delays), summed over events.
+	// lengths, recovery delays), summed over scheduled events — events
+	// that never completed a repair (dropped, or folded into an
+	// already-open outage) included.
 	Downtime units.Seconds
+	// RecoveryTime is the actual elapsed repair time attributed per
+	// completed recovery event. Unlike Downtime it excludes fault
+	// events that never recovered, so MTTR stays truthful when
+	// cascading faults overlap (see MTTR).
+	RecoveryTime units.Seconds
+
+	// Router-tier resilience counters (internal/cluster, DESIGN.md §16).
+
+	// BreakerOpens / BreakerCloses count per-replica circuit-breaker
+	// closed→open trips and open→closed recoveries.
+	BreakerOpens  int
+	BreakerCloses int
+	// Hedges counts hedged re-dispatch copies; HedgeWins counts copies
+	// that finished before their primaries.
+	Hedges    int
+	HedgeWins int
+	// RateLimited counts router admissions rejected by the per-tenant
+	// token buckets; RateLimitedByClass splits it by service class,
+	// indexed by qos.Class order (best-effort, standard, premium —
+	// metrics cannot import qos without a cycle, so the indices are by
+	// convention).
+	RateLimited        int
+	RateLimitedByClass [3]int
+	// Drains counts graceful replica drain/restart cycles started;
+	// Handoffs counts waiting requests handed off to peers during them.
+	Drains   int
+	Handoffs int
+	// LinkFaults counts link degradation/loss events applied.
+	LinkFaults int
 }
 
 // Add accumulates another run's counters into r.
@@ -285,13 +316,31 @@ func (r *Resilience) Add(o Resilience) {
 	r.Shed += o.Shed
 	r.Recoveries += o.Recoveries
 	r.Downtime += o.Downtime
+	r.RecoveryTime += o.RecoveryTime
+	r.BreakerOpens += o.BreakerOpens
+	r.BreakerCloses += o.BreakerCloses
+	r.Hedges += o.Hedges
+	r.HedgeWins += o.HedgeWins
+	r.RateLimited += o.RateLimited
+	for c := range r.RateLimitedByClass {
+		r.RateLimitedByClass[c] += o.RateLimitedByClass[c]
+	}
+	r.Drains += o.Drains
+	r.Handoffs += o.Handoffs
+	r.LinkFaults += o.LinkFaults
 }
 
-// MTTR returns the mean time to recover: injected downtime per completed
-// repair (0 when nothing recovered).
+// MTTR returns the mean time to recover: actual attributed repair time
+// per completed recovery. Runs recorded before per-event attribution
+// existed (RecoveryTime zero with recoveries present) fall back to the
+// legacy scheduled-downtime estimate, which overstates MTTR whenever
+// cascading faults fold several scheduled outages into one repair.
 func (r Resilience) MTTR() units.Seconds {
 	if r.Recoveries == 0 {
 		return 0
+	}
+	if r.RecoveryTime > 0 {
+		return units.Over(r.RecoveryTime, float64(r.Recoveries))
 	}
 	return units.Over(r.Downtime, float64(r.Recoveries))
 }

@@ -147,10 +147,43 @@ func TestResilienceAddAndMTTR(t *testing.T) {
 		t.Fatalf("Add = %+v, want %+v", a, want)
 	}
 	if got := a.MTTR(); units.Abs(got-1.5) > 1e-12 {
-		t.Fatalf("MTTR = %v, want 1.5", got)
+		t.Fatalf("MTTR = %v, want 1.5 (legacy scheduled-downtime fallback)", got)
 	}
 	if (Resilience{Downtime: 5}).MTTR() != 0 {
 		t.Fatal("MTTR with zero recoveries should be 0")
+	}
+}
+
+// TestResilienceMTTRPrefersAttributedTime is the overlapping-crash
+// regression: two scheduled 4s outages whose windows overlap fold into
+// ~5s of actual repair work, and MTTR must reflect the attributed time,
+// not the scheduled sum.
+func TestResilienceMTTRPrefersAttributedTime(t *testing.T) {
+	r := Resilience{Recoveries: 2, Downtime: 8, RecoveryTime: 5}
+	if got := r.MTTR(); units.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("MTTR = %v, want 2.5 (RecoveryTime/Recoveries)", got)
+	}
+	// Without attribution the legacy estimate overstates: 8/2 = 4.
+	legacy := Resilience{Recoveries: 2, Downtime: 8}
+	if got := legacy.MTTR(); units.Abs(got-4) > 1e-12 {
+		t.Fatalf("legacy MTTR = %v, want 4", got)
+	}
+}
+
+// TestResilienceAddRouterCounters: the router-tier growth fields must
+// survive aggregation.
+func TestResilienceAddRouterCounters(t *testing.T) {
+	a := Resilience{
+		RecoveryTime: 1, BreakerOpens: 2, BreakerCloses: 1, Hedges: 3, HedgeWins: 1,
+		RateLimited: 4, RateLimitedByClass: [3]int{1, 2, 1}, Drains: 1, Handoffs: 5, LinkFaults: 6,
+	}
+	a.Add(a)
+	want := Resilience{
+		RecoveryTime: 2, BreakerOpens: 4, BreakerCloses: 2, Hedges: 6, HedgeWins: 2,
+		RateLimited: 8, RateLimitedByClass: [3]int{2, 4, 2}, Drains: 2, Handoffs: 10, LinkFaults: 12,
+	}
+	if a != want {
+		t.Fatalf("Add = %+v, want %+v", a, want)
 	}
 }
 

@@ -1,0 +1,446 @@
+// Package resilience provides the router-tier protection state machines
+// of the cluster (DESIGN.md §16): per-replica circuit breakers, a hedged
+// re-dispatch budget, and per-class token buckets. All three are pure
+// virtual-time policy objects — they hold no goroutines, no wall clocks,
+// and no randomness, decide from explicit (now, outcome) inputs only, and
+// therefore replay bit-identically and compose with the cluster's
+// serial ≡ parallel contract: every method is called exclusively from
+// outer-simulation event handlers, never from inside a fork/join window.
+//
+// The package deliberately knows nothing about replicas, requests, or
+// QoS classes; internal/cluster owns the wiring (which replica a breaker
+// guards, which class a bucket meters) so these state machines stay
+// independently property-testable.
+package resilience
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// BreakerState is the circuit-breaker state: Closed admits dispatches,
+// Open rejects them until the probe time, HalfOpen has one probe in
+// flight whose outcome decides the next state.
+type BreakerState int
+
+const (
+	// Closed is the healthy state: dispatches flow, consecutive
+	// failures are counted.
+	Closed BreakerState = iota
+	// Open rejects dispatches until the virtual-time probe instant.
+	Open
+	// HalfOpen has admitted exactly one probe dispatch; ReportSuccess
+	// closes the breaker, ReportFailure re-opens it with backoff.
+	HalfOpen
+)
+
+// String names the state for logs and timeline tags.
+func (s BreakerState) String() string {
+	switch s {
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// BreakerConfig parameterizes one circuit breaker. Zero fields take the
+// defaults documented on each.
+type BreakerConfig struct {
+	// FailureThreshold is how many consecutive dispatch failures close→
+	// open the breaker. Default 3.
+	FailureThreshold int
+	// ProbeAfter is the open→half-open delay before the first probe.
+	// Default 500ms.
+	ProbeAfter units.Seconds
+	// ProbeBackoff multiplies the probe delay per consecutive re-open
+	// without an intervening close. Default 2.
+	ProbeBackoff float64
+	// MaxProbeAfter caps the backed-off probe delay. Default 8s.
+	MaxProbeAfter units.Seconds
+}
+
+// DefaultBreakerConfig returns the documented defaults.
+func DefaultBreakerConfig() BreakerConfig {
+	return BreakerConfig{
+		FailureThreshold: 3,
+		ProbeAfter:       units.FromMs(500),
+		ProbeBackoff:     2,
+		MaxProbeAfter:    units.Seconds(8),
+	}
+}
+
+// withDefaults fills zero fields from DefaultBreakerConfig.
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	d := DefaultBreakerConfig()
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = d.FailureThreshold
+	}
+	if c.ProbeAfter <= 0 {
+		c.ProbeAfter = d.ProbeAfter
+	}
+	if c.ProbeBackoff < 1 {
+		c.ProbeBackoff = d.ProbeBackoff
+	}
+	if c.MaxProbeAfter <= 0 {
+		c.MaxProbeAfter = d.MaxProbeAfter
+	}
+	return c
+}
+
+// Breaker is one per-replica circuit breaker. Not safe for concurrent
+// use; the router mutates it only at outer-simulation decision points.
+type Breaker struct {
+	cfg   BreakerConfig
+	state BreakerState
+	// fails counts consecutive failures while closed.
+	fails int
+	// streak counts consecutive opens without an intervening close; it
+	// exponentiates the probe delay.
+	streak  int
+	probeAt units.Seconds
+
+	opens  int
+	probes int
+	closes int
+}
+
+// NewBreaker builds a breaker; zero cfg fields take defaults.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// State returns the current state.
+func (b *Breaker) State() BreakerState { return b.state }
+
+// Opens returns how many closed/half-open → open transitions occurred.
+func (b *Breaker) Opens() int { return b.opens }
+
+// Probes returns how many half-open probes were admitted.
+func (b *Breaker) Probes() int { return b.probes }
+
+// Closes returns how many open/half-open → closed recoveries occurred.
+func (b *Breaker) Closes() int { return b.closes }
+
+// ProbeAt returns the virtual-time instant at which an open breaker will
+// admit its next probe (meaningless unless State is Open).
+func (b *Breaker) ProbeAt() units.Seconds { return b.probeAt }
+
+// Ready reports whether a dispatch would be admitted at virtual time
+// now, without consuming the half-open probe slot. The router's pick
+// loop calls it per candidate replica; only the chosen replica's
+// breaker sees Allow.
+//
+//bullet:hotpath
+func (b *Breaker) Ready(now units.Seconds) bool {
+	switch b.state {
+	case Closed:
+		return true
+	case HalfOpen:
+		return false // one probe already in flight
+	default:
+		return now >= b.probeAt
+	}
+}
+
+// Allow admits one dispatch at virtual time now: always while closed,
+// never while half-open (the probe slot is taken), and exactly once per
+// probe instant while open — the open→half-open transition, whose
+// cadence is a pure function of the failure history and therefore
+// identical serial vs parallel.
+//
+//bullet:hotpath
+func (b *Breaker) Allow(now units.Seconds) bool {
+	switch b.state {
+	case Closed:
+		return true
+	case HalfOpen:
+		return false
+	default:
+		if now < b.probeAt {
+			return false
+		}
+		b.state = HalfOpen
+		b.probes++
+		return true
+	}
+}
+
+// ReportSuccess records a successful dispatch: it resets the failure
+// run and closes the breaker from any non-closed state.
+func (b *Breaker) ReportSuccess() {
+	b.fails = 0
+	if b.state != Closed {
+		b.state = Closed
+		b.streak = 0
+		b.closes++
+	}
+}
+
+// ReportFailure records a failed (timed-out) dispatch at virtual time
+// now: a half-open probe failure re-opens immediately with backoff, a
+// closed-state failure opens once the consecutive run reaches the
+// threshold.
+func (b *Breaker) ReportFailure(now units.Seconds) {
+	if b.state == HalfOpen {
+		b.open(now)
+		return
+	}
+	if b.state != Closed {
+		return // already open; nothing new to learn
+	}
+	b.fails++
+	if b.fails >= b.cfg.FailureThreshold {
+		b.open(now)
+	}
+}
+
+// open transitions to Open and arms the next probe at
+// ProbeAfter·ProbeBackoff^streak, capped at MaxProbeAfter.
+func (b *Breaker) open(now units.Seconds) {
+	b.state = Open
+	b.fails = 0
+	delay := b.cfg.ProbeAfter
+	for i := 0; i < b.streak; i++ {
+		delay = units.Scale(delay, b.cfg.ProbeBackoff)
+		if delay >= b.cfg.MaxProbeAfter {
+			delay = b.cfg.MaxProbeAfter
+			break
+		}
+	}
+	b.streak++
+	b.probeAt = now + delay
+	b.opens++
+}
+
+// BucketConfig parameterizes one token bucket. A zero Rate disables
+// metering (Allow always admits).
+type BucketConfig struct {
+	// Rate is the refill rate in tokens per second of virtual time.
+	Rate float64
+	// Burst is the bucket capacity (and the initial level).
+	Burst float64
+}
+
+// Bucket is a virtual-time token bucket. Refill is lazy: the level is
+// brought forward to the current virtual time on each Allow, so the
+// bucket needs no periodic events and conserves exactly — over any
+// interval it admits at most Burst + Rate·elapsed tokens (the property
+// TestBucketConservation pins).
+type Bucket struct {
+	cfg    BucketConfig
+	level  float64
+	last   units.Seconds
+	primed bool
+
+	admitted int
+	rejected int
+}
+
+// NewBucket builds a bucket holding Burst tokens.
+func NewBucket(cfg BucketConfig) *Bucket {
+	if cfg.Rate < 0 || cfg.Burst < 0 {
+		panic(fmt.Sprintf("resilience: invalid bucket config %+v", cfg))
+	}
+	return &Bucket{cfg: cfg, level: cfg.Burst}
+}
+
+// Level returns the current token level as of the last Allow call.
+func (b *Bucket) Level() float64 { return b.level }
+
+// Admitted returns how many Allow calls admitted.
+func (b *Bucket) Admitted() int { return b.admitted }
+
+// Rejected returns how many Allow calls rejected.
+func (b *Bucket) Rejected() int { return b.rejected }
+
+// Allow refills the bucket for the virtual time elapsed since the last
+// call, then admits the request iff cost tokens are available. Time must
+// be nondecreasing across calls (the simulation clock guarantees it).
+//
+//bullet:hotpath
+func (b *Bucket) Allow(now units.Seconds, cost float64) bool {
+	if b.cfg.Rate <= 0 {
+		b.admitted++
+		return true // unmetered
+	}
+	if !b.primed {
+		b.primed = true
+		b.last = now
+	}
+	if elapsed := now - b.last; elapsed > 0 {
+		b.level += b.cfg.Rate * elapsed.Float()
+		if b.level > b.cfg.Burst {
+			b.level = b.cfg.Burst
+		}
+		b.last = now
+	}
+	if cost > b.level {
+		b.rejected++
+		return false
+	}
+	b.level -= cost
+	b.admitted++
+	return true
+}
+
+// HedgeConfig parameterizes the hedged re-dispatch policy. Zero fields
+// take the defaults documented on each; a zero MaxHedges disables
+// hedging entirely.
+type HedgeConfig struct {
+	// After is the straggler threshold: a dispatch not completed After
+	// seconds of virtual time after placement is eligible for a hedge.
+	// Default 400ms.
+	After units.Seconds
+	// Backoff multiplies the wait per additional hedge of the same
+	// request. Default 2.
+	Backoff float64
+	// MaxHedges bounds the extra copies per request. 0 disables hedging.
+	MaxHedges int
+	// Budget bounds total hedges as a fraction of primary dispatches,
+	// so a pathological fleet cannot double every request. Default 0.05.
+	Budget float64
+	// MinBudget floors the absolute budget so hedging works from the
+	// first stragglers of a run. Default 2.
+	MinBudget int
+}
+
+// DefaultHedgeConfig returns the documented defaults with hedging
+// enabled at one copy per straggler.
+func DefaultHedgeConfig() HedgeConfig {
+	return HedgeConfig{
+		After:     units.FromMs(400),
+		Backoff:   2,
+		MaxHedges: 1,
+		Budget:    0.05,
+		MinBudget: 2,
+	}
+}
+
+// withDefaults fills zero fields from DefaultHedgeConfig, leaving
+// MaxHedges alone (zero legitimately means "off").
+func (c HedgeConfig) withDefaults() HedgeConfig {
+	d := DefaultHedgeConfig()
+	if c.After <= 0 {
+		c.After = d.After
+	}
+	if c.Backoff < 1 {
+		c.Backoff = d.Backoff
+	}
+	if c.Budget <= 0 {
+		c.Budget = d.Budget
+	}
+	if c.MinBudget <= 0 {
+		c.MinBudget = d.MinBudget
+	}
+	return c
+}
+
+// Hedger meters hedged re-dispatches against the budget. Like the
+// breaker it is pure bookkeeping; the router owns replica choice and
+// copy delivery.
+type Hedger struct {
+	cfg        HedgeConfig
+	dispatches int
+	hedges     int
+	wins       int
+}
+
+// NewHedger builds a hedger; zero cfg fields take defaults.
+func NewHedger(cfg HedgeConfig) *Hedger {
+	return &Hedger{cfg: cfg.withDefaults()}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (h *Hedger) Config() HedgeConfig { return h.cfg }
+
+// NoteDispatch records one primary dispatch, growing the budget.
+func (h *Hedger) NoteDispatch() { h.dispatches++ }
+
+// Budget returns the hedge allowance as of the dispatches seen so far:
+// max(MinBudget, Budget·dispatches). It is nondecreasing in the
+// dispatch count (the monotonicity TestHedgeBudgetMonotonic pins).
+func (h *Hedger) Budget() int {
+	b := int(h.cfg.Budget * float64(h.dispatches))
+	if b < h.cfg.MinBudget {
+		b = h.cfg.MinBudget
+	}
+	return b
+}
+
+// CanHedge reports whether another hedge fits the budget.
+//
+//bullet:hotpath
+func (h *Hedger) CanHedge() bool {
+	if h.cfg.MaxHedges <= 0 {
+		return false
+	}
+	return h.hedges < h.Budget()
+}
+
+// NoteHedge records one hedge copy dispatched.
+func (h *Hedger) NoteHedge() { h.hedges++ }
+
+// NoteWin records a hedge copy finishing before its primary.
+func (h *Hedger) NoteWin() { h.wins++ }
+
+// Hedges returns how many hedge copies were dispatched.
+func (h *Hedger) Hedges() int { return h.hedges }
+
+// Wins returns how many hedges beat their primaries.
+func (h *Hedger) Wins() int { return h.wins }
+
+// Delay returns the straggler wait before hedge attempt number attempt
+// (0-based): After·Backoff^attempt.
+func (h *Hedger) Delay(attempt int) units.Seconds {
+	d := h.cfg.After
+	for i := 0; i < attempt; i++ {
+		d = units.Scale(d, h.cfg.Backoff)
+	}
+	return d
+}
+
+// Config bundles the router-tier resilience policies the cluster arms
+// per replica set. Zero sub-configs take their defaults; see
+// DefaultConfig.
+type Config struct {
+	// Breaker parameterizes the per-replica circuit breakers.
+	Breaker BreakerConfig
+	// Hedge parameterizes straggler re-dispatch.
+	Hedge HedgeConfig
+	// DispatchTimeout bounds how long a dispatch may sit undelivered
+	// (black-holed or in transit on a degraded link) before the router
+	// counts it as a failure and re-routes. Default 200ms.
+	DispatchTimeout units.Seconds
+	// BucketRate / BucketBurst parameterize the per-class token buckets
+	// in input tokens per second; the cluster scales them per class
+	// (premium unmetered first). Zero disables rate limiting.
+	BucketRate  float64
+	BucketBurst float64
+}
+
+// DefaultConfig returns the documented defaults with rate limiting off
+// (enable BucketRate for admission-controlled runs).
+func DefaultConfig() Config {
+	return Config{
+		Breaker:         DefaultBreakerConfig(),
+		Hedge:           DefaultHedgeConfig(),
+		DispatchTimeout: units.FromMs(200),
+	}
+}
+
+// WithDefaults fills zero fields from DefaultConfig; the cluster calls
+// it once at attach time.
+func (c Config) WithDefaults() Config {
+	c.Breaker = c.Breaker.withDefaults()
+	c.Hedge = c.Hedge.withDefaults()
+	if c.DispatchTimeout <= 0 {
+		c.DispatchTimeout = DefaultConfig().DispatchTimeout
+	}
+	if c.BucketRate < 0 || c.BucketBurst < 0 {
+		panic(fmt.Sprintf("resilience: negative bucket parameters %+v", c))
+	}
+	return c
+}
