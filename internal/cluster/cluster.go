@@ -119,8 +119,9 @@ type replica struct {
 	linkGen   int
 	// held buffers dispatches parked on a faulty link, keyed off by
 	// request ID; delivery, dispatch timeout, and link restoration race
-	// deterministically through removeHeld.
-	held []workload.Request
+	// deterministically through removeHeld. Each entry carries whether
+	// the slot's breaker admitted it (resilience.go).
+	held []heldDispatch
 	// live tracks the requests currently owned by this replica, the set
 	// that fails over when it crashes.
 	live map[string]workload.Request
@@ -565,7 +566,14 @@ func (c *Cluster) onReplicaCrash(ev faults.Event) {
 	if c.rs != nil {
 		// Dispatches parked on the dead link fail over via the lost set;
 		// the generation bump no-ops their pending delivery, timeout, and
-		// link-restore callbacks.
+		// link-restore callbacks. Protected entries resolve their breaker
+		// outcome as a failure — a half-open probe wiped by the crash
+		// would otherwise never report and wedge the slot's breaker.
+		for _, h := range rep.held {
+			if h.protected {
+				c.rs.breakers[rep.slot].ReportFailure(c.outer.Sim.Now())
+			}
+		}
 		rep.held = nil
 		rep.linkGen++
 	}

@@ -34,6 +34,24 @@ import (
 // standard 2× — the inverse of the qos.SLOScale strictness ladder.
 var bucketShare = [qos.NumClasses]float64{qos.BestEffort: 1, qos.Standard: 2, qos.Premium: 4}
 
+// blipArrival is one request parked during a router blip, paired with
+// the token-bucket admission flag it was submitted with.
+type blipArrival struct {
+	req   workload.Request
+	admit bool
+}
+
+// heldDispatch is one dispatch parked on a faulty link. protected marks
+// a dispatch the slot's breaker admitted (Breaker.Allow returned true);
+// only protected outcomes feed back into the breaker state machine, so
+// a fail-open dispatch through an unready breaker — open before its
+// probe instant, or half-open with the probe slot already taken — can
+// neither close nor re-open a breaker that is waiting on its own probe.
+type heldDispatch struct {
+	req       workload.Request
+	protected bool
+}
+
 // flight tracks one request with potentially several dispatched copies
 // (the primary plus hedges). The first outcome from any member settles
 // the request; later outcomes only release their replica's accounting.
@@ -84,8 +102,11 @@ type routerState struct {
 
 	// blipUntil / blipHeld implement router blips: arrivals during a
 	// blip park here and flush when the last overlapping blip ends.
+	// Each entry keeps the admission flag it arrived with so the flush
+	// replays it verbatim — a re-dispatch parked mid-blip was already
+	// charged to its bucket and must not be charged twice.
 	blipUntil sim.Time
-	blipHeld  []workload.Request
+	blipHeld  []blipArrival
 
 	timeouts    int
 	rateLimited [qos.NumClasses]int
@@ -127,7 +148,7 @@ func (c *Cluster) submitResilient(r workload.Request, admit bool) {
 	rs := c.rs
 	now := c.outer.Sim.Now()
 	if now < rs.blipUntil {
-		rs.blipHeld = append(rs.blipHeld, r)
+		rs.blipHeld = append(rs.blipHeld, blipArrival{req: r, admit: admit})
 		return
 	}
 	if admit && rs.cfg != nil && rs.buckets[0] != nil {
@@ -147,14 +168,17 @@ func (c *Cluster) submitResilient(r workload.Request, admit bool) {
 		c.deferred = append(c.deferred, r)
 		return
 	}
+	protected := false
 	if rs.cfg != nil {
 		// The chosen replica's breaker admits the dispatch; an open
 		// breaker past its probe instant transitions to half-open here,
-		// making this dispatch the probe.
-		rs.breakers[rep.slot].Allow(now)
+		// making this dispatch the probe. A fail-open pick through an
+		// unready breaker dispatches unprotected: its outcome must not
+		// mutate the breaker (see heldDispatch).
+		protected = rs.breakers[rep.slot].Allow(now)
 	}
 	c.place(rep, r)
-	if c.dispatch(rep, r) && rs.cfg != nil && rs.cfg.Hedge.MaxHedges > 0 {
+	if c.dispatch(rep, r, protected) && rs.cfg != nil && rs.cfg.Hedge.MaxHedges > 0 {
 		rs.hedger.NoteDispatch()
 		if _, ok := rs.flights[r.ID]; !ok {
 			rs.flights[r.ID] = &flight{primary: rep, reps: []*replica{rep}}
@@ -186,23 +210,24 @@ func (c *Cluster) pickResilient() *replica {
 // dispatch delivers a placed request across the (possibly faulty) link
 // to its replica, reporting whether delivery was direct. Lost links
 // park the dispatch until the link restores or the dispatch timeout
-// re-routes it; degraded links deliver it late.
-func (c *Cluster) dispatch(rep *replica, r workload.Request) bool {
+// re-routes it; degraded links deliver it late. Only breaker-admitted
+// (protected) dispatches report their outcome to the breaker.
+func (c *Cluster) dispatch(rep *replica, r workload.Request, protected bool) bool {
 	rs := c.rs
 	if rep.linkLost {
-		rep.held = append(rep.held, r)
+		rep.held = append(rep.held, heldDispatch{req: r, protected: protected})
 		c.armDispatchTimeout(rep, r)
 		return false
 	}
 	if rep.linkDelay > 0 {
-		rep.held = append(rep.held, r)
+		rep.held = append(rep.held, heldDispatch{req: r, protected: protected})
 		id := r.ID
 		c.outer.Sim.PostAfter(rep.linkDelay, func() { c.deliverHeld(rep, id) })
 		c.armDispatchTimeout(rep, r)
 		return false
 	}
 	rep.sys.Submit(r)
-	if rs.cfg != nil {
+	if protected {
 		rs.breakers[rep.slot].ReportSuccess()
 	}
 	return true
@@ -211,22 +236,22 @@ func (c *Cluster) dispatch(rep *replica, r workload.Request) bool {
 // removeHeld takes the request with the given ID off the replica's held
 // buffer. Exactly one of the racing consumers (delayed delivery,
 // dispatch timeout, link-restore flush) wins; the others see false.
-func (c *Cluster) removeHeld(rep *replica, id string) (workload.Request, bool) {
-	for i, w := range rep.held {
-		if w.ID == id {
+func (c *Cluster) removeHeld(rep *replica, id string) (heldDispatch, bool) {
+	for i, h := range rep.held {
+		if h.req.ID == id {
 			rep.held = append(rep.held[:i], rep.held[i+1:]...)
-			return w, true
+			return h, true
 		}
 	}
-	return workload.Request{}, false
+	return heldDispatch{}, false
 }
 
 // deliverHeld completes a delayed dispatch across a degraded link.
 func (c *Cluster) deliverHeld(rep *replica, id string) {
 	c.advanceTo(c.outer.Sim.Now())
-	if w, ok := c.removeHeld(rep, id); ok {
-		rep.sys.Submit(w)
-		if c.rs.cfg != nil {
+	if h, ok := c.removeHeld(rep, id); ok {
+		rep.sys.Submit(h.req)
+		if h.protected {
 			c.rs.breakers[rep.slot].ReportSuccess()
 		}
 	}
@@ -245,10 +270,12 @@ func (c *Cluster) armDispatchTimeout(rep *replica, r workload.Request) {
 	}
 	c.outer.Sim.PostAfter(rs.cfg.DispatchTimeout, func() {
 		c.advanceTo(c.outer.Sim.Now())
-		if _, ok := c.removeHeld(rep, r.ID); ok {
+		if h, ok := c.removeHeld(rep, r.ID); ok {
 			now := c.outer.Sim.Now()
 			rs.timeouts++
-			rs.breakers[rep.slot].ReportFailure(now)
+			if h.protected {
+				rs.breakers[rep.slot].ReportFailure(now)
+			}
 			if c.tl != nil {
 				c.tl.Instant("router", "dispatch-timeout", now,
 					timeline.I("replica", rep.slot))
@@ -345,8 +372,12 @@ func (c *Cluster) settleFlight(r *replica, fl *flight, o outcome, id string) {
 }
 
 // detachFlight removes a failed-over or handed-off copy from its
-// flight, reporting whether surviving copies make a re-dispatch
-// unnecessary. Ownership transfers to the first survivor.
+// flight, reporting whether a re-dispatch is unnecessary: either
+// surviving copies still carry the request (ownership transfers to the
+// first survivor), or the flight already settled — its outcome flowed
+// to the outer environment when an earlier copy won, and Env.Complete
+// is exactly-once, so re-dispatching would deliver it twice and end
+// the run with another request unserved.
 func (c *Cluster) detachFlight(rep *replica, w workload.Request) bool {
 	fl, ok := c.rs.flights[w.ID]
 	if !ok {
@@ -358,6 +389,10 @@ func (c *Cluster) detachFlight(rep *replica, w workload.Request) bool {
 		return true
 	}
 	delete(c.rs.flights, w.ID)
+	if fl.won {
+		delete(c.routed, w.ID)
+		return true
+	}
 	return false
 }
 
@@ -395,8 +430,14 @@ func (c *Cluster) onLinkFault(ev faults.Event) {
 			rep.linkDelay = 0
 			held := rep.held
 			rep.held = nil
-			for _, w := range held {
-				rep.sys.Submit(w)
+			for _, h := range held {
+				rep.sys.Submit(h.req)
+				// A protected dispatch delivered at restore resolves its
+				// breaker outcome as a success — a half-open probe parked
+				// here would otherwise never report and wedge the breaker.
+				if h.protected {
+					rs.breakers[rep.slot].ReportSuccess()
+				}
 			}
 			c.recoveries++
 			c.recoveryTime += ev.Duration
@@ -430,10 +471,11 @@ func (c *Cluster) onRouterBlip(ev faults.Event) {
 		if c.outer.Sim.Now() >= rs.blipUntil {
 			flush := rs.blipHeld
 			rs.blipHeld = nil
-			for _, w := range flush {
-				// Held arrivals never reached the admission bucket; they
-				// are charged now, at flush time.
-				c.submitResilient(w, true)
+			for _, h := range flush {
+				// Fresh arrivals never reached the admission bucket and
+				// are charged now, at flush time; parked re-dispatches
+				// (admit=false) were already admitted and replay as such.
+				c.submitResilient(h.req, h.admit)
 			}
 			c.recoveries++
 			c.recoveryTime += ev.Duration

@@ -206,6 +206,46 @@ func TestHedgedStragglerWins(t *testing.T) {
 	}
 }
 
+// TestCrashAfterHedgeWinDoesNotDuplicate is the settled-flight failover
+// regression: replica 0 crawls, so its primaries straggle and their
+// hedge copies win on replica 1 — leaving settled flights whose losing
+// copy still decodes on replica 0. When replica 0 then crashes, the
+// failover must not re-dispatch those already-completed requests
+// (Env.Complete is exactly-once; a duplicate would end the run early
+// with another request unserved).
+func TestCrashAfterHedgeWinDoesNotDuplicate(t *testing.T) {
+	const n = 30
+	rcfg := resilience.DefaultConfig()
+	rcfg.Hedge.Budget = 1 // hedge every straggler
+	cfg := Config{Replicas: 2, Policy: RoundRobin, Options: opts(), Resilience: &rcfg}
+	sched := faults.Schedule{Events: []faults.Event{
+		{At: 2, Kind: faults.KindReplicaCrash, Replica: 0, Recovery: 1},
+	}}
+	env := serving.NewEnv(gpusim.A100(), model.Llama31_8B(), "azure-code")
+	c := New(env, cfg)
+	c.replicas[0].env.GPU.SetSMHealth(0, 108, 0.02) // replica 0 crawls
+	inj := faults.NewInjector(env.Sim, sched)
+	c.AttachFaults(inj, core.DefaultWatchdog())
+	inj.Arm()
+	res := env.Run(c, workload.Generate(workload.AzureCode, 4, n, 41))
+	c.Quiesce()
+	c.CheckDrained()
+	rl := c.Resilience()
+	if rl.HedgeWins == 0 {
+		t.Fatal("scenario produced no hedge win before the crash")
+	}
+	if got := res.Summary.Requests + res.Shed; got != n {
+		t.Fatalf("completed %d + shed %d, want %d", res.Summary.Requests, res.Shed, got)
+	}
+	seen := map[string]bool{}
+	for _, r := range res.Requests {
+		if seen[r.ID] {
+			t.Fatalf("request %s completed twice", r.ID)
+		}
+		seen[r.ID] = true
+	}
+}
+
 // TestTokenBucketRateLimitsByClass: a tight admission budget sheds
 // best-effort traffic first — the per-class buckets scale 1:2:4 — and
 // conservation holds (every request completes or sheds exactly once).
